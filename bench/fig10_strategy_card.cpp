@@ -1,0 +1,61 @@
+// FIG10 — The MDP-derived "blackjack strategy card" (paper Fig. 10,
+// ref [30]).
+//
+// Trains the DoomedRunGuard on a 1400-logfile corpus (the paper derives its
+// card "automatically ... from 1400 logfiles of an industry tool") and
+// prints the GO/STOP card over binned violations (x) and binned DRV delta
+// (y). The paper's qualitative reading must hold: STOP when DRVs at t are
+// very large (right half), GO when DRVs are small (left), and GO even at
+// moderately large DRVs when the slope is negative.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/doomed_guard.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace maestro;
+  std::puts("=== FIG10: MDP-based GO/STOP strategy card ===");
+
+  route::DrvSimOptions opt;
+  opt.seed = 10;
+  util::Rng rng{10};
+  const auto corpus = route::make_drv_corpus(route::CorpusKind::ArtificialLayouts, 1400, opt, rng);
+  core::DoomedRunGuard guard;
+  guard.train(corpus);
+
+  std::puts("rows: binned delta(DRVs) (top = climbing), cols: bin(violations(t))");
+  std::puts("S = STOP, g = GO (learned), . = GO (footnote-5 fill-in)\n");
+  std::fputs(guard.card().render().c_str(), stdout);
+  std::printf("\nSTOP fraction of the card: %.1f%%\n", 100.0 * guard.card().stop_fraction());
+
+  const auto& card = guard.card();
+  const std::size_t V = card.violation_bins();
+  const std::size_t D = card.delta_bins();
+
+  // Quantify the paper's three qualitative reads of the card.
+  auto stop_rate = [&](std::size_t v_lo, std::size_t v_hi, std::size_t d_lo, std::size_t d_hi) {
+    std::size_t stop = 0;
+    std::size_t total = 0;
+    for (std::size_t v = v_lo; v < v_hi; ++v) {
+      for (std::size_t d = d_lo; d < d_hi; ++d) {
+        ++total;
+        stop += card.stop_at(v, d) ? 1 : 0;
+      }
+    }
+    return total > 0 ? static_cast<double>(stop) / static_cast<double>(total) : 0.0;
+  };
+  const double right_half_climb = stop_rate(V / 2, V, D / 2 + 1, D);   // large DRVs, climbing
+  const double left_half = stop_rate(0, V / 3, D / 4, (3 * D) / 4);    // small DRVs, mild slope
+  const double moderate_falling = stop_rate(V / 3, (3 * V) / 5, 0, D / 2);  // falling slope
+
+  std::printf("\nShape check vs paper:\n");
+  std::printf("  STOP dominates right half with positive slope (%.0f%%): %s\n",
+              100.0 * right_half_climb, right_half_climb > 0.6 ? "OK" : "MISMATCH");
+  std::printf("  GO dominates small-DRV region (STOP only %.0f%%): %s\n", 100.0 * left_half,
+              left_half < 0.3 ? "OK" : "MISMATCH");
+  std::printf("  GO at moderate DRVs with negative slope (STOP only %.0f%%): %s\n",
+              100.0 * moderate_falling, moderate_falling < 0.3 ? "OK" : "MISMATCH");
+  return 0;
+}

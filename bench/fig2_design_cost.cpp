@@ -1,0 +1,49 @@
+// FIG2 — Design cost and transistor count trends (paper Fig. 2, ref [35])
+// plus the ITRS Design Cost Model scenarios of footnote 1.
+//
+// Regenerates: transistors per chip (exponential growth), design cost with
+// the full DT-innovation schedule (stays in tens of $M), verification cost
+// share, and the two frozen-innovation counterfactuals ($1B by 2013 /
+// $70B by 2028 frozen at 2000; $3.4B by 2028 frozen at 2013).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "costmodel/cost_model.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace maestro;
+  std::puts("=== FIG2: Design cost & transistor trends (ITRS Design Cost Model) ===");
+
+  const costmodel::DesignCostModel model;
+  const auto series = costmodel::cost_trend_series(model, 1995, 2028, 3);
+  util::CsvTable table{{"year", "transistors", "design_cost_$M", "verification_$M",
+                        "frozen2000_$M", "frozen2013_$M"}};
+  for (const auto& p : series) {
+    table.new_row()
+        .add(p.year)
+        .add(p.transistors_per_chip, 0)
+        .add(p.design_cost_musd, 1)
+        .add(p.verification_cost_musd, 1)
+        .add(p.cost_frozen_2000_musd, 1)
+        .add(p.cost_frozen_2013_musd, 1);
+  }
+  table.print(std::cout);
+
+  std::printf("\nCalibration vs the paper's footnote 1:\n");
+  const double c2013 = model.design_cost_musd(2013, 2013);
+  std::printf("  2013 cost w/ innovation: $%.1fM (paper: $45.4M): %s\n", c2013,
+              std::abs(c2013 - 45.4) / 45.4 < 0.10 ? "OK" : "MISMATCH");
+  const double f2000_2013 = model.design_cost_musd(2013, 2000);
+  std::printf("  2013 cost frozen@2000:   $%.0fM (paper: ~$1B): %s\n", f2000_2013,
+              std::abs(f2000_2013 - 1000.0) < 250.0 ? "OK" : "MISMATCH");
+  const double f2013_2028 = model.design_cost_musd(2028, 2013);
+  std::printf("  2028 cost frozen@2013:   $%.0fM (paper: ~$3.4B): %s\n", f2013_2028,
+              std::abs(f2013_2028 - 3400.0) < 850.0 ? "OK" : "MISMATCH");
+  const double f2000_2028 = model.design_cost_musd(2028, 2000);
+  std::printf("  2028 cost frozen@2000:   $%.0fM (paper: ~$70B): %s\n", f2000_2028,
+              std::abs(f2000_2028 - 70000.0) < 20000.0 ? "OK" : "MISMATCH");
+  return 0;
+}

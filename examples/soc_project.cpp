@@ -1,0 +1,103 @@
+// Capstone: a multi-block SoC project with no humans in the loop.
+//
+//   $ ./example_soc_project
+//
+// Everything the roadmap asks for, in one run:
+//   1. The SoC is decomposed into blocks (Solution 1: "many more small
+//      subproblems") with real FM partitioning statistics.
+//   2. A doomed-run guard is trained from a shared (anonymized) corpus
+//      (Section 4 infrastructure).
+//   3. Robot engineers implement every block concurrently under a license
+//      pool; the guard's early termination shortens the schedule.
+//   4. Every run is transmitted to the METRICS server; the miner prescribes
+//      the achievable frequency for the next project.
+
+#include <cstdio>
+
+#include "core/doomed_guard.hpp"
+#include "core/robot_engineer.hpp"
+#include "core/scheduler.hpp"
+#include "metrics/miner.hpp"
+#include "metrics/sharing.hpp"
+#include "place/partition.hpp"
+
+int main() {
+  using namespace maestro;
+  const netlist::CellLibrary lib = netlist::make_default_library();
+  const flow::FlowManager manager{lib};
+  util::Rng rng{777};
+
+  // --- 1. Decompose the SoC into blocks. ---
+  std::puts("[1] decomposing the SoC (8000 gates) into 8 blocks");
+  netlist::RandomLogicSpec soc_spec;
+  soc_spec.gates = 8000;
+  soc_spec.seed = 1;
+  const auto soc = netlist::make_random_logic(lib, soc_spec);
+  util::Rng part_rng{1};
+  const auto part = place::recursive_bisection(soc, 8, place::FmOptions{}, part_rng);
+  std::printf("    %zu cut nets across %zu blocks (%.1f%% of nets)\n", part.cut_nets,
+              part.blocks, 100.0 * static_cast<double>(part.cut_nets) /
+                               static_cast<double>(soc.net_count()));
+
+  // --- 2. Train the doomed-run guard from a shared corpus. ---
+  std::puts("[2] importing a shared (anonymized) router-logfile corpus");
+  route::DrvSimOptions dso;
+  dso.seed = 2;
+  util::Rng crng{2};
+  const auto raw_corpus =
+      route::make_drv_corpus(route::CorpusKind::ArtificialLayouts, 800, dso, crng);
+  const std::string corpus_path = "/tmp/maestro_soc_corpus.jsonl";
+  metrics::save_drv_corpus(raw_corpus, corpus_path, metrics::AnonymizeOptions{});
+  const auto shared = metrics::load_drv_corpus(corpus_path);
+  core::DoomedRunGuard guard;
+  guard.train(shared);
+  std::printf("    guard trained on %zu anonymized logfiles (%.0f%% STOP cells)\n",
+              shared.size(), 100.0 * guard.card().stop_fraction());
+
+  // --- 3. Robots implement all blocks; runs feed METRICS. ---
+  std::puts("[3] robot engineers implement the 8 blocks (guarded routing)");
+  metrics::Server server;
+  metrics::Transmitter tx{server};
+  core::RobotEngineer robot{manager};
+  std::vector<core::ProjectTask> schedule_tasks;
+  std::size_t blocks_closed = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    flow::FlowRecipe recipe;
+    recipe.design.kind = flow::DesignSpec::Kind::RandomLogic;
+    recipe.design.gates_override = 1000;
+    recipe.design.rtl_seed = 100 + b;
+    recipe.design.name = "block" + std::to_string(b);
+    recipe.target_ghz = 1.0;
+    recipe.seed = rng.next();
+    auto monitor = guard.monitor(3);
+    recipe.route_monitor = [&monitor](int it, double d, double dd) { return monitor(it, d, dd); };
+    const auto out = robot.execute(recipe, flow::FlowConstraints{}, rng);
+    tx.transmit_flow(recipe, out.result);
+    blocks_closed += out.succeeded ? 1 : 0;
+    std::printf("    block%zu: %s in %d attempt(s), wns %+.0f ps, TAT %.0f min\n", b,
+                out.succeeded ? "closed" : "OPEN", out.attempts, out.result.wns_ps,
+                out.total_tat_minutes);
+    core::ProjectTask t;
+    t.name = recipe.design.name;
+    t.duration_min = out.total_tat_minutes;
+    t.doomed = !out.succeeded;
+    schedule_tasks.push_back(t);
+  }
+  std::printf("    %zu/8 blocks closed; METRICS holds %zu records\n", blocks_closed,
+              server.size());
+
+  // --- 4. Project schedule under the license pool. ---
+  std::puts("[4] project schedule (4 licenses, guard on)");
+  core::ScheduleOptions sopt;
+  sopt.licenses = 4;
+  sopt.doomed_guard = true;
+  const auto sched = core::simulate_schedule(schedule_tasks, sopt);
+  std::printf("    makespan %.1f h at %.0f%% license utilization\n", sched.makespan_min / 60.0,
+              100.0 * sched.utilization);
+
+  // --- 5. Mine guidance for the next project. ---
+  const auto rx = metrics::prescribe_frequency(server, "block0", 0.5);
+  std::printf("[5] miner: block0-class achievable clock %.2f GHz (over %zu runs)\n",
+              rx.recommended_ghz, rx.supporting_runs);
+  return blocks_closed == 8 ? 0 : 1;
+}

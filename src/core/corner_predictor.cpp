@@ -1,0 +1,107 @@
+#include "core/corner_predictor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace maestro::core {
+
+std::vector<CornerSample> join_corner_reports(
+    const std::map<std::string, timing::StaReport>& by_corner,
+    const std::string& feature_corner) {
+  std::vector<CornerSample> out;
+  const auto base_it = by_corner.find(feature_corner);
+  if (base_it == by_corner.end()) return out;
+  const auto& base = base_it->second;
+
+  for (const auto& ep : base.endpoints) {
+    CornerSample s;
+    s.path_stages = static_cast<double>(ep.path_stages);
+    s.wire_delay_ps = ep.path_wire_delay_ps;
+    s.gate_delay_ps = ep.path_gate_delay_ps;
+    s.max_fanout = static_cast<double>(ep.max_fanout_on_path);
+    bool complete = true;
+    for (const auto& [name, report] : by_corner) {
+      const auto* match = report.endpoint_of(ep.endpoint);
+      if (match == nullptr) {
+        complete = false;
+        break;
+      }
+      s.slack_by_corner[name] = match->slack_ps;
+    }
+    if (complete) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<double> CornerPredictor::features_of(const CornerSample& s) const {
+  std::vector<double> f;
+  for (const auto& name : analyzed_) {
+    const auto it = s.slack_by_corner.find(name);
+    f.push_back(it != s.slack_by_corner.end() ? it->second : 0.0);
+  }
+  f.push_back(s.path_stages);
+  f.push_back(s.wire_delay_ps);
+  f.push_back(s.gate_delay_ps);
+  f.push_back(s.max_fanout);
+  return f;
+}
+
+void CornerPredictor::fit(const std::vector<CornerSample>& samples) {
+  assert(!samples.empty());
+  ml::Dataset data;
+  double num = 0.0;
+  double den = 0.0;
+  const std::string& ref = analyzed_.front();
+  for (const auto& s : samples) {
+    const auto target = s.slack_by_corner.find(missing_);
+    if (target == s.slack_by_corner.end()) continue;
+    data.add(features_of(s), target->second);
+    // Scalar baseline: least-squares ratio missing ~= k * analyzed[0].
+    const auto a = s.slack_by_corner.find(ref);
+    if (a != s.slack_by_corner.end()) {
+      num += a->second * target->second;
+      den += a->second * a->second;
+    }
+  }
+  scalar_ratio_ = den > 1e-12 ? num / den : 1.0;
+  scaler_.fit(data);
+  model_ = std::make_unique<ml::BoostedStumps>(250, 0.1);
+  model_->fit(scaler_.transform(data));
+}
+
+double CornerPredictor::predict(const CornerSample& s) const {
+  assert(fitted());
+  return model_->predict(scaler_.transform(features_of(s)));
+}
+
+CornerPredictor::Report CornerPredictor::evaluate(
+    const std::vector<CornerSample>& samples) const {
+  Report rep;
+  const std::string& ref = analyzed_.front();
+  std::vector<double> truth;
+  std::vector<double> pred;
+  double scalar_err = 0.0;
+  for (const auto& s : samples) {
+    const auto target = s.slack_by_corner.find(missing_);
+    if (target == s.slack_by_corner.end()) continue;
+    truth.push_back(target->second);
+    pred.push_back(predict(s));
+    const auto a = s.slack_by_corner.find(ref);
+    const double scalar_pred = a != s.slack_by_corner.end() ? scalar_ratio_ * a->second : 0.0;
+    scalar_err += std::abs(scalar_pred - target->second);
+  }
+  rep.endpoints = truth.size();
+  if (truth.empty()) return rep;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double err = std::abs(pred[i] - truth[i]);
+    rep.mean_abs_error_ps += err;
+    rep.max_abs_error_ps = std::max(rep.max_abs_error_ps, err);
+  }
+  rep.mean_abs_error_ps /= static_cast<double>(truth.size());
+  rep.scalar_baseline_mae_ps = scalar_err / static_cast<double>(truth.size());
+  rep.r2 = ml::r2_score(truth, pred);
+  return rep;
+}
+
+}  // namespace maestro::core

@@ -1,0 +1,73 @@
+#pragma once
+// Missing-corner timing prediction (paper Section 3.2, near-term extension
+// (2): "prediction of timing at 'missing corners' that are not analyzed,
+// based on STA reports for corners that are analyzed").
+//
+// Signoff at K corners costs K full analyses. CornerPredictor learns, from
+// designs where all corners WERE analyzed, a per-endpoint model mapping the
+// analyzed corners' slacks (plus structural path features) to the missing
+// corner's slack. Because gate delay, wire delay and setup scale differently
+// across corners, the mapping depends on each path's gate/wire composition —
+// a genuine learning problem, not a scalar derate.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/regression.hpp"
+#include "timing/sta.hpp"
+
+namespace maestro::core {
+
+/// Per-endpoint multi-corner observation.
+struct CornerSample {
+  std::map<std::string, double> slack_by_corner;  ///< corner name -> slack
+  double path_stages = 0.0;
+  double wire_delay_ps = 0.0;   ///< at the typical corner
+  double gate_delay_ps = 0.0;
+  double max_fanout = 0.0;
+};
+
+/// Join per-corner STA reports (same design, same placement) by endpoint.
+/// Structural features come from the report at `feature_corner`.
+std::vector<CornerSample> join_corner_reports(
+    const std::map<std::string, timing::StaReport>& by_corner,
+    const std::string& feature_corner = "tt");
+
+class CornerPredictor {
+ public:
+  /// `analyzed`: corner names available at inference; `missing`: the corner
+  /// to predict.
+  CornerPredictor(std::vector<std::string> analyzed, std::string missing)
+      : analyzed_(std::move(analyzed)), missing_(std::move(missing)) {}
+
+  void fit(const std::vector<CornerSample>& samples);
+  bool fitted() const { return model_ != nullptr; }
+
+  /// Predicted slack at the missing corner.
+  double predict(const CornerSample& sample) const;
+
+  struct Report {
+    double mean_abs_error_ps = 0.0;
+    double max_abs_error_ps = 0.0;
+    double r2 = 0.0;
+    /// Baseline: best single scalar derate fit from the nearest analyzed
+    /// corner (what a non-ML flow would do).
+    double scalar_baseline_mae_ps = 0.0;
+    std::size_t endpoints = 0;
+  };
+  Report evaluate(const std::vector<CornerSample>& samples) const;
+
+  const std::string& missing_corner() const { return missing_; }
+
+ private:
+  std::vector<double> features_of(const CornerSample& s) const;
+
+  std::vector<std::string> analyzed_;
+  std::string missing_;
+  std::unique_ptr<ml::Regressor> model_;
+  ml::StandardScaler scaler_;
+  double scalar_ratio_ = 1.0;  ///< fitted for the baseline comparison
+};
+
+}  // namespace maestro::core

@@ -1,0 +1,97 @@
+#include "core/correlation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace maestro::core {
+
+std::vector<EndpointPair> pair_endpoints(const timing::StaReport& gba,
+                                         const timing::StaReport& signoff) {
+  std::map<netlist::InstanceId, const timing::EndpointTiming*> signoff_by_id;
+  for (const auto& ep : signoff.endpoints) signoff_by_id[ep.endpoint] = &ep;
+
+  std::vector<EndpointPair> pairs;
+  pairs.reserve(gba.endpoints.size());
+  for (const auto& ep : gba.endpoints) {
+    const auto it = signoff_by_id.find(ep.endpoint);
+    if (it == signoff_by_id.end()) continue;
+    EndpointPair p;
+    p.gba_slack_ps = ep.slack_ps;
+    p.signoff_slack_ps = it->second->slack_ps;
+    p.arrival_ps = ep.arrival_ps;
+    p.path_stages = static_cast<double>(ep.path_stages);
+    p.wire_delay_ps = ep.path_wire_delay_ps;
+    p.gate_delay_ps = ep.path_gate_delay_ps;
+    p.max_fanout = static_cast<double>(ep.max_fanout_on_path);
+    pairs.push_back(p);
+  }
+  return pairs;
+}
+
+CorrelationStats correlation_stats(std::span<const double> reference,
+                                   std::span<const double> estimate) {
+  CorrelationStats s;
+  const std::size_t n = std::min(reference.size(), estimate.size());
+  if (n == 0) return s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double err = estimate[i] - reference[i];
+    s.mean_abs_error_ps += std::abs(err);
+    s.max_abs_error_ps = std::max(s.max_abs_error_ps, std::abs(err));
+    s.bias_ps += err;
+  }
+  s.mean_abs_error_ps /= static_cast<double>(n);
+  s.bias_ps /= static_cast<double>(n);
+  s.r2 = ml::r2_score(reference, estimate);
+  return s;
+}
+
+std::vector<double> CorrelationModel::features_of(const EndpointPair& p) {
+  return {p.gba_slack_ps, p.arrival_ps, p.path_stages,
+          p.wire_delay_ps, p.gate_delay_ps, p.max_fanout};
+}
+
+void CorrelationModel::fit(const std::vector<EndpointPair>& pairs) {
+  assert(!pairs.empty());
+  ml::Dataset data;
+  for (const auto& p : pairs) data.add(features_of(p), p.signoff_slack_ps);
+  scaler_.fit(data);
+  const ml::Dataset scaled = scaler_.transform(data);
+  switch (learner_) {
+    case Learner::Ridge: model_ = std::make_unique<ml::RidgeRegression>(1e-2); break;
+    case Learner::BoostedStumps: model_ = std::make_unique<ml::BoostedStumps>(300, 0.1); break;
+    case Learner::Knn: model_ = std::make_unique<ml::KnnRegressor>(7); break;
+  }
+  model_->fit(scaled);
+}
+
+double CorrelationModel::correct(const EndpointPair& p) const {
+  assert(fitted());
+  return model_->predict(scaler_.transform(features_of(p)));
+}
+
+std::vector<double> CorrelationModel::correct_all(const std::vector<EndpointPair>& pairs) const {
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const auto& p : pairs) out.push_back(correct(p));
+  return out;
+}
+
+CorrelationModel::Report CorrelationModel::evaluate(const std::vector<EndpointPair>& pairs) const {
+  Report rep;
+  rep.endpoints = pairs.size();
+  std::vector<double> signoff;
+  std::vector<double> gba;
+  signoff.reserve(pairs.size());
+  gba.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    signoff.push_back(p.signoff_slack_ps);
+    gba.push_back(p.gba_slack_ps);
+  }
+  rep.raw = correlation_stats(signoff, gba);
+  if (fitted()) rep.corrected = correlation_stats(signoff, correct_all(pairs));
+  return rep;
+}
+
+}  // namespace maestro::core

@@ -1,0 +1,71 @@
+#pragma once
+// Analysis-correlation models (paper Section 3.2, Fig. 8; refs [14] [27]).
+//
+// The P&R tool's fast graph-based timer (GBA) and the signoff path-based
+// SI-aware timer (PBA+SI) disagree in structured ways; miscorrelation forces
+// guardbands and iterations. CorrelationModel learns the per-endpoint
+// divergence from endpoint features (GBA slack, path depth, wire/gate delay
+// split, fanout) and corrects GBA slacks toward signoff — "accuracy for
+// free", shifting the Fig. 8 accuracy-cost curve.
+
+#include <vector>
+
+#include "ml/regression.hpp"
+#include "timing/sta.hpp"
+
+namespace maestro::core {
+
+/// Paired endpoint observation from two timing engines on the same design.
+struct EndpointPair {
+  double gba_slack_ps = 0.0;
+  double signoff_slack_ps = 0.0;
+  double arrival_ps = 0.0;
+  double path_stages = 0.0;
+  double wire_delay_ps = 0.0;
+  double gate_delay_ps = 0.0;
+  double max_fanout = 0.0;
+};
+
+/// Match endpoints between a GBA report and a signoff report (by endpoint
+/// instance id).
+std::vector<EndpointPair> pair_endpoints(const timing::StaReport& gba,
+                                         const timing::StaReport& signoff);
+
+struct CorrelationStats {
+  double mean_abs_error_ps = 0.0;   ///< mean |gba - signoff| (or |pred - signoff|)
+  double max_abs_error_ps = 0.0;
+  double bias_ps = 0.0;             ///< mean (gba - signoff); >0 = optimistic GBA
+  double r2 = 0.0;
+};
+CorrelationStats correlation_stats(std::span<const double> reference,
+                                   std::span<const double> estimate);
+
+class CorrelationModel {
+ public:
+  enum class Learner { Ridge, BoostedStumps, Knn };
+  explicit CorrelationModel(Learner learner = Learner::BoostedStumps) : learner_(learner) {}
+
+  /// Fit signoff slack = f(GBA endpoint features) on paired observations.
+  void fit(const std::vector<EndpointPair>& pairs);
+  bool fitted() const { return model_ != nullptr; }
+
+  /// Corrected (predicted signoff) slack for a GBA endpoint.
+  double correct(const EndpointPair& features) const;
+  std::vector<double> correct_all(const std::vector<EndpointPair>& pairs) const;
+
+  /// Before/after miscorrelation on a held-out set.
+  struct Report {
+    CorrelationStats raw;        ///< GBA vs signoff
+    CorrelationStats corrected;  ///< model(GBA) vs signoff
+    std::size_t endpoints = 0;
+  };
+  Report evaluate(const std::vector<EndpointPair>& pairs) const;
+
+ private:
+  static std::vector<double> features_of(const EndpointPair& p);
+  Learner learner_;
+  std::unique_ptr<ml::Regressor> model_;
+  ml::StandardScaler scaler_;
+};
+
+}  // namespace maestro::core

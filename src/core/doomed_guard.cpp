@@ -1,0 +1,222 @@
+#include "core/doomed_guard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace maestro::core {
+
+StrategyCard::StrategyCard(std::size_t v_bins, std::size_t d_bins, const GuardOptions& opt)
+    : v_bins_(v_bins), d_bins_(d_bins), opt_(opt),
+      stop_(v_bins * d_bins, 0), trained_(v_bins * d_bins, 0) {}
+
+bool StrategyCard::stop_at(std::size_t v_bin, std::size_t d_bin) const {
+  assert(v_bin < v_bins_ && d_bin < d_bins_);
+  return stop_[index(v_bin, d_bin)] != 0;
+}
+
+void StrategyCard::set(std::size_t v_bin, std::size_t d_bin, bool stop, bool from_training) {
+  assert(v_bin < v_bins_ && d_bin < d_bins_);
+  stop_[index(v_bin, d_bin)] = stop ? 1 : 0;
+  trained_[index(v_bin, d_bin)] = from_training ? 1 : 0;
+}
+
+bool StrategyCard::seen_in_training(std::size_t v_bin, std::size_t d_bin) const {
+  return trained_[index(v_bin, d_bin)] != 0;
+}
+
+std::size_t StrategyCard::violation_bin(double violations) const {
+  const double v = std::max(violations, 0.0);
+  const auto bin = static_cast<std::size_t>(std::log(v + 1.0) / std::log(opt_.log_bin_base));
+  return std::min(bin, v_bins_ - 1);
+}
+
+std::size_t StrategyCard::delta_bin(double delta, double violations_prev) const {
+  // Log-domain change: robust to the absolute violation scale.
+  const double prev = std::max(violations_prev, 0.0);
+  const double cur = std::max(prev + delta, 0.0);
+  const double log_change = std::log(cur + 1.0) - std::log(prev + 1.0);
+  const double center = static_cast<double>(d_bins_ / 2);
+  const auto raw = static_cast<std::int64_t>(
+      std::floor(log_change / opt_.delta_bin_width + 0.5) + static_cast<std::int64_t>(center));
+  return static_cast<std::size_t>(
+      std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(d_bins_) - 1));
+}
+
+std::string StrategyCard::render() const {
+  std::ostringstream os;
+  os << "delta\\viol ";
+  for (std::size_t v = 0; v < v_bins_; ++v) os << (v % 10);
+  os << '\n';
+  for (std::size_t d = d_bins_; d-- > 0;) {
+    const auto signed_d =
+        static_cast<std::int64_t>(d) - static_cast<std::int64_t>(d_bins_ / 2);
+    os.width(10);
+    os << signed_d << ' ';
+    for (std::size_t v = 0; v < v_bins_; ++v) {
+      if (stop_at(v, d)) os << 'S';
+      else os << (seen_in_training(v, d) ? 'g' : '.');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+double StrategyCard::stop_fraction() const {
+  if (stop_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const char c : stop_) n += c != 0 ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(stop_.size());
+}
+
+void DoomedRunGuard::train(const std::vector<route::DrvRun>& corpus) {
+  card_ = StrategyCard{options_.violation_bins, options_.delta_bins, options_};
+  const std::size_t V = options_.violation_bins;
+  const std::size_t D = options_.delta_bins;
+  const std::size_t n_regular = V * D;
+  // Terminals: success-end, failure-end, stopped.
+  const std::size_t t_success = n_regular;
+  const std::size_t t_failure = n_regular + 1;
+  const std::size_t t_stopped = n_regular + 2;
+  constexpr std::size_t kGo = 0;
+  constexpr std::size_t kStop = 1;
+
+  ml::Mdp mdp{n_regular + 3, 2};
+  std::vector<char> seen(n_regular, 0);
+
+  // Count-based transition estimation from the corpus.
+  // Key: (state, next_state) -> count, plus per-state end-of-run outcomes.
+  std::vector<std::map<std::size_t, double>> go_counts(n_regular);
+  std::vector<double> end_success(n_regular, 0.0);
+  std::vector<double> end_failure(n_regular, 0.0);
+
+  auto state_of = [&](double drvs, double delta, double prev) {
+    return card_.delta_bin(delta, prev) * V + card_.violation_bin(drvs);
+  };
+
+  for (const auto& run : corpus) {
+    if (run.drvs.empty()) continue;
+    double prev = run.drvs.front();
+    std::size_t prev_state = state_of(run.drvs.front(), 0.0, run.drvs.front());
+    seen[prev_state] = 1;
+    for (std::size_t t = 1; t < run.drvs.size(); ++t) {
+      const double drvs = run.drvs[t];
+      const double delta = drvs - prev;
+      const std::size_t s = state_of(drvs, delta, prev);
+      seen[s] = 1;
+      go_counts[prev_state][s] += 1.0;
+      prev_state = s;
+      prev = drvs;
+    }
+    // The final observed state transitions to the run outcome under GO.
+    if (run.succeeded) end_success[prev_state] += 1.0;
+    else end_failure[prev_state] += 1.0;
+  }
+
+  for (std::size_t s = 0; s < n_regular; ++s) {
+    if (!seen[s]) continue;
+    // STOP is always available from a seen state.
+    mdp.add_transition(s, kStop, {t_stopped, 1.0, options_.reward_stop});
+    for (const auto& [next, count] : go_counts[s]) {
+      mdp.add_transition(s, kGo, {next, count, options_.reward_go_step});
+    }
+    if (end_success[s] > 0.0) {
+      mdp.add_transition(s, kGo,
+                         {t_success, end_success[s],
+                          options_.reward_go_step + options_.reward_complete_success});
+    }
+    if (end_failure[s] > 0.0) {
+      mdp.add_transition(s, kGo,
+                         {t_failure, end_failure[s],
+                          options_.reward_go_step + options_.reward_complete_failure});
+    }
+  }
+  mdp.normalize();
+
+  ml::SolveOptions so;
+  so.gamma = options_.gamma;
+  const ml::Policy policy = ml::policy_iteration(mdp, so);
+
+  // Transfer the policy into the card; apply footnote-5 fill-in for unseen
+  // states.
+  for (std::size_t d = 0; d < D; ++d) {
+    for (std::size_t v = 0; v < V; ++v) {
+      const std::size_t s = d * V + v;
+      if (seen[s]) {
+        card_.set(v, d, policy.action[s] == kStop, true);
+        continue;
+      }
+      const bool positive_slope = d > D / 2;
+      const bool large_positive_slope = d >= D - std::max<std::size_t>(D / 5, 1);
+      const bool large_violations = v >= (V * 3) / 5;
+      const bool very_large_violations = v >= (V * 17) / 20;
+      const bool stop = (large_violations && positive_slope) ||
+                        (!large_violations && large_positive_slope) ||
+                        very_large_violations;
+      card_.set(v, d, stop, false);
+    }
+  }
+  trained_ = true;
+}
+
+bool DoomedRunGuard::stop_signal(double violations, double delta, double violations_prev) const {
+  assert(trained_);
+  return card_.stop_at(card_.violation_bin(violations),
+                       card_.delta_bin(delta, violations_prev));
+}
+
+GuardErrors DoomedRunGuard::evaluate(const std::vector<route::DrvRun>& corpus,
+                                     int consecutive_stops) const {
+  GuardErrors err;
+  for (const auto& run : corpus) {
+    if (run.drvs.empty()) continue;
+    ++err.total_runs;
+    int streak = 0;
+    bool stopped = false;
+    std::size_t stop_iter = 0;
+    double prev = run.drvs.front();
+    for (std::size_t t = 0; t < run.drvs.size(); ++t) {
+      const double drvs = run.drvs[t];
+      const double delta = t == 0 ? 0.0 : drvs - prev;
+      const double prev_for_bin = t == 0 ? drvs : prev;
+      if (stop_signal(drvs, delta, prev_for_bin)) {
+        if (++streak >= consecutive_stops) {
+          stopped = true;
+          stop_iter = t;
+          break;
+        }
+      } else {
+        streak = 0;
+      }
+      prev = drvs;
+    }
+    if (stopped) {
+      if (run.succeeded) {
+        ++err.type1;  // wrong STOP
+      } else {
+        err.iterations_saved += run.drvs.size() - 1 - stop_iter;
+      }
+    } else if (!run.succeeded) {
+      ++err.type2;  // failing run ran to completion
+    }
+  }
+  return err;
+}
+
+bool DoomedRunGuard::Monitor::operator()(int iteration, double drvs, double delta) {
+  (void)iteration;
+  const double prev = first_ ? drvs : prev_drvs_;
+  const double d = first_ ? 0.0 : delta;
+  first_ = false;
+  prev_drvs_ = drvs;
+  if (guard_->stop_signal(drvs, d, prev)) {
+    if (++streak_ >= required_) return false;
+  } else {
+    streak_ = 0;
+  }
+  return true;
+}
+
+}  // namespace maestro::core

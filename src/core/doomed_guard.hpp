@@ -1,0 +1,135 @@
+#pragma once
+// DoomedRunGuard — "Predicting Doomed Runs" (paper Section 3.3, Figs. 9-10,
+// the Table-1 error study; ref [30]).
+//
+// Detailed-route logfiles are time series of DRV counts. The guard learns a
+// GO/STOP "blackjack strategy card" over states (binned violation count,
+// binned change in violations since the previous iteration) by policy
+// iteration in an MDP estimated from a training corpus of logfiles. Per the
+// paper's footnote 5, states absent from training are filled in
+// programmatically: large violations with positive slope -> STOP, small
+// violations with large positive slope -> STOP, very large violations ->
+// STOP, everything else -> GO. Because the raw policy is oversensitive,
+// deployment requires K consecutive STOP signals before terminating a run;
+// the Table-1 study sweeps K in {1, 2, 3}.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/mdp.hpp"
+#include "route/drv_sim.hpp"
+
+namespace maestro::core {
+
+struct GuardOptions {
+  std::size_t violation_bins = 18;      ///< Fig. 10 x-axis: bin(violations(t))
+  std::size_t delta_bins = 11;          ///< Fig. 10 y-axis: bin(delta), centered
+  double success_threshold = 200.0;     ///< "<200 DRVs" success bar
+  double log_bin_base = 1.7;            ///< violation bins are log-scale
+  double delta_bin_width = 0.08;        ///< in units of log-violation change
+  /// MDP rewards (paper: "small negative reward for a non-stop state, a
+  /// large positive reward for termination with low DRV, etc."). Failure at
+  /// completion is penalized heavily relative to success: a doomed run that
+  /// occupies licenses for its full 20-40 iterations is the expensive
+  /// outcome the guard exists to prevent. This asymmetry reproduces the
+  /// paper's observation that the raw policy is *oversensitive* (stops runs
+  /// too quickly) — precision is then recovered by requiring consecutive
+  /// STOP signals.
+  double reward_go_step = -1.0;
+  double reward_complete_success = 60.0;
+  double reward_complete_failure = -150.0;
+  double reward_stop = 0.0;
+  double gamma = 0.995;
+};
+
+/// The learned card: GO/STOP per (violation bin, delta bin) plus metadata.
+class StrategyCard {
+ public:
+  StrategyCard() = default;
+  StrategyCard(std::size_t v_bins, std::size_t d_bins, const GuardOptions& opt);
+
+  std::size_t violation_bins() const { return v_bins_; }
+  std::size_t delta_bins() const { return d_bins_; }
+
+  bool stop_at(std::size_t v_bin, std::size_t d_bin) const;
+  void set(std::size_t v_bin, std::size_t d_bin, bool stop, bool from_training);
+  bool seen_in_training(std::size_t v_bin, std::size_t d_bin) const;
+
+  /// Map a raw (violations, delta) observation to card bins.
+  std::size_t violation_bin(double violations) const;
+  std::size_t delta_bin(double delta, double violations_prev) const;
+
+  /// Render as text, one row per delta bin (top = most positive delta):
+  /// 'S' = STOP, 'g' = GO (from training), '.' = GO (fill-in rule).
+  std::string render() const;
+
+  /// Fraction of card cells marked STOP.
+  double stop_fraction() const;
+
+ private:
+  std::size_t index(std::size_t v, std::size_t d) const { return d * v_bins_ + v; }
+  std::size_t v_bins_ = 0;
+  std::size_t d_bins_ = 0;
+  GuardOptions opt_;
+  std::vector<char> stop_;
+  std::vector<char> trained_;
+};
+
+/// Error accounting per the paper's Table 1.
+struct GuardErrors {
+  std::size_t total_runs = 0;
+  std::size_t type1 = 0;   ///< wrong STOP: stopped a run that would succeed
+  std::size_t type2 = 0;   ///< no STOP: let a failing run go to completion
+  double error_rate() const {
+    return total_runs > 0 ? static_cast<double>(type1 + type2) / static_cast<double>(total_runs)
+                          : 0.0;
+  }
+  /// Router iterations saved on correctly stopped (doomed) runs.
+  std::size_t iterations_saved = 0;
+};
+
+class DoomedRunGuard {
+ public:
+  explicit DoomedRunGuard(GuardOptions options = {}) : options_(options) {}
+
+  /// Learn the card from a training corpus via MDP policy iteration, then
+  /// apply the footnote-5 fill-in rules to unseen states.
+  void train(const std::vector<route::DrvRun>& corpus);
+
+  bool trained() const { return trained_; }
+  const StrategyCard& card() const { return card_; }
+  const GuardOptions& options() const { return options_; }
+
+  /// Would the policy emit STOP for this observation?
+  bool stop_signal(double violations, double delta, double violations_prev) const;
+
+  /// Evaluate on a corpus requiring `consecutive_stops` STOP signals before
+  /// terminating (the Table-1 sweep).
+  GuardErrors evaluate(const std::vector<route::DrvRun>& corpus,
+                       int consecutive_stops) const;
+
+  /// A stateful monitor for live runs (plugs into flow::ToolContext::
+  /// route_monitor). Returns false (terminate) after K consecutive STOPs.
+  class Monitor {
+   public:
+    Monitor(const DoomedRunGuard& guard, int consecutive_stops)
+        : guard_(&guard), required_(consecutive_stops) {}
+    bool operator()(int iteration, double drvs, double delta);
+
+   private:
+    const DoomedRunGuard* guard_;
+    int required_;
+    int streak_ = 0;
+    double prev_drvs_ = 0.0;
+    bool first_ = true;
+  };
+  Monitor monitor(int consecutive_stops) const { return Monitor{*this, consecutive_stops}; }
+
+ private:
+  GuardOptions options_;
+  StrategyCard card_;
+  bool trained_ = false;
+};
+
+}  // namespace maestro::core

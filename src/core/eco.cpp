@@ -1,0 +1,91 @@
+#include "core/eco.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maestro::core {
+
+using netlist::CellFunction;
+using netlist::InstanceId;
+using netlist::NetId;
+
+HoldFixResult fix_hold(flow::DesignState& state, timing::StaOptions sta,
+                       const HoldFixOptions& opt) {
+  assert(state.nl && state.pl);
+  HoldFixResult res;
+  sta.with_hold = true;
+  auto& nl = *state.nl;
+  auto& pl = *state.pl;
+  const auto& lib = nl.library();
+  // BUF_X1 has the largest delay per unit area — the natural hold buffer.
+  const std::size_t buf_master = lib.smallest(CellFunction::Buf);
+
+  timing::StaReport before = timing::run_sta(pl, state.clock, sta);
+  res.whs_before_ps = before.whs_ps;
+  res.wns_before_ps = before.wns_ps;
+  if (before.hold_violations == 0) {
+    res.whs_after_ps = before.whs_ps;
+    res.wns_after_ps = before.wns_ps;
+    return res;
+  }
+
+  // Collect violating flop endpoints, worst first.
+  std::vector<std::pair<double, InstanceId>> violations;
+  for (const auto& ep : before.endpoints) {
+    if (ep.is_flop && ep.hold_slack_ps < 0.0) {
+      violations.emplace_back(ep.hold_slack_ps, ep.endpoint);
+    }
+  }
+  std::sort(violations.begin(), violations.end());
+
+  int eco_counter = 0;
+  for (const auto& [slack, flop] : violations) {
+    if (res.buffers_added >= static_cast<std::size_t>(opt.max_total_buffers)) break;
+    bool fixed = false;
+    for (int b = 0; b < opt.max_buffers_per_endpoint; ++b) {
+      if (res.buffers_added >= static_cast<std::size_t>(opt.max_total_buffers)) break;
+      // Current hold slack at this endpoint.
+      const timing::StaReport now = timing::run_sta(pl, state.clock, sta);
+      const auto* ep = now.endpoint_of(flop);
+      if (ep == nullptr) break;
+      if (ep->hold_slack_ps >= opt.target_slack_ps) {
+        fixed = true;
+        break;
+      }
+      // Insert a delay buffer directly before the D pin: the flop's D input
+      // moves from net N to a new net driven by a BUF whose input is N.
+      const NetId d_net = nl.instance(flop).input_nets[0];
+      if (d_net == netlist::kNoNet) break;
+      const InstanceId buf =
+          nl.add_instance("hold_eco" + std::to_string(eco_counter), buf_master);
+      const NetId buf_net = nl.add_net("n_hold_eco" + std::to_string(eco_counter), buf);
+      ++eco_counter;
+      nl.reconnect(buf_net, flop, 0);
+      nl.connect(d_net, buf, 0);
+      pl.sync_with_netlist();
+      pl.set_loc(buf, pl.loc(flop));  // zero-wire insertion at the flop
+      ++res.buffers_added;
+
+      // If setup at this endpoint went negative, undo is impossible in this
+      // simple editor; stop adding here (the check below reports it).
+      const timing::StaReport check = timing::run_sta(pl, state.clock, sta);
+      const auto* ep2 = check.endpoint_of(flop);
+      if (ep2 != nullptr && ep2->slack_ps < 0.0) break;
+    }
+    if (fixed) ++res.endpoints_fixed;
+    else ++res.endpoints_unfixed;
+  }
+
+  const timing::StaReport after = timing::run_sta(pl, state.clock, sta);
+  res.whs_after_ps = after.whs_ps;
+  res.wns_after_ps = after.wns_ps;
+  // Count any endpoints that ended clean without consuming their budget as
+  // fixed (the final report is the ground truth).
+  if (after.hold_violations == 0) {
+    res.endpoints_fixed = violations.size();
+    res.endpoints_unfixed = 0;
+  }
+  return res;
+}
+
+}  // namespace maestro::core

@@ -1,0 +1,42 @@
+#pragma once
+// ECO (engineering change order) transforms — the surgical post-signoff
+// fixes that close the last timing violations without re-running the flow.
+// Section 3.3's "longer ropes" explicitly include prediction "from ECO
+// placement through incremental global/trial routing" — this module is the
+// ECO machinery those predictions wrap around.
+//
+// fix_hold: classic hold-buffer insertion. For every flop endpoint with
+// negative hold slack, delay buffers are inserted directly in front of the
+// D pin (placed at the flop) until the early path clears the hold
+// requirement — trading a little area/power for race immunity. Setup slack
+// is rechecked so the fix never converts a hold violation into a setup one.
+
+#include "flow/tools.hpp"
+#include "timing/sta.hpp"
+
+namespace maestro::core {
+
+struct HoldFixOptions {
+  int max_buffers_per_endpoint = 6;
+  int max_total_buffers = 500;
+  /// Margin above zero the fix aims for (covers downstream noise).
+  double target_slack_ps = 2.0;
+};
+
+struct HoldFixResult {
+  std::size_t endpoints_fixed = 0;     ///< violating before, clean after
+  std::size_t endpoints_unfixed = 0;   ///< still violating (budget / setup limit)
+  std::size_t buffers_added = 0;
+  double whs_before_ps = 0.0;
+  double whs_after_ps = 0.0;
+  double wns_before_ps = 0.0;
+  double wns_after_ps = 0.0;           ///< setup must not be destroyed
+};
+
+/// Fix hold violations in a completed DesignState (netlist + placement +
+/// clock present). Mutates the netlist and placement; re-runs hold/setup
+/// analysis internally with `sta` options (with_hold is forced on).
+HoldFixResult fix_hold(flow::DesignState& state, timing::StaOptions sta,
+                       const HoldFixOptions& opt = {});
+
+}  // namespace maestro::core

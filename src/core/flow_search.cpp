@@ -1,0 +1,132 @@
+#include "core/flow_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace maestro::core {
+
+double qor_cost(const flow::FlowResult& result, const QorWeights& w) {
+  if (!result.completed) return w.incomplete_penalty;
+  double cost = w.area_per_um2 * result.area_um2 + w.power_per_mw * result.power_mw;
+  if (result.wns_ps < 0.0) cost += w.wns_violation_per_ps * -result.wns_ps;
+  cost += w.drv_each * result.final_drvs;
+  return cost;
+}
+
+TrajectoryOracle make_trajectory_oracle(const flow::FlowManager& manager,
+                                        const flow::DesignSpec& design, double target_ghz,
+                                        const flow::FlowConstraints& constraints) {
+  return [&manager, design, target_ghz, constraints](const flow::FlowTrajectory& t,
+                                                     std::uint64_t seed) {
+    flow::FlowRecipe recipe;
+    recipe.design = design;
+    recipe.target_ghz = target_ghz;
+    recipe.knobs = t;
+    recipe.seed = seed;
+    return manager.run(recipe, constraints);
+  };
+}
+
+const char* to_string(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::RandomMultistart: return "random_multistart";
+    case SearchStrategy::AdaptiveMultistart: return "adaptive_multistart";
+    case SearchStrategy::Gwtw: return "gwtw";
+  }
+  return "?";
+}
+
+flow::FlowTrajectory FlowTreeSearch::mutate(const flow::FlowTrajectory& t, std::size_t count,
+                                            util::Rng& rng) const {
+  flow::FlowTrajectory out = t;
+  // Collect (space index, knob index) pairs to mutate.
+  std::vector<std::pair<std::size_t, std::size_t>> all;
+  for (std::size_t s = 0; s < spaces_.size(); ++s) {
+    for (std::size_t k = 0; k < spaces_[s].knobs.size(); ++k) all.emplace_back(s, k);
+  }
+  for (std::size_t m = 0; m < count && !all.empty(); ++m) {
+    const auto [si, ki] = all[rng.below(all.size())];
+    const auto& spec = spaces_[si].knobs[ki];
+    out.set(spaces_[si].step, spec.name, spec.values[rng.below(spec.values.size())]);
+  }
+  return out;
+}
+
+FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& rng) const {
+  FlowSearchResult res;
+  res.best_cost = std::numeric_limits<double>::infinity();
+
+  struct Thread {
+    flow::FlowTrajectory trajectory;
+    double cost = std::numeric_limits<double>::infinity();
+    flow::FlowResult result;
+  };
+  std::vector<Thread> population(options_.population);
+
+  auto evaluate = [&](Thread& th) {
+    th.result = oracle(th.trajectory, rng.next());
+    th.cost = qor_cost(th.result, options_.weights);
+    ++res.flow_runs;
+    if (th.cost < res.best_cost) {
+      res.best_cost = th.cost;
+      res.best_trajectory = th.trajectory;
+      res.best_result = th.result;
+    }
+  };
+
+  // Initial population: default trajectory plus random ones.
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    population[i].trajectory = i == 0 ? flow::default_trajectory(spaces_)
+                                      : flow::random_trajectory(spaces_, rng);
+    evaluate(population[i]);
+  }
+  res.best_per_round.push_back(res.best_cost);
+
+  for (std::size_t round = 1; round < options_.rounds; ++round) {
+    switch (options_.strategy) {
+      case SearchStrategy::RandomMultistart: {
+        for (auto& th : population) {
+          th.trajectory = flow::random_trajectory(spaces_, rng);
+          evaluate(th);
+        }
+        break;
+      }
+      case SearchStrategy::AdaptiveMultistart: {
+        // New starts are perturbations of the best trajectory so far — the
+        // big-valley bet applied to knob space.
+        for (auto& th : population) {
+          th.trajectory = mutate(res.best_trajectory, options_.mutations_per_round, rng);
+          evaluate(th);
+        }
+        break;
+      }
+      case SearchStrategy::Gwtw: {
+        // Advance: each thread mutates its own trajectory.
+        for (auto& th : population) {
+          th.trajectory = mutate(th.trajectory, options_.mutations_per_round, rng);
+          evaluate(th);
+        }
+        // Resample: clone winners over losers.
+        std::vector<std::size_t> order(population.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+          return population[a].cost < population[b].cost;
+        });
+        const auto survivors = std::max<std::size_t>(
+            static_cast<std::size_t>(options_.survivor_fraction *
+                                     static_cast<double>(population.size())),
+            1);
+        for (std::size_t i = survivors; i < order.size(); ++i) {
+          population[order[i]] = population[order[rng.below(survivors)]];
+        }
+        break;
+      }
+    }
+    res.best_per_round.push_back(res.best_cost);
+  }
+  return res;
+}
+
+}  // namespace maestro::core

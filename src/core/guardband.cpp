@@ -1,0 +1,130 @@
+#include "core/guardband.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "netlist/generators.hpp"
+
+namespace maestro::core {
+
+NoiseSweep GuardbandAnalyzer::sweep(const std::vector<double>& targets_ghz,
+                                    std::size_t seeds_per_point, double min_success_rate,
+                                    util::Rng& rng) const {
+  NoiseSweep sweep;
+  for (const double target : targets_ghz) {
+    NoisePoint p;
+    p.target_ghz = target;
+    util::RunningStats area;
+    util::RunningStats wns;
+    std::size_t successes = 0;
+    for (std::size_t s = 0; s < seeds_per_point; ++s) {
+      flow::FlowRecipe recipe;
+      recipe.design = design_;
+      recipe.target_ghz = target;
+      recipe.knobs = knobs_;
+      recipe.seed = rng.next();
+      const flow::FlowResult r = manager_->run(recipe);
+      area.add(r.area_um2);
+      p.area_samples.push_back(r.area_um2);
+      wns.add(r.wns_ps);
+      if (r.success()) ++successes;
+    }
+    p.runs = seeds_per_point;
+    p.success_rate = static_cast<double>(successes) / static_cast<double>(seeds_per_point);
+    p.area_mean_um2 = area.mean();
+    p.area_sigma_um2 = area.stddev();
+    p.wns_mean_ps = wns.mean();
+    p.wns_sigma_ps = wns.stddev();
+    sweep.points.push_back(std::move(p));
+  }
+  for (const auto& p : sweep.points) {
+    if (p.success_rate >= 0.5) {
+      sweep.max_achievable_ghz = std::max(sweep.max_achievable_ghz, p.target_ghz);
+    }
+    if (p.success_rate >= min_success_rate) {
+      sweep.guardbanded_ghz = std::max(sweep.guardbanded_ghz, p.target_ghz);
+    }
+  }
+  return sweep;
+}
+
+util::GaussianFit GuardbandAnalyzer::area_noise_fit(double target_ghz, std::size_t seeds,
+                                                    util::Rng& rng) const {
+  std::vector<double> areas;
+  areas.reserve(seeds);
+  for (std::size_t s = 0; s < seeds; ++s) {
+    flow::FlowRecipe recipe;
+    recipe.design = design_;
+    recipe.target_ghz = target_ghz;
+    recipe.knobs = knobs_;
+    recipe.seed = rng.next();
+    areas.push_back(manager_->run(recipe).area_um2);
+  }
+  return util::fit_gaussian(areas);
+}
+
+std::vector<PartitionPoint> partition_study(const flow::FlowManager& manager,
+                                            const netlist::CellLibrary& lib,
+                                            const flow::DesignSpec& design,
+                                            const PartitionStudyOptions& options,
+                                            util::Rng& rng) {
+  // Build the full netlist once to measure real cut counts per block count.
+  netlist::RandomLogicSpec rl;
+  rl.gates = design.gates_override > 0 ? design.gates_override : design.scale * 1000;
+  rl.seed = design.rtl_seed;
+  const netlist::Netlist full = netlist::make_random_logic(lib, rl);
+  const std::size_t total_gates = full.instance_count();
+  const std::size_t total_nets = full.net_count();
+
+  std::vector<PartitionPoint> out;
+  for (const std::size_t blocks : options.block_counts) {
+    PartitionPoint p;
+    p.blocks = blocks;
+    if (blocks > 1) {
+      place::FmOptions fm;
+      util::Rng part_rng{rng.next()};
+      p.cut_nets = place::recursive_bisection(full, blocks, fm, part_rng).cut_nets;
+    }
+
+    // Per-block flow runs: block = the design scaled down by the partition
+    // count (extracted-block abstraction; cut overhead handled separately).
+    const std::size_t block_gates = std::max<std::size_t>(total_gates / blocks, 200);
+    util::RunningStats wns;
+    util::RunningStats tat;
+    for (std::size_t s = 0; s < options.seeds_per_block; ++s) {
+      flow::DesignSpec block_spec;
+      block_spec.kind = flow::DesignSpec::Kind::RandomLogic;
+      block_spec.gates_override = block_gates;
+      block_spec.rtl_seed = design.rtl_seed + s;
+      block_spec.name = design.name + "_b" + std::to_string(blocks);
+      flow::FlowRecipe recipe;
+      recipe.design = block_spec;
+      recipe.target_ghz = options.target_ghz;
+      recipe.seed = rng.next();
+      const flow::FlowResult r = manager.run(recipe);
+      wns.add(r.wns_ps);
+      tat.add(r.tat_minutes);
+    }
+    // Blocks run in parallel; assembly/integration adds a log(blocks) term.
+    p.tat_minutes = tat.max() * (1.0 + 0.08 * std::log2(static_cast<double>(blocks)));
+    p.qor_sigma = wns.stddev();
+    p.margin_ps = options.sigma_to_margin * p.qor_sigma;
+
+    // Achieved quality: the clock the design could actually ship at, after
+    // reserving the noise margin, degraded by cut-net overhead. In the
+    // partitioned methodology cross-block nets get architected, budgeted
+    // interfaces ("freedoms from choice"), so their cost is modest per net —
+    // but it compounds, which is what eventually caps the useful partition
+    // count.
+    const double period_ps = 1000.0 / options.target_ghz;
+    const double cut_fraction =
+        total_nets > 0 ? static_cast<double>(p.cut_nets) / static_cast<double>(total_nets) : 0.0;
+    p.achieved_quality =
+        (1000.0 / (period_ps + p.margin_ps)) * (1.0 - 0.15 * cut_fraction);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace maestro::core

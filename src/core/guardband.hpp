@@ -1,0 +1,89 @@
+#pragma once
+// Guardband and predictability analysis (paper Section 2, Figs. 3-4).
+//
+// GuardbandAnalyzer quantifies "aim low": it sweeps target frequency,
+// measures the seed-to-seed noise of the flow at each target (Fig. 3 left),
+// fits the noise Gaussian (Fig. 3 right), and derives the guardband a
+// schedule-constrained designer must adopt — the k-sigma back-off from the
+// max achievable target.
+//
+// partition_study reproduces the Fig. 4 causal chain: more partitions ->
+// smaller blocks -> faster and more predictable per-block runs -> smaller
+// margins -> better achieved quality, at the price of cut-net overhead.
+
+#include <functional>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "place/partition.hpp"
+#include "util/stats.hpp"
+
+namespace maestro::core {
+
+struct NoisePoint {
+  double target_ghz = 0.0;
+  std::size_t runs = 0;
+  double success_rate = 0.0;
+  double area_mean_um2 = 0.0;
+  double area_sigma_um2 = 0.0;
+  double wns_mean_ps = 0.0;
+  double wns_sigma_ps = 0.0;
+  std::vector<double> area_samples;
+};
+
+struct NoiseSweep {
+  std::vector<NoisePoint> points;
+  /// Highest target with success_rate >= 0.5 ("max achievable frequency").
+  double max_achievable_ghz = 0.0;
+  /// Highest target whose k-sigma-guardbanded success rate >= target rate:
+  /// the frequency a designer must "aim low" to.
+  double guardbanded_ghz = 0.0;
+};
+
+class GuardbandAnalyzer {
+ public:
+  GuardbandAnalyzer(const flow::FlowManager& manager, flow::DesignSpec design,
+                    flow::FlowTrajectory knobs)
+      : manager_(&manager), design_(std::move(design)), knobs_(std::move(knobs)) {}
+
+  /// Run `seeds_per_point` seeded flows at each target and collect noise
+  /// statistics. `min_success_rate` defines the guardbanded frequency.
+  NoiseSweep sweep(const std::vector<double>& targets_ghz, std::size_t seeds_per_point,
+                   double min_success_rate, util::Rng& rng) const;
+
+  /// Fit a Gaussian to the area noise at one target (Fig. 3 right).
+  util::GaussianFit area_noise_fit(double target_ghz, std::size_t seeds,
+                                   util::Rng& rng) const;
+
+ private:
+  const flow::FlowManager* manager_;
+  flow::DesignSpec design_;
+  flow::FlowTrajectory knobs_;
+};
+
+/// One row of the Fig. 4 partition experiment.
+struct PartitionPoint {
+  std::size_t blocks = 1;
+  std::size_t cut_nets = 0;
+  double tat_minutes = 0.0;        ///< parallel TAT: max block + assembly
+  double qor_sigma = 0.0;          ///< per-block QoR noise, aggregated
+  double margin_ps = 0.0;          ///< guardband implied by the noise
+  double achieved_quality = 0.0;   ///< composite: higher is better
+};
+
+struct PartitionStudyOptions {
+  std::vector<std::size_t> block_counts = {1, 2, 4, 8, 16};
+  std::size_t seeds_per_block = 5;
+  double target_ghz = 1.0;
+  double sigma_to_margin = 3.0;    ///< k in k-sigma guardbanding
+};
+
+/// Partition the design and run per-block flows, measuring the TAT /
+/// predictability / margin / quality chain of Fig. 4.
+std::vector<PartitionPoint> partition_study(const flow::FlowManager& manager,
+                                            const netlist::CellLibrary& lib,
+                                            const flow::DesignSpec& design,
+                                            const PartitionStudyOptions& options,
+                                            util::Rng& rng);
+
+}  // namespace maestro::core

@@ -1,0 +1,101 @@
+#include "core/hmm_guard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace maestro::core {
+
+int HmmGuard::symbol_of(double drvs, double prev_drvs) const {
+  const double log_change =
+      std::log(std::max(drvs, 0.0) + 1.0) - std::log(std::max(prev_drvs, 0.0) + 1.0);
+  const double center = static_cast<double>(options_.symbols / 2);
+  const auto raw = static_cast<std::int64_t>(
+      std::floor(log_change / options_.symbol_bin_width + 0.5) +
+      static_cast<std::int64_t>(center));
+  return static_cast<int>(
+      std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(options_.symbols) - 1));
+}
+
+std::vector<int> HmmGuard::encode(const route::DrvRun& run) const {
+  std::vector<int> obs;
+  if (run.drvs.size() < 2) return obs;
+  obs.reserve(run.drvs.size() - 1);
+  for (std::size_t t = 1; t < run.drvs.size(); ++t) {
+    obs.push_back(symbol_of(run.drvs[t], run.drvs[t - 1]));
+  }
+  return obs;
+}
+
+void HmmGuard::train(const std::vector<route::DrvRun>& corpus) {
+  std::vector<std::vector<int>> good;
+  std::vector<std::vector<int>> bad;
+  for (const auto& run : corpus) {
+    auto obs = encode(run);
+    if (obs.empty()) continue;
+    (run.succeeded ? good : bad).push_back(std::move(obs));
+  }
+  assert(!good.empty() && !bad.empty() && "corpus must contain both outcomes");
+
+  util::Rng rng{options_.train_seed};
+  success_ = ml::Hmm::random(options_.hidden_states, options_.symbols, rng);
+  failure_ = ml::Hmm::random(options_.hidden_states, options_.symbols, rng);
+  ml::BaumWelchOptions bw;
+  bw.max_iterations = options_.baum_welch_iterations;
+  ml::baum_welch(success_, good, bw);
+  ml::baum_welch(failure_, bad, bw);
+
+  // Smooth emissions slightly: prefixes at inference may contain symbols a
+  // class never produced in training, which would otherwise yield -inf.
+  auto smooth = [](ml::Hmm& h) {
+    for (auto& row : h.emission) {
+      double total = 0.0;
+      for (double& v : row) {
+        v += 1e-4;
+        total += v;
+      }
+      for (double& v : row) v /= total;
+    }
+  };
+  smooth(success_);
+  smooth(failure_);
+  trained_ = true;
+}
+
+double HmmGuard::failure_evidence(const std::vector<int>& prefix) const {
+  assert(trained_);
+  if (prefix.empty()) return 0.0;
+  return ml::log_likelihood(failure_, prefix) - ml::log_likelihood(success_, prefix);
+}
+
+GuardErrors HmmGuard::evaluate(const std::vector<route::DrvRun>& corpus) const {
+  GuardErrors err;
+  for (const auto& run : corpus) {
+    const auto obs = encode(run);
+    if (obs.empty()) continue;
+    ++err.total_runs;
+    bool stopped = false;
+    std::size_t stop_iter = 0;
+    for (std::size_t t = static_cast<std::size_t>(std::max(options_.min_observations, 1));
+         t <= obs.size(); ++t) {
+      const std::vector<int> prefix(obs.begin(), obs.begin() + static_cast<std::ptrdiff_t>(t));
+      if (failure_evidence(prefix) > options_.stop_threshold) {
+        stopped = true;
+        stop_iter = t;  // observation t corresponds to iteration t (0-based +1)
+        break;
+      }
+    }
+    if (stopped) {
+      if (run.succeeded) {
+        ++err.type1;
+      } else {
+        err.iterations_saved += run.drvs.size() - 1 - stop_iter;
+      }
+    } else if (!run.succeeded) {
+      ++err.type2;
+    }
+  }
+  return err;
+}
+
+}  // namespace maestro::core

@@ -1,0 +1,63 @@
+#pragma once
+// HMM-based doomed-run detection — the paper's other suggested model for
+// logfile time series: "Tool logfile data can be viewed as time series to
+// which hidden Markov models [36] or policy iteration in Markov decision
+// processes [4] may be applied" (Section 3.3).
+//
+// Two class-conditional HMMs are trained with Baum-Welch: one on logfiles of
+// runs that succeeded, one on runs that failed. At each router iteration the
+// guard scores the observed DRV-delta prefix under both models; when the
+// log-likelihood ratio favours the failure model by more than a threshold,
+// it emits STOP. Compare with the MDP StrategyCard via
+// bench/ablation_hmm_vs_mdp.
+
+#include <vector>
+
+#include "core/doomed_guard.hpp"  // GuardErrors
+#include "ml/hmm.hpp"
+#include "route/drv_sim.hpp"
+
+namespace maestro::core {
+
+struct HmmGuardOptions {
+  std::size_t hidden_states = 3;     ///< converging / plateauing / thrashing
+  std::size_t symbols = 9;           ///< binned log-DRV change
+  double symbol_bin_width = 0.08;    ///< log-change per symbol bin
+  double stop_threshold = 1.5;       ///< log-likelihood-ratio margin for STOP
+  int min_observations = 3;          ///< don't judge the first iterations
+  int baum_welch_iterations = 60;
+  std::uint64_t train_seed = 17;     ///< HMM initialization seed
+};
+
+class HmmGuard {
+ public:
+  explicit HmmGuard(HmmGuardOptions options = {}) : options_(options) {}
+
+  /// Train class-conditional HMMs from a corpus with known outcomes.
+  void train(const std::vector<route::DrvRun>& corpus);
+  bool trained() const { return trained_; }
+
+  /// Symbol encoding of one (drvs, prev) step.
+  int symbol_of(double drvs, double prev_drvs) const;
+
+  /// Log-likelihood ratio log P(prefix | fail) - log P(prefix | success).
+  double failure_evidence(const std::vector<int>& prefix) const;
+
+  /// Evaluate on a corpus: a run is stopped at the first iteration where the
+  /// evidence exceeds the threshold (after min_observations).
+  GuardErrors evaluate(const std::vector<route::DrvRun>& corpus) const;
+
+  const ml::Hmm& success_model() const { return success_; }
+  const ml::Hmm& failure_model() const { return failure_; }
+  const HmmGuardOptions& options() const { return options_; }
+
+ private:
+  std::vector<int> encode(const route::DrvRun& run) const;
+
+  HmmGuardOptions options_;
+  ml::Hmm success_;
+  ml::Hmm failure_;
+  bool trained_ = false;
+};
+
+}  // namespace maestro::core

@@ -1,0 +1,75 @@
+#pragma once
+// Multi-armed-bandit tool-run scheduling (paper Section 3.1, Fig. 7; [25]).
+//
+// Arms are target clock frequencies for a full SP&R flow. Each iteration
+// launches B concurrent tool runs (B = available licenses), observes each
+// run's reward, and updates the policy. Reward = achieved frequency when the
+// run meets its power/area constraints, else 0 — so the policy concentrates
+// samples just below the highest feasible frequency, which is exactly the
+// Fig. 7 trajectory.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "ml/bandit.hpp"
+
+namespace maestro::core {
+
+/// Abstracts "run the flow at a target frequency with a seed" so the
+/// scheduler can drive the real FlowManager or a fast synthetic oracle.
+using FlowOracle = std::function<flow::FlowResult(double target_ghz, std::uint64_t seed)>;
+
+/// Build an oracle over the real flow for a fixed design and knob set.
+FlowOracle make_flow_oracle(const flow::FlowManager& manager, const flow::DesignSpec& design,
+                            const flow::FlowTrajectory& knobs,
+                            const flow::FlowConstraints& constraints);
+
+enum class MabAlgorithm { Thompson, Softmax, EpsilonGreedy, Ucb1 };
+const char* to_string(MabAlgorithm a);
+
+struct MabOptions {
+  std::vector<double> frequency_arms_ghz;  ///< the arms
+  std::size_t iterations = 40;             ///< Fig. 7: 40
+  std::size_t concurrency = 5;             ///< Fig. 7: 5 tool licenses
+  MabAlgorithm algorithm = MabAlgorithm::Thompson;
+  double epsilon = 0.1;  ///< e-greedy only
+  double tau = 0.08;     ///< softmax only
+};
+
+/// One tool run in the sampling trajectory (one dot of Fig. 7).
+struct MabSample {
+  std::size_t iteration = 0;
+  double frequency_ghz = 0.0;
+  bool success = false;
+  double reward = 0.0;
+};
+
+struct MabRunResult {
+  std::vector<MabSample> samples;       ///< iterations x concurrency dots
+  std::vector<double> best_per_iteration;  ///< running best feasible frequency
+  double best_feasible_ghz = 0.0;
+  std::size_t total_runs = 0;
+  std::size_t successful_runs = 0;
+  double total_regret = 0.0;            ///< vs. always playing the best arm
+};
+
+class MabScheduler {
+ public:
+  explicit MabScheduler(MabOptions options);
+
+  /// Run the explore/exploit campaign against the oracle.
+  MabRunResult run(const FlowOracle& oracle, util::Rng& rng) const;
+
+  const MabOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<ml::BanditPolicy> make_policy() const;
+  MabOptions options_;
+};
+
+/// Evenly spaced frequency arms in [lo, hi].
+std::vector<double> frequency_arms(double lo_ghz, double hi_ghz, std::size_t count);
+
+}  // namespace maestro::core

@@ -1,0 +1,94 @@
+#include "core/metrics_loop.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace maestro::core {
+
+flow::FlowTrajectory MetricsLoop::apply_mined(
+    const std::map<std::string, std::string>& mined) const {
+  flow::FlowTrajectory t = flow::default_trajectory(spaces_);
+  for (const auto& space : spaces_) {
+    const std::string prefix = std::string(flow::to_string(space.step)) + ".";
+    for (const auto& spec : space.knobs) {
+      const auto it = mined.find(prefix + spec.name);
+      if (it == mined.end()) continue;
+      // Only adopt values that are legal for this knob.
+      if (std::find(spec.values.begin(), spec.values.end(), it->second) != spec.values.end()) {
+        t.set(space.step, spec.name, it->second);
+      }
+    }
+  }
+  return t;
+}
+
+MetricsLoopResult MetricsLoop::run(const flow::DesignSpec& design, double target_ghz,
+                                   util::Rng& rng) const {
+  MetricsLoopResult res;
+  metrics::Transmitter tx{*server_};
+  flow::FlowTrajectory current = flow::default_trajectory(spaces_);
+
+  for (std::size_t b = 0; b < options_.batches; ++b) {
+    BatchSummary summary;
+    summary.batch = b;
+    summary.best_metric = options_.minimize ? std::numeric_limits<double>::infinity()
+                                            : -std::numeric_limits<double>::infinity();
+    double metric_sum = 0.0;
+    std::size_t successes = 0;
+
+    std::size_t exploit_runs = 0;
+    double exploit_metric_sum = 0.0;
+    for (std::size_t r = 0; r < options_.runs_per_batch; ++r) {
+      flow::FlowRecipe recipe;
+      recipe.design = design;
+      recipe.target_ghz = target_ghz;
+      const bool explore = rng.uniform() < options_.explore_fraction;
+      recipe.knobs = explore ? flow::random_trajectory(spaces_, rng) : current;
+      recipe.seed = rng.next();
+      const flow::FlowResult result = manager_->run(recipe);
+      tx.transmit_flow(recipe, result);
+      ++res.total_runs;
+
+      // Pull the target metric from the flow record's fields.
+      double metric = 0.0;
+      if (options_.target_metric == metrics::names::kAreaUm2) metric = result.area_um2;
+      else if (options_.target_metric == metrics::names::kPowerMw) metric = result.power_mw;
+      else if (options_.target_metric == metrics::names::kTatMin) metric = result.tat_minutes;
+      else if (options_.target_metric == metrics::names::kWnsPs) metric = result.wns_ps;
+      else metric = result.area_um2;
+
+      metric_sum += metric;
+      if (!explore) {
+        ++exploit_runs;
+        exploit_metric_sum += metric;
+      }
+      if (options_.minimize ? metric < summary.best_metric : metric > summary.best_metric) {
+        summary.best_metric = metric;
+      }
+      if (result.success()) ++successes;
+    }
+    // The batch mean reports the *adopted* trajectory's quality; exploration
+    // runs feed the miner but would otherwise mask the loop's progress.
+    summary.mean_metric = exploit_runs > 0
+                              ? exploit_metric_sum / static_cast<double>(exploit_runs)
+                              : metric_sum / static_cast<double>(options_.runs_per_batch);
+    summary.success_rate =
+        static_cast<double>(successes) / static_cast<double>(options_.runs_per_batch);
+    res.batches.push_back(summary);
+
+    // Mine accumulated records and adapt the trajectory for the next batch —
+    // midstream, no human intervention.
+    res.mined_settings =
+        metrics::best_knob_settings(*server_, options_.target_metric, options_.minimize);
+    current = apply_mined(res.mined_settings);
+  }
+  res.final_trajectory = current;
+  if (res.batches.size() >= 2) {
+    const double first = res.batches.front().mean_metric;
+    const double last = res.batches.back().mean_metric;
+    res.improvement = options_.minimize ? first - last : last - first;
+  }
+  return res;
+}
+
+}  // namespace maestro::core

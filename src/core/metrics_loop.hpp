@@ -1,0 +1,66 @@
+#pragma once
+// The closed METRICS loop (paper Section 4, "Looking Back" lesson (iii)):
+// "A reimplementation of METRICS should feed predictions and guidance back
+// into the design flow, which would then adapt tool/flow parameters
+// midstream without human intervention."
+//
+// MetricsLoop runs batches of flows, transmits every run to the METRICS
+// server, mines best knob settings from accumulated records, and adapts the
+// trajectory for the next batch — a self-improving flow with no human.
+
+#include <vector>
+
+#include "core/flow_search.hpp"
+#include "metrics/miner.hpp"
+#include "metrics/server.hpp"
+
+namespace maestro::core {
+
+struct MetricsLoopOptions {
+  std::size_t batches = 4;
+  std::size_t runs_per_batch = 6;
+  /// Metric to optimize (default: composite success; see minimize flag).
+  std::string target_metric = metrics::names::kAreaUm2;
+  bool minimize = true;
+  /// Exploration: fraction of each batch run with random (not mined) knobs.
+  double explore_fraction = 0.35;
+};
+
+struct BatchSummary {
+  std::size_t batch = 0;
+  double mean_metric = 0.0;
+  double best_metric = 0.0;
+  double success_rate = 0.0;
+};
+
+struct MetricsLoopResult {
+  std::vector<BatchSummary> batches;
+  flow::FlowTrajectory final_trajectory;
+  /// Mined best knob values at the end of the campaign.
+  std::map<std::string, std::string> mined_settings;
+  std::size_t total_runs = 0;
+  /// Improvement of mean metric, first batch -> last batch (signed; positive
+  /// means the loop improved the metric in the minimize/maximize direction).
+  double improvement = 0.0;
+};
+
+class MetricsLoop {
+ public:
+  MetricsLoop(const flow::FlowManager& manager, metrics::Server& server,
+              std::vector<flow::KnobSpace> spaces, MetricsLoopOptions options = {})
+      : manager_(&manager), server_(&server), spaces_(std::move(spaces)), options_(options) {}
+
+  MetricsLoopResult run(const flow::DesignSpec& design, double target_ghz, util::Rng& rng) const;
+
+ private:
+  /// Translate mined "step.knob" -> value settings into a trajectory,
+  /// starting from the defaults.
+  flow::FlowTrajectory apply_mined(const std::map<std::string, std::string>& mined) const;
+
+  const flow::FlowManager* manager_;
+  metrics::Server* server_;
+  std::vector<flow::KnobSpace> spaces_;
+  MetricsLoopOptions options_;
+};
+
+}  // namespace maestro::core

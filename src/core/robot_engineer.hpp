@@ -1,0 +1,59 @@
+#pragma once
+// RobotEngineer — stage 1 of the paper's ML-insertion roadmap (Fig. 5(b)):
+// "mechanizing and automating (e.g., via expert systems) 24/7 replacements
+// for human engineers that reliably execute a given design task to
+// completion."
+//
+// The robot runs the flow; when a run fails it consults an expert-system
+// playbook (the trial-and-error lore a human engineer would apply) and
+// retries with remediated knobs: timing failures lower utilization and raise
+// efforts, routing failures relax utilization and add router iterations,
+// constraint misses back off the target frequency. Every action is journaled
+// so the "human replacement" is auditable.
+
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace maestro::core {
+
+struct RobotOptions {
+  int max_attempts = 6;
+  /// Frequency back-off per attempt when constraints cannot be met (GHz).
+  double frequency_backoff_ghz = 0.05;
+  bool allow_frequency_backoff = true;
+};
+
+/// One remediation step the robot took.
+struct RobotAction {
+  int attempt = 0;
+  std::string diagnosis;   ///< e.g. "timing: wns=-32ps"
+  std::string remedy;      ///< e.g. "utilization 0.70 -> 0.65; place effort high"
+};
+
+struct RobotOutcome {
+  bool succeeded = false;
+  int attempts = 0;
+  double final_target_ghz = 0.0;
+  flow::FlowResult result;           ///< final attempt's result
+  flow::FlowTrajectory final_knobs;
+  std::vector<RobotAction> journal;
+  double total_tat_minutes = 0.0;    ///< across all attempts
+};
+
+class RobotEngineer {
+ public:
+  RobotEngineer(const flow::FlowManager& manager, RobotOptions options = {})
+      : manager_(&manager), options_(options) {}
+
+  /// Drive the task to completion (or exhaust attempts).
+  RobotOutcome execute(const flow::FlowRecipe& initial, const flow::FlowConstraints& constraints,
+                       util::Rng& rng) const;
+
+ private:
+  const flow::FlowManager* manager_;
+  RobotOptions options_;
+};
+
+}  // namespace maestro::core

@@ -1,0 +1,89 @@
+#include "core/sizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace maestro::core {
+
+using netlist::CellFunction;
+using netlist::InstanceId;
+
+SizerResult size_greedy(netlist::Netlist& nl, const SizerOptions& opt) {
+  SizerResult res;
+  const auto& lib = nl.library();
+  res.initial_delay_ps = flow::wireload_timing(nl, opt.wireload_factor).critical_path_ps;
+  res.initial_area_um2 = nl.total_area_um2();
+  double current = res.initial_delay_ps;
+
+  for (int move = 0; move < opt.max_moves; ++move) {
+    if (opt.target_delay_ps > 0.0 && current <= opt.target_delay_ps) break;
+    const flow::WireloadTiming wt = flow::wireload_timing(nl, opt.wireload_factor);
+    current = wt.critical_path_ps;
+
+    // Candidates: gates whose output arrival is near-critical.
+    std::vector<InstanceId> candidates;
+    for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+      const auto id = static_cast<InstanceId>(i);
+      const auto& m = nl.master_of(id);
+      if (m.function == CellFunction::Input || m.function == CellFunction::Output ||
+          m.function == CellFunction::Dff) {
+        continue;
+      }
+      if (wt.arrival_ps[i] >= 0.95 * current) candidates.push_back(id);
+    }
+    // Also consider drivers of the critical endpoints' immediate fanin (the
+    // last stage often binds through the endpoint, not its own arrival).
+    if (candidates.empty()) break;
+
+    // Greedy TILOS step: best delay gain per added area.
+    InstanceId best = netlist::kNoInstance;
+    std::size_t best_master = 0;
+    double best_score = 0.0;
+    for (const InstanceId id : candidates) {
+      const auto& m = nl.master_of(id);
+      const auto variants = lib.variants(m.function);
+      for (std::size_t v = 0; v + 1 < variants.size(); ++v) {
+        if (lib.master(variants[v]).drive != m.drive) continue;
+        const std::size_t up = variants[v + 1];
+        const std::size_t old_master = nl.instance(id).master;
+        const double old_area = m.area_um2;
+        nl.resize_instance(id, up);
+        const double after = flow::wireload_timing(nl, opt.wireload_factor).critical_path_ps;
+        nl.resize_instance(id, old_master);
+        const double gain = current - after;
+        const double darea = lib.master(up).area_um2 - old_area;
+        const double score = gain / std::max(darea, 1e-6);
+        if (gain > 1e-9 && score > best_score) {
+          best_score = score;
+          best = id;
+          best_master = up;
+        }
+        break;  // only the current variant position matters
+      }
+    }
+    if (best == netlist::kNoInstance) break;  // no improving move
+    nl.resize_instance(best, best_master);
+    ++res.moves;
+    current = flow::wireload_timing(nl, opt.wireload_factor).critical_path_ps;
+  }
+  res.final_delay_ps = current;
+  res.final_area_um2 = nl.total_area_um2();
+  return res;
+}
+
+EyechartCharacterization characterize_on_eyechart(const netlist::CellLibrary& lib,
+                                                  std::size_t stages, double load_ff,
+                                                  const SizerOptions& opt) {
+  netlist::Eyechart ec = netlist::make_eyechart(lib, stages, load_ff);
+  EyechartCharacterization ch;
+  ch.optimal_delay_ps = ec.optimal_delay_ps;
+  ch.unit_drive_delay_ps = ec.unit_drive_delay_ps;
+  SizerOptions o = opt;
+  o.wireload_factor = 1.0;  // eyechart optimum is defined on pin caps only
+  const auto res = size_greedy(ec.netlist, o);
+  ch.heuristic_delay_ps = res.final_delay_ps;
+  return ch;
+}
+
+}  // namespace maestro::core

@@ -1,0 +1,56 @@
+#pragma once
+// Gate sizing with eyechart characterization (paper Section 3.3 (iii):
+// "construction of synthetic design proxies ('eye charts') [11, 23, 45]
+// that enable characterization of tools and flows").
+//
+// GateSizer is a greedy timing-driven sizing heuristic (TILOS-style: repeat-
+// edly upsize the gate with the best delay-gain-per-area on the critical
+// path under the wireload model). Eyecharts carry a *known optimal* sizing
+// (exact DP, see netlist::make_eyechart), so the heuristic's suboptimality
+// is measurable exactly — the characterization loop the paper calls for.
+
+#include "flow/tools.hpp"
+#include "netlist/generators.hpp"
+
+namespace maestro::core {
+
+struct SizerOptions {
+  int max_moves = 2000;          ///< upsizing moves budget
+  double wireload_factor = 1.0;  ///< load model (eyecharts: pin caps only)
+  /// Stop when critical path is within this of the (optional) target.
+  double target_delay_ps = 0.0;  ///< 0 = size until no improving move
+};
+
+struct SizerResult {
+  double initial_delay_ps = 0.0;
+  double final_delay_ps = 0.0;
+  double initial_area_um2 = 0.0;
+  double final_area_um2 = 0.0;
+  int moves = 0;
+};
+
+/// Greedy sizing on any netlist (in place).
+SizerResult size_greedy(netlist::Netlist& nl, const SizerOptions& opt);
+
+/// Characterize the sizer on an eyechart: the gap to the known optimum.
+struct EyechartCharacterization {
+  double optimal_delay_ps = 0.0;    ///< exact DP optimum
+  double heuristic_delay_ps = 0.0;  ///< what the greedy sizer achieved
+  double unit_drive_delay_ps = 0.0; ///< the all-X1 starting point
+  /// (heuristic - optimal) / optimal; 0 = the heuristic is optimal.
+  double suboptimality() const {
+    return optimal_delay_ps > 0.0 ? (heuristic_delay_ps - optimal_delay_ps) / optimal_delay_ps
+                                  : 0.0;
+  }
+  /// Fraction of the X1->optimal improvement the heuristic captured.
+  double improvement_capture() const {
+    const double span = unit_drive_delay_ps - optimal_delay_ps;
+    return span > 0.0 ? (unit_drive_delay_ps - heuristic_delay_ps) / span : 1.0;
+  }
+};
+
+EyechartCharacterization characterize_on_eyechart(const netlist::CellLibrary& lib,
+                                                  std::size_t stages, double load_ff,
+                                                  const SizerOptions& opt = {});
+
+}  // namespace maestro::core

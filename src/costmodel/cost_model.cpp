@@ -1,0 +1,110 @@
+#include "costmodel/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maestro::costmodel {
+
+std::vector<TechNode> roadmap_nodes() {
+  // Feature size halves roughly every two nodes; available density doubles
+  // every ~2 years from 0.06 Mtx/mm^2 at 350nm/1995.
+  return {
+      {1995, 350.0, 0.06},  {1997, 250.0, 0.12},  {1999, 180.0, 0.24},
+      {2001, 130.0, 0.48},  {2003, 90.0, 0.96},   {2005, 65.0, 1.92},
+      {2007, 45.0, 3.84},   {2009, 32.0, 7.68},   {2011, 22.0, 15.4},
+      {2013, 16.0, 30.7},   {2015, 14.0, 61.4},   {2017, 10.0, 122.9},
+      {2019, 7.0, 245.8},   {2022, 5.0, 491.5},   {2025, 3.0, 983.0},
+      {2028, 2.0, 1966.1},
+  };
+}
+
+std::vector<CapabilityGapPoint> capability_gap_series(int from_year, int to_year) {
+  std::vector<CapabilityGapPoint> out;
+  const double density_1995 = 0.06;
+  for (int year = from_year; year <= to_year; ++year) {
+    CapabilityGapPoint p;
+    p.year = year;
+    p.available_mtx_per_mm2 =
+        density_1995 * std::pow(2.0, static_cast<double>(year - 1995) / 2.0);
+    // Realized density diverges after 2001: non-ideal A-factor (larger cells
+    // and wires for reliability) and growing uncore share of the die.
+    const double a_factor = std::pow(0.945, std::max(0, year - 2001));
+    const double uncore = std::pow(0.952, std::max(0, year - 2001));
+    p.realized_mtx_per_mm2 = p.available_mtx_per_mm2 * a_factor * uncore;
+    p.gap_factor = p.available_mtx_per_mm2 / p.realized_mtx_per_mm2;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<DtInnovation> dt_innovation_schedule() {
+  // Pre-2015 entries follow the ITRS design cost chart lineage; post-2015
+  // entries are the paper's own roadmap (ML insertion stages, DARPA IDEA).
+  // Multipliers are calibrated to the paper's footnote-1 dollar figures.
+  return {
+      {"RTL methodology", 1991, 1.63},
+      {"In-house P&R", 1993, 1.60},
+      {"Tall-thin engineer", 1995, 1.55},
+      {"Small-block reuse", 1997, 1.70},
+      {"Large-block reuse", 1999, 1.85},
+      {"Intelligent testbench", 2000, 1.44},
+      {"IC implementation suite", 2001, 1.68},
+      {"ES-level methodology", 2003, 1.62},
+      {"Very-large-block reuse", 2005, 1.58},
+      {"Homogeneous parallel processing", 2007, 1.55},
+      {"Silicon virtual prototype", 2009, 1.51},
+      {"Heterogeneous massive parallelism", 2011, 1.49},
+      {"System-level design automation", 2013, 1.47},
+      {"Chip-package co-design", 2015, 1.90},
+      {"ML-driven analysis correlation", 2018, 2.00},
+      {"ML-driven flow orchestration", 2021, 2.10},
+      {"Cloud parallel design automation", 2024, 2.20},
+      {"No-human-in-the-loop (IDEA)", 2027, 2.30},
+  };
+}
+
+DesignCostModel::DesignCostModel(CostModelParams params, std::vector<DtInnovation> schedule)
+    : params_(params), schedule_(std::move(schedule)) {}
+
+double DesignCostModel::transistor_demand(int year) const {
+  return params_.transistors_2013 *
+         std::pow(1.0 + params_.transistor_cagr, static_cast<double>(year - 2013));
+}
+
+double DesignCostModel::productivity(int year, int freeze_after) const {
+  double p = params_.base_productivity;
+  const int cutoff = std::min(year, freeze_after);
+  for (const auto& dt : schedule_) {
+    if (dt.year <= cutoff) p *= dt.productivity_multiplier;
+  }
+  return p;
+}
+
+double DesignCostModel::design_cost_musd(int year, int freeze_after) const {
+  const double engineer_months = transistor_demand(year) / productivity(year, freeze_after);
+  return engineer_months * params_.eng_month_cost_usd / 1e6;
+}
+
+double DesignCostModel::verification_share(int year) const {
+  const double share = params_.verification_share_1995 +
+                       params_.verification_share_slope * static_cast<double>(year - 1995);
+  return std::clamp(share, 0.0, 0.62);
+}
+
+std::vector<CostTrendPoint> cost_trend_series(const DesignCostModel& model, int from_year,
+                                              int to_year, int step_years) {
+  std::vector<CostTrendPoint> out;
+  for (int year = from_year; year <= to_year; year += std::max(step_years, 1)) {
+    CostTrendPoint p;
+    p.year = year;
+    p.transistors_per_chip = model.transistor_demand(year);
+    p.design_cost_musd = model.design_cost_musd(year, year);
+    p.verification_cost_musd = p.design_cost_musd * model.verification_share(year);
+    p.cost_frozen_2000_musd = model.design_cost_musd(year, 2000);
+    p.cost_frozen_2013_musd = model.design_cost_musd(year, 2013);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace maestro::costmodel

@@ -1,0 +1,104 @@
+#pragma once
+// The ITRS Design Cost Model and Design Capability Gap (paper Section 2,
+// Figs. 1 and 2; refs [31], [39], [41], [17], [35]).
+//
+// The model's structure follows the published ITRS formulation: SOC-CP
+// transistor demand grows with the roadmap; designer productivity
+// (transistors per engineer-month) is a base value multiplied by the design-
+// technology (DT) innovations delivered up to the year of interest; total
+// design cost = demand / productivity * loaded engineer-month cost, with a
+// verification share. Footnote 1 of the paper gives three calibration
+// points which this implementation reproduces (within tolerance; see tests):
+//
+//   * with the full innovation schedule, SOC-CP design cost stays in the
+//     tens of $M through the horizon ($45.4M in 2013),
+//   * freezing DT innovation after 2013 grows cost to ~$3.4B by 2028,
+//   * freezing after 2000 puts cost at ~$1B in 2013 and ~$70B by 2028.
+
+#include <string>
+#include <vector>
+
+namespace maestro::costmodel {
+
+/// One technology node on the roadmap.
+struct TechNode {
+  int year = 0;
+  double feature_nm = 0.0;
+  double available_mtx_per_mm2 = 0.0;  ///< available transistor density
+};
+
+/// The maestro roadmap, 1995-2028 (density doubles roughly every two years).
+std::vector<TechNode> roadmap_nodes();
+
+/// Fig. 1 — the Design Capability Gap: realized density falls behind
+/// available density after ~2001 because of non-ideal area factors (larger
+/// cells and wires for reliability) and growing uncore share.
+struct CapabilityGapPoint {
+  int year = 0;
+  double available_mtx_per_mm2 = 0.0;
+  double realized_mtx_per_mm2 = 0.0;
+  double gap_factor = 1.0;  ///< available / realized
+};
+std::vector<CapabilityGapPoint> capability_gap_series(int from_year = 1995,
+                                                      int to_year = 2015);
+
+/// A design-technology innovation: once delivered, multiplies productivity.
+struct DtInnovation {
+  std::string name;
+  int year = 0;
+  double productivity_multiplier = 1.0;
+};
+
+/// The innovation schedule (ITRS-style named DT advances; the post-2015
+/// entries are the paper's own ML/IDEA roadmap).
+std::vector<DtInnovation> dt_innovation_schedule();
+
+struct CostModelParams {
+  double transistors_2013 = 4.0e9;          ///< SOC-CP demand at 2013
+  double transistor_cagr = 0.3334;          ///< demand growth per year
+  double base_productivity = 3.4e3;         ///< transistors/eng-month in 1990, no DT
+  double eng_month_cost_usd = 15600.0;      ///< loaded salary+tools+servers
+  double verification_share_1995 = 0.35;    ///< fraction of effort in verification
+  double verification_share_slope = 0.012;  ///< growth per year (capped at 0.62)
+};
+
+class DesignCostModel {
+ public:
+  explicit DesignCostModel(CostModelParams params = {},
+                           std::vector<DtInnovation> schedule = dt_innovation_schedule());
+
+  /// SOC-CP transistor demand in `year`.
+  double transistor_demand(int year) const;
+
+  /// Productivity in transistors/engineer-month, counting innovations
+  /// delivered in years <= min(year, freeze_after). Pass freeze_after >=
+  /// year for the full schedule.
+  double productivity(int year, int freeze_after) const;
+
+  /// Total design cost in $M for the SOC-CP driver.
+  double design_cost_musd(int year, int freeze_after) const;
+
+  /// Verification share of total cost in `year` (Fig. 2's bar split).
+  double verification_share(int year) const;
+
+  const CostModelParams& params() const { return params_; }
+  const std::vector<DtInnovation>& schedule() const { return schedule_; }
+
+ private:
+  CostModelParams params_;
+  std::vector<DtInnovation> schedule_;
+};
+
+/// One row of the Fig. 2 series.
+struct CostTrendPoint {
+  int year = 0;
+  double transistors_per_chip = 0.0;
+  double design_cost_musd = 0.0;          ///< with full DT innovation
+  double verification_cost_musd = 0.0;
+  double cost_frozen_2000_musd = 0.0;     ///< DT frozen after 2000
+  double cost_frozen_2013_musd = 0.0;     ///< DT frozen after 2013
+};
+std::vector<CostTrendPoint> cost_trend_series(const DesignCostModel& model, int from_year,
+                                              int to_year, int step_years = 1);
+
+}  // namespace maestro::costmodel

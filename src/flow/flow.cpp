@@ -1,0 +1,75 @@
+#include "flow/flow.hpp"
+
+namespace maestro::flow {
+
+FlowResult FlowManager::run(const FlowRecipe& recipe) const {
+  return run(recipe, FlowConstraints{});
+}
+
+FlowResult FlowManager::run(const FlowRecipe& recipe, const FlowConstraints& constraints) const {
+  DesignState state;
+  return run_keep_state(recipe, constraints, state);
+}
+
+FlowResult FlowManager::run_keep_state(const FlowRecipe& recipe,
+                                       const FlowConstraints& constraints,
+                                       DesignState& state) const {
+  FlowResult res;
+  state = DesignState{};
+  state.lib = lib_;
+
+  auto context_for = [&](FlowStep step) {
+    ToolContext ctx;
+    ctx.target_ghz = recipe.target_ghz;
+    const auto it = recipe.knobs.settings.find(step);
+    if (it != recipe.knobs.settings.end()) ctx.knobs = it->second;
+    // Per-step decorrelated seeds derived from the recipe seed.
+    ctx.seed = recipe.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(step) + 1;
+    if (step == FlowStep::Route) ctx.route_monitor = recipe.route_monitor;
+    return ctx;
+  };
+
+  struct StepEntry {
+    FlowStep step;
+    std::function<StepOutcome()> invoke;
+  };
+  const std::vector<StepEntry> steps = {
+      {FlowStep::Synthesis,
+       [&] { return run_synthesis(state, recipe.design, context_for(FlowStep::Synthesis)); }},
+      {FlowStep::Floorplan, [&] { return run_floorplan(state, context_for(FlowStep::Floorplan)); }},
+      {FlowStep::Place, [&] { return run_place(state, context_for(FlowStep::Place)); }},
+      {FlowStep::Cts, [&] { return run_cts(state, context_for(FlowStep::Cts)); }},
+      {FlowStep::Route, [&] { return run_route(state, context_for(FlowStep::Route)); }},
+      {FlowStep::Signoff, [&] { return run_signoff(state, context_for(FlowStep::Signoff)); }},
+  };
+
+  for (const auto& entry : steps) {
+    StepOutcome outcome = entry.invoke();
+    res.tat_minutes += outcome.runtime_min;
+    res.logs.push_back(std::move(outcome.log));
+    if (!outcome.ok) {
+      res.failed_step = to_string(entry.step);
+      return res;
+    }
+  }
+  res.completed = true;
+
+  res.area_um2 = state.nl->total_area_um2();
+  res.wns_ps = state.signoff.wns_ps;
+  res.whs_ps = state.signoff.whs_ps;
+  res.tns_ps = state.signoff.tns_ps;
+  res.power_mw = state.pwr.total_mw();
+  res.final_drvs = state.droute.drvs.empty() ? 0.0 : state.droute.drvs.back();
+  res.route_difficulty = state.droute.difficulty;
+  res.hpwl_dbu = static_cast<double>(state.pl->total_hpwl());
+  res.clock_skew_ps = state.clock.skew_ps();
+  res.ir_drop_v = state.ir.worst_drop_v;
+
+  res.timing_met = res.wns_ps >= 0.0;
+  res.drc_clean = res.final_drvs < constraints.max_drvs;
+  res.constraints_met =
+      res.area_um2 <= constraints.max_area_um2 && res.power_mw <= constraints.max_power_mw;
+  return res;
+}
+
+}  // namespace maestro::flow

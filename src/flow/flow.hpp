@@ -1,0 +1,72 @@
+#pragma once
+// The flow manager: runs a complete RTL-to-signoff trajectory through the
+// maestro tools and reduces the outcome to the quantities the paper's
+// experiments consume — achieved area, worst slack, power, DRVs, runtime
+// (turnaround time) and per-step logfiles.
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "flow/tools.hpp"
+
+namespace maestro::flow {
+
+/// Everything needed to launch one flow run.
+struct FlowRecipe {
+  DesignSpec design;
+  double target_ghz = 1.0;
+  FlowTrajectory knobs;
+  std::uint64_t seed = 1;
+  /// Optional early-stop hook for the detailed-route step.
+  std::function<bool(int, double, double)> route_monitor;
+};
+
+/// PPA constraints used to judge success (Fig. 7 runs under "given power and
+/// area constraints").
+struct FlowConstraints {
+  double max_area_um2 = std::numeric_limits<double>::infinity();
+  double max_power_mw = std::numeric_limits<double>::infinity();
+  double max_drvs = 200.0;  ///< the paper's success bar for routing
+};
+
+struct FlowResult {
+  bool completed = false;       ///< all steps ran
+  bool timing_met = false;      ///< signoff WNS >= 0
+  bool drc_clean = false;       ///< final DRVs under the constraint
+  bool constraints_met = false; ///< area/power constraints
+  bool success() const { return completed && timing_met && drc_clean && constraints_met; }
+
+  double area_um2 = 0.0;
+  double wns_ps = 0.0;
+  double whs_ps = 0.0;   ///< worst hold slack at signoff
+  double tns_ps = 0.0;
+  double power_mw = 0.0;
+  double final_drvs = 0.0;
+  double route_difficulty = 0.0;
+  double hpwl_dbu = 0.0;
+  double clock_skew_ps = 0.0;
+  double ir_drop_v = 0.0;
+  double tat_minutes = 0.0;     ///< modeled turnaround time (sum of steps)
+  std::string failed_step;      ///< first step that errored, if any
+
+  std::vector<util::ToolLog> logs;  ///< one per executed step
+};
+
+class FlowManager {
+ public:
+  explicit FlowManager(const netlist::CellLibrary& lib) : lib_(&lib) {}
+
+  /// Run the full flow. The DesignState is discarded; use run_keep_state to
+  /// inspect intermediate databases.
+  FlowResult run(const FlowRecipe& recipe) const;
+  FlowResult run(const FlowRecipe& recipe, const FlowConstraints& constraints) const;
+  FlowResult run_keep_state(const FlowRecipe& recipe, const FlowConstraints& constraints,
+                            DesignState& state) const;
+
+ private:
+  const netlist::CellLibrary* lib_;
+};
+
+}  // namespace maestro::flow

@@ -1,0 +1,149 @@
+#include "flow/knobs.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace maestro::flow {
+
+const char* to_string(FlowStep s) {
+  switch (s) {
+    case FlowStep::Synthesis: return "synthesis";
+    case FlowStep::Floorplan: return "floorplan";
+    case FlowStep::Place: return "place";
+    case FlowStep::Cts: return "cts";
+    case FlowStep::Route: return "route";
+    case FlowStep::Signoff: return "signoff";
+  }
+  return "?";
+}
+
+FlowStep step_at(std::size_t index) {
+  assert(index < kFlowStepCount);
+  return static_cast<FlowStep>(index);
+}
+
+double KnobSpace::combinations() const {
+  double c = 1.0;
+  for (const auto& k : knobs) c *= static_cast<double>(k.values.size());
+  return c;
+}
+
+const std::string& FlowTrajectory::value(FlowStep step, const std::string& knob,
+                                         const std::string& fallback) const {
+  const auto sit = settings.find(step);
+  if (sit == settings.end()) return fallback;
+  const auto kit = sit->second.find(knob);
+  return kit != sit->second.end() ? kit->second : fallback;
+}
+
+std::vector<KnobSpace> default_knob_spaces() {
+  std::vector<KnobSpace> spaces;
+  {
+    KnobSpace s;
+    s.step = FlowStep::Synthesis;
+    s.knobs = {
+        {"effort", {"medium", "low", "high"}},
+        {"sizing_iterations", {"4", "2", "8", "12"}},
+        {"max_fanout", {"16", "8", "32"}},
+        {"wireload", {"balanced", "optimistic", "pessimistic"}},
+    };
+    spaces.push_back(std::move(s));
+  }
+  {
+    KnobSpace s;
+    s.step = FlowStep::Floorplan;
+    s.knobs = {
+        {"utilization", {"0.70", "0.60", "0.65", "0.75", "0.80"}},
+        {"aspect", {"1.00", "0.75", "1.33"}},
+    };
+    spaces.push_back(std::move(s));
+  }
+  {
+    KnobSpace s;
+    s.step = FlowStep::Place;
+    s.knobs = {
+        {"effort", {"medium", "low", "high"}},
+        {"moves_per_cell", {"40", "15", "80", "160"}},
+        {"swap_fraction", {"0.35", "0.20", "0.50"}},
+    };
+    spaces.push_back(std::move(s));
+  }
+  {
+    KnobSpace s;
+    s.step = FlowStep::Cts;
+    s.knobs = {
+        {"leaf_fanout", {"16", "8", "32"}},
+        {"buffer_delay", {"18", "14", "24"}},
+    };
+    spaces.push_back(std::move(s));
+  }
+  {
+    KnobSpace s;
+    s.step = FlowStep::Route;
+    s.knobs = {
+        {"gcells", {"32", "24", "48"}},
+        {"rounds", {"8", "4", "16"}},
+        {"history_weight", {"0.4", "0.2", "0.8"}},
+        {"detail_iterations", {"20", "12", "32", "40"}},
+    };
+    spaces.push_back(std::move(s));
+  }
+  {
+    KnobSpace s;
+    s.step = FlowStep::Signoff;
+    s.knobs = {
+        {"si_mode", {"on", "off"}},
+        {"derate", {"1.00", "1.03", "1.06"}},
+    };
+    spaces.push_back(std::move(s));
+  }
+  return spaces;
+}
+
+double count_trajectories(const std::vector<KnobSpace>& spaces) {
+  double c = 1.0;
+  for (const auto& s : spaces) c *= s.combinations();
+  return c;
+}
+
+double count_trajectories_with_iteration(const std::vector<KnobSpace>& spaces,
+                                         int max_iterations) {
+  // Each step can be re-entered up to max_iterations times, and each re-entry
+  // may pick a fresh setting: the per-step factor becomes
+  // sum_{i=1..max_iterations} combos^i, and steps multiply.
+  double total = 1.0;
+  for (const auto& s : spaces) {
+    const double combos = s.combinations();
+    double factor = 0.0;
+    double power = 1.0;
+    for (int i = 1; i <= max_iterations; ++i) {
+      power *= combos;
+      factor += power;
+    }
+    total *= factor;
+  }
+  return total;
+}
+
+FlowTrajectory default_trajectory(const std::vector<KnobSpace>& spaces) {
+  FlowTrajectory t;
+  for (const auto& s : spaces) {
+    for (const auto& k : s.knobs) {
+      assert(!k.values.empty());
+      t.set(s.step, k.name, k.values.front());
+    }
+  }
+  return t;
+}
+
+FlowTrajectory random_trajectory(const std::vector<KnobSpace>& spaces, util::Rng& rng) {
+  FlowTrajectory t;
+  for (const auto& s : spaces) {
+    for (const auto& k : s.knobs) {
+      t.set(s.step, k.name, k.values[rng.below(k.values.size())]);
+    }
+  }
+  return t;
+}
+
+}  // namespace maestro::flow

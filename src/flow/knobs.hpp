@@ -1,0 +1,82 @@
+#pragma once
+// Flow steps and their option (knob) spaces.
+//
+// Figure 5(a) of the paper: "thousands of potential options ... at each flow
+// step, along with iteration, result in an enormous tree of possible flow
+// trajectories". A KnobSpace enumerates the discrete options at one step; a
+// FlowTrajectory is one choice per step. The combinatorics of this structure
+// are what bench/fig5_flow_tree quantifies, and what the MAB/GWTW searches
+// in maestro::core traverse.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maestro::flow {
+
+enum class FlowStep : std::uint8_t {
+  Synthesis,
+  Floorplan,
+  Place,
+  Cts,
+  Route,
+  Signoff,
+};
+constexpr std::size_t kFlowStepCount = 6;
+const char* to_string(FlowStep s);
+FlowStep step_at(std::size_t index);
+
+/// One named knob and its legal values at a step.
+struct KnobSpec {
+  std::string name;
+  std::vector<std::string> values;  ///< values[0] is the default
+};
+
+/// All knobs of one flow step.
+struct KnobSpace {
+  FlowStep step = FlowStep::Synthesis;
+  std::vector<KnobSpec> knobs;
+
+  /// Number of distinct settings of this step (product of value counts).
+  double combinations() const;
+};
+
+/// A concrete knob assignment (name -> value) for one step.
+using KnobSetting = std::map<std::string, std::string>;
+
+/// One end-to-end trajectory: knob settings per step.
+struct FlowTrajectory {
+  std::map<FlowStep, KnobSetting> settings;
+
+  const std::string& value(FlowStep step, const std::string& knob,
+                           const std::string& fallback) const;
+  void set(FlowStep step, const std::string& knob, const std::string& value) {
+    settings[step][knob] = value;
+  }
+};
+
+/// The default maestro knob spaces (one per step), mirroring the kinds of
+/// options the paper lists: constraints, floorplan, effort levels, command
+/// options.
+std::vector<KnobSpace> default_knob_spaces();
+
+/// Total number of single-pass trajectories in the given spaces.
+double count_trajectories(const std::vector<KnobSpace>& spaces);
+
+/// Number of trajectories with up to `max_iterations` loop-backs allowed at
+/// any step (each iteration multiplies the downstream subtree), per the
+/// Fig. 5(a) picture. Grows explosively; returned as a double (can overflow
+/// to inf — that is the point).
+double count_trajectories_with_iteration(const std::vector<KnobSpace>& spaces,
+                                         int max_iterations);
+
+/// The default trajectory: first value of every knob.
+FlowTrajectory default_trajectory(const std::vector<KnobSpace>& spaces);
+
+/// A uniformly random trajectory.
+FlowTrajectory random_trajectory(const std::vector<KnobSpace>& spaces, util::Rng& rng);
+
+}  // namespace maestro::flow

@@ -1,0 +1,42 @@
+#include "geom/geometry.hpp"
+
+namespace maestro::geom {
+
+Dbu hpwl(std::span<const Point> pins) {
+  BBox box;
+  for (const auto& p : pins) box.expand(p);
+  return box.half_perimeter();
+}
+
+GridIndexer::GridIndexer(Rect region, std::size_t cols, std::size_t rows)
+    : region_(region), cols_(cols > 0 ? cols : 1), rows_(rows > 0 ? rows : 1) {
+  assert(region.valid());
+}
+
+std::pair<std::size_t, std::size_t> GridIndexer::cell_of(const Point& p) const {
+  const double fx = region_.width() > 0
+                        ? static_cast<double>(p.x - region_.lo.x) / static_cast<double>(region_.width())
+                        : 0.0;
+  const double fy = region_.height() > 0
+                        ? static_cast<double>(p.y - region_.lo.y) / static_cast<double>(region_.height())
+                        : 0.0;
+  auto c = static_cast<std::int64_t>(fx * static_cast<double>(cols_));
+  auto r = static_cast<std::int64_t>(fy * static_cast<double>(rows_));
+  c = std::clamp<std::int64_t>(c, 0, static_cast<std::int64_t>(cols_) - 1);
+  r = std::clamp<std::int64_t>(r, 0, static_cast<std::int64_t>(rows_) - 1);
+  return {static_cast<std::size_t>(c), static_cast<std::size_t>(r)};
+}
+
+Point GridIndexer::center_of(std::size_t c, std::size_t r) const {
+  const Rect cell = cell_rect(c, r);
+  return cell.center();
+}
+
+Rect GridIndexer::cell_rect(std::size_t c, std::size_t r) const {
+  const Dbu w = region_.width() / static_cast<Dbu>(cols_);
+  const Dbu h = region_.height() / static_cast<Dbu>(rows_);
+  const Point lo{region_.lo.x + static_cast<Dbu>(c) * w, region_.lo.y + static_cast<Dbu>(r) * h};
+  return {lo, {lo.x + w, lo.y + h}};
+}
+
+}  // namespace maestro::geom

@@ -1,0 +1,147 @@
+#pragma once
+// Planar geometry primitives for placement and routing: integer-micron points,
+// rectangles, bounding boxes, Manhattan metrics, and dense 2-D grid maps used
+// for congestion and IR-drop analysis.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+namespace maestro::geom {
+
+/// Database unit: 1 dbu = 1 nm. A 14nm-class site is on the order of hundreds
+/// of dbu; using integers avoids the float-comparison pitfalls of layout code.
+using Dbu = std::int64_t;
+
+struct Point {
+  Dbu x = 0;
+  Dbu y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Manhattan (L1) distance.
+inline Dbu manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  Dbu width() const { return hi.x - lo.x; }
+  Dbu height() const { return hi.y - lo.y; }
+  /// Signed area; negative for inverted rects (use valid() to check).
+  std::int64_t area() const { return static_cast<std::int64_t>(width()) * height(); }
+  bool valid() const { return hi.x >= lo.x && hi.y >= lo.y; }
+  Point center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  bool intersects(const Rect& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+  /// Intersection; result may be invalid when the rects do not intersect.
+  Rect intersection(const Rect& o) const {
+    return {{std::max(lo.x, o.lo.x), std::max(lo.y, o.lo.y)},
+            {std::min(hi.x, o.hi.x), std::min(hi.y, o.hi.y)}};
+  }
+  Rect bloat(Dbu d) const { return {{lo.x - d, lo.y - d}, {hi.x + d, hi.y + d}}; }
+};
+
+/// Running bounding box accumulator.
+class BBox {
+ public:
+  void expand(const Point& p) {
+    if (empty_) {
+      rect_ = {p, p};
+      empty_ = false;
+    } else {
+      rect_.lo.x = std::min(rect_.lo.x, p.x);
+      rect_.lo.y = std::min(rect_.lo.y, p.y);
+      rect_.hi.x = std::max(rect_.hi.x, p.x);
+      rect_.hi.y = std::max(rect_.hi.y, p.y);
+    }
+  }
+  void expand(const Rect& r) {
+    expand(r.lo);
+    expand(r.hi);
+  }
+  bool empty() const { return empty_; }
+  const Rect& rect() const { return rect_; }
+  /// Half-perimeter of the box; the classic HPWL net-length estimate.
+  Dbu half_perimeter() const { return empty_ ? 0 : rect_.width() + rect_.height(); }
+
+ private:
+  Rect rect_{};
+  bool empty_ = true;
+};
+
+/// Half-perimeter wirelength of a pin cloud.
+Dbu hpwl(std::span<const Point> pins);
+
+/// Dense row-major 2-D grid of T, with (col, row) addressing.
+template <typename T>
+class GridMap {
+ public:
+  GridMap() = default;
+  GridMap(std::size_t cols, std::size_t rows, T init = T{})
+      : cols_(cols), rows_(rows), data_(cols * rows, init) {}
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t size() const { return data_.size(); }
+  bool in_bounds(std::size_t c, std::size_t r) const { return c < cols_ && r < rows_; }
+
+  T& at(std::size_t c, std::size_t r) {
+    assert(in_bounds(c, r));
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t c, std::size_t r) const {
+    assert(in_bounds(c, r));
+    return data_[r * cols_ + c];
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+  std::span<const T> flat() const { return data_; }
+  std::span<T> flat() { return data_; }
+
+ private:
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<T> data_;
+};
+
+/// Maps layout coordinates to grid-cell indices for a uniform bin grid over a
+/// region. Used by congestion maps, IR-drop grids and routing grids.
+class GridIndexer {
+ public:
+  GridIndexer() = default;
+  GridIndexer(Rect region, std::size_t cols, std::size_t rows);
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+  const Rect& region() const { return region_; }
+
+  /// Grid cell containing p (clamped into range).
+  std::pair<std::size_t, std::size_t> cell_of(const Point& p) const;
+  /// Center coordinate of cell (c, r).
+  Point center_of(std::size_t c, std::size_t r) const;
+  Rect cell_rect(std::size_t c, std::size_t r) const;
+
+ private:
+  Rect region_{};
+  std::size_t cols_ = 1;
+  std::size_t rows_ = 1;
+};
+
+}  // namespace maestro::geom

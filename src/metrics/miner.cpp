@@ -1,0 +1,125 @@
+#include "metrics/miner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace maestro::metrics {
+
+std::vector<KnobEffect> knob_sensitivity(const Server& server, const std::string& metric,
+                                         const std::string& step) {
+  // Group metric values by (knob, value).
+  std::map<std::pair<std::string, std::string>, util::RunningStats> groups;
+  for (const Record* r : server.for_step(step)) {
+    const auto v = r->value(metric);
+    if (!v) continue;
+    for (const auto& [knob, value] : r->knobs) {
+      groups[{knob, value}].add(*v);
+    }
+  }
+  std::vector<KnobEffect> out;
+  for (const auto& [key, stats] : groups) {
+    KnobEffect e;
+    e.knob = key.first;
+    e.value = key.second;
+    e.runs = stats.count();
+    e.mean_metric = stats.mean();
+    e.stddev_metric = stats.stddev();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::map<std::string, std::string> best_knob_settings(const Server& server,
+                                                      const std::string& metric, bool minimize,
+                                                      const std::string& step) {
+  const auto effects = knob_sensitivity(server, metric, step);
+  std::map<std::string, std::string> best;
+  std::map<std::string, double> best_mean;
+  for (const auto& e : effects) {
+    if (e.runs == 0) continue;
+    const auto it = best_mean.find(e.knob);
+    const bool better = it == best_mean.end() ||
+                        (minimize ? e.mean_metric < it->second : e.mean_metric > it->second);
+    if (better) {
+      best_mean[e.knob] = e.mean_metric;
+      best[e.knob] = e.value;
+    }
+  }
+  return best;
+}
+
+FrequencyPrescription prescribe_frequency(const Server& server, const std::string& design,
+                                          double min_success_rate) {
+  // Collect (freq, success) pairs for the design.
+  std::map<double, std::pair<std::size_t, std::size_t>> bins;  // freq -> (success, total)
+  for (const Record* r : server.for_design(design)) {
+    if (r->step != "flow") continue;
+    const auto f = r->value(names::kTargetGhz);
+    const auto s = r->value(names::kSuccess);
+    if (!f || !s) continue;
+    auto& [succ, total] = bins[*f];
+    ++total;
+    if (*s > 0.5) ++succ;
+  }
+  FrequencyPrescription out;
+  for (const auto& [freq, counts] : bins) {
+    const auto& [succ, total] = counts;
+    const double rate = total > 0 ? static_cast<double>(succ) / static_cast<double>(total) : 0.0;
+    out.supporting_runs += total;
+    if (rate >= min_success_rate && freq > out.recommended_ghz) {
+      out.recommended_ghz = freq;
+      out.predicted_success_rate = rate;
+    }
+  }
+  return out;
+}
+
+double OutcomeModel::predict(const std::map<std::string, double>& feature_values) const {
+  std::vector<double> row;
+  row.reserve(features.size());
+  for (const auto& f : features) {
+    const auto it = feature_values.find(f);
+    row.push_back(it != feature_values.end() ? it->second : 0.0);
+  }
+  return model.predict(scaler.fitted() ? scaler.transform(row) : row);
+}
+
+OutcomeModel fit_outcome_model(const Server& server, const std::vector<std::string>& features,
+                               const std::string& target, util::Rng& rng,
+                               const std::string& step) {
+  OutcomeModel out;
+  out.features = features;
+  ml::Dataset data;
+  for (const Record* r : server.for_step(step)) {
+    const auto y = r->value(target);
+    if (!y) continue;
+    std::vector<double> row;
+    row.reserve(features.size());
+    bool complete = true;
+    for (const auto& f : features) {
+      const auto v = r->value(f);
+      if (!v) {
+        complete = false;
+        break;
+      }
+      row.push_back(*v);
+    }
+    if (complete) data.add(std::move(row), *y);
+  }
+  out.rows = data.size();
+  if (data.size() < 8) return out;
+
+  auto [train, test] = ml::train_test_split(data, 0.3, rng);
+  if (train.size() == 0 || test.size() == 0) return out;
+  out.scaler.fit(train);
+  const ml::Dataset train_s = out.scaler.transform(train);
+  const ml::Dataset test_s = out.scaler.transform(test);
+  out.model.fit(train_s);
+  const auto preds = out.model.predict_all(test_s);
+  out.test_r2 = ml::r2_score(test_s.y, preds);
+  return out;
+}
+
+}  // namespace maestro::metrics

@@ -1,0 +1,74 @@
+#pragma once
+// The METRICS data miner (Fig. 11's "DataMiner" box).
+//
+// The paper's validation of METRICS: "mining and sensitivity analyses with
+// respect to final design QOR enabled prediction of best design-specific
+// tool option settings" and "METRICS was also used to prescribe achievable
+// clock frequency for given designs". Both capabilities are implemented
+// here over the Record store:
+//
+//  * knob_sensitivity    — per knob, how much does each value shift a target
+//                          metric (one-way ANOVA-style effect sizes)?
+//  * best_knob_settings  — per knob, the value with the best mean target.
+//  * prescribe_frequency — from success/failure records at various target
+//                          frequencies, the highest frequency whose
+//                          predicted success probability clears a bar.
+//  * fit_outcome_model   — regression from run features to a metric, the
+//                          "prediction of tool and flow outcomes" loop.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/server.hpp"
+#include "ml/regression.hpp"
+
+namespace maestro::metrics {
+
+struct KnobEffect {
+  std::string knob;
+  std::string value;
+  std::size_t runs = 0;
+  double mean_metric = 0.0;
+  double stddev_metric = 0.0;
+};
+
+/// Effect of every (knob, value) pair on `metric`, over records that carry
+/// both. Sorted by knob then value.
+std::vector<KnobEffect> knob_sensitivity(const Server& server, const std::string& metric,
+                                         const std::string& step = "flow");
+
+/// For each knob, the value whose runs had the best mean metric
+/// (minimize=true picks the smallest mean, e.g. area; false the largest).
+std::map<std::string, std::string> best_knob_settings(const Server& server,
+                                                      const std::string& metric, bool minimize,
+                                                      const std::string& step = "flow");
+
+struct FrequencyPrescription {
+  double recommended_ghz = 0.0;
+  double predicted_success_rate = 0.0;
+  std::size_t supporting_runs = 0;
+};
+
+/// Bin flow records by target frequency; recommend the highest bin whose
+/// empirical success rate >= min_success_rate (linear interpolation between
+/// bins). Requires records with kTargetGhz and kSuccess.
+FrequencyPrescription prescribe_frequency(const Server& server, const std::string& design,
+                                          double min_success_rate = 0.8);
+
+/// Fit a model mapping chosen numeric features -> metric over flow records.
+/// Returns the fitted model and test-set R^2 (30% holdout).
+struct OutcomeModel {
+  ml::RidgeRegression model;
+  ml::StandardScaler scaler;
+  std::vector<std::string> features;
+  double test_r2 = 0.0;
+  std::size_t rows = 0;
+
+  double predict(const std::map<std::string, double>& feature_values) const;
+};
+OutcomeModel fit_outcome_model(const Server& server, const std::vector<std::string>& features,
+                               const std::string& target, util::Rng& rng,
+                               const std::string& step = "flow");
+
+}  // namespace maestro::metrics

@@ -1,0 +1,48 @@
+#include "metrics/record.hpp"
+
+namespace maestro::metrics {
+
+std::optional<double> Record::value(const std::string& name) const {
+  const auto it = values.find(name);
+  if (it == values.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Record::knob(const std::string& name) const {
+  const auto it = knobs.find(name);
+  if (it == knobs.end()) return std::nullopt;
+  return it->second;
+}
+
+util::Json Record::to_json() const {
+  util::JsonObject obj;
+  obj["run_id"] = util::Json{static_cast<double>(run_id)};
+  obj["design"] = util::Json{design};
+  obj["step"] = util::Json{step};
+  // 64-bit seeds do not fit in a JSON double; store as a decimal string.
+  obj["seed"] = util::Json{std::to_string(seed)};
+  util::JsonObject k;
+  for (const auto& [name, v] : knobs) k[name] = util::Json{v};
+  obj["knobs"] = util::Json{std::move(k)};
+  util::JsonObject v;
+  for (const auto& [name, val] : values) v[name] = util::Json{val};
+  obj["values"] = util::Json{std::move(v)};
+  return util::Json{std::move(obj)};
+}
+
+std::optional<Record> Record::from_json(const util::Json& j) {
+  if (!j.is_object()) return std::nullopt;
+  Record r;
+  r.run_id = static_cast<std::uint64_t>(j.at("run_id").as_number());
+  r.design = j.at("design").as_string();
+  r.step = j.at("step").as_string();
+  const auto& seed_field = j.at("seed");
+  r.seed = seed_field.is_string()
+               ? std::strtoull(seed_field.as_string().c_str(), nullptr, 10)
+               : static_cast<std::uint64_t>(seed_field.as_number());
+  for (const auto& [k, v] : j.at("knobs").as_object()) r.knobs[k] = v.as_string();
+  for (const auto& [k, v] : j.at("values").as_object()) r.values[k] = v.as_number();
+  return r;
+}
+
+}  // namespace maestro::metrics

@@ -1,0 +1,52 @@
+#pragma once
+// METRICS 2.0 record schema.
+//
+// Section 4 of the paper reviews the METRICS initiative [9, 28, 43]: design
+// tools are instrumented to transmit design-artifact and design-process data
+// to a central server for mining. Two of its "Looking Back" lessons shape
+// this schema: (2) a *common vocabulary* — metric names here are canonical
+// strings shared by every tool — and (4) records carry enough context
+// (design, step, knobs, seed) that mined guidance can be fed back into the
+// flow without a human.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace maestro::metrics {
+
+/// Canonical metric vocabulary (lesson 2: same semantics across tools).
+namespace names {
+inline constexpr const char* kAreaUm2 = "area_um2";
+inline constexpr const char* kWnsPs = "wns_ps";
+inline constexpr const char* kTnsPs = "tns_ps";
+inline constexpr const char* kPowerMw = "power_mw";
+inline constexpr const char* kHpwlDbu = "hpwl_dbu";
+inline constexpr const char* kDrvs = "drvs";
+inline constexpr const char* kSkewPs = "skew_ps";
+inline constexpr const char* kIrDropV = "ir_drop_v";
+inline constexpr const char* kTatMin = "tat_min";
+inline constexpr const char* kTargetGhz = "target_ghz";
+inline constexpr const char* kSuccess = "success";
+}  // namespace names
+
+/// One transmitted record: a run (or run step) with its context and metrics.
+struct Record {
+  std::uint64_t run_id = 0;
+  std::string design;
+  std::string step;                      ///< "flow" for end-to-end records
+  std::uint64_t seed = 0;
+  std::map<std::string, std::string> knobs;   ///< flattened "step.knob" -> value
+  std::map<std::string, double> values;
+
+  std::optional<double> value(const std::string& name) const;
+  std::optional<std::string> knob(const std::string& name) const;
+
+  util::Json to_json() const;
+  static std::optional<Record> from_json(const util::Json& j);
+};
+
+}  // namespace maestro::metrics

@@ -1,0 +1,125 @@
+#include "metrics/server.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace maestro::metrics {
+
+std::uint64_t Server::submit(Record r) {
+  if (r.run_id == 0) r.run_id = next_id_++;
+  else next_id_ = std::max(next_id_, r.run_id + 1);
+  const std::uint64_t id = r.run_id;
+  records_.push_back(std::move(r));
+  return id;
+}
+
+std::vector<const Record*> Server::query(
+    const std::function<bool(const Record&)>& pred) const {
+  std::vector<const Record*> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const Record*> Server::for_design(const std::string& design) const {
+  return query([&](const Record& r) { return r.design == design; });
+}
+
+std::vector<const Record*> Server::for_step(const std::string& step) const {
+  return query([&](const Record& r) { return r.step == step; });
+}
+
+bool Server::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& r : records_) out << r.to_json().dump() << '\n';
+  return static_cast<bool>(out);
+}
+
+std::size_t Server::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto j = util::Json::parse(line);
+    if (!j) continue;
+    auto r = Record::from_json(*j);
+    if (!r) continue;
+    submit(std::move(*r));
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::uint64_t Transmitter::transmit_flow(const flow::FlowRecipe& recipe,
+                                         const flow::FlowResult& result) {
+  Record rec;
+  rec.design = recipe.design.name;
+  rec.step = "flow";
+  rec.seed = recipe.seed;
+  for (const auto& [step, setting] : recipe.knobs.settings) {
+    for (const auto& [name, value] : setting) {
+      rec.knobs[std::string(flow::to_string(step)) + "." + name] = value;
+    }
+  }
+  rec.values[names::kTargetGhz] = recipe.target_ghz;
+  rec.values[names::kAreaUm2] = result.area_um2;
+  rec.values[names::kWnsPs] = result.wns_ps;
+  rec.values[names::kTnsPs] = result.tns_ps;
+  rec.values[names::kPowerMw] = result.power_mw;
+  rec.values[names::kHpwlDbu] = result.hpwl_dbu;
+  rec.values[names::kDrvs] = result.final_drvs;
+  rec.values[names::kSkewPs] = result.clock_skew_ps;
+  rec.values[names::kIrDropV] = result.ir_drop_v;
+  rec.values[names::kTatMin] = result.tat_minutes;
+  rec.values[names::kSuccess] = result.success() ? 1.0 : 0.0;
+  const std::uint64_t id = server_->submit(std::move(rec));
+
+  for (const auto& log : result.logs) {
+    Record step_rec;
+    step_rec.run_id = 0;  // own id
+    step_rec.design = recipe.design.name;
+    step_rec.step = log.tool;
+    step_rec.seed = log.seed;
+    for (const auto& [k, v] : log.metadata) {
+      // Numeric metadata becomes a metric; the rest stays a knob string.
+      try {
+        std::size_t pos = 0;
+        const double num = std::stod(v, &pos);
+        if (pos == v.size()) {
+          step_rec.values[k] = num;
+          continue;
+        }
+      } catch (...) {
+      }
+      step_rec.knobs[k] = v;
+    }
+    if (!log.iterations.empty()) {
+      for (const auto& [k, v] : log.iterations.back().values) {
+        step_rec.values["final_" + k] = v;
+      }
+      step_rec.values["iterations"] = static_cast<double>(log.iterations.size());
+    }
+    server_->submit(std::move(step_rec));
+  }
+  return id;
+}
+
+std::uint64_t Transmitter::transmit_log(const util::ToolLog& log, const std::string& design,
+                                        std::uint64_t seed) {
+  Record rec;
+  rec.design = design;
+  rec.step = log.tool;
+  rec.seed = seed;
+  for (const auto& [k, v] : log.metadata) rec.knobs[k] = v;
+  if (!log.iterations.empty()) {
+    for (const auto& [k, v] : log.iterations.back().values) rec.values["final_" + k] = v;
+    rec.values["iterations"] = static_cast<double>(log.iterations.size());
+  }
+  return server_->submit(std::move(rec));
+}
+
+}  // namespace maestro::metrics

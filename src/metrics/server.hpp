@@ -1,0 +1,63 @@
+#pragma once
+// METRICS server and tool transmitter (Fig. 11).
+//
+// The original system shipped XML over the network into an EJB-backed store;
+// per the paper's own observation that a reimplementation "with today's
+// commodity ... technologies will be much simpler", the server here is an
+// in-process indexed store with JSON-lines persistence. The Transmitter is
+// the "wrapper script / API call from within the tools" of Fig. 11: it
+// flattens FlowResults and ToolLogs into Records.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "metrics/record.hpp"
+
+namespace maestro::metrics {
+
+/// Central collection point with simple query support.
+class Server {
+ public:
+  std::uint64_t submit(Record r);  ///< assigns and returns run_id if unset
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<Record>& all() const { return records_; }
+
+  /// Records matching a predicate.
+  std::vector<const Record*> query(const std::function<bool(const Record&)>& pred) const;
+  /// Records for one design (all steps).
+  std::vector<const Record*> for_design(const std::string& design) const;
+  /// Records for one step across designs.
+  std::vector<const Record*> for_step(const std::string& step) const;
+
+  /// Persist as JSON-lines; returns false on I/O failure.
+  bool save(const std::string& path) const;
+  /// Load JSON-lines, appending to the store; returns records loaded.
+  std::size_t load(const std::string& path);
+
+ private:
+  std::vector<Record> records_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Tool-side instrumentation: converts flow artifacts into Records and
+/// submits them.
+class Transmitter {
+ public:
+  explicit Transmitter(Server& server) : server_(&server) {}
+
+  /// Transmit an end-to-end flow result (one "flow" record plus one record
+  /// per step logfile). Returns the flow record's run id.
+  std::uint64_t transmit_flow(const flow::FlowRecipe& recipe, const flow::FlowResult& result);
+
+  /// Transmit a single tool log with explicit context.
+  std::uint64_t transmit_log(const util::ToolLog& log, const std::string& design,
+                             std::uint64_t seed);
+
+ private:
+  Server* server_;
+};
+
+}  // namespace maestro::metrics

@@ -1,0 +1,89 @@
+#include "metrics/sharing.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/rng.hpp"
+
+namespace maestro::metrics {
+
+std::string pseudonym(const std::string& name, std::uint64_t key, const char* prefix) {
+  // Keyed hash: run the name bytes through SplitMix64 seeded by the key.
+  std::uint64_t state = key ^ 0x9e3779b97f4a7c15ULL;
+  for (const char c : name) {
+    state ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    util::splitmix64(state);
+  }
+  const std::uint64_t digest = util::splitmix64(state);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%08x", prefix, static_cast<unsigned>(digest & 0xffffffffu));
+  return buf;
+}
+
+Record anonymize(const Record& record, const AnonymizeOptions& opt) {
+  Record out = record;
+  out.design = pseudonym(record.design, opt.key);
+  out.seed = 0;  // seeds can fingerprint a run
+  for (const auto& [metric, width] : opt.quantize) {
+    const auto it = out.values.find(metric);
+    if (it == out.values.end() || width <= 0.0) continue;
+    it->second = std::round(it->second / width) * width;
+  }
+  for (const auto& knob : opt.drop_knob_values) {
+    const auto it = out.knobs.find(knob);
+    if (it != out.knobs.end()) it->second = "<redacted>";
+  }
+  return out;
+}
+
+Server anonymize(const Server& server, const AnonymizeOptions& opt) {
+  Server out;
+  for (const auto& r : server.all()) {
+    Record a = anonymize(r, opt);
+    a.run_id = 0;  // renumber: original ids can encode submission order
+    out.submit(std::move(a));
+  }
+  return out;
+}
+
+bool save_drv_corpus(const std::vector<route::DrvRun>& corpus, const std::string& path,
+                     const AnonymizeOptions& opt) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& run : corpus) {
+    util::ToolLog log = run.log;
+    log.design = pseudonym(log.design, opt.key);
+    log.seed = 0;
+    // The label needed for supervised training survives; difficulty (an
+    // internal simulator parameter, analogous to proprietary floorplan
+    // context) is stripped.
+    log.metadata.erase("difficulty");
+    log.metadata["succeeded"] = run.succeeded ? "1" : "0";
+    out << log.to_json().dump() << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::vector<route::DrvRun> load_drv_corpus(const std::string& path) {
+  std::vector<route::DrvRun> corpus;
+  std::ifstream in(path);
+  if (!in) return corpus;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto j = util::Json::parse(line);
+    if (!j) continue;
+    auto log = util::ToolLog::from_json(*j);
+    if (!log) continue;
+    route::DrvRun run;
+    run.drvs = log->series("drvs");
+    const auto it = log->metadata.find("succeeded");
+    run.succeeded = it != log->metadata.end() && it->second == "1";
+    run.log = std::move(*log);
+    corpus.push_back(std::move(run));
+  }
+  return corpus;
+}
+
+}  // namespace maestro::metrics

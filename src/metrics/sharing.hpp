@@ -1,0 +1,56 @@
+#pragma once
+// IP-preserving sharing mechanisms (paper Section 4, infrastructure needs
+// (1)-(3)): before training data can cross organizational boundaries,
+// "design owners, foundries and EDA should be comfortable that their IP ...
+// is sufficiently protected (e.g., by standard anonymization and obfuscation
+// mechanisms)".
+//
+// This module implements the mechanisms for the two corpus types maestro
+// produces:
+//
+//  * Records (METRICS server contents): design/instance names are replaced
+//    by keyed deterministic pseudonyms (same key -> same pseudonym, so
+//    cross-run joins still work *within* a sharing agreement, but names are
+//    unrecoverable without the key); selected metrics can be quantized to
+//    coarse bins so exact PPA is not disclosed.
+//  * Tool-log corpora (the doomed-run training sets): logs are pseudonymized
+//    and persisted as JSON-lines, the exchange format for a "Kaggle for
+//    machine learning in IC design".
+
+#include <string>
+#include <vector>
+
+#include "metrics/server.hpp"
+#include "route/drv_sim.hpp"
+
+namespace maestro::metrics {
+
+struct AnonymizeOptions {
+  /// Sharing key: pseudonyms are a keyed hash, stable per key.
+  std::uint64_t key = 0x5eed;
+  /// Metrics to quantize, with bin width (0 disables). E.g. {"area_um2", 50}.
+  std::map<std::string, double> quantize;
+  /// Knobs whose *values* are sensitive and must be dropped (names kept so
+  /// schema remains minable).
+  std::vector<std::string> drop_knob_values;
+};
+
+/// Keyed deterministic pseudonym for a name ("d_3fa2c4b1" style).
+std::string pseudonym(const std::string& name, std::uint64_t key, const char* prefix = "d_");
+
+/// Anonymize one record (names hashed, metrics quantized, knobs scrubbed).
+Record anonymize(const Record& record, const AnonymizeOptions& opt);
+
+/// Anonymize a whole server into a new store.
+Server anonymize(const Server& server, const AnonymizeOptions& opt);
+
+/// Persist a DRV-run corpus as JSON-lines of ToolLogs (anonymized with the
+/// given options). Returns false on I/O failure.
+bool save_drv_corpus(const std::vector<route::DrvRun>& corpus, const std::string& path,
+                     const AnonymizeOptions& opt);
+
+/// Load a corpus saved by save_drv_corpus. Outcome labels are recovered from
+/// the log metadata; trajectories from the "drvs" series.
+std::vector<route::DrvRun> load_drv_corpus(const std::string& path);
+
+}  // namespace maestro::metrics

@@ -1,0 +1,238 @@
+#include "ml/hmm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace maestro::ml {
+
+namespace {
+
+void normalize_row(std::vector<double>& row) {
+  double total = 0.0;
+  for (double v : row) total += v;
+  if (total <= 0.0) {
+    const double u = 1.0 / static_cast<double>(row.size());
+    std::fill(row.begin(), row.end(), u);
+    return;
+  }
+  for (double& v : row) v /= total;
+}
+
+}  // namespace
+
+Hmm Hmm::random(std::size_t states, std::size_t symbols, util::Rng& rng) {
+  Hmm h;
+  h.initial.resize(states);
+  h.transition.assign(states, std::vector<double>(states));
+  h.emission.assign(states, std::vector<double>(symbols));
+  for (auto& v : h.initial) v = rng.uniform(0.2, 1.0);
+  normalize_row(h.initial);
+  for (auto& row : h.transition) {
+    for (auto& v : row) v = rng.uniform(0.2, 1.0);
+    normalize_row(row);
+  }
+  for (auto& row : h.emission) {
+    for (auto& v : row) v = rng.uniform(0.2, 1.0);
+    normalize_row(row);
+  }
+  return h;
+}
+
+bool Hmm::valid(double tol) const {
+  auto row_ok = [tol](const std::vector<double>& row) {
+    double total = 0.0;
+    for (double v : row) {
+      if (v < -tol) return false;
+      total += v;
+    }
+    return std::abs(total - 1.0) <= tol;
+  };
+  if (!row_ok(initial)) return false;
+  for (const auto& row : transition) {
+    if (row.size() != n_states() || !row_ok(row)) return false;
+  }
+  for (const auto& row : emission) {
+    if (!row_ok(row)) return false;
+  }
+  return true;
+}
+
+double log_likelihood(const Hmm& hmm, const std::vector<int>& obs,
+                      std::vector<std::vector<double>>* posteriors) {
+  const std::size_t s_count = hmm.n_states();
+  if (obs.empty() || s_count == 0) return 0.0;
+  if (posteriors) posteriors->assign(obs.size(), std::vector<double>(s_count, 0.0));
+
+  std::vector<double> alpha(s_count);
+  double log_l = 0.0;
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    const auto sym = static_cast<std::size_t>(obs[t]);
+    assert(sym < hmm.n_symbols());
+    std::vector<double> next(s_count, 0.0);
+    if (t == 0) {
+      for (std::size_t s = 0; s < s_count; ++s) {
+        next[s] = hmm.initial[s] * hmm.emission[s][sym];
+      }
+    } else {
+      for (std::size_t s = 0; s < s_count; ++s) {
+        double acc = 0.0;
+        for (std::size_t p = 0; p < s_count; ++p) acc += alpha[p] * hmm.transition[p][s];
+        next[s] = acc * hmm.emission[s][sym];
+      }
+    }
+    double scale = 0.0;
+    for (double v : next) scale += v;
+    if (scale <= 0.0) scale = 1e-300;
+    for (double& v : next) v /= scale;
+    log_l += std::log(scale);
+    alpha = std::move(next);
+    if (posteriors) (*posteriors)[t] = alpha;
+  }
+  return log_l;
+}
+
+std::vector<std::size_t> viterbi(const Hmm& hmm, const std::vector<int>& obs) {
+  const std::size_t s_count = hmm.n_states();
+  if (obs.empty() || s_count == 0) return {};
+  constexpr double kNegInf = -1e300;
+  auto safe_log = [](double v) { return v > 0.0 ? std::log(v) : -1e300; };
+
+  std::vector<std::vector<double>> delta(obs.size(), std::vector<double>(s_count, kNegInf));
+  std::vector<std::vector<std::size_t>> psi(obs.size(), std::vector<std::size_t>(s_count, 0));
+  for (std::size_t s = 0; s < s_count; ++s) {
+    delta[0][s] = safe_log(hmm.initial[s]) + safe_log(hmm.emission[s][static_cast<std::size_t>(obs[0])]);
+  }
+  for (std::size_t t = 1; t < obs.size(); ++t) {
+    const auto sym = static_cast<std::size_t>(obs[t]);
+    for (std::size_t s = 0; s < s_count; ++s) {
+      double best = kNegInf;
+      std::size_t best_p = 0;
+      for (std::size_t p = 0; p < s_count; ++p) {
+        const double cand = delta[t - 1][p] + safe_log(hmm.transition[p][s]);
+        if (cand > best) {
+          best = cand;
+          best_p = p;
+        }
+      }
+      delta[t][s] = best + safe_log(hmm.emission[s][sym]);
+      psi[t][s] = best_p;
+    }
+  }
+  std::vector<std::size_t> path(obs.size());
+  path.back() = static_cast<std::size_t>(
+      std::max_element(delta.back().begin(), delta.back().end()) - delta.back().begin());
+  for (std::size_t t = obs.size() - 1; t > 0; --t) {
+    path[t - 1] = psi[t][path[t]];
+  }
+  return path;
+}
+
+double baum_welch(Hmm& hmm, const std::vector<std::vector<int>>& sequences,
+                  const BaumWelchOptions& opt) {
+  const std::size_t S = hmm.n_states();
+  const std::size_t K = hmm.n_symbols();
+  double prev_ll = -1e300;
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    std::vector<double> init_acc(S, 0.0);
+    std::vector<std::vector<double>> trans_acc(S, std::vector<double>(S, 0.0));
+    std::vector<std::vector<double>> emit_acc(S, std::vector<double>(K, 0.0));
+    double total_ll = 0.0;
+
+    for (const auto& obs : sequences) {
+      if (obs.empty()) continue;
+      const std::size_t T = obs.size();
+      // Scaled forward.
+      std::vector<std::vector<double>> alpha(T, std::vector<double>(S, 0.0));
+      std::vector<double> scale(T, 0.0);
+      for (std::size_t s = 0; s < S; ++s) {
+        alpha[0][s] = hmm.initial[s] * hmm.emission[s][static_cast<std::size_t>(obs[0])];
+        scale[0] += alpha[0][s];
+      }
+      if (scale[0] <= 0.0) scale[0] = 1e-300;
+      for (std::size_t s = 0; s < S; ++s) alpha[0][s] /= scale[0];
+      for (std::size_t t = 1; t < T; ++t) {
+        const auto sym = static_cast<std::size_t>(obs[t]);
+        for (std::size_t s = 0; s < S; ++s) {
+          double acc = 0.0;
+          for (std::size_t p = 0; p < S; ++p) acc += alpha[t - 1][p] * hmm.transition[p][s];
+          alpha[t][s] = acc * hmm.emission[s][sym];
+          scale[t] += alpha[t][s];
+        }
+        if (scale[t] <= 0.0) scale[t] = 1e-300;
+        for (std::size_t s = 0; s < S; ++s) alpha[t][s] /= scale[t];
+      }
+      // Scaled backward.
+      std::vector<std::vector<double>> beta(T, std::vector<double>(S, 0.0));
+      for (std::size_t s = 0; s < S; ++s) beta[T - 1][s] = 1.0 / scale[T - 1];
+      for (std::size_t t = T - 1; t > 0; --t) {
+        const auto sym = static_cast<std::size_t>(obs[t]);
+        for (std::size_t p = 0; p < S; ++p) {
+          double acc = 0.0;
+          for (std::size_t s = 0; s < S; ++s) {
+            acc += hmm.transition[p][s] * hmm.emission[s][sym] * beta[t][s];
+          }
+          beta[t - 1][p] = acc / scale[t - 1];
+        }
+      }
+      // Accumulate statistics.
+      for (std::size_t t = 0; t < T; ++t) {
+        const auto sym = static_cast<std::size_t>(obs[t]);
+        double gamma_norm = 0.0;
+        std::vector<double> gamma(S, 0.0);
+        for (std::size_t s = 0; s < S; ++s) {
+          gamma[s] = alpha[t][s] * beta[t][s] * scale[t];
+          gamma_norm += gamma[s];
+        }
+        if (gamma_norm <= 0.0) continue;
+        for (std::size_t s = 0; s < S; ++s) {
+          const double g = gamma[s] / gamma_norm;
+          if (t == 0) init_acc[s] += g;
+          emit_acc[s][sym] += g;
+        }
+        if (t + 1 < T) {
+          const auto sym1 = static_cast<std::size_t>(obs[t + 1]);
+          for (std::size_t p = 0; p < S; ++p) {
+            for (std::size_t s = 0; s < S; ++s) {
+              trans_acc[p][s] +=
+                  alpha[t][p] * hmm.transition[p][s] * hmm.emission[s][sym1] * beta[t + 1][s];
+            }
+          }
+        }
+      }
+      for (std::size_t t = 0; t < T; ++t) total_ll += std::log(scale[t]);
+    }
+
+    // M-step.
+    normalize_row(init_acc);
+    hmm.initial = init_acc;
+    for (std::size_t s = 0; s < S; ++s) {
+      normalize_row(trans_acc[s]);
+      hmm.transition[s] = trans_acc[s];
+      normalize_row(emit_acc[s]);
+      hmm.emission[s] = emit_acc[s];
+    }
+    if (std::abs(total_ll - prev_ll) < opt.tolerance) return total_ll;
+    prev_ll = total_ll;
+  }
+  return prev_ll;
+}
+
+std::vector<int> sample_sequence(const Hmm& hmm, std::size_t length, util::Rng& rng) {
+  std::vector<int> obs;
+  obs.reserve(length);
+  std::size_t state = rng.weighted_index(hmm.initial);
+  if (state >= hmm.n_states()) state = 0;
+  for (std::size_t t = 0; t < length; ++t) {
+    std::size_t sym = rng.weighted_index(hmm.emission[state]);
+    if (sym >= hmm.n_symbols()) sym = 0;
+    obs.push_back(static_cast<int>(sym));
+    std::size_t next = rng.weighted_index(hmm.transition[state]);
+    if (next >= hmm.n_states()) next = 0;
+    state = next;
+  }
+  return obs;
+}
+
+}  // namespace maestro::ml

@@ -1,0 +1,55 @@
+#pragma once
+// Discrete hidden Markov models: forward/backward likelihood, Viterbi
+// decoding and Baum-Welch training.
+//
+// Section 3.3: "Tool logfile data can be viewed as time series to which
+// hidden Markov models [36] ... may be applied." maestro uses an HMM as the
+// alternative doomed-run detector: hidden states {converging, plateauing,
+// thrashing} emit binned DRV deltas; the posterior probability of the
+// thrashing state is an early-stop signal comparable to the MDP card.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maestro::ml {
+
+/// HMM with S hidden states and K discrete observation symbols.
+struct Hmm {
+  std::vector<double> initial;                    ///< S
+  std::vector<std::vector<double>> transition;    ///< S x S
+  std::vector<std::vector<double>> emission;      ///< S x K
+
+  std::size_t n_states() const { return initial.size(); }
+  std::size_t n_symbols() const { return emission.empty() ? 0 : emission[0].size(); }
+
+  /// Uniform-random valid model (rows normalized).
+  static Hmm random(std::size_t states, std::size_t symbols, util::Rng& rng);
+  /// Validity: all rows are distributions.
+  bool valid(double tol = 1e-6) const;
+};
+
+/// Scaled forward algorithm. Returns log P(observations | model) and, if
+/// `posteriors` is non-null, the per-step filtered state distribution
+/// P(state_t | obs_1..t).
+double log_likelihood(const Hmm& hmm, const std::vector<int>& obs,
+                      std::vector<std::vector<double>>* posteriors = nullptr);
+
+/// Viterbi decoding: most likely hidden state sequence.
+std::vector<std::size_t> viterbi(const Hmm& hmm, const std::vector<int>& obs);
+
+struct BaumWelchOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;
+};
+
+/// Baum-Welch EM over multiple observation sequences; returns final log-
+/// likelihood. The model is updated in place.
+double baum_welch(Hmm& hmm, const std::vector<std::vector<int>>& sequences,
+                  const BaumWelchOptions& opt = {});
+
+/// Sample a synthetic observation sequence from the model.
+std::vector<int> sample_sequence(const Hmm& hmm, std::size_t length, util::Rng& rng);
+
+}  // namespace maestro::ml

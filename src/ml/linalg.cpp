@@ -1,0 +1,89 @@
+#include "ml/linalg.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace maestro::ml {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m{n, n, 0.0};
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t{cols_, rows_};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out{rows_, other.cols_, 0.0};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += v * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-12) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> ridge_solve(const Matrix& x, std::span<const double> y,
+                                               double lambda) {
+  assert(x.rows() == y.size());
+  const std::size_t d = x.cols();
+  Matrix xtx{d, d, 0.0};
+  std::vector<double> xty(d, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = x.at(r, i);
+      if (xi == 0.0) continue;
+      xty[i] += xi * y[r];
+      for (std::size_t j = 0; j < d; ++j) {
+        xtx.at(i, j) += xi * x.at(r, j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) xtx.at(i, i) += lambda;
+  return solve_linear(std::move(xtx), std::move(xty));
+}
+
+}  // namespace maestro::ml

@@ -1,0 +1,45 @@
+#pragma once
+// Dense linear algebra: the minimum needed for ridge regression and
+// sensitivity mining — matrix type, Gaussian elimination with partial
+// pivoting, and normal-equation assembly.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace maestro::ml {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double init = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  static Matrix identity(std::size_t n);
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Returns nullopt when A is (numerically) singular.
+std::optional<std::vector<double>> solve_linear(Matrix a, std::vector<double> b);
+
+/// Least squares / ridge: solve (X^T X + lambda I) w = X^T y.
+/// X is n x d; returns d weights. Returns nullopt on singular systems
+/// (only possible with lambda == 0).
+std::optional<std::vector<double>> ridge_solve(const Matrix& x, std::span<const double> y,
+                                               double lambda);
+
+}  // namespace maestro::ml

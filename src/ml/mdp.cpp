@@ -1,0 +1,177 @@
+#include "ml/mdp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace maestro::ml {
+
+bool Mdp::terminal(std::size_t s) const {
+  for (std::size_t a = 0; a < n_actions_; ++a) {
+    if (!transitions_[s][a].empty()) return false;
+  }
+  return true;
+}
+
+void Mdp::normalize() {
+  for (auto& per_state : transitions_) {
+    for (auto& outcomes : per_state) {
+      double total = 0.0;
+      for (const auto& t : outcomes) total += t.probability;
+      if (total <= 0.0) continue;
+      for (auto& t : outcomes) t.probability /= total;
+    }
+  }
+}
+
+namespace {
+
+double q_value(const Mdp& mdp, std::size_t s, std::size_t a, const std::vector<double>& v,
+               double gamma) {
+  double q = 0.0;
+  for (const auto& t : mdp.outcomes(s, a)) {
+    q += t.probability * (t.reward + gamma * v[t.next_state]);
+  }
+  return q;
+}
+
+/// Greedy action for state s given values v; returns n_actions if terminal.
+std::size_t greedy_action(const Mdp& mdp, std::size_t s, const std::vector<double>& v,
+                          double gamma) {
+  std::size_t best = mdp.n_actions();
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < mdp.n_actions(); ++a) {
+    if (!mdp.action_available(s, a)) continue;
+    const double q = q_value(mdp, s, a, v, gamma);
+    if (q > best_q) {
+      best_q = q;
+      best = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Policy value_iteration(const Mdp& mdp, const SolveOptions& opt) {
+  std::vector<double> v(mdp.n_states(), 0.0);
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    double delta = 0.0;
+    for (std::size_t s = 0; s < mdp.n_states(); ++s) {
+      if (mdp.terminal(s)) continue;
+      double best = -std::numeric_limits<double>::infinity();
+      for (std::size_t a = 0; a < mdp.n_actions(); ++a) {
+        if (!mdp.action_available(s, a)) continue;
+        best = std::max(best, q_value(mdp, s, a, v, opt.gamma));
+      }
+      delta = std::max(delta, std::abs(best - v[s]));
+      v[s] = best;
+    }
+    if (delta < opt.tolerance) break;
+  }
+  Policy p;
+  p.value = v;
+  p.action.resize(mdp.n_states());
+  for (std::size_t s = 0; s < mdp.n_states(); ++s) {
+    p.action[s] = greedy_action(mdp, s, v, opt.gamma);
+  }
+  return p;
+}
+
+Policy policy_iteration(const Mdp& mdp, const SolveOptions& opt) {
+  Policy p;
+  p.value.assign(mdp.n_states(), 0.0);
+  p.action.assign(mdp.n_states(), mdp.n_actions());
+  // Initialize with the first available action per state.
+  for (std::size_t s = 0; s < mdp.n_states(); ++s) {
+    for (std::size_t a = 0; a < mdp.n_actions(); ++a) {
+      if (mdp.action_available(s, a)) {
+        p.action[s] = a;
+        break;
+      }
+    }
+  }
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    // Iterative policy evaluation.
+    for (int ev = 0; ev < opt.max_iterations; ++ev) {
+      double delta = 0.0;
+      for (std::size_t s = 0; s < mdp.n_states(); ++s) {
+        if (p.action[s] >= mdp.n_actions()) continue;  // terminal
+        const double nv = q_value(mdp, s, p.action[s], p.value, opt.gamma);
+        delta = std::max(delta, std::abs(nv - p.value[s]));
+        p.value[s] = nv;
+      }
+      if (delta < opt.tolerance) break;
+    }
+    // Greedy improvement.
+    bool stable = true;
+    for (std::size_t s = 0; s < mdp.n_states(); ++s) {
+      if (mdp.terminal(s)) continue;
+      const std::size_t g = greedy_action(mdp, s, p.value, opt.gamma);
+      if (g != p.action[s]) {
+        p.action[s] = g;
+        stable = false;
+      }
+    }
+    if (stable) break;
+  }
+  return p;
+}
+
+std::size_t MdpEnvironment::reset(util::Rng& rng) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t s = 0; s < mdp_->n_states(); ++s) {
+    if (!mdp_->terminal(s)) candidates.push_back(s);
+  }
+  assert(!candidates.empty());
+  return candidates[rng.below(candidates.size())];
+}
+
+Environment::Step MdpEnvironment::step(std::size_t state, std::size_t action, util::Rng& rng) {
+  const auto& outcomes = mdp_->outcomes(state, action);
+  if (outcomes.empty()) {
+    // Unavailable action (Q-learning explores blindly): stay put, punished.
+    return {state, -1.0, false};
+  }
+  std::vector<double> w;
+  w.reserve(outcomes.size());
+  for (const auto& t : outcomes) w.push_back(t.probability);
+  std::size_t pick = rng.weighted_index(w);
+  if (pick >= outcomes.size()) pick = 0;
+  const auto& t = outcomes[pick];
+  return {t.next_state, t.reward, mdp_->terminal(t.next_state)};
+}
+
+Policy q_learning(Environment& env, const QLearnOptions& opt, util::Rng& rng) {
+  std::vector<std::vector<double>> q(env.n_states(), std::vector<double>(env.n_actions(), 0.0));
+  for (std::size_t ep = 0; ep < opt.episodes; ++ep) {
+    std::size_t s = env.reset(rng);
+    for (std::size_t st = 0; st < opt.max_steps; ++st) {
+      std::size_t a = 0;
+      if (rng.uniform() < opt.epsilon) {
+        a = rng.below(env.n_actions());
+      } else {
+        a = static_cast<std::size_t>(
+            std::max_element(q[s].begin(), q[s].end()) - q[s].begin());
+      }
+      const auto step = env.step(s, a, rng);
+      const double max_next = *std::max_element(q[step.next_state].begin(),
+                                                q[step.next_state].end());
+      q[s][a] += opt.alpha * (step.reward + (step.done ? 0.0 : opt.gamma * max_next) - q[s][a]);
+      s = step.next_state;
+      if (step.done) break;
+    }
+  }
+  Policy p;
+  p.action.resize(env.n_states());
+  p.value.resize(env.n_states());
+  for (std::size_t s = 0; s < env.n_states(); ++s) {
+    const auto it = std::max_element(q[s].begin(), q[s].end());
+    p.action[s] = static_cast<std::size_t>(it - q[s].begin());
+    p.value[s] = *it;
+  }
+  return p;
+}
+
+}  // namespace maestro::ml

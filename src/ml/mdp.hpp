@@ -1,0 +1,116 @@
+#pragma once
+// Finite Markov decision processes: value iteration, policy iteration and
+// tabular Q-learning.
+//
+// The paper's doomed-run predictor (Fig. 10, ref [30]) derives a "blackjack
+// strategy card" by policy iteration in an MDP whose states are binned DRV
+// counts x DRV deltas and whose actions are GO/STOP; Q-learning covers the
+// paper's fourth ML-insertion stage (reinforcement learning). The MDP core
+// here is generic; maestro::core::DoomedRunGuard builds the strategy card.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maestro::ml {
+
+/// One possible outcome of taking an action in a state.
+struct Transition {
+  std::size_t next_state = 0;
+  double probability = 0.0;
+  double reward = 0.0;
+};
+
+/// Tabular MDP: transitions[s][a] lists the outcomes of action a in state s.
+/// An empty outcome list marks (s, a) as unavailable; a state where every
+/// action is unavailable is terminal.
+class Mdp {
+ public:
+  Mdp(std::size_t n_states, std::size_t n_actions)
+      : n_states_(n_states), n_actions_(n_actions),
+        transitions_(n_states, std::vector<std::vector<Transition>>(n_actions)) {}
+
+  std::size_t n_states() const { return n_states_; }
+  std::size_t n_actions() const { return n_actions_; }
+
+  void add_transition(std::size_t s, std::size_t a, Transition t) {
+    transitions_[s][a].push_back(t);
+  }
+  const std::vector<Transition>& outcomes(std::size_t s, std::size_t a) const {
+    return transitions_[s][a];
+  }
+  bool action_available(std::size_t s, std::size_t a) const {
+    return !transitions_[s][a].empty();
+  }
+  bool terminal(std::size_t s) const;
+
+  /// Normalize each (s,a) outcome distribution to sum to 1 (no-op on empty).
+  void normalize();
+
+ private:
+  std::size_t n_states_;
+  std::size_t n_actions_;
+  std::vector<std::vector<std::vector<Transition>>> transitions_;
+};
+
+struct Policy {
+  std::vector<std::size_t> action;  ///< per-state chosen action
+  std::vector<double> value;        ///< per-state value under the policy
+};
+
+struct SolveOptions {
+  double gamma = 0.98;
+  double tolerance = 1e-8;
+  int max_iterations = 10000;
+};
+
+/// Value iteration; returns the greedy policy of the converged values.
+Policy value_iteration(const Mdp& mdp, const SolveOptions& opt = {});
+
+/// Howard policy iteration: iterative policy evaluation + greedy improvement.
+Policy policy_iteration(const Mdp& mdp, const SolveOptions& opt = {});
+
+/// Environment interface for Q-learning (model-free; the MDP above can be
+/// wrapped, but so can a simulator).
+class Environment {
+ public:
+  virtual ~Environment() = default;
+  virtual std::size_t n_states() const = 0;
+  virtual std::size_t n_actions() const = 0;
+  virtual std::size_t reset(util::Rng& rng) = 0;
+  /// Returns (next_state, reward, done).
+  struct Step {
+    std::size_t next_state = 0;
+    double reward = 0.0;
+    bool done = false;
+  };
+  virtual Step step(std::size_t state, std::size_t action, util::Rng& rng) = 0;
+};
+
+struct QLearnOptions {
+  double alpha = 0.1;
+  double gamma = 0.98;
+  double epsilon = 0.1;
+  std::size_t episodes = 2000;
+  std::size_t max_steps = 200;
+};
+
+/// Tabular Q-learning; returns the greedy policy of the learned Q-table.
+Policy q_learning(Environment& env, const QLearnOptions& opt, util::Rng& rng);
+
+/// Wrap a tabular MDP as an Environment (uniform random start among
+/// non-terminal states).
+class MdpEnvironment : public Environment {
+ public:
+  explicit MdpEnvironment(const Mdp& mdp) : mdp_(&mdp) {}
+  std::size_t n_states() const override { return mdp_->n_states(); }
+  std::size_t n_actions() const override { return mdp_->n_actions(); }
+  std::size_t reset(util::Rng& rng) override;
+  Step step(std::size_t state, std::size_t action, util::Rng& rng) override;
+
+ private:
+  const Mdp* mdp_;
+};
+
+}  // namespace maestro::ml

@@ -1,0 +1,272 @@
+#include "ml/regression.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace maestro::ml {
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& d, double test_fraction,
+                                             util::Rng& rng) {
+  std::vector<std::size_t> idx(d.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  const auto n_test = static_cast<std::size_t>(test_fraction * static_cast<double>(d.size()));
+  Dataset train;
+  Dataset test;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    auto& target = i < n_test ? test : train;
+    target.add(d.x[idx[i]], d.y[idx[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+
+std::vector<double> cross_validate(
+    const Dataset& d, std::size_t folds, util::Rng& rng,
+    const std::function<double(const Dataset&, const Dataset&)>& fit_and_score) {
+  std::vector<double> scores;
+  if (folds < 2 || d.size() < folds) return scores;
+  std::vector<std::size_t> idx(d.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  for (std::size_t f = 0; f < folds; ++f) {
+    Dataset train;
+    Dataset test;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      auto& dst = (i % folds == f) ? test : train;
+      dst.add(d.x[idx[i]], d.y[idx[i]]);
+    }
+    scores.push_back(fit_and_score(train, test));
+  }
+  return scores;
+}
+
+void StandardScaler::fit(const Dataset& d) {
+  const std::size_t dims = d.dims();
+  mean_.assign(dims, 0.0);
+  scale_.assign(dims, 1.0);
+  if (d.size() == 0) return;
+  for (const auto& row : d.x) {
+    for (std::size_t j = 0; j < dims; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(d.size());
+  std::vector<double> var(dims, 0.0);
+  for (const auto& row : d.x) {
+    for (std::size_t j = 0; j < dims; ++j) {
+      const double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (std::size_t j = 0; j < dims; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(d.size()));
+    scale_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size() && j < mean_.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / scale_[j];
+  }
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& d) const {
+  Dataset out;
+  for (std::size_t i = 0; i < d.size(); ++i) out.add(transform(d.x[i]), d.y[i]);
+  return out;
+}
+
+std::vector<double> Regressor::predict_all(const Dataset& d) const {
+  std::vector<double> out;
+  out.reserve(d.size());
+  for (const auto& row : d.x) out.push_back(predict(row));
+  return out;
+}
+
+void RidgeRegression::fit(const Dataset& d) {
+  assert(d.size() > 0);
+  const std::size_t dims = d.dims();
+  // Augment with a bias column (not regularized would be ideal; with small
+  // lambda the practical difference is negligible).
+  Matrix x{d.size(), dims + 1};
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    for (std::size_t c = 0; c < dims; ++c) x.at(r, c) = d.x[r][c];
+    x.at(r, dims) = 1.0;
+  }
+  const auto w = ridge_solve(x, d.y, lambda_ > 0.0 ? lambda_ : 1e-9);
+  assert(w.has_value() && "ridge system should be nonsingular with lambda > 0");
+  weights_.assign(w->begin(), w->end() - 1);
+  intercept_ = w->back();
+}
+
+double RidgeRegression::predict(std::span<const double> features) const {
+  double acc = intercept_;
+  for (std::size_t j = 0; j < weights_.size() && j < features.size(); ++j) {
+    acc += weights_[j] * features[j];
+  }
+  return acc;
+}
+
+double KnnRegressor::predict(std::span<const double> features) const {
+  if (data_.size() == 0) return 0.0;
+  const std::size_t k = std::min(k_, data_.size());
+  // Partial selection of the k nearest by squared distance.
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    double d2 = 0.0;
+    const auto& row = data_.x[i];
+    for (std::size_t j = 0; j < row.size() && j < features.size(); ++j) {
+      const double delta = row[j] - features[j];
+      d2 += delta * delta;
+    }
+    dist.emplace_back(d2, i);
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1), dist.end());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += data_.y[dist[i].second];
+  return acc / static_cast<double>(k);
+}
+
+void BoostedStumps::fit(const Dataset& d) {
+  assert(d.size() > 0);
+  stumps_.clear();
+  base_ = 0.0;
+  for (const double y : d.y) base_ += y;
+  base_ /= static_cast<double>(d.size());
+
+  std::vector<double> residual(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) residual[i] = d.y[i] - base_;
+
+  const std::size_t dims = d.dims();
+  // Candidate thresholds per feature: sorted unique midpoints (subsampled to
+  // bound fitting cost on large corpora).
+  std::vector<std::vector<double>> thresholds(dims);
+  for (std::size_t j = 0; j < dims; ++j) {
+    std::vector<double> vals;
+    vals.reserve(d.size());
+    for (const auto& row : d.x) vals.push_back(row[j]);
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    const std::size_t max_thr = 32;
+    const std::size_t stride = std::max<std::size_t>(vals.size() / max_thr, 1);
+    for (std::size_t i = stride; i < vals.size(); i += stride) {
+      thresholds[j].push_back(0.5 * (vals[i - 1] + vals[i]));
+    }
+  }
+
+  for (std::size_t round = 0; round < rounds_; ++round) {
+    Stump best;
+    double best_err = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < dims; ++j) {
+      for (const double thr : thresholds[j]) {
+        double sum_l = 0.0, sum_r = 0.0;
+        std::size_t n_l = 0, n_r = 0;
+        for (std::size_t i = 0; i < d.size(); ++i) {
+          if (d.x[i][j] <= thr) {
+            sum_l += residual[i];
+            ++n_l;
+          } else {
+            sum_r += residual[i];
+            ++n_r;
+          }
+        }
+        if (n_l == 0 || n_r == 0) continue;
+        const double mean_l = sum_l / static_cast<double>(n_l);
+        const double mean_r = sum_r / static_cast<double>(n_r);
+        // SSE reduction = -(n_l*mean_l^2 + n_r*mean_r^2) up to constants.
+        const double err = -(static_cast<double>(n_l) * mean_l * mean_l +
+                             static_cast<double>(n_r) * mean_r * mean_r);
+        if (err < best_err) {
+          best_err = err;
+          best = {j, thr, mean_l, mean_r};
+        }
+      }
+    }
+    if (!std::isfinite(best_err)) break;  // no valid split
+    best.left_value *= shrinkage_;
+    best.right_value *= shrinkage_;
+    stumps_.push_back(best);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      residual[i] -= d.x[i][best.feature] <= best.threshold ? best.left_value : best.right_value;
+    }
+  }
+}
+
+double BoostedStumps::predict(std::span<const double> features) const {
+  double acc = base_;
+  for (const auto& s : stumps_) {
+    const double v = s.feature < features.size() ? features[s.feature] : 0.0;
+    acc += v <= s.threshold ? s.left_value : s.right_value;
+  }
+  return acc;
+}
+
+double mse(std::span<const double> truth, std::span<const double> pred) {
+  const std::size_t n = std::min(truth.size(), pred.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = truth[i] - pred[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  const std::size_t n = std::min(truth.size(), pred.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += std::abs(truth[i] - pred[i]);
+  return acc / static_cast<double>(n);
+}
+
+double r2_score(std::span<const double> truth, std::span<const double> pred) {
+  const std::size_t n = std::min(truth.size(), pred.size());
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += truth[i];
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Confusion::accuracy() const {
+  const std::size_t total = tp + fp + tn + fn;
+  return total > 0 ? static_cast<double>(tp + tn) / static_cast<double>(total) : 0.0;
+}
+
+double Confusion::precision() const {
+  return tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+}
+
+double Confusion::recall() const {
+  return tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+}
+
+Confusion confusion_at(std::span<const double> scores, std::span<const int> labels,
+                       double threshold) {
+  Confusion c;
+  const std::size_t n = std::min(scores.size(), labels.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pred = scores[i] >= threshold;
+    const bool truth = labels[i] != 0;
+    if (pred && truth) ++c.tp;
+    else if (pred && !truth) ++c.fp;
+    else if (!pred && truth) ++c.fn;
+    else ++c.tn;
+  }
+  return c;
+}
+
+}  // namespace maestro::ml

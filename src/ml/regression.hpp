@@ -1,0 +1,146 @@
+#pragma once
+// Supervised models used for analysis correlation (Section 3.2) and
+// predictive modeling of tools and designs (Section 3.3): ridge linear
+// regression, k-nearest-neighbor regression, and gradient-boosted decision
+// stumps (a small nonlinear learner in the spirit of [14]'s deep models,
+// scaled to our data sizes). Plus feature scaling and evaluation metrics.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace maestro::ml {
+
+/// A dataset: row-major features plus one target per row.
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t dims() const { return x.empty() ? 0 : x[0].size(); }
+  void add(std::vector<double> features, double target) {
+    x.push_back(std::move(features));
+    y.push_back(target);
+  }
+};
+
+/// Split into train/test by shuffled indices.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& d, double test_fraction,
+                                             util::Rng& rng);
+
+double r2_score(std::span<const double> truth, std::span<const double> pred);
+
+/// K-fold cross-validation: calls `fit_and_score(train, test)` once per fold
+/// and returns the per-fold scores. Folds partition the shuffled data.
+std::vector<double> cross_validate(
+    const Dataset& d, std::size_t folds, util::Rng& rng,
+    const std::function<double(const Dataset&, const Dataset&)>& fit_and_score);
+
+/// Convenience: k-fold mean test-R2 of a model factory.
+template <typename ModelFactory>
+double cross_validated_r2(const Dataset& d, std::size_t folds, util::Rng& rng,
+                          ModelFactory make_model) {
+  const auto scores = cross_validate(d, folds, rng, [&](const Dataset& train, const Dataset& test) {
+    auto model = make_model();
+    model.fit(train);
+    return r2_score(test.y, model.predict_all(test));
+  });
+  double mean = 0.0;
+  for (const double s : scores) mean += s;
+  return scores.empty() ? 0.0 : mean / static_cast<double>(scores.size());
+}
+
+/// Standardize features to zero mean / unit variance (fit on train only).
+class StandardScaler {
+ public:
+  void fit(const Dataset& d);
+  std::vector<double> transform(std::span<const double> row) const;
+  Dataset transform(const Dataset& d) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+/// Common model interface.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void fit(const Dataset& d) = 0;
+  virtual double predict(std::span<const double> features) const = 0;
+
+  std::vector<double> predict_all(const Dataset& d) const;
+};
+
+/// Ridge linear regression with intercept.
+class RidgeRegression : public Regressor {
+ public:
+  explicit RidgeRegression(double lambda = 1e-3) : lambda_(lambda) {}
+  void fit(const Dataset& d) override;
+  double predict(std::span<const double> features) const override;
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// k-NN regression (mean of neighbors) with Euclidean distance.
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(std::size_t k = 5) : k_(k) {}
+  void fit(const Dataset& d) override { data_ = d; }
+  double predict(std::span<const double> features) const override;
+
+ private:
+  std::size_t k_;
+  Dataset data_;
+};
+
+/// Gradient-boosted regression stumps (squared loss). Each round fits a
+/// depth-1 tree to residuals; shrinkage controls overfitting.
+class BoostedStumps : public Regressor {
+ public:
+  BoostedStumps(std::size_t rounds = 200, double shrinkage = 0.1)
+      : rounds_(rounds), shrinkage_(shrinkage) {}
+  void fit(const Dataset& d) override;
+  double predict(std::span<const double> features) const override;
+  std::size_t rounds_fitted() const { return stumps_.size(); }
+
+ private:
+  struct Stump {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double left_value = 0.0;   ///< prediction when x[feature] <= threshold
+    double right_value = 0.0;
+  };
+  std::size_t rounds_;
+  double shrinkage_;
+  double base_ = 0.0;
+  std::vector<Stump> stumps_;
+};
+
+/// Regression metrics.
+double mse(std::span<const double> truth, std::span<const double> pred);
+double mae(std::span<const double> truth, std::span<const double> pred);
+double r2_score(std::span<const double> truth, std::span<const double> pred);
+
+/// Binary-classification confusion counts at a threshold on a score.
+struct Confusion {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+};
+Confusion confusion_at(std::span<const double> scores, std::span<const int> labels,
+                       double threshold);
+
+}  // namespace maestro::ml

@@ -1,0 +1,165 @@
+#include "netlist/cell_library.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace maestro::netlist {
+
+const char* to_string(CellFunction f) {
+  switch (f) {
+    case CellFunction::Input: return "INPUT";
+    case CellFunction::Output: return "OUTPUT";
+    case CellFunction::Inv: return "INV";
+    case CellFunction::Buf: return "BUF";
+    case CellFunction::Nand2: return "NAND2";
+    case CellFunction::Nor2: return "NOR2";
+    case CellFunction::And2: return "AND2";
+    case CellFunction::Or2: return "OR2";
+    case CellFunction::Xor2: return "XOR2";
+    case CellFunction::Mux2: return "MUX2";
+    case CellFunction::Dff: return "DFF";
+  }
+  return "?";
+}
+
+int input_count(CellFunction f) {
+  switch (f) {
+    case CellFunction::Input: return 0;
+    case CellFunction::Output: return 1;
+    case CellFunction::Inv:
+    case CellFunction::Buf:
+    case CellFunction::Dff: return 1;
+    case CellFunction::Nand2:
+    case CellFunction::Nor2:
+    case CellFunction::And2:
+    case CellFunction::Or2:
+    case CellFunction::Xor2: return 2;
+    case CellFunction::Mux2: return 3;
+  }
+  return 0;
+}
+
+bool is_sequential(CellFunction f) { return f == CellFunction::Dff; }
+
+std::size_t CellLibrary::add(CellMaster master) {
+  masters_.push_back(std::move(master));
+  return masters_.size() - 1;
+}
+
+std::optional<std::size_t> CellLibrary::find(const std::string& name) const {
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    if (masters_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> CellLibrary::find(CellFunction f, int drive) const {
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    if (masters_[i].function == f && masters_[i].drive == drive) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> CellLibrary::variants(CellFunction f) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    if (masters_[i].function == f) out.push_back(i);
+  }
+  // Masters are added in ascending drive order by make_default_library, but
+  // sort defensively so the invariant holds for user-built libraries too.
+  std::sort(out.begin(), out.end(), [this](std::size_t a, std::size_t b) {
+    return masters_[a].drive < masters_[b].drive;
+  });
+  return out;
+}
+
+std::size_t CellLibrary::smallest(CellFunction f) const {
+  const auto v = variants(f);
+  assert(!v.empty() && "library missing required cell function");
+  return v.front();
+}
+
+namespace {
+
+struct FunctionParams {
+  CellFunction function;
+  double base_area_um2;      // X1 area
+  double base_cap_ff;        // X1 per-input cap
+  double base_intrinsic_ps;  // X1 intrinsic delay
+  double base_res;           // X1 drive resistance (ps/fF)
+  double base_leak_nw;       // X1 leakage
+};
+
+// Relative scalings loosely follow a 14nm-class commercial library:
+// complex gates are bigger, slower, leakier. Absolute values only need to be
+// self-consistent — the experiments measure statistics and relative QoR.
+constexpr FunctionParams kFunctions[] = {
+    {CellFunction::Inv,   0.25, 0.8, 6.0,  2.4, 1.2},
+    {CellFunction::Buf,   0.35, 0.7, 11.0, 2.4, 1.5},
+    {CellFunction::Nand2, 0.40, 1.0, 9.0,  2.8, 2.0},
+    {CellFunction::Nor2,  0.40, 1.1, 10.5, 3.2, 2.1},
+    {CellFunction::And2,  0.50, 0.9, 13.0, 2.8, 2.4},
+    {CellFunction::Or2,   0.50, 1.0, 14.0, 3.0, 2.5},
+    {CellFunction::Xor2,  0.75, 1.6, 18.0, 3.4, 3.6},
+    {CellFunction::Mux2,  0.80, 1.3, 17.0, 3.2, 3.4},
+};
+
+}  // namespace
+
+CellLibrary make_default_library() {
+  CellLibrary lib{"maestro14"};
+  const int drives[] = {1, 2, 4, 8};
+  for (const auto& fp : kFunctions) {
+    for (int d : drives) {
+      CellMaster m;
+      m.function = fp.function;
+      m.drive = d;
+      m.name = std::string(to_string(fp.function)) + "_X" + std::to_string(d);
+      const double dd = static_cast<double>(d);
+      // Area and input cap grow sublinearly with drive (shared diffusion),
+      // resistance falls as 1/drive, intrinsic delay is roughly constant.
+      m.area_um2 = fp.base_area_um2 * (0.55 + 0.45 * dd);
+      m.input_cap_ff = fp.base_cap_ff * (0.65 + 0.35 * dd);
+      m.intrinsic_delay_ps = fp.base_intrinsic_ps;
+      m.drive_res_kohm = fp.base_res / dd;
+      m.leakage_nw = fp.base_leak_nw * dd;
+      m.width_dbu = static_cast<geom::Dbu>(
+          std::ceil(m.area_um2 / 0.576 * 1000.0 / static_cast<double>(lib.site_width_dbu())) *
+          static_cast<double>(lib.site_width_dbu()));
+      lib.add(std::move(m));
+    }
+  }
+  for (int d : {1, 2}) {
+    CellMaster m;
+    m.function = CellFunction::Dff;
+    m.drive = d;
+    m.name = std::string("DFF_X") + std::to_string(d);
+    const double dd = static_cast<double>(d);
+    m.area_um2 = 1.6 * (0.55 + 0.45 * dd);
+    m.input_cap_ff = 1.1;
+    m.intrinsic_delay_ps = 0.0;
+    m.drive_res_kohm = 3.0 / dd;
+    m.leakage_nw = 6.0 * dd;
+    m.setup_ps = 22.0;
+    m.hold_ps = 6.0;
+    m.clk_to_q_ps = 45.0;
+    m.width_dbu = static_cast<geom::Dbu>(
+        std::ceil(m.area_um2 / 0.576 * 1000.0 / static_cast<double>(lib.site_width_dbu())) *
+        static_cast<double>(lib.site_width_dbu()));
+    lib.add(std::move(m));
+  }
+  // Zero-footprint I/O pseudo-cells.
+  for (CellFunction f : {CellFunction::Input, CellFunction::Output}) {
+    CellMaster m;
+    m.function = f;
+    m.drive = 1;
+    m.name = to_string(f);
+    m.input_cap_ff = f == CellFunction::Output ? 1.5 : 0.0;
+    m.drive_res_kohm = f == CellFunction::Input ? 1.2 : 0.0;
+    m.width_dbu = lib.site_width_dbu();
+    lib.add(std::move(m));
+  }
+  return lib;
+}
+
+}  // namespace maestro::netlist

@@ -1,0 +1,98 @@
+#pragma once
+// Liberty-style standard-cell library model.
+//
+// Delay is a linear-delay-model (LDM) approximation:
+//   gate delay = intrinsic + drive_resistance * load_capacitance
+// which is the level of fidelity the paper's experiments need: STA engines
+// that disagree in structured ways, gate sizing with real area/speed
+// tradeoffs, and eyechart benchmarks with known optimal sizing [11, 23, 45].
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace maestro::netlist {
+
+/// Logic function of a cell; determines pin count and inversion parity.
+enum class CellFunction : std::uint8_t {
+  Input,    ///< primary-input pseudo-cell (no fanin)
+  Output,   ///< primary-output pseudo-cell (no fanout)
+  Inv,
+  Buf,
+  Nand2,
+  Nor2,
+  And2,
+  Or2,
+  Xor2,
+  Mux2,
+  Dff,      ///< rising-edge D flip-flop (clk pin modeled implicitly)
+};
+
+const char* to_string(CellFunction f);
+int input_count(CellFunction f);
+bool is_sequential(CellFunction f);
+
+/// One sized variant of a logic function (e.g. INV_X1, INV_X4).
+struct CellMaster {
+  std::string name;
+  CellFunction function = CellFunction::Inv;
+  int drive = 1;                  ///< drive strength index (X1, X2, ...)
+  double area_um2 = 0.0;          ///< placement area
+  geom::Dbu width_dbu = 0;        ///< footprint width on a row (height = site)
+  double input_cap_ff = 0.0;      ///< per-input-pin capacitance
+  double intrinsic_delay_ps = 0.0;
+  double drive_res_kohm = 0.0;    ///< delay slope vs. load (ps per fF ~= kOhm)
+  double leakage_nw = 0.0;
+  double setup_ps = 0.0;          ///< sequential only
+  double hold_ps = 0.0;           ///< sequential only
+  double clk_to_q_ps = 0.0;       ///< sequential only
+
+  /// LDM gate delay for a given load.
+  double delay_ps(double load_ff) const { return intrinsic_delay_ps + drive_res_kohm * load_ff; }
+};
+
+/// An immutable library of cell masters with lookup by function and drive.
+class CellLibrary {
+ public:
+  explicit CellLibrary(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return masters_.size(); }
+  const CellMaster& master(std::size_t id) const { return masters_[id]; }
+  const std::vector<CellMaster>& masters() const { return masters_; }
+
+  std::size_t add(CellMaster master);
+
+  /// Find a master by exact name; nullopt if absent.
+  std::optional<std::size_t> find(const std::string& name) const;
+  /// Find the master of a function with the given drive; nullopt if absent.
+  std::optional<std::size_t> find(CellFunction f, int drive) const;
+  /// All drive variants of a function, ascending by drive.
+  std::vector<std::size_t> variants(CellFunction f) const;
+  /// Smallest-drive variant of a function (asserts one exists).
+  std::size_t smallest(CellFunction f) const;
+
+  /// Row height shared by all cells (standard-cell rows).
+  geom::Dbu row_height_dbu() const { return row_height_dbu_; }
+  void set_row_height_dbu(geom::Dbu h) { row_height_dbu_ = h; }
+  /// Site width: cell widths are integer multiples of this.
+  geom::Dbu site_width_dbu() const { return site_width_dbu_; }
+  void set_site_width_dbu(geom::Dbu w) { site_width_dbu_ = w; }
+
+ private:
+  std::string name_;
+  std::vector<CellMaster> masters_;
+  geom::Dbu row_height_dbu_ = 576;   // ~ 14nm-class 7.5-track row, in nm
+  geom::Dbu site_width_dbu_ = 96;
+};
+
+/// Build the default "foundry 14nm-class" library used by all experiments:
+/// every combinational function in drives {X1, X2, X4, X8}, plus DFF_X1/X2.
+/// Parameters follow realistic relative scalings (area and cap grow with
+/// drive; drive resistance falls as 1/drive).
+CellLibrary make_default_library();
+
+}  // namespace maestro::netlist

@@ -1,0 +1,388 @@
+#include "netlist/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+#include "util/rng.hpp"
+
+namespace maestro::netlist {
+
+using util::Rng;
+
+Netlist make_chain(const CellLibrary& lib, std::size_t length, bool buffers) {
+  Netlist nl{lib, "chain" + std::to_string(length)};
+  const auto in_master = lib.smallest(CellFunction::Input);
+  const auto out_master = lib.smallest(CellFunction::Output);
+  const auto gate_master = lib.smallest(buffers ? CellFunction::Buf : CellFunction::Inv);
+
+  const InstanceId in = nl.add_instance("pi0", in_master);
+  NetId prev = nl.add_net("n_in", in);
+  for (std::size_t i = 0; i < length; ++i) {
+    const InstanceId g = nl.add_instance("g" + std::to_string(i), gate_master);
+    nl.connect(prev, g, 0);
+    prev = nl.add_net("n" + std::to_string(i), g);
+  }
+  const InstanceId out = nl.add_instance("po0", out_master);
+  nl.connect(prev, out, 0);
+  return nl;
+}
+
+namespace {
+
+/// Pick a combinational gate function with realistic mix.
+CellFunction pick_function(Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.22) return CellFunction::Nand2;
+  if (r < 0.40) return CellFunction::Nor2;
+  if (r < 0.55) return CellFunction::Inv;
+  if (r < 0.65) return CellFunction::And2;
+  if (r < 0.75) return CellFunction::Or2;
+  if (r < 0.84) return CellFunction::Xor2;
+  if (r < 0.93) return CellFunction::Mux2;
+  return CellFunction::Buf;
+}
+
+/// Choose a random drive variant, biased toward small drives.
+std::size_t pick_master(const CellLibrary& lib, CellFunction f, Rng& rng) {
+  const auto vars = lib.variants(f);
+  assert(!vars.empty());
+  const double r = rng.uniform();
+  if (r < 0.55 || vars.size() == 1) return vars[0];
+  if (r < 0.85 || vars.size() == 2) return vars[std::min<std::size_t>(1, vars.size() - 1)];
+  return vars[std::min<std::size_t>(2, vars.size() - 1)];
+}
+
+/// Source-net choice among `nets` for a gate at normalized position
+/// `pos` in [0,1] within its level. Mostly local (Gaussian around the
+/// aligned index — real netlists have Rent-style locality, which is what
+/// lets placement find low-wirelength solutions), with occasional skewed
+/// global picks that create the control-signal hub nets.
+NetId pick_source(const std::vector<NetId>& nets, Rng& rng, double skew, double pos,
+                  double locality_sigma) {
+  assert(!nets.empty());
+  const double n = static_cast<double>(nets.size());
+  double fidx;
+  if (rng.chance(0.12)) {
+    // Global pick, skew-biased toward early (hub) nets.
+    fidx = std::pow(rng.uniform(), skew) * n;
+  } else {
+    fidx = pos * n + rng.gauss(0.0, locality_sigma * n);
+  }
+  auto idx = static_cast<std::int64_t>(fidx);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(nets.size()) - 1);
+  return nets[static_cast<std::size_t>(idx)];
+}
+
+}  // namespace
+
+Netlist make_random_logic(const CellLibrary& lib, const RandomLogicSpec& spec) {
+  Rng rng{spec.seed};
+  Netlist nl{lib, "rand" + std::to_string(spec.gates)};
+  const auto in_master = lib.smallest(CellFunction::Input);
+  const auto out_master = lib.smallest(CellFunction::Output);
+  const auto dff_master = lib.smallest(CellFunction::Dff);
+
+  // Sources available for consumption: primary inputs and flop outputs.
+  std::vector<NetId> sources;
+  for (std::size_t i = 0; i < spec.primary_inputs; ++i) {
+    const InstanceId pi = nl.add_instance("pi" + std::to_string(i), in_master);
+    sources.push_back(nl.add_net("npi" + std::to_string(i), pi));
+  }
+  const auto n_flops = static_cast<std::size_t>(
+      std::round(spec.flop_ratio * static_cast<double>(spec.gates)));
+  std::vector<InstanceId> flops;
+  for (std::size_t i = 0; i < n_flops; ++i) {
+    const InstanceId ff = nl.add_instance("ff" + std::to_string(i), dff_master);
+    flops.push_back(ff);
+    sources.push_back(nl.add_net("nff" + std::to_string(i), ff));
+  }
+
+  // Levelized gate creation: each gate consumes nets from strictly earlier
+  // levels, guaranteeing acyclicity.
+  const std::size_t levels = std::max<std::size_t>(spec.levels, 1);
+  std::vector<std::vector<NetId>> level_nets(levels + 1);
+  level_nets[0] = sources;
+  std::size_t made = 0;
+  for (std::size_t lvl = 1; lvl <= levels && made < spec.gates; ++lvl) {
+    const std::size_t remaining_levels = levels - lvl + 1;
+    std::size_t quota = (spec.gates - made) / remaining_levels;
+    if (lvl == levels) quota = spec.gates - made;
+    quota = std::max<std::size_t>(quota, 1);
+    for (std::size_t g = 0; g < quota && made < spec.gates; ++g, ++made) {
+      const CellFunction f = pick_function(rng);
+      const InstanceId inst =
+          nl.add_instance("u" + std::to_string(made), pick_master(lib, f, rng));
+      const int nin = input_count(f);
+      const double pos = quota > 1 ? static_cast<double>(g) / static_cast<double>(quota - 1) : 0.5;
+      for (int p = 0; p < nin; ++p) {
+        // Prefer the previous level (locality) but occasionally reach back.
+        std::size_t src_lvl = lvl - 1;
+        if (lvl >= 2 && rng.chance(0.3)) {
+          src_lvl = static_cast<std::size_t>(rng.below(lvl));
+        }
+        while (level_nets[src_lvl].empty()) --src_lvl;  // level 0 is never empty
+        nl.connect(pick_source(level_nets[src_lvl], rng, spec.fanout_skew, pos, 0.06), inst, p);
+      }
+      level_nets[lvl].push_back(nl.add_net("n" + std::to_string(made), inst));
+    }
+  }
+
+  // Gather all nets created by gates (any level >= 1) as endpoint candidates.
+  std::vector<NetId> gate_nets;
+  for (std::size_t lvl = 1; lvl <= levels; ++lvl) {
+    gate_nets.insert(gate_nets.end(), level_nets[lvl].begin(), level_nets[lvl].end());
+  }
+  if (gate_nets.empty()) gate_nets = sources;
+
+  // Feed flop D-pins from late-level nets (loops close through flops only).
+  for (const InstanceId ff : flops) {
+    nl.connect(gate_nets[gate_nets.size() - 1 - rng.below(std::min<std::size_t>(
+                                                     gate_nets.size(), gate_nets.size() / 2 + 1))],
+               ff, 0);
+  }
+  // Primary outputs tap late nets.
+  for (std::size_t i = 0; i < spec.primary_outputs; ++i) {
+    const InstanceId po = nl.add_instance("po" + std::to_string(i), out_master);
+    nl.connect(gate_nets[gate_nets.size() - 1 -
+                         rng.below(std::max<std::size_t>(gate_nets.size() / 3, 1))],
+               po, 0);
+  }
+  return nl;
+}
+
+namespace {
+
+/// A cluster during Rent-rule construction: nets its gates drive that are
+/// still available to connect upward, and input pins still open.
+struct Cluster {
+  std::vector<NetId> exposed_nets;
+  std::vector<Sink> open_pins;
+  std::size_t gates = 0;
+};
+
+Cluster make_leaf(Netlist& nl, const CellLibrary& lib, Rng& rng, std::size_t gates,
+                  std::size_t& counter) {
+  Cluster c;
+  c.gates = gates;
+  for (std::size_t i = 0; i < gates; ++i) {
+    const CellFunction f = pick_function(rng);
+    const InstanceId inst =
+        nl.add_instance("r" + std::to_string(counter++), pick_master(lib, f, rng));
+    const int nin = input_count(f);
+    for (int p = 0; p < nin; ++p) {
+      // Connect within the leaf when possible (locality), else leave open.
+      if (!c.exposed_nets.empty() && rng.chance(0.6)) {
+        nl.connect(c.exposed_nets[rng.below(c.exposed_nets.size())], inst, p);
+      } else {
+        c.open_pins.push_back({inst, p});
+      }
+    }
+    c.exposed_nets.push_back(nl.add_net("rn" + std::to_string(counter), inst));
+  }
+  return c;
+}
+
+/// Merge children into one cluster, resolving cross-child connections and
+/// trimming the exposed-pin count toward the Rent target T = t * G^p.
+Cluster merge_clusters(Netlist& nl, Rng& rng, std::vector<Cluster> children, double t, double p) {
+  Cluster merged;
+  std::vector<Sink> all_open;
+  for (auto& ch : children) {
+    merged.gates += ch.gates;
+    merged.exposed_nets.insert(merged.exposed_nets.end(), ch.exposed_nets.begin(),
+                               ch.exposed_nets.end());
+    all_open.insert(all_open.end(), ch.open_pins.begin(), ch.open_pins.end());
+  }
+  const double target = t * std::pow(static_cast<double>(merged.gates), p);
+  // Resolve open pins against sibling nets until the open count approaches
+  // the Rent target (half the terminals are inputs, roughly). Acyclicity
+  // invariant: a pin may only connect to a net whose driver was created
+  // earlier than the pin's instance — all edges then go forward in creation
+  // order, which admits no combinational cycle.
+  rng.shuffle(all_open);
+  const auto target_open = static_cast<std::size_t>(std::max(target / 2.0, 1.0));
+  for (std::size_t i = 0; i < all_open.size(); ++i) {
+    bool connected = false;
+    if (i >= target_open && !merged.exposed_nets.empty()) {
+      // A few random probes for an order-respecting net; exposed nets are
+      // plentiful, so this nearly always succeeds quickly.
+      for (int probe = 0; probe < 8 && !connected; ++probe) {
+        const NetId cand = merged.exposed_nets[rng.below(merged.exposed_nets.size())];
+        if (nl.net(cand).driver < all_open[i].instance) {
+          nl.connect(cand, all_open[i].instance, all_open[i].pin);
+          connected = true;
+        }
+      }
+    }
+    if (!connected) merged.open_pins.push_back(all_open[i]);
+  }
+  // Thin the exposed net list toward the Rent target as well (nets not
+  // exposed upward remain connectable only within this cluster — emulates
+  // encapsulation; they stay routable since they already have drivers).
+  rng.shuffle(merged.exposed_nets);
+  const auto keep = static_cast<std::size_t>(std::max(target / 2.0, 4.0));
+  if (merged.exposed_nets.size() > keep) merged.exposed_nets.resize(keep);
+  return merged;
+}
+
+}  // namespace
+
+Netlist make_rent_netlist(const CellLibrary& lib, const RentSpec& spec) {
+  Rng rng{spec.seed};
+  Netlist nl{lib, "rent"};
+  std::size_t counter = 0;
+
+  // Build the leaf level: 4^(levels-1) leaves.
+  std::size_t n_leaves = 1;
+  for (std::size_t i = 1; i < spec.levels; ++i) n_leaves *= 4;
+  std::deque<Cluster> frontier;
+  for (std::size_t i = 0; i < n_leaves; ++i) {
+    frontier.push_back(make_leaf(nl, lib, rng, spec.leaf_gates, counter));
+  }
+  // 4-way merges up the hierarchy.
+  while (frontier.size() > 1) {
+    std::vector<Cluster> group;
+    for (int i = 0; i < 4 && !frontier.empty(); ++i) {
+      group.push_back(std::move(frontier.front()));
+      frontier.pop_front();
+    }
+    frontier.push_back(
+        merge_clusters(nl, rng, std::move(group), spec.rent_coefficient, spec.rent_exponent));
+  }
+  Cluster top = std::move(frontier.front());
+
+  // Terminate remaining open pins with primary inputs, and expose some nets
+  // as primary outputs. Add flops sprinkled on exposed nets.
+  const auto in_master = lib.smallest(CellFunction::Input);
+  const auto out_master = lib.smallest(CellFunction::Output);
+  const auto dff_master = lib.smallest(CellFunction::Dff);
+
+  std::vector<NetId> pi_nets;
+  const std::size_t n_pis = std::max<std::size_t>(top.open_pins.size() / 3, 4);
+  for (std::size_t i = 0; i < n_pis; ++i) {
+    const InstanceId pi = nl.add_instance("pi" + std::to_string(i), in_master);
+    pi_nets.push_back(nl.add_net("npi" + std::to_string(i), pi));
+  }
+  const auto n_flops =
+      static_cast<std::size_t>(spec.flop_ratio * static_cast<double>(top.gates));
+  std::vector<InstanceId> flops;
+  for (std::size_t i = 0; i < n_flops; ++i) {
+    const InstanceId ff = nl.add_instance("ff" + std::to_string(i), dff_master);
+    flops.push_back(ff);
+    pi_nets.push_back(nl.add_net("nff" + std::to_string(i), ff));
+  }
+  for (const auto& pin : top.open_pins) {
+    nl.connect(pi_nets[rng.below(pi_nets.size())], pin.instance, pin.pin);
+  }
+  for (const InstanceId ff : flops) {
+    nl.connect(top.exposed_nets[rng.below(top.exposed_nets.size())], ff, 0);
+  }
+  const std::size_t n_pos = std::max<std::size_t>(top.exposed_nets.size() / 2, 4);
+  for (std::size_t i = 0; i < n_pos; ++i) {
+    const InstanceId po = nl.add_instance("po" + std::to_string(i), out_master);
+    nl.connect(top.exposed_nets[rng.below(top.exposed_nets.size())], po, 0);
+  }
+  return nl;
+}
+
+Eyechart make_eyechart(const CellLibrary& lib, std::size_t stages, double load_ff,
+                       std::uint64_t seed) {
+  (void)seed;  // chain eyecharts are deterministic; seed kept for API symmetry
+  Eyechart ec{Netlist{lib, "eyechart" + std::to_string(stages)}, {}, 0.0, 0.0, {}, load_ff};
+  Netlist& nl = ec.netlist;
+
+  const auto in_master = lib.smallest(CellFunction::Input);
+  const auto out_master = lib.smallest(CellFunction::Output);
+  const auto inv_variants = lib.variants(CellFunction::Inv);
+  assert(!inv_variants.empty());
+
+  // The output load is realized structurally as parallel output pads, so
+  // netlist-level timing sees exactly the load the DP optimizes against
+  // (load_ff is rounded to a whole number of pads).
+  const double po_cap = lib.master(out_master).input_cap_ff;
+  const auto n_loads = std::max<std::size_t>(
+      static_cast<std::size_t>(std::llround(load_ff / std::max(po_cap, 1e-9))), 1);
+  ec.load_ff = load_ff = static_cast<double>(n_loads) * po_cap;
+
+  const InstanceId pi = nl.add_instance("pi0", in_master);
+  NetId prev = nl.add_net("n_in", pi);
+  for (std::size_t i = 0; i < stages; ++i) {
+    const InstanceId g = nl.add_instance("inv" + std::to_string(i), inv_variants[0]);
+    ec.chain.push_back(g);
+    nl.connect(prev, g, 0);
+    prev = nl.add_net("n" + std::to_string(i), g);
+  }
+  for (std::size_t i = 0; i < n_loads; ++i) {
+    const InstanceId po = nl.add_instance("po" + std::to_string(i), out_master);
+    nl.connect(prev, po, 0);
+  }
+
+  // Exact DP over (stage, drive-variant): delay of stage i depends on the cap
+  // of stage i+1's variant, so process back-to-front.
+  //   best[i][v] = min over w of delay(v, cap(w or final load)) + best[i+1][w]
+  const std::size_t nv = inv_variants.size();
+  std::vector<std::vector<double>> best(stages, std::vector<double>(nv, 0.0));
+  std::vector<std::vector<std::size_t>> choice(stages, std::vector<std::size_t>(nv, 0));
+  for (std::size_t i = stages; i-- > 0;) {
+    for (std::size_t v = 0; v < nv; ++v) {
+      const CellMaster& mv = lib.master(inv_variants[v]);
+      if (i + 1 == stages) {
+        best[i][v] = mv.delay_ps(load_ff);
+        continue;
+      }
+      double bd = std::numeric_limits<double>::infinity();
+      std::size_t bw = 0;
+      for (std::size_t w = 0; w < nv; ++w) {
+        const CellMaster& mw = lib.master(inv_variants[w]);
+        const double d = mv.delay_ps(mw.input_cap_ff) + best[i + 1][w];
+        if (d < bd) {
+          bd = d;
+          bw = w;
+        }
+      }
+      best[i][v] = bd;
+      choice[i][v] = bw;
+    }
+  }
+  // Extract the optimal drive sequence starting from the best first stage.
+  std::size_t v0 = 0;
+  if (stages > 0) {
+    for (std::size_t v = 1; v < nv; ++v) {
+      if (best[0][v] < best[0][v0]) v0 = v;
+    }
+    ec.optimal_delay_ps = best[0][v0];
+    std::size_t v = v0;
+    for (std::size_t i = 0; i < stages; ++i) {
+      ec.optimal_drives.push_back(lib.master(inv_variants[v]).drive);
+      v = choice[i][v];
+    }
+  }
+  // Unit-drive baseline delay.
+  for (std::size_t i = 0; i < stages; ++i) {
+    const CellMaster& m = lib.master(inv_variants[0]);
+    const double load = (i + 1 == stages) ? load_ff : m.input_cap_ff;
+    ec.unit_drive_delay_ps += m.delay_ps(load);
+  }
+  return ec;
+}
+
+Netlist make_cpu_like(const CellLibrary& lib, const CpuLikeSpec& spec) {
+  // A CPU-like design is assembled as a random-logic cloud with CPU-ish
+  // parameters: deeper logic (ALU paths), heavier flop ratio (register file,
+  // pipeline registers), moderately heavy-tailed fanout (control signals).
+  RandomLogicSpec rl;
+  rl.gates = spec.scale * 2500;
+  rl.primary_inputs = 64;
+  rl.primary_outputs = 64;
+  rl.flop_ratio = 0.22;
+  rl.levels = 18;
+  rl.fanout_skew = 1.35;
+  rl.seed = spec.seed;
+  Netlist nl = make_random_logic(lib, rl);
+  nl.set_name("cpu" + std::to_string(spec.scale));
+  return nl;
+}
+
+}  // namespace maestro::netlist

@@ -1,0 +1,81 @@
+#pragma once
+// Synthetic netlist generators.
+//
+// The paper (Section 3.3, footnote 6) calls for "classes of (non-infringing)
+// artificial circuits and 'eyecharts' to complement (obfuscated) real
+// artifacts" as ML training data. These generators are that substrate:
+//
+//  * make_chain          — inverter/buffer chains (unit tests, delay sanity).
+//  * make_random_logic   — levelized random DAGs with controlled fanout and
+//                          flop ratio (generic logic clouds).
+//  * make_rent_netlist   — hierarchical clustering with Rent's-rule external
+//                          pin counts T = t * g^p, reproducing realistic
+//                          wirelength/congestion scaling (cf. [44]).
+//  * make_eyechart       — gate-sizing benchmark chains with a *known optimal*
+//                          delay under the linear delay model [11, 23, 45].
+//  * make_cpu_like       — a PULPino-class testcase: register banks + ALU-ish
+//                          clouds + control logic, ~15-25% flops.
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace maestro::netlist {
+
+/// Inverter chain: INPUT -> INV*length -> OUTPUT. If buffers is true, BUFs.
+Netlist make_chain(const CellLibrary& lib, std::size_t length, bool buffers = false);
+
+struct RandomLogicSpec {
+  std::size_t gates = 1000;          ///< combinational gate count
+  std::size_t primary_inputs = 32;
+  std::size_t primary_outputs = 32;
+  double flop_ratio = 0.15;          ///< flops as a fraction of `gates` (extra)
+  std::size_t levels = 12;           ///< logic depth target
+  double fanout_skew = 1.3;          ///< >1 skews net fanouts heavy-tailed
+  std::uint64_t seed = 1;
+};
+
+Netlist make_random_logic(const CellLibrary& lib, const RandomLogicSpec& spec);
+
+struct RentSpec {
+  std::size_t leaf_gates = 24;       ///< gates per leaf cluster
+  std::size_t levels = 5;            ///< hierarchy levels (4-way merges)
+  double rent_exponent = 0.65;       ///< p in T = t * g^p
+  double rent_coefficient = 3.0;     ///< t
+  double flop_ratio = 0.12;
+  std::uint64_t seed = 1;
+};
+
+Netlist make_rent_netlist(const CellLibrary& lib, const RentSpec& spec);
+
+struct Eyechart {
+  Netlist netlist;
+  /// Optimal stage-by-stage drives under the LDM (geometric sizing).
+  std::vector<int> optimal_drives;
+  /// Delay through the chain when each stage uses optimal_drives.
+  double optimal_delay_ps = 0.0;
+  /// Delay when every stage uses drive X1 (the naive baseline).
+  double unit_drive_delay_ps = 0.0;
+  /// The chain's instances, in order from input to output, excluding pads.
+  std::vector<InstanceId> chain;
+  /// Final-stage load in fF that the optimum was computed against.
+  double load_ff = 0.0;
+};
+
+/// Build an inverter-chain eyechart with a heavy output load; the optimal
+/// sizing (restricted to library drives) is computed by exact DP over the
+/// chain so that sizing heuristics can be benchmarked against a known answer.
+Eyechart make_eyechart(const CellLibrary& lib, std::size_t stages, double load_ff,
+                       std::uint64_t seed = 1);
+
+struct CpuLikeSpec {
+  std::size_t scale = 4;             ///< ~scale * 2500 gates
+  std::uint64_t seed = 1;
+};
+
+/// A PULPino-class embedded-CPU-like testcase (the paper's Figs. 3 and 7 use
+/// PULPino in 14nm): register banks feeding ALU-like XOR/MUX-heavy clouds and
+/// a control cloud, with loop-back paths through flops.
+Netlist make_cpu_like(const CellLibrary& lib, const CpuLikeSpec& spec);
+
+}  // namespace maestro::netlist

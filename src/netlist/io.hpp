@@ -1,0 +1,41 @@
+#pragma once
+// Plain-text interchange for netlists and placements.
+//
+// A line-oriented structural format (in the spirit of the MARCO GSRC
+// Bookshelf formats the paper's footnote 6 points to as the model for open
+// research infrastructure):
+//
+//   maestro_netlist 1
+//   design <name>
+//   instance <name> <master_cell_name>
+//   net <name> <driver_instance> [<sink_instance>:<pin>]...
+//
+//   maestro_placement 1
+//   design <name>
+//   place <instance_name> <x_dbu> <y_dbu>
+//
+// Writers emit deterministic output (iteration order = id order) so files
+// diff cleanly; readers validate against the cell library / netlist and
+// report the offending line on failure.
+
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace maestro::netlist {
+
+/// Serialize a netlist.
+std::string write_netlist(const Netlist& nl);
+
+struct ParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parse a netlist against `lib`. On failure returns nullopt and, if `error`
+/// is non-null, fills in the line/message.
+std::optional<Netlist> read_netlist(const CellLibrary& lib, const std::string& text,
+                                    ParseError* error = nullptr);
+
+}  // namespace maestro::netlist

@@ -1,0 +1,186 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maestro::netlist {
+
+InstanceId Netlist::add_instance(const std::string& name, std::size_t master) {
+  assert(master < lib_->size());
+  Instance inst;
+  inst.name = name;
+  inst.master = master;
+  inst.input_nets.assign(static_cast<std::size_t>(input_count(lib_->master(master).function)),
+                         kNoNet);
+  instances_.push_back(std::move(inst));
+  return static_cast<InstanceId>(instances_.size() - 1);
+}
+
+void Netlist::resize_instance(InstanceId id, std::size_t new_master) {
+  assert(id < instances_.size());
+  assert(new_master < lib_->size());
+  assert(lib_->master(new_master).function == lib_->master(instances_[id].master).function &&
+         "resize must preserve logic function");
+  instances_[id].master = new_master;
+}
+
+NetId Netlist::add_net(const std::string& name, InstanceId driver) {
+  assert(driver < instances_.size());
+  assert(instances_[driver].output_net == kNoNet && "instance already drives a net");
+  Net net;
+  net.name = name;
+  net.driver = driver;
+  nets_.push_back(std::move(net));
+  const auto id = static_cast<NetId>(nets_.size() - 1);
+  instances_[driver].output_net = id;
+  return id;
+}
+
+void Netlist::connect(NetId net, InstanceId sink, int pin) {
+  assert(net < nets_.size());
+  assert(sink < instances_.size());
+  auto& pins = instances_[sink].input_nets;
+  assert(pin >= 0 && static_cast<std::size_t>(pin) < pins.size());
+  assert(pins[static_cast<std::size_t>(pin)] == kNoNet && "pin already connected");
+  pins[static_cast<std::size_t>(pin)] = net;
+  nets_[net].sinks.push_back({sink, pin});
+}
+
+void Netlist::reconnect(NetId new_net, InstanceId sink, int pin) {
+  assert(new_net < nets_.size());
+  assert(sink < instances_.size());
+  auto& pins = instances_[sink].input_nets;
+  assert(pin >= 0 && static_cast<std::size_t>(pin) < pins.size());
+  const NetId old_net = pins[static_cast<std::size_t>(pin)];
+  if (old_net == new_net) return;
+  if (old_net != kNoNet) {
+    auto& sinks = nets_[old_net].sinks;
+    const Sink needle{sink, pin};
+    const auto it = std::find(sinks.begin(), sinks.end(), needle);
+    assert(it != sinks.end());
+    sinks.erase(it);
+  }
+  pins[static_cast<std::size_t>(pin)] = new_net;
+  nets_[new_net].sinks.push_back({sink, pin});
+}
+
+namespace {
+
+std::vector<InstanceId> collect(const Netlist& nl, CellFunction f) {
+  std::vector<InstanceId> out;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    if (nl.master_of(static_cast<InstanceId>(i)).function == f) {
+      out.push_back(static_cast<InstanceId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<InstanceId> Netlist::primary_inputs() const { return collect(*this, CellFunction::Input); }
+std::vector<InstanceId> Netlist::primary_outputs() const { return collect(*this, CellFunction::Output); }
+std::vector<InstanceId> Netlist::flops() const { return collect(*this, CellFunction::Dff); }
+
+std::vector<InstanceId> Netlist::topo_order() const {
+  // Kahn's algorithm over combinational edges. A DFF's D-pin edge terminates
+  // at the flop; its Q output is a source (indegree contribution ignored).
+  std::vector<int> indeg(instances_.size(), 0);
+  for (const auto& net : nets_) {
+    for (const auto& sink : net.sinks) {
+      const auto f = lib_->master(instances_[sink.instance].master).function;
+      if (is_sequential(f)) continue;  // flops consume but don't propagate in-cycle
+      ++indeg[sink.instance];
+    }
+  }
+  std::vector<InstanceId> queue;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (indeg[i] == 0) queue.push_back(static_cast<InstanceId>(i));
+  }
+  std::vector<InstanceId> order;
+  order.reserve(instances_.size());
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const InstanceId u = queue[head];
+    order.push_back(u);
+    const NetId out = instances_[u].output_net;
+    if (out == kNoNet) continue;
+    for (const auto& sink : nets_[out].sinks) {
+      const auto f = lib_->master(instances_[sink.instance].master).function;
+      if (is_sequential(f)) continue;
+      if (--indeg[sink.instance] == 0) queue.push_back(sink.instance);
+    }
+  }
+  if (order.size() != instances_.size()) return {};  // cycle
+  return order;
+}
+
+bool Netlist::validate(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].driver == kNoInstance) return fail("net " + nets_[i].name + " has no driver");
+  }
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const auto& inst = instances_[i];
+    for (std::size_t p = 0; p < inst.input_nets.size(); ++p) {
+      if (inst.input_nets[p] == kNoNet) {
+        return fail("instance " + inst.name + " pin " + std::to_string(p) + " unconnected");
+      }
+    }
+  }
+  if (instance_count() > 0 && topo_order().empty()) return fail("combinational cycle");
+  return true;
+}
+
+double Netlist::total_area_um2() const {
+  double a = 0.0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    a += master_of(static_cast<InstanceId>(i)).area_um2;
+  }
+  return a;
+}
+
+double Netlist::total_leakage_nw() const {
+  double l = 0.0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    l += master_of(static_cast<InstanceId>(i)).leakage_nw;
+  }
+  return l;
+}
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.instances = nl.instance_count();
+  s.nets = nl.net_count();
+  s.flops = nl.flops().size();
+  s.primary_inputs = nl.primary_inputs().size();
+  s.primary_outputs = nl.primary_outputs().size();
+  s.total_area_um2 = nl.total_area_um2();
+  std::size_t fanout_sum = 0;
+  for (const auto& net : nl.nets()) {
+    fanout_sum += net.sinks.size();
+    s.max_fanout = std::max(s.max_fanout, net.sinks.size());
+  }
+  s.avg_fanout = s.nets > 0 ? static_cast<double>(fanout_sum) / static_cast<double>(s.nets) : 0.0;
+
+  // Longest combinational path by dynamic programming over topo order.
+  const auto order = nl.topo_order();
+  std::vector<std::size_t> depth(nl.instance_count(), 0);
+  for (const InstanceId u : order) {
+    const NetId out = nl.instance(u).output_net;
+    if (out == kNoNet) continue;
+    for (const auto& sink : nl.net(out).sinks) {
+      const auto f = nl.master_of(sink.instance).function;
+      if (is_sequential(f)) continue;
+      // Output pads terminate paths without adding a logic stage.
+      const std::size_t stage = f == CellFunction::Output ? 0 : 1;
+      depth[sink.instance] = std::max(depth[sink.instance], depth[u] + stage);
+    }
+  }
+  for (std::size_t d : depth) s.max_logic_depth = std::max(s.max_logic_depth, d);
+  return s;
+}
+
+}  // namespace maestro::netlist

@@ -1,0 +1,125 @@
+#pragma once
+// Gate-level netlist graph: instances of library cells connected by
+// single-driver nets. This is the design representation every flow step
+// (placement, routing, STA, power) operates on.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+
+namespace maestro::netlist {
+
+using InstanceId = std::uint32_t;
+using NetId = std::uint32_t;
+constexpr InstanceId kNoInstance = std::numeric_limits<InstanceId>::max();
+constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+/// A sink connection: input pin `pin` of instance `instance`.
+struct Sink {
+  InstanceId instance = kNoInstance;
+  int pin = 0;
+
+  friend bool operator==(const Sink&, const Sink&) = default;
+};
+
+/// An instance of a library master.
+struct Instance {
+  std::string name;
+  std::size_t master = 0;           ///< index into the CellLibrary
+  NetId output_net = kNoNet;        ///< net driven by this instance (if any)
+  std::vector<NetId> input_nets;    ///< one per input pin; kNoNet if open
+};
+
+/// A signal net: exactly one driver, zero or more sinks.
+struct Net {
+  std::string name;
+  InstanceId driver = kNoInstance;
+  std::vector<Sink> sinks;
+};
+
+/// The netlist. Instances and nets are stored in vectors and addressed by id;
+/// ids are stable (no deletion — flow steps rebuild rather than mutate).
+class Netlist {
+ public:
+  explicit Netlist(const CellLibrary& lib, std::string name = "top")
+      : lib_(&lib), name_(std::move(name)) {}
+
+  const CellLibrary& library() const { return *lib_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t instance_count() const { return instances_.size(); }
+  std::size_t net_count() const { return nets_.size(); }
+
+  const Instance& instance(InstanceId id) const { return instances_[id]; }
+  const Net& net(NetId id) const { return nets_[id]; }
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  const CellMaster& master_of(InstanceId id) const { return lib_->master(instances_[id].master); }
+
+  /// Create an instance of `master`; allocates its input pin slots.
+  InstanceId add_instance(const std::string& name, std::size_t master);
+
+  /// Resize (replace master of) an instance; the new master must share the
+  /// function of the old one. Used by sizing optimization.
+  void resize_instance(InstanceId id, std::size_t new_master);
+
+  /// Create a net driven by `driver`'s output pin.
+  NetId add_net(const std::string& name, InstanceId driver);
+
+  /// Connect input pin `pin` of `sink` to `net`.
+  void connect(NetId net, InstanceId sink, int pin);
+
+  /// Move an already-connected input pin onto a different net (used by
+  /// fanout buffering and ECO transforms).
+  void reconnect(NetId new_net, InstanceId sink, int pin);
+
+  /// All primary input pseudo-instances.
+  std::vector<InstanceId> primary_inputs() const;
+  /// All primary output pseudo-instances.
+  std::vector<InstanceId> primary_outputs() const;
+  /// All sequential (DFF) instances.
+  std::vector<InstanceId> flops() const;
+
+  /// Topological order over the combinational graph. Edges from net drivers
+  /// to sinks; DFF outputs are treated as sources and DFF inputs as sinks
+  /// (i.e., the order is valid for timing propagation within one cycle).
+  /// Returns empty if a combinational cycle exists.
+  std::vector<InstanceId> topo_order() const;
+
+  /// True iff every net has a driver, every non-pseudo input pin is
+  /// connected, and the combinational graph is acyclic.
+  bool validate(std::string* why = nullptr) const;
+
+  /// Total placement area of all instances.
+  double total_area_um2() const;
+  /// Total leakage of all instances.
+  double total_leakage_nw() const;
+
+ private:
+  const CellLibrary* lib_;
+  std::string name_;
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+};
+
+/// Structural statistics used by METRICS records and generator validation.
+struct NetlistStats {
+  std::size_t instances = 0;
+  std::size_t nets = 0;
+  std::size_t flops = 0;
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+  double total_area_um2 = 0.0;
+  std::size_t max_logic_depth = 0;  ///< longest combinational path, in stages
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+}  // namespace maestro::netlist

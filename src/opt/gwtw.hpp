@@ -1,0 +1,97 @@
+#pragma once
+// Go-With-The-Winners (Aldous-Vazirani [2], gate-sizing use in [24]).
+//
+// Figure 6(a): launch a population of optimization threads; periodically
+// rank them, clone the most promising onto the least promising, continue.
+// The paper proposes GWTW as the orchestration strategy for N robot
+// engineers concurrently exploring flow trajectories (Section 2,
+// Solution 2). The implementation is generic over a State so it can drive
+// both synthetic landscapes (bench fig6) and real flow searches
+// (maestro::core::FlowTreeSearch).
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maestro::opt {
+
+template <typename State>
+struct GwtwProblem {
+  /// Create a fresh random state.
+  std::function<State(util::Rng&)> init;
+  /// Advance a thread by one round of local optimization (annealing steps,
+  /// a flow stage, ...). Must return the successor state.
+  std::function<State(const State&, util::Rng&)> advance;
+  /// Cost to minimize.
+  std::function<double(const State&)> cost;
+};
+
+struct GwtwOptions {
+  std::size_t population = 8;    ///< concurrent threads (licenses)
+  int rounds = 20;               ///< resampling rounds
+  double survivor_fraction = 0.5;  ///< top fraction kept and cloned
+};
+
+template <typename State>
+struct GwtwResult {
+  State best{};
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<double> best_per_round;    ///< population-best after each round
+  std::vector<double> mean_per_round;
+  std::size_t clones_made = 0;
+};
+
+/// Run GWTW. Cost is evaluated once per thread per round.
+template <typename State>
+GwtwResult<State> go_with_the_winners(const GwtwProblem<State>& prob, const GwtwOptions& opt,
+                                      util::Rng& rng) {
+  assert(opt.population > 0 && prob.init && prob.advance && prob.cost);
+  GwtwResult<State> res;
+
+  std::vector<State> population;
+  population.reserve(opt.population);
+  for (std::size_t i = 0; i < opt.population; ++i) population.push_back(prob.init(rng));
+
+  std::vector<double> costs(opt.population);
+  for (int round = 0; round < opt.rounds; ++round) {
+    // Advance every thread.
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      population[i] = prob.advance(population[i], rng);
+      costs[i] = prob.cost(population[i]);
+      if (costs[i] < res.best_cost) {
+        res.best_cost = costs[i];
+        res.best = population[i];
+      }
+    }
+    // Rank and clone winners over losers.
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return costs[a] < costs[b]; });
+    const auto survivors = std::max<std::size_t>(
+        static_cast<std::size_t>(opt.survivor_fraction * static_cast<double>(population.size())),
+        1);
+    for (std::size_t i = survivors; i < order.size(); ++i) {
+      const std::size_t winner = order[rng.below(survivors)];
+      population[order[i]] = population[winner];
+      costs[order[i]] = costs[winner];
+      ++res.clones_made;
+    }
+    double mean = 0.0;
+    double best = std::numeric_limits<double>::infinity();
+    for (const double c : costs) {
+      mean += c;
+      best = best < c ? best : c;
+    }
+    res.best_per_round.push_back(best);
+    res.mean_per_round.push_back(mean / static_cast<double>(costs.size()));
+  }
+  return res;
+}
+
+}  // namespace maestro::opt

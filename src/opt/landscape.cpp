@@ -1,0 +1,65 @@
+#include "opt/landscape.hpp"
+
+#include <cmath>
+
+namespace maestro::opt {
+
+std::vector<double> Landscape::random_point(util::Rng& rng) const {
+  std::vector<double> x(dims());
+  for (double& v : x) v = rng.uniform(lower(), upper());
+  return x;
+}
+
+BigValleyLandscape::BigValleyLandscape(std::size_t dims, double ripple_amp, double ripple_freq,
+                                       std::uint64_t seed)
+    : dims_(dims), amp_(ripple_amp), freq_(ripple_freq) {
+  util::Rng rng{seed};
+  center_.resize(dims);
+  phase_.resize(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    center_[i] = rng.uniform(-3.0, 3.0);
+    phase_[i] = rng.uniform(0.0, 6.283185307179586);
+  }
+}
+
+double BigValleyLandscape::cost(std::span<const double> x) const {
+  double bowl = 0.0;
+  double ripple = 0.0;
+  for (std::size_t i = 0; i < dims_ && i < x.size(); ++i) {
+    const double d = x[i] - center_[i];
+    bowl += 0.5 * d * d;
+    const double s = std::sin(freq_ * x[i] + phase_[i]);
+    ripple += amp_ * s * s;
+  }
+  return bowl + ripple;
+}
+
+ScatteredMinimaLandscape::ScatteredMinimaLandscape(std::size_t dims, std::uint64_t seed)
+    : dims_(dims) {
+  util::Rng rng{seed};
+  phase_.resize(dims);
+  for (double& p : phase_) p = rng.uniform(0.0, 6.283185307179586);
+}
+
+double ScatteredMinimaLandscape::cost(std::span<const double> x) const {
+  // Pure ripples: every local minimum has exactly the same value, so the set
+  // of found minima carries no information about where to start next — the
+  // structureless control for the big-valley experiments.
+  double c = 0.0;
+  for (std::size_t i = 0; i < dims_ && i < x.size(); ++i) {
+    const double s = std::sin(2.5 * x[i] + phase_[i]);
+    c += 2.0 * s * s;
+  }
+  return c;
+}
+
+double RastriginLandscape::cost(std::span<const double> x) const {
+  constexpr double kTwoPi = 6.283185307179586;
+  double c = 10.0 * static_cast<double>(dims_);
+  for (std::size_t i = 0; i < dims_ && i < x.size(); ++i) {
+    c += x[i] * x[i] - 10.0 * std::cos(kTwoPi * x[i]);
+  }
+  return c;
+}
+
+}  // namespace maestro::opt

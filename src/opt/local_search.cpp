@@ -1,0 +1,58 @@
+#include "opt/local_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maestro::opt {
+
+LocalSearchResult local_search(const Landscape& f, std::vector<double> start,
+                               const LocalSearchOptions& opt) {
+  LocalSearchResult res;
+  res.x = std::move(start);
+  res.cost = f.cost(res.x);
+  res.evals = 1;
+
+  double step = opt.initial_step;
+  while (step > opt.min_step && res.evals < opt.max_evals) {
+    bool improved = false;
+    for (std::size_t i = 0; i < res.x.size() && res.evals < opt.max_evals; ++i) {
+      const double orig = res.x[i];
+      for (const double dir : {+1.0, -1.0}) {
+        res.x[i] = std::clamp(orig + dir * step, f.lower(), f.upper());
+        const double c = f.cost(res.x);
+        ++res.evals;
+        if (c < res.cost - 1e-12) {
+          res.cost = c;
+          improved = true;
+          break;  // keep the improvement, move to next coordinate
+        }
+        res.x[i] = orig;
+      }
+    }
+    if (!improved) step *= opt.shrink;
+  }
+  return res;
+}
+
+LocalSearchResult sa_steps(const Landscape& f, std::vector<double> start, double start_cost,
+                           const SaStepOptions& opt, util::Rng& rng) {
+  LocalSearchResult res;
+  res.x = std::move(start);
+  res.cost = start_cost;
+  for (int s = 0; s < opt.steps; ++s) {
+    const std::size_t i = rng.below(res.x.size());
+    const double orig = res.x[i];
+    res.x[i] = std::clamp(orig + rng.gauss(0.0, opt.step), f.lower(), f.upper());
+    const double c = f.cost(res.x);
+    ++res.evals;
+    const double delta = c - res.cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(opt.temperature, 1e-12))) {
+      res.cost = c;
+    } else {
+      res.x[i] = orig;
+    }
+  }
+  return res;
+}
+
+}  // namespace maestro::opt

@@ -1,0 +1,39 @@
+#pragma once
+// Derivative-free local search on continuous landscapes: adaptive-step
+// coordinate descent to a local minimum. The building block that multistart
+// and GWTW strategies launch from different start points.
+
+#include <vector>
+
+#include "opt/landscape.hpp"
+#include "util/rng.hpp"
+
+namespace maestro::opt {
+
+struct LocalSearchOptions {
+  double initial_step = 1.0;
+  double min_step = 1e-4;
+  double shrink = 0.6;        ///< step multiplier after a failed sweep
+  int max_evals = 5000;
+};
+
+struct LocalSearchResult {
+  std::vector<double> x;
+  double cost = 0.0;
+  int evals = 0;
+};
+
+/// Pattern search: try +/- step on each coordinate; shrink on failure.
+LocalSearchResult local_search(const Landscape& f, std::vector<double> start,
+                               const LocalSearchOptions& opt);
+
+/// One batch of simulated-annealing steps from a state (used by GWTW threads).
+struct SaStepOptions {
+  double temperature = 1.0;
+  double step = 0.5;
+  int steps = 100;
+};
+LocalSearchResult sa_steps(const Landscape& f, std::vector<double> start, double start_cost,
+                           const SaStepOptions& opt, util::Rng& rng);
+
+}  // namespace maestro::opt

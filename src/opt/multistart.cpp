@@ -1,0 +1,76 @@
+#include "opt/multistart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace maestro::opt {
+
+namespace {
+
+void record(MultistartResult& res, const LocalSearchResult& ls) {
+  res.total_evals += ls.evals;
+  res.minima_costs.push_back(ls.cost);
+  if (res.best_so_far.empty() || ls.cost < res.best_cost) {
+    res.best_cost = ls.cost;
+    res.best_x = ls.x;
+  }
+  res.best_so_far.push_back(res.best_cost);
+}
+
+}  // namespace
+
+MultistartResult random_multistart(const Landscape& f, const MultistartOptions& opt,
+                                   util::Rng& rng) {
+  MultistartResult res;
+  res.best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < opt.starts; ++s) {
+    record(res, local_search(f, f.random_point(rng), opt.local));
+  }
+  return res;
+}
+
+MultistartResult adaptive_multistart(const Landscape& f, const MultistartOptions& opt,
+                                     util::Rng& rng) {
+  MultistartResult res;
+  res.best_cost = std::numeric_limits<double>::infinity();
+
+  struct Minimum {
+    std::vector<double> x;
+    double cost;
+  };
+  std::vector<Minimum> found;
+
+  for (std::size_t s = 0; s < opt.starts; ++s) {
+    std::vector<double> start;
+    if (s < opt.seed_starts || found.size() < 2) {
+      start = f.random_point(rng);
+    } else {
+      // Quality-weighted centroid of the elite minima: weight ~ rank.
+      std::vector<const Minimum*> elite;
+      for (const auto& m : found) elite.push_back(&m);
+      std::sort(elite.begin(), elite.end(),
+                [](const Minimum* a, const Minimum* b) { return a->cost < b->cost; });
+      const std::size_t k = std::min(opt.elite, elite.size());
+      start.assign(f.dims(), 0.0);
+      double wsum = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const double w = static_cast<double>(k - i);  // best gets largest weight
+        wsum += w;
+        for (std::size_t j = 0; j < f.dims(); ++j) start[j] += w * elite[i]->x[j];
+      }
+      for (double& v : start) v /= wsum;
+      // Perturb around the centroid to keep exploring.
+      const double sigma = opt.perturb_frac * (f.upper() - f.lower());
+      for (double& v : start) {
+        v = std::clamp(v + rng.gauss(0.0, sigma), f.lower(), f.upper());
+      }
+    }
+    const auto ls = local_search(f, std::move(start), opt.local);
+    found.push_back({ls.x, ls.cost});
+    record(res, ls);
+  }
+  return res;
+}
+
+}  // namespace maestro::opt

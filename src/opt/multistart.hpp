@@ -1,0 +1,46 @@
+#pragma once
+// Multistart strategies over a landscape, at a fixed evaluation budget:
+//
+//  * random_multistart   — the baseline: independent local searches from
+//                          uniform random starts.
+//  * adaptive_multistart — Boese-Kahng-Muddu adaptive multistart [5] (and
+//                          [12]): new starts are drawn near a quality-
+//                          weighted combination of the best local minima
+//                          found so far, exploiting big-valley structure.
+//
+// Both report the best cost found and the per-start best-so-far trajectory
+// so that Fig. 6(b)-style comparisons can be made at equal budget.
+
+#include <vector>
+
+#include "opt/local_search.hpp"
+
+namespace maestro::opt {
+
+struct MultistartOptions {
+  std::size_t starts = 30;
+  LocalSearchOptions local;
+  /// Adaptive only: number of elite minima combined into the next start.
+  std::size_t elite = 5;
+  /// Adaptive only: first this many starts are pure random (seeding).
+  std::size_t seed_starts = 5;
+  /// Adaptive only: perturbation sigma around the weighted centroid,
+  /// as a fraction of the search-box width.
+  double perturb_frac = 0.08;
+};
+
+struct MultistartResult {
+  std::vector<double> best_x;
+  double best_cost = 0.0;
+  std::vector<double> best_so_far;    ///< after each start
+  std::vector<double> minima_costs;   ///< cost of each local minimum found
+  int total_evals = 0;
+};
+
+MultistartResult random_multistart(const Landscape& f, const MultistartOptions& opt,
+                                   util::Rng& rng);
+
+MultistartResult adaptive_multistart(const Landscape& f, const MultistartOptions& opt,
+                                     util::Rng& rng);
+
+}  // namespace maestro::opt

@@ -1,0 +1,78 @@
+#include "place/floorplan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace maestro::place {
+
+Floorplan Floorplan::for_netlist(const netlist::Netlist& nl, double utilization, double aspect) {
+  assert(utilization > 0.0 && utilization <= 1.0);
+  assert(aspect > 0.0);
+  Floorplan fp;
+  fp.utilization_ = utilization;
+  const auto& lib = nl.library();
+  fp.site_width_ = lib.site_width_dbu();
+  const geom::Dbu row_h = lib.row_height_dbu();
+
+  // Core area in dbu^2 from cell area (um^2 -> nm^2 = *1e6) over utilization.
+  const double cell_area_nm2 = nl.total_area_um2() * 1e6;
+  const double core_area = std::max(cell_area_nm2 / utilization, 1e6);
+  double width = std::sqrt(core_area / aspect);
+  double height = core_area / width;
+
+  // Round to whole rows and whole sites.
+  auto n_rows = static_cast<std::size_t>(std::ceil(height / static_cast<double>(row_h)));
+  n_rows = std::max<std::size_t>(n_rows, 1);
+  auto n_sites = static_cast<std::size_t>(std::ceil(width / static_cast<double>(fp.site_width_)));
+  n_sites = std::max<std::size_t>(n_sites, 1);
+
+  const geom::Dbu core_w = static_cast<geom::Dbu>(n_sites) * fp.site_width_;
+  const geom::Dbu core_h = static_cast<geom::Dbu>(n_rows) * row_h;
+  fp.core_ = {{0, 0}, {core_w, core_h}};
+  fp.rows_.reserve(n_rows);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    fp.rows_.push_back({static_cast<geom::Dbu>(r) * row_h, 0, core_w, row_h});
+  }
+  return fp;
+}
+
+std::size_t Floorplan::nearest_row(geom::Dbu y) const {
+  assert(!rows_.empty());
+  const geom::Dbu row_h = rows_.front().height;
+  auto idx = static_cast<std::int64_t>((y - core_.lo.y) / row_h);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(rows_.size()) - 1);
+  return static_cast<std::size_t>(idx);
+}
+
+geom::Point Floorplan::snap(const geom::Point& p) const {
+  const std::size_t r = nearest_row(p.y);
+  geom::Dbu x = p.x - core_.lo.x;
+  x = (x / site_width_) * site_width_ + core_.lo.x;
+  x = std::clamp(x, core_.lo.x, core_.hi.x - site_width_);
+  return {x, rows_[r].y};
+}
+
+geom::Point Floorplan::io_pin_location(std::size_t ordinal, std::size_t total) const {
+  if (total == 0) total = 1;
+  const double frac = static_cast<double>(ordinal % total) / static_cast<double>(total);
+  const geom::Dbu w = core_.width();
+  const geom::Dbu h = core_.height();
+  const double perim = 2.0 * static_cast<double>(w + h);
+  double d = frac * perim;
+  if (d < static_cast<double>(w)) {
+    return {core_.lo.x + static_cast<geom::Dbu>(d), core_.lo.y};
+  }
+  d -= static_cast<double>(w);
+  if (d < static_cast<double>(h)) {
+    return {core_.hi.x, core_.lo.y + static_cast<geom::Dbu>(d)};
+  }
+  d -= static_cast<double>(h);
+  if (d < static_cast<double>(w)) {
+    return {core_.hi.x - static_cast<geom::Dbu>(d), core_.hi.y};
+  }
+  d -= static_cast<double>(w);
+  return {core_.lo.x, core_.hi.y - static_cast<geom::Dbu>(d)};
+}
+
+}  // namespace maestro::place

@@ -1,0 +1,51 @@
+#pragma once
+// Floorplan: the core area, standard-cell rows and I/O pin ring a design is
+// placed into. Core size derives from total cell area and a target
+// utilization — the knob designers sweep when they "aim low" (Section 2).
+
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace maestro::place {
+
+struct Row {
+  geom::Dbu y = 0;        ///< bottom edge
+  geom::Dbu x_lo = 0;
+  geom::Dbu x_hi = 0;
+  geom::Dbu height = 0;
+};
+
+class Floorplan {
+ public:
+  Floorplan() = default;
+
+  /// Build a square-ish core sized for the netlist at `utilization` (0,1].
+  /// `aspect` is height/width.
+  static Floorplan for_netlist(const netlist::Netlist& nl, double utilization,
+                               double aspect = 1.0);
+
+  const geom::Rect& core() const { return core_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  double utilization() const { return utilization_; }
+  geom::Dbu site_width() const { return site_width_; }
+
+  /// Row index whose y-span contains (or is nearest to) y.
+  std::size_t nearest_row(geom::Dbu y) const;
+
+  /// Snap a point to the nearest legal site origin (row y, site-aligned x).
+  geom::Point snap(const geom::Point& p) const;
+
+  /// I/O pin location for primary I/O `ordinal` of `total`, distributed
+  /// around the core boundary.
+  geom::Point io_pin_location(std::size_t ordinal, std::size_t total) const;
+
+ private:
+  geom::Rect core_{};
+  std::vector<Row> rows_;
+  double utilization_ = 0.7;
+  geom::Dbu site_width_ = 96;
+};
+
+}  // namespace maestro::place

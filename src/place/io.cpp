@@ -1,0 +1,78 @@
+#include "place/io.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace maestro::place {
+
+using netlist::InstanceId;
+using netlist::ParseError;
+
+namespace {
+
+bool fail(ParseError* error, std::size_t line, std::string message) {
+  if (error) *error = {line, std::move(message)};
+  return false;
+}
+
+}  // namespace
+
+std::string write_placement(const Placement& pl) {
+  std::ostringstream os;
+  const auto& nl = pl.netlist();
+  os << "maestro_placement 1\n";
+  os << "design " << nl.name() << '\n';
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    const auto id = static_cast<InstanceId>(i);
+    const auto& p = pl.loc(id);
+    os << "place " << nl.instance(id).name << ' ' << p.x << ' ' << p.y << '\n';
+  }
+  return os.str();
+}
+
+std::optional<Placement> read_placement(const netlist::Netlist& nl, const Floorplan& fp,
+                                               const std::string& text, ParseError* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  auto bad = [&](const std::string& msg) -> std::optional<Placement> {
+    fail(error, lineno, msg);
+    return std::nullopt;
+  };
+
+  if (!std::getline(in, line)) return bad("empty input");
+  ++lineno;
+  if (line != "maestro_placement 1") return bad("bad header: " + line);
+
+  std::map<std::string, InstanceId> by_name;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    by_name[nl.instance(static_cast<InstanceId>(i)).name] = static_cast<InstanceId>(i);
+  }
+
+  Placement pl{nl, fp};
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "design") {
+      std::string name;
+      ls >> name;
+      if (name != nl.name()) return bad("design mismatch: " + name + " vs " + nl.name());
+    } else if (kind == "place") {
+      std::string name;
+      geom::Dbu x = 0;
+      geom::Dbu y = 0;
+      if (!(ls >> name >> x >> y)) return bad("malformed place line");
+      const auto it = by_name.find(name);
+      if (it == by_name.end()) return bad("unknown instance: " + name);
+      pl.set_loc(it->second, {x, y});
+    } else {
+      return bad("unknown directive: " + kind);
+    }
+  }
+  return pl;
+}
+
+}  // namespace maestro::place

@@ -1,0 +1,27 @@
+#pragma once
+// Placement interchange (companion to netlist/io.hpp): a line-oriented
+// location dump that round-trips Placement objects for checkpointing and
+// cross-tool exchange.
+//
+//   maestro_placement 1
+//   design <name>
+//   place <instance_name> <x_dbu> <y_dbu>
+
+#include <optional>
+#include <string>
+
+#include "netlist/io.hpp"
+#include "place/placement.hpp"
+
+namespace maestro::place {
+
+/// Serialize instance locations of a placement.
+std::string write_placement(const Placement& pl);
+
+/// Parse locations into a fresh Placement over (nl, fp). Instances absent
+/// from the file keep location (0,0). Unknown instance names are errors.
+std::optional<Placement> read_placement(const netlist::Netlist& nl, const Floorplan& fp,
+                                        const std::string& text,
+                                        netlist::ParseError* error = nullptr);
+
+}  // namespace maestro::place

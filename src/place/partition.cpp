@@ -1,0 +1,211 @@
+#include "place/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+namespace maestro::place {
+
+using netlist::InstanceId;
+using netlist::NetId;
+
+std::size_t count_cut_nets(const netlist::Netlist& nl, const std::vector<int>& part) {
+  std::size_t cut = 0;
+  for (std::size_t n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(static_cast<NetId>(n));
+    const int p0 = part[net.driver];
+    for (const auto& sink : net.sinks) {
+      if (part[sink.instance] != p0) {
+        ++cut;
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+namespace {
+
+/// One FM pass over a bipartition restricted to the instances in `scope`.
+/// part[] uses values {lo, hi}; other instances are ignored (fixed).
+std::size_t fm_pass(const netlist::Netlist& nl, std::vector<int>& part,
+                    const std::vector<InstanceId>& scope, int lo, int hi,
+                    double balance_tolerance) {
+  // Per-net pin counts in each side (within scope + fixed pins of that net).
+  const std::size_t n_nets = nl.net_count();
+  std::vector<int> cnt_lo(n_nets, 0);
+  std::vector<int> cnt_hi(n_nets, 0);
+  std::vector<int> cnt_ext(n_nets, 0);  // pins in other blocks: net is cut regardless
+  std::vector<char> in_scope(nl.instance_count(), 0);
+  for (const InstanceId id : scope) in_scope[id] = 1;
+
+  auto net_pins = [&](NetId n) {
+    std::vector<InstanceId> pins;
+    const auto& net = nl.net(n);
+    pins.push_back(net.driver);
+    for (const auto& s : net.sinks) pins.push_back(s.instance);
+    return pins;
+  };
+
+  std::set<NetId> touched_nets;
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    const auto& net = nl.net(static_cast<NetId>(n));
+    bool relevant = in_scope[net.driver] != 0;
+    for (const auto& s : net.sinks) relevant = relevant || in_scope[s.instance] != 0;
+    if (!relevant) continue;
+    touched_nets.insert(static_cast<NetId>(n));
+    for (const InstanceId p : net_pins(static_cast<NetId>(n))) {
+      if (part[p] == lo) ++cnt_lo[n];
+      else if (part[p] == hi) ++cnt_hi[n];
+      else ++cnt_ext[n];
+    }
+  }
+
+  // Gain of moving v to the other side: nets that become uncut minus nets
+  // that become cut.
+  auto gain_of = [&](InstanceId v) {
+    int g = 0;
+    auto accumulate = [&](NetId n) {
+      if (cnt_ext[n] > 0) return;  // cut via another block no matter what
+      const int from = part[v] == lo ? cnt_lo[n] : cnt_hi[n];
+      const int to = part[v] == lo ? cnt_hi[n] : cnt_lo[n];
+      if (from == 1) ++g;   // moving v uncuts this net
+      if (to == 0) --g;     // moving v cuts this net
+    };
+    const NetId out = nl.instance(v).output_net;
+    if (out != netlist::kNoNet) accumulate(out);
+    for (const NetId n : nl.instance(v).input_nets) {
+      if (n != netlist::kNoNet) accumulate(n);
+    }
+    return g;
+  };
+
+  // Balance bookkeeping by area.
+  double area_lo = 0.0;
+  double area_total = 0.0;
+  for (const InstanceId id : scope) {
+    const double a = std::max(nl.master_of(id).area_um2, 0.01);
+    area_total += a;
+    if (part[id] == lo) area_lo += a;
+  }
+  const double max_side = area_total * (0.5 + balance_tolerance);
+
+  std::vector<char> locked(nl.instance_count(), 0);
+  std::size_t cur_cut = count_cut_nets(nl, part);
+  std::size_t best_cut = cur_cut;
+  std::vector<int> best_part = part;
+  std::size_t moves_done = 0;
+
+  for (std::size_t step = 0; step < scope.size(); ++step) {
+    // Pick the unlocked, balance-feasible vertex with max gain.
+    InstanceId best_v = netlist::kNoInstance;
+    int best_g = std::numeric_limits<int>::min();
+    for (const InstanceId v : scope) {
+      if (locked[v]) continue;
+      const double a = std::max(nl.master_of(v).area_um2, 0.01);
+      const double new_lo = part[v] == lo ? area_lo - a : area_lo + a;
+      if (new_lo > max_side || area_total - new_lo > max_side) continue;
+      const int g = gain_of(v);
+      if (g > best_g) {
+        best_g = g;
+        best_v = v;
+      }
+    }
+    if (best_v == netlist::kNoInstance) break;
+
+    // Apply the move and update net counts.
+    const double a = std::max(nl.master_of(best_v).area_um2, 0.01);
+    auto update_net = [&](NetId n) {
+      if (part[best_v] == lo) {
+        --cnt_lo[n];
+        ++cnt_hi[n];
+      } else {
+        --cnt_hi[n];
+        ++cnt_lo[n];
+      }
+    };
+    const NetId out = nl.instance(best_v).output_net;
+    if (out != netlist::kNoNet) update_net(out);
+    for (const NetId n : nl.instance(best_v).input_nets) {
+      if (n != netlist::kNoNet) update_net(n);
+    }
+    area_lo += part[best_v] == lo ? -a : a;
+    part[best_v] = part[best_v] == lo ? hi : lo;
+    locked[best_v] = 1;
+    ++moves_done;
+
+    // Gain was computed against cut nets touching best_v, so the cut after
+    // the move is exactly cur_cut - gain.
+    cur_cut = static_cast<std::size_t>(static_cast<std::int64_t>(cur_cut) - best_g);
+    if (cur_cut < best_cut) {
+      best_cut = cur_cut;
+      best_part = part;
+    }
+  }
+  part = best_part;
+  return best_cut;
+}
+
+}  // namespace
+
+PartitionResult fm_bipartition(const netlist::Netlist& nl, const FmOptions& opt, util::Rng& rng) {
+  PartitionResult res;
+  res.blocks = 2;
+  res.part.assign(nl.instance_count(), 0);
+  std::vector<InstanceId> scope;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    scope.push_back(static_cast<InstanceId>(i));
+    res.part[i] = rng.chance(0.5) ? 1 : 0;
+  }
+  std::size_t prev = std::numeric_limits<std::size_t>::max();
+  for (int pass = 0; pass < opt.max_passes; ++pass) {
+    const std::size_t cut = fm_pass(nl, res.part, scope, 0, 1, opt.balance_tolerance);
+    if (cut >= prev) break;
+    prev = cut;
+  }
+  res.cut_nets = count_cut_nets(nl, res.part);
+  return res;
+}
+
+PartitionResult recursive_bisection(const netlist::Netlist& nl, std::size_t blocks,
+                                    const FmOptions& opt, util::Rng& rng) {
+  std::size_t k = 1;
+  while (k < blocks) k *= 2;
+
+  PartitionResult res;
+  res.part.assign(nl.instance_count(), 0);
+  res.blocks = k;
+  if (k == 1) {
+    res.cut_nets = 0;
+    return res;
+  }
+
+  // Iteratively split every current block id b into (b, b + stride).
+  for (std::size_t level = 1; level < k; level *= 2) {
+    const int stride = static_cast<int>(k / (2 * level));
+    for (std::size_t b = 0; b < level; ++b) {
+      const int lo = static_cast<int>(b) * 2 * stride;
+      const int hi = lo + stride;
+      std::vector<InstanceId> scope;
+      for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+        if (res.part[i] == lo) scope.push_back(static_cast<InstanceId>(i));
+      }
+      if (scope.empty()) continue;
+      // Random initial assignment within the scope.
+      for (const InstanceId id : scope) {
+        if (rng.chance(0.5)) res.part[id] = hi;
+      }
+      std::size_t prev = std::numeric_limits<std::size_t>::max();
+      for (int pass = 0; pass < opt.max_passes; ++pass) {
+        const std::size_t cut = fm_pass(nl, res.part, scope, lo, hi, opt.balance_tolerance);
+        if (cut >= prev) break;
+        prev = cut;
+      }
+    }
+  }
+  res.cut_nets = count_cut_nets(nl, res.part);
+  return res;
+}
+
+}  // namespace maestro::place

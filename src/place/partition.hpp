@@ -1,0 +1,38 @@
+#pragma once
+// Fiduccia-Mattheyses netlist partitioning.
+//
+// Solution 1 of the paper ("flip the arrows", Fig. 4(b)) decomposes the
+// design into many more, smaller subproblems. The FM partitioner is the
+// mechanism: recursive bisection yields the partition counts swept by the
+// Fig. 4 predictability experiment.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace maestro::place {
+
+struct PartitionResult {
+  std::vector<int> part;        ///< per-instance block id
+  std::size_t cut_nets = 0;     ///< nets spanning more than one block
+  std::size_t blocks = 1;
+};
+
+struct FmOptions {
+  double balance_tolerance = 0.1;  ///< max deviation from perfect balance
+  int max_passes = 8;
+};
+
+/// Bipartition (blocks {0,1}) minimizing cut nets under area balance.
+PartitionResult fm_bipartition(const netlist::Netlist& nl, const FmOptions& opt, util::Rng& rng);
+
+/// Recursive bisection into `blocks` (a power of two; rounded up if not).
+PartitionResult recursive_bisection(const netlist::Netlist& nl, std::size_t blocks,
+                                    const FmOptions& opt, util::Rng& rng);
+
+/// Number of nets whose pins span >1 block under `part`.
+std::size_t count_cut_nets(const netlist::Netlist& nl, const std::vector<int>& part);
+
+}  // namespace maestro::place

@@ -1,0 +1,113 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace maestro::place {
+
+geom::Point Placement::pin_of(netlist::InstanceId id) const {
+  const auto& m = nl_->master_of(id);
+  const geom::Point& p = locs_[id];
+  return {p.x + m.width_dbu / 2, p.y + nl_->library().row_height_dbu() / 2};
+}
+
+geom::Dbu Placement::net_hpwl(netlist::NetId net) const {
+  const auto& n = nl_->net(net);
+  geom::BBox box;
+  box.expand(pin_of(n.driver));
+  for (const auto& sink : n.sinks) box.expand(pin_of(sink.instance));
+  return box.half_perimeter();
+}
+
+std::int64_t Placement::total_hpwl() const {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < nl_->net_count(); ++i) {
+    total += net_hpwl(static_cast<netlist::NetId>(i));
+  }
+  return total;
+}
+
+CongestionMap estimate_congestion(const Placement& pl, std::size_t bins_x, std::size_t bins_y,
+                                  double tracks_per_um) {
+  CongestionMap cm;
+  cm.grid = geom::GridIndexer{pl.floorplan().core(), bins_x, bins_y};
+  cm.demand = geom::GridMap<double>{bins_x, bins_y, 0.0};
+  const double bin_edge_um =
+      static_cast<double>(pl.floorplan().core().width()) / static_cast<double>(bins_x) / 1000.0;
+  cm.capacity = geom::GridMap<double>{bins_x, bins_y, tracks_per_um * bin_edge_um};
+
+  const auto& nl = pl.netlist();
+  for (std::size_t i = 0; i < nl.net_count(); ++i) {
+    const auto& net = nl.net(static_cast<netlist::NetId>(i));
+    geom::BBox box;
+    box.expand(pl.pin_of(net.driver));
+    for (const auto& sink : net.sinks) box.expand(pl.pin_of(sink.instance));
+    if (box.empty()) continue;
+    const auto [c0, r0] = cm.grid.cell_of(box.rect().lo);
+    const auto [c1, r1] = cm.grid.cell_of(box.rect().hi);
+    const double n_bins = static_cast<double>((c1 - c0 + 1) * (r1 - r0 + 1));
+    // RISA-style: demand ~ HPWL spread over the bbox bins, weighted by a
+    // fanout-dependent correction (multi-pin nets need Steiner segments).
+    const double fan = static_cast<double>(net.sinks.size());
+    const double weight = 1.0 + 0.25 * std::max(fan - 1.0, 0.0);
+    const double per_bin = weight / n_bins;
+    for (std::size_t c = c0; c <= c1; ++c) {
+      for (std::size_t r = r0; r <= r1; ++r) {
+        cm.demand.at(c, r) += per_bin;
+      }
+    }
+  }
+
+  double util_sum = 0.0;
+  std::size_t overflow_bins = 0;
+  for (std::size_t c = 0; c < bins_x; ++c) {
+    for (std::size_t r = 0; r < bins_y; ++r) {
+      const double d = cm.demand.at(c, r);
+      const double cap = cm.capacity.at(c, r);
+      const double over = std::max(d - cap, 0.0);
+      cm.max_overflow = std::max(cm.max_overflow, over);
+      cm.total_overflow += over;
+      util_sum += cap > 0.0 ? d / cap : 0.0;
+      if (over > 0.0) ++overflow_bins;
+    }
+  }
+  const double n_bins = static_cast<double>(bins_x * bins_y);
+  cm.avg_utilization = n_bins > 0 ? util_sum / n_bins : 0.0;
+  cm.overflow_fraction = n_bins > 0 ? static_cast<double>(overflow_bins) / n_bins : 0.0;
+  return cm;
+}
+
+OverlapReport check_overlaps(const Placement& pl) {
+  OverlapReport rep;
+  const auto& nl = pl.netlist();
+  // Group instances by row y, sort by x, scan adjacent pairs.
+  struct Item {
+    geom::Dbu x;
+    geom::Dbu w;
+  };
+  std::map<geom::Dbu, std::vector<Item>> rows;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    const auto id = static_cast<netlist::InstanceId>(i);
+    const auto& m = nl.master_of(id);
+    if (m.function == netlist::CellFunction::Input ||
+        m.function == netlist::CellFunction::Output) {
+      continue;  // pads live on the boundary, not in rows
+    }
+    rows[pl.loc(id).y].push_back({pl.loc(id).x, m.width_dbu});
+  }
+  for (auto& [y, items] : rows) {
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) { return a.x < b.x; });
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      const geom::Dbu prev_end = items[i - 1].x + items[i - 1].w;
+      if (items[i].x < prev_end) {
+        ++rep.overlapping_pairs;
+        rep.total_overlap += prev_end - items[i].x;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace maestro::place

@@ -1,0 +1,75 @@
+#pragma once
+// Placement state and quality evaluators: HPWL, bin-based pin-density
+// congestion, and row-overlap checks. These metrics feed STA wire delays,
+// the global router's demand model, and METRICS records.
+
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+#include "place/floorplan.hpp"
+
+namespace maestro::place {
+
+/// Per-instance locations (cell origin = left edge on its row).
+class Placement {
+ public:
+  Placement() = default;
+  Placement(const netlist::Netlist& nl, const Floorplan& fp)
+      : nl_(&nl), fp_(&fp), locs_(nl.instance_count()) {}
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+  const Floorplan& floorplan() const { return *fp_; }
+
+  const geom::Point& loc(netlist::InstanceId id) const { return locs_[id]; }
+  void set_loc(netlist::InstanceId id, const geom::Point& p) { locs_[id] = p; }
+  std::size_t size() const { return locs_.size(); }
+
+  /// Resize the location table after ECO transforms added instances to the
+  /// netlist; new instances start at (0,0) until placed.
+  void sync_with_netlist() { locs_.resize(nl_->instance_count()); }
+
+  /// Pin location of an instance: cell center (one-pin abstraction).
+  geom::Point pin_of(netlist::InstanceId id) const;
+
+  /// HPWL of one net in dbu.
+  geom::Dbu net_hpwl(netlist::NetId net) const;
+  /// Total HPWL over all nets, in dbu.
+  std::int64_t total_hpwl() const;
+
+ private:
+  const netlist::Netlist* nl_ = nullptr;
+  const Floorplan* fp_ = nullptr;
+  std::vector<geom::Point> locs_;
+};
+
+/// Bin-level congestion snapshot over the core.
+struct CongestionMap {
+  geom::GridIndexer grid;
+  geom::GridMap<double> demand;     ///< routing demand per bin (net crossings)
+  geom::GridMap<double> capacity;   ///< available tracks per bin
+  double max_overflow = 0.0;        ///< max(demand - capacity, 0) over bins
+  double total_overflow = 0.0;
+  double avg_utilization = 0.0;     ///< mean demand/capacity
+  /// Fraction of bins with demand > capacity.
+  double overflow_fraction = 0.0;
+};
+
+/// Estimate routing congestion from placement using net-bbox density (FLUTE-
+/// less RISA-style estimate): each net spreads demand uniformly over its
+/// bounding box. Bin capacity is physical — `tracks_per_um` times the bin
+/// edge length — so tighter floorplans (smaller bins) have less capacity for
+/// the same wire demand.
+CongestionMap estimate_congestion(const Placement& pl, std::size_t bins_x, std::size_t bins_y,
+                                  double tracks_per_um = 20.0);
+
+/// Count pairs of overlapping cells on the same row (0 for a legal placement)
+/// and total overlap width in dbu.
+struct OverlapReport {
+  std::size_t overlapping_pairs = 0;
+  geom::Dbu total_overlap = 0;
+  bool legal() const { return overlapping_pairs == 0; }
+};
+OverlapReport check_overlaps(const Placement& pl);
+
+}  // namespace maestro::place

@@ -1,0 +1,74 @@
+#include "place/rent.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace maestro::place {
+
+namespace {
+
+/// External terminal count per block id: nets spanning in/out of the block.
+std::map<int, std::size_t> terminals_per_block(const netlist::Netlist& nl,
+                                               const std::vector<int>& part) {
+  // For each net, the set of blocks it touches; each touched block gets one
+  // terminal if the net also touches another block.
+  std::map<int, std::size_t> terminals;
+  for (const auto& net : nl.nets()) {
+    std::set<int> touched;
+    touched.insert(part[net.driver]);
+    for (const auto& sink : net.sinks) touched.insert(part[sink.instance]);
+    if (touched.size() < 2) continue;
+    for (const int b : touched) ++terminals[b];
+  }
+  return terminals;
+}
+
+}  // namespace
+
+RentFit estimate_rent(const netlist::Netlist& nl, const RentEstimateOptions& opt,
+                      util::Rng& rng) {
+  RentFit fit;
+  std::vector<double> log_g;
+  std::vector<double> log_t;
+
+  const double total_gates = static_cast<double>(nl.instance_count());
+  for (std::size_t level = 1; level <= opt.max_levels; ++level) {
+    const std::size_t blocks = static_cast<std::size_t>(1) << level;
+    if (total_gates / static_cast<double>(blocks) < static_cast<double>(opt.min_block_gates)) {
+      break;
+    }
+    const auto part = recursive_bisection(nl, blocks, opt.fm, rng);
+    const auto terms = terminals_per_block(nl, part.part);
+
+    // Mean gates and terminals over populated blocks.
+    std::map<int, std::size_t> gates;
+    for (std::size_t i = 0; i < nl.instance_count(); ++i) ++gates[part.part[i]];
+    util::RunningStats g_stats;
+    util::RunningStats t_stats;
+    for (const auto& [block, count] : gates) {
+      g_stats.add(static_cast<double>(count));
+      const auto it = terms.find(block);
+      t_stats.add(it != terms.end() ? static_cast<double>(it->second) : 0.0);
+    }
+    if (g_stats.count() == 0 || t_stats.mean() <= 0.0) continue;
+
+    RentFit::LevelPoint point;
+    point.blocks = blocks;
+    point.mean_gates = g_stats.mean();
+    point.mean_terminals = t_stats.mean();
+    fit.levels.push_back(point);
+    log_g.push_back(std::log(point.mean_gates));
+    log_t.push_back(std::log(point.mean_terminals));
+  }
+
+  if (log_g.size() >= 2) {
+    const auto line = util::fit_line(log_g, log_t);
+    fit.exponent = line.slope;
+    fit.coefficient = std::exp(line.intercept);
+    fit.r2 = line.r2;
+  }
+  return fit;
+}
+
+}  // namespace maestro::place

@@ -1,0 +1,41 @@
+#pragma once
+// Intrinsic Rent-parameter evaluation (paper Section 3.3 (ii): ML must find
+// the "natural structure" in designs that permits extreme partitioning;
+// ref [44] is UCSD's partitioning-based intrinsic Rent evaluation).
+//
+// Recursive FM bisection yields, per hierarchy level, the average block size
+// g and average external terminal count T. Rent's rule T = t * g^p is fitted
+// in log space; the exponent p measures how partitionable the design is
+// (p near 0.5: very local / easily decomposed; p near 1: unstructured).
+
+#include "place/partition.hpp"
+#include "util/stats.hpp"
+
+namespace maestro::place {
+
+struct RentFit {
+  double exponent = 0.0;      ///< p
+  double coefficient = 0.0;   ///< t
+  double r2 = 0.0;
+  /// One observation per hierarchy level: (mean gates, mean terminals).
+  struct LevelPoint {
+    std::size_t blocks = 0;
+    double mean_gates = 0.0;
+    double mean_terminals = 0.0;
+  };
+  std::vector<LevelPoint> levels;
+};
+
+struct RentEstimateOptions {
+  std::size_t max_levels = 5;   ///< bisect down to 2^max_levels blocks
+  std::size_t min_block_gates = 12;
+  FmOptions fm;
+};
+
+/// Estimate the intrinsic Rent parameters of a netlist by recursive
+/// partitioning. Terminal count of a block = nets with pins both inside and
+/// outside it.
+RentFit estimate_rent(const netlist::Netlist& nl, const RentEstimateOptions& opt,
+                      util::Rng& rng);
+
+}  // namespace maestro::place

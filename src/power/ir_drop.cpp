@@ -1,0 +1,88 @@
+#include "power/ir_drop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maestro::power {
+
+IrDropReport analyze_ir_drop(const place::Placement& pl, const PowerReport& power,
+                             const IrDropOptions& opt) {
+  IrDropReport rep;
+  const std::size_t nx = std::max<std::size_t>(opt.grid_x, 2);
+  const std::size_t ny = std::max<std::size_t>(opt.grid_y, 2);
+  rep.voltage = geom::GridMap<double>{nx, ny, opt.vdd_v};
+
+  // Current sources per bin: total current split by placed cell area.
+  const geom::GridIndexer idx{pl.floorplan().core(), nx, ny};
+  geom::GridMap<double> current{nx, ny, 0.0};
+  const auto& nl = pl.netlist();
+  double total_area = 0.0;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    total_area += nl.master_of(static_cast<netlist::InstanceId>(i)).area_um2;
+  }
+  // The grid is a linear resistive network: drop scales exactly with total
+  // current. Solve with a unit-normalized current distribution (uniform
+  // convergence behaviour regardless of power level), then scale the drops.
+  const double total_current_a = power.total_mw() / 1000.0 / opt.vdd_v;  // I = P/V
+  if (total_area > 0.0) {
+    for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+      const auto id = static_cast<netlist::InstanceId>(i);
+      const auto [c, r] = idx.cell_of(pl.pin_of(id));
+      current.at(c, r) += nl.master_of(id).area_um2 / total_area;  // unit total
+    }
+  }
+
+  // Pad nodes (fixed at VDD) along the boundary every `pad_every` nodes.
+  geom::GridMap<char> is_pad{nx, ny, 0};
+  const auto every = static_cast<std::size_t>(std::max(opt.pad_every, 1.0));
+  for (std::size_t c = 0; c < nx; c += every) {
+    is_pad.at(c, 0) = 1;
+    is_pad.at(c, ny - 1) = 1;
+  }
+  for (std::size_t r = 0; r < ny; r += every) {
+    is_pad.at(0, r) = 1;
+    is_pad.at(nx - 1, r) = 1;
+  }
+
+  // Gauss-Seidel: V_i = (sum_j V_j / R - I_i) / (deg / R).
+  const double g = 1.0 / opt.strap_res_ohm;  // conductance per strap
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    double max_delta = 0.0;
+    for (std::size_t r = 0; r < ny; ++r) {
+      for (std::size_t c = 0; c < nx; ++c) {
+        if (is_pad.at(c, r)) continue;
+        double gsum = 0.0;
+        double vsum = 0.0;
+        auto nb = [&](std::size_t cc, std::size_t rr) {
+          gsum += g;
+          vsum += g * rep.voltage.at(cc, rr);
+        };
+        if (c > 0) nb(c - 1, r);
+        if (c + 1 < nx) nb(c + 1, r);
+        if (r > 0) nb(c, r - 1);
+        if (r + 1 < ny) nb(c, r + 1);
+        const double v_new = (vsum - current.at(c, r)) / gsum;
+        max_delta = std::max(max_delta, std::abs(v_new - rep.voltage.at(c, r)));
+        rep.voltage.at(c, r) = v_new;
+      }
+    }
+    rep.iterations_used = it + 1;
+    if (max_delta < opt.tolerance_v) {
+      rep.converged = true;
+      break;
+    }
+  }
+
+  // Rescale the unit-current solution to the actual current level.
+  double sum_drop = 0.0;
+  for (double& v : rep.voltage.flat()) {
+    const double drop = (opt.vdd_v - v) * total_current_a;
+    v = opt.vdd_v - drop;
+    rep.worst_drop_v = std::max(rep.worst_drop_v, drop);
+    sum_drop += drop;
+  }
+  rep.avg_drop_v = sum_drop / static_cast<double>(rep.voltage.size());
+  return rep;
+}
+
+}  // namespace maestro::power

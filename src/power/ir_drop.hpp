@@ -1,0 +1,46 @@
+#pragma once
+// IR-drop analysis on a regular power grid.
+//
+// Section 3.2 of the paper lists IR drop among the analyses whose
+// miscorrelation forces guardbands, and Section 3.3's "longer ropes" include
+// "IR drop-aware timing analysis" [7]. This module solves V = IR on a mesh
+// power grid with per-bin current sources derived from the power report,
+// using Gauss-Seidel relaxation; the resulting worst-drop feeds timing
+// derates (higher drop -> slower cells).
+
+#include "geom/geometry.hpp"
+#include "place/placement.hpp"
+#include "power/power.hpp"
+
+namespace maestro::power {
+
+struct IrDropOptions {
+  std::size_t grid_x = 24;
+  std::size_t grid_y = 24;
+  double vdd_v = 0.8;
+  double strap_res_ohm = 0.08;   ///< resistance between adjacent grid nodes
+  double pad_every = 8;          ///< power pads every N nodes along the boundary
+  int max_iterations = 2000;
+  double tolerance_v = 1e-6;
+};
+
+struct IrDropReport {
+  geom::GridMap<double> voltage;   ///< node voltages
+  double worst_drop_v = 0.0;
+  double avg_drop_v = 0.0;
+  int iterations_used = 0;
+  bool converged = false;
+
+  /// Timing derate factor at the worst-drop corner: cell delay grows roughly
+  /// linearly as supply droops (~2x sensitivity at nominal 0.8V).
+  double timing_derate(double vdd_v) const {
+    return 1.0 + 2.0 * (worst_drop_v / vdd_v);
+  }
+};
+
+/// Distribute total power as per-bin current sources (by placed cell area)
+/// and solve the grid.
+IrDropReport analyze_ir_drop(const place::Placement& pl, const PowerReport& power,
+                             const IrDropOptions& opt);
+
+}  // namespace maestro::power

@@ -1,0 +1,32 @@
+#include "power/power.hpp"
+
+namespace maestro::power {
+
+PowerReport estimate_power(const place::Placement& pl, double clock_ghz,
+                           const PowerOptions& opt, const timing::WireModel& wire) {
+  const auto& nl = pl.netlist();
+  PowerReport rep;
+
+  // Switching: P = alpha * C * V^2 * f per net (driver load = wire + pins).
+  const double v2 = opt.vdd_v * opt.vdd_v;
+  for (std::size_t n = 0; n < nl.net_count(); ++n) {
+    const auto id = static_cast<netlist::NetId>(n);
+    const auto& net = nl.net(id);
+    double cap_ff = wire.cap_per_nm_ff * static_cast<double>(pl.net_hpwl(id));
+    for (const auto& sink : net.sinks) cap_ff += nl.master_of(sink.instance).input_cap_ff;
+    // fF * V^2 * GHz = uW; /1000 -> mW.
+    rep.switching_mw += opt.default_activity * cap_ff * v2 * clock_ghz / 1000.0;
+  }
+
+  // Leakage: nW -> mW.
+  rep.leakage_mw = nl.total_leakage_nw() / 1e6;
+
+  // Clock tree: every flop clock pin toggles each cycle; include an estimated
+  // tree wire/buffer overhead factor.
+  const double flop_clk_cap_ff = 0.9;
+  const double n_flops = static_cast<double>(nl.flops().size());
+  rep.clock_mw = opt.clock_activity * n_flops * flop_clk_cap_ff * 2.2 * v2 * clock_ghz / 1000.0;
+  return rep;
+}
+
+}  // namespace maestro::power

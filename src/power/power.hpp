@@ -1,0 +1,30 @@
+#pragma once
+// Power analysis: switching + leakage estimation over a placed design.
+// Feeds the MAB scheduler's power constraint (Fig. 7 runs "with given power
+// and area constraints") and METRICS records.
+
+#include "place/placement.hpp"
+#include "timing/sta.hpp"
+
+namespace maestro::power {
+
+struct PowerOptions {
+  double vdd_v = 0.8;
+  double default_activity = 0.12;   ///< toggle probability per clock
+  double clock_activity = 1.0;      ///< clock nets toggle every cycle
+};
+
+struct PowerReport {
+  double switching_mw = 0.0;
+  double leakage_mw = 0.0;
+  double clock_mw = 0.0;
+  double total_mw() const { return switching_mw + leakage_mw + clock_mw; }
+};
+
+/// Estimate power at the given clock frequency (GHz) using activity-weighted
+/// CV^2f switching on every net plus library leakage and a clock-tree term
+/// proportional to flop count.
+PowerReport estimate_power(const place::Placement& pl, double clock_ghz,
+                           const PowerOptions& opt, const timing::WireModel& wire = {});
+
+}  // namespace maestro::power

@@ -1,0 +1,60 @@
+#pragma once
+// Track-assignment detailed router.
+//
+// Where drv_sim.hpp *models* detailed-route convergence statistically (for
+// corpus-scale studies), this module is a real — if simplified — detailed
+// routing engine operating on the global router's segment paths:
+//
+//  * Each GCell edge carries an integer number of routing tracks; every
+//    segment crossing the edge occupies one. Excess occupancy is a short —
+//    the dominant DRV class.
+//  * Each GCell has a via budget; a segment turning (direction change) in a
+//    cell consumes a via, as does every cell pin. Overcrowded cells produce
+//    via/pin-access violations.
+//
+// The engine iterates rip-up-and-reroute on violating segments with history
+// costs, recording the DRV count per iteration — a real analogue of the
+// logfile time series in Figs. 9-10, produced by actual congestion rather
+// than a stochastic model. The flow exposes it via the route knob
+// `detail_engine=track`.
+
+#include <cstdint>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "route/global_router.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace maestro::route {
+
+struct DetailRouteOptions {
+  int max_iterations = 20;        ///< the router default the paper cites
+  double rip_fraction = 0.6;      ///< fraction of violating segments ripped per pass
+  double track_utilization = 1.0; ///< usable fraction of global-route capacity
+  double vias_per_cell = 96.0;    ///< via budget per GCell
+  double short_weight = 3.0;      ///< DRVs per track-overflow unit
+  double via_weight = 1.0;        ///< DRVs per via-overflow unit
+  double success_threshold = 200.0;
+};
+
+struct DetailRouteResult {
+  std::vector<double> drvs_per_iteration;
+  double final_drvs = 0.0;
+  bool succeeded = false;         ///< final DRVs under the threshold
+  bool converged = false;         ///< reached zero violations
+  int iterations_used = 0;
+  std::size_t via_count = 0;      ///< total vias in the final solution
+  double track_overflow = 0.0;    ///< residual shorts component
+  double via_overflow = 0.0;      ///< residual access component
+  util::ToolLog log;
+};
+
+/// Run track assignment + iterative fixing. `grid` and `segments` come from
+/// a keep_segments global route of `pl`; both are modified in place (the
+/// final segment paths are the repaired routing).
+DetailRouteResult detail_route(const place::Placement& pl, GridGraph& grid,
+                               std::vector<RoutedSegment>& segments,
+                               const DetailRouteOptions& opt, util::Rng& rng);
+
+}  // namespace maestro::route

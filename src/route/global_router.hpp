@@ -1,0 +1,66 @@
+#pragma once
+// Negotiated-congestion global router (PathFinder-style).
+//
+// Nets are decomposed into two-pin segments by a nearest-neighbor spanning
+// tree, each segment is maze-routed with a congestion-aware cost, and
+// overflow is negotiated across rip-up-and-reroute rounds via history costs.
+// The router's per-round overflow series also seeds the detailed-route DRV
+// simulator: where global routing leaves overflow, detailed routing leaves
+// design-rule violations.
+
+#include <cstdint>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "route/grid_graph.hpp"
+#include "util/rng.hpp"
+
+namespace maestro::route {
+
+struct RouteOptions {
+  std::size_t gcells_x = 32;
+  std::size_t gcells_y = 32;
+  double h_capacity = 24.0;       ///< tracks per horizontal GCell edge
+  double v_capacity = 20.0;
+  int max_rounds = 8;             ///< rip-up-and-reroute rounds
+  double present_cost_weight = 1.0;
+  double history_cost_weight = 0.4;
+  bool keep_segments = false;     ///< populate RouteResult::segments
+};
+
+/// One routed two-pin connection: endpoints plus the edge-id path.
+struct RoutedSegment {
+  GCell from;
+  GCell to;
+  std::vector<std::size_t> edges;
+};
+
+struct RouteResult {
+  double wirelength_gcells = 0.0;   ///< total routed length in GCell edges
+  double total_overflow = 0.0;
+  std::size_t overflowed_edges = 0;
+  double max_utilization = 0.0;
+  int rounds_used = 0;
+  bool converged = false;           ///< zero overflow reached
+  std::vector<double> overflow_per_round;
+  /// Per-segment paths, for downstream detailed routing (kept only when
+  /// RouteOptions::keep_segments is set).
+  std::vector<RoutedSegment> segments;
+};
+
+/// Route all nets of the placement; returns the final grid in `graph` for
+/// downstream congestion-aware analyses.
+RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, GridGraph& graph,
+                         util::Rng& rng);
+
+/// Convenience: route and discard the grid.
+RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, util::Rng& rng);
+
+/// Single-segment congestion-aware maze route on an existing grid (exposed
+/// for the detailed router's rip-up-and-reroute passes). Returns the edge-id
+/// path; does NOT update usage — callers add/remove usage themselves.
+std::vector<std::size_t> maze_route_segment(const GridGraph& g, const GCell& from,
+                                            const GCell& to, double present_weight,
+                                            double history_weight);
+
+}  // namespace maestro::route

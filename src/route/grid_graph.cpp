@@ -1,0 +1,66 @@
+#include "route/grid_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maestro::route {
+
+GridGraph::GridGraph(std::size_t cols, std::size_t rows, double h_capacity, double v_capacity,
+                     geom::GridIndexer indexer)
+    : cols_(cols), rows_(rows), indexer_(indexer) {
+  assert(cols > 0 && rows > 0);
+  // Edge layout: all East edges first ((cols-1)*rows), then North edges.
+  const std::size_t n_east = (cols - 1) * rows;
+  const std::size_t n_north = cols * (rows - 1);
+  capacity_.resize(n_east + n_north);
+  usage_.assign(n_east + n_north, 0.0);
+  history_.assign(n_east + n_north, 0.0);
+  std::fill(capacity_.begin(), capacity_.begin() + static_cast<std::ptrdiff_t>(n_east),
+            h_capacity);
+  std::fill(capacity_.begin() + static_cast<std::ptrdiff_t>(n_east), capacity_.end(), v_capacity);
+}
+
+std::size_t GridGraph::edge_id(const GCell& c, Dir d) const {
+  if (d == Dir::East) {
+    assert(c.col + 1 < cols_);
+    return c.row * (cols_ - 1) + c.col;
+  }
+  assert(c.row + 1 < rows_);
+  return (cols_ - 1) * rows_ + c.row * cols_ + c.col;
+}
+
+std::pair<GCell, GCell> GridGraph::edge_cells(std::size_t edge) const {
+  if (is_east(edge)) {
+    const auto row = static_cast<std::uint32_t>(edge / (cols_ - 1));
+    const auto col = static_cast<std::uint32_t>(edge % (cols_ - 1));
+    return {{col, row}, {col + 1, row}};
+  }
+  const std::size_t base = edge - (cols_ - 1) * rows_;
+  const auto row = static_cast<std::uint32_t>(base / cols_);
+  const auto col = static_cast<std::uint32_t>(base % cols_);
+  return {{col, row}, {col, row + 1}};
+}
+
+double GridGraph::total_overflow() const {
+  double t = 0.0;
+  for (std::size_t e = 0; e < usage_.size(); ++e) t += overflow(e);
+  return t;
+}
+
+double GridGraph::max_utilization() const {
+  double m = 0.0;
+  for (std::size_t e = 0; e < usage_.size(); ++e) {
+    if (capacity_[e] > 0.0) m = std::max(m, usage_[e] / capacity_[e]);
+  }
+  return m;
+}
+
+std::size_t GridGraph::overflowed_edges() const {
+  std::size_t n = 0;
+  for (std::size_t e = 0; e < usage_.size(); ++e) {
+    if (usage_[e] > capacity_[e]) ++n;
+  }
+  return n;
+}
+
+}  // namespace maestro::route

@@ -1,0 +1,77 @@
+#pragma once
+// Global-routing grid graph (GCell lattice with per-edge track capacity),
+// shared by the maze router and congestion analyses.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace maestro::route {
+
+/// A GCell identified by (col, row).
+struct GCell {
+  std::uint32_t col = 0;
+  std::uint32_t row = 0;
+  friend bool operator==(const GCell&, const GCell&) = default;
+};
+
+/// Edge direction between adjacent GCells.
+enum class Dir : std::uint8_t { East, North };
+
+/// Lattice of GCells; horizontal edges (East) and vertical edges (North)
+/// carry independent capacities, mirroring layer directionality.
+class GridGraph {
+ public:
+  GridGraph() = default;
+  GridGraph(std::size_t cols, std::size_t rows, double h_capacity, double v_capacity,
+            geom::GridIndexer indexer);
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+  const geom::GridIndexer& indexer() const { return indexer_; }
+
+  std::size_t node_id(const GCell& c) const { return c.row * cols_ + c.col; }
+  GCell cell_of(std::size_t id) const {
+    return {static_cast<std::uint32_t>(id % cols_), static_cast<std::uint32_t>(id / cols_)};
+  }
+  std::size_t node_count() const { return cols_ * rows_; }
+
+  /// Edge index for the East/North edge leaving `c`. Caller must ensure the
+  /// edge exists (col < cols-1 for East; row < rows-1 for North).
+  std::size_t edge_id(const GCell& c, Dir d) const;
+  std::size_t edge_count() const { return usage_.size(); }
+
+  /// True when `edge` is an East (horizontal) edge.
+  bool is_east(std::size_t edge) const { return edge < (cols_ - 1) * rows_; }
+  /// The two GCells an edge connects (lower cell first).
+  std::pair<GCell, GCell> edge_cells(std::size_t edge) const;
+
+  double capacity(std::size_t edge) const { return capacity_[edge]; }
+  double usage(std::size_t edge) const { return usage_[edge]; }
+  void add_usage(std::size_t edge, double amount) { usage_[edge] += amount; }
+  void reset_usage() { std::fill(usage_.begin(), usage_.end(), 0.0); }
+
+  double overflow(std::size_t edge) const {
+    const double o = usage_[edge] - capacity_[edge];
+    return o > 0.0 ? o : 0.0;
+  }
+  double total_overflow() const;
+  double max_utilization() const;
+  std::size_t overflowed_edges() const;
+
+  /// History cost used by negotiated-congestion routing.
+  double history(std::size_t edge) const { return history_[edge]; }
+  void bump_history(std::size_t edge, double amount) { history_[edge] += amount; }
+
+ private:
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+  geom::GridIndexer indexer_;
+  std::vector<double> capacity_;
+  std::vector<double> usage_;
+  std::vector<double> history_;
+};
+
+}  // namespace maestro::route

@@ -1,0 +1,109 @@
+#include "timing/clock_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace maestro::timing {
+
+using netlist::InstanceId;
+
+namespace {
+
+struct Builder {
+  const place::Placement& pl;
+  const ClockTreeOptions& opt;
+  util::Rng& rng;
+  ClockTree& tree;
+
+  /// Recursively split the flop set in alternating directions, accumulating
+  /// insertion delay down the tree.
+  void split(std::vector<InstanceId>& flops, std::size_t lo, std::size_t hi,
+             geom::Point tap, double delay_ps, int depth, bool vertical) {
+    const std::size_t n = hi - lo;
+    if (n == 0) return;
+    tree.levels = std::max(tree.levels, static_cast<std::size_t>(depth));
+    if (n <= opt.leaf_fanout || depth >= opt.max_depth) {
+      // Leaf buffer drives these flops directly.
+      ++tree.buffers;
+      const double leaf_noise = rng.gauss(0.0, opt.ocv_sigma_ps);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const InstanceId ff = flops[i];
+        const double dist_mm =
+            static_cast<double>(geom::manhattan(tap, pl.pin_of(ff))) * 1e-6;
+        tree.insertion_ps[ff] = delay_ps + opt.buffer_delay_ps + leaf_noise +
+                                dist_mm * opt.wire_delay_per_mm_ps +
+                                rng.gauss(0.0, opt.ocv_sigma_ps * 0.5);
+      }
+      return;
+    }
+    // Median split along the current direction.
+    const auto mid_it = flops.begin() + static_cast<std::ptrdiff_t>(lo + n / 2);
+    std::nth_element(flops.begin() + static_cast<std::ptrdiff_t>(lo), mid_it,
+                     flops.begin() + static_cast<std::ptrdiff_t>(hi),
+                     [&](InstanceId a, InstanceId b) {
+                       return vertical ? pl.pin_of(a).y < pl.pin_of(b).y
+                                       : pl.pin_of(a).x < pl.pin_of(b).x;
+                     });
+    const std::size_t mid = lo + n / 2;
+
+    auto centroid = [&](std::size_t a, std::size_t b) {
+      geom::Point c{0, 0};
+      for (std::size_t i = a; i < b; ++i) {
+        c.x += pl.pin_of(flops[i]).x;
+        c.y += pl.pin_of(flops[i]).y;
+      }
+      const auto cnt = static_cast<geom::Dbu>(b - a);
+      return geom::Point{c.x / cnt, c.y / cnt};
+    };
+    const geom::Point left_tap = centroid(lo, mid);
+    const geom::Point right_tap = centroid(mid, hi);
+    ++tree.buffers;
+
+    // Each branch costs one buffer plus wire to the child tap; load imbalance
+    // (different subtree sizes) perturbs the branch delay — the physical
+    // source of skew.
+    auto branch_delay = [&](const geom::Point& child_tap, std::size_t load) {
+      const double dist_mm = static_cast<double>(geom::manhattan(tap, child_tap)) * 1e-6;
+      const double load_term =
+          0.15 * opt.buffer_delay_ps * std::log2(1.0 + static_cast<double>(load));
+      return delay_ps + opt.buffer_delay_ps + load_term + dist_mm * opt.wire_delay_per_mm_ps +
+             rng.gauss(0.0, opt.ocv_sigma_ps);
+    };
+    split(flops, lo, mid, left_tap, branch_delay(left_tap, mid - lo), depth + 1, !vertical);
+    split(flops, mid, hi, right_tap, branch_delay(right_tap, hi - mid), depth + 1, !vertical);
+  }
+};
+
+}  // namespace
+
+ClockTree build_clock_tree(const place::Placement& pl, const ClockTreeOptions& opt,
+                           util::Rng& rng) {
+  ClockTree tree;
+  tree.insertion_ps.assign(pl.netlist().instance_count(), 0.0);
+  auto flops = pl.netlist().flops();
+  if (flops.empty()) return tree;
+
+  // Root tap at the flop centroid.
+  geom::Point root{0, 0};
+  for (const InstanceId ff : flops) {
+    root.x += pl.pin_of(ff).x;
+    root.y += pl.pin_of(ff).y;
+  }
+  root.x /= static_cast<geom::Dbu>(flops.size());
+  root.y /= static_cast<geom::Dbu>(flops.size());
+
+  Builder b{pl, opt, rng, tree};
+  b.split(flops, 0, flops.size(), root, 0.0, 0, false);
+
+  tree.max_insertion_ps = 0.0;
+  tree.min_insertion_ps = std::numeric_limits<double>::infinity();
+  for (const InstanceId ff : pl.netlist().flops()) {
+    tree.max_insertion_ps = std::max(tree.max_insertion_ps, tree.insertion_ps[ff]);
+    tree.min_insertion_ps = std::min(tree.min_insertion_ps, tree.insertion_ps[ff]);
+  }
+  if (!std::isfinite(tree.min_insertion_ps)) tree.min_insertion_ps = 0.0;
+  return tree;
+}
+
+}  // namespace maestro::timing

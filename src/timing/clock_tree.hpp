@@ -1,0 +1,42 @@
+#pragma once
+// Clock tree synthesis: a recursive H-tree over the flop population giving
+// each flop an insertion delay. Imperfect balancing (load-dependent branch
+// delays plus process noise) yields realistic skew, which the STA engines
+// consume for launch/capture edge offsets.
+
+#include <cstdint>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "util/rng.hpp"
+
+namespace maestro::timing {
+
+struct ClockTreeOptions {
+  int max_depth = 8;              ///< H-tree recursion depth limit
+  std::size_t leaf_fanout = 16;   ///< flops per leaf buffer
+  double buffer_delay_ps = 18.0;  ///< nominal delay per tree level
+  double wire_delay_per_mm_ps = 60.0;
+  double ocv_sigma_ps = 1.5;      ///< per-buffer process noise
+};
+
+struct ClockTree {
+  /// Insertion delay at each flop's clock pin (indexed by InstanceId;
+  /// non-flop entries are 0).
+  std::vector<double> insertion_ps;
+  double max_insertion_ps = 0.0;
+  double min_insertion_ps = 0.0;
+  std::size_t levels = 0;
+  std::size_t buffers = 0;
+
+  double skew_ps() const { return max_insertion_ps - min_insertion_ps; }
+  double insertion_of(netlist::InstanceId id) const {
+    return id < insertion_ps.size() ? insertion_ps[id] : 0.0;
+  }
+};
+
+/// Build an H-tree over the placed flops.
+ClockTree build_clock_tree(const place::Placement& pl, const ClockTreeOptions& opt,
+                           util::Rng& rng);
+
+}  // namespace maestro::timing

@@ -1,0 +1,143 @@
+#include "timing/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace maestro::timing {
+
+using netlist::CellFunction;
+using netlist::InstanceId;
+using netlist::NetId;
+
+std::vector<TimingPath> report_timing(const place::Placement& pl, const ClockTree& clock,
+                                      const StaOptions& opt, std::size_t n_paths,
+                                      const route::GridGraph* routed) {
+  const auto& nl = pl.netlist();
+  const StaReport rep = run_sta(pl, clock, opt, routed);
+
+  // Rebuild per-instance arrivals for backtracking. run_sta's NodeState is
+  // internal, so recompute arrivals with the same model (arrival values
+  // match run_sta bit-for-bit because the computation is identical).
+  const bool pba = opt.mode == AnalysisMode::PathBased;
+  const double derate = pba ? 1.0 : opt.gba_derate;
+
+  std::vector<double> net_load(nl.net_count(), 0.0);
+  for (std::size_t n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(static_cast<NetId>(n));
+    double load = opt.wire.cap_per_nm_ff * static_cast<double>(pl.net_hpwl(static_cast<NetId>(n)));
+    for (const auto& sink : net.sinks) load += nl.master_of(sink.instance).input_cap_ff;
+    net_load[n] = load;
+  }
+  auto wire_delay = [&](NetId n, InstanceId sink_inst) {
+    const auto& net = nl.net(n);
+    const geom::Point a = pl.pin_of(net.driver);
+    const geom::Point b = pl.pin_of(sink_inst);
+    const double len = pba ? static_cast<double>(geom::manhattan(a, b))
+                           : static_cast<double>(pl.net_hpwl(n));
+    const double rw = opt.wire.res_per_nm_kohm * len;
+    const double cw = opt.wire.cap_per_nm_ff * len;
+    return rw * (0.5 * cw + nl.master_of(sink_inst).input_cap_ff) * opt.corner.wire_factor;
+  };
+
+  std::vector<double> arrival(nl.instance_count(), 0.0);
+  const auto order = nl.topo_order();
+  for (const InstanceId u : order) {
+    const auto& m = nl.master_of(u);
+    if (m.function == CellFunction::Input) {
+      arrival[u] = opt.io_input_delay_ps;
+    } else if (m.function == CellFunction::Dff) {
+      arrival[u] = clock.insertion_of(u) + m.clk_to_q_ps * opt.corner.gate_factor;
+    } else if (m.function == CellFunction::Output) {
+      continue;
+    } else {
+      double worst = 0.0;
+      for (const NetId in : nl.instance(u).input_nets) {
+        if (in == netlist::kNoNet) continue;
+        worst = std::max(worst, arrival[nl.net(in).driver] + wire_delay(in, u) * derate);
+      }
+      const NetId out = nl.instance(u).output_net;
+      const double load = out != netlist::kNoNet ? net_load[out] : 0.0;
+      arrival[u] = worst + m.delay_ps(load) * derate * opt.corner.gate_factor;
+    }
+  }
+
+  // Pick the N worst endpoints.
+  std::vector<const EndpointTiming*> sorted;
+  for (const auto& ep : rep.endpoints) sorted.push_back(&ep);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EndpointTiming* a, const EndpointTiming* b) {
+              return a->slack_ps < b->slack_ps;
+            });
+  if (sorted.size() > n_paths) sorted.resize(n_paths);
+
+  std::vector<TimingPath> paths;
+  for (const auto* ep : sorted) {
+    TimingPath path;
+    path.endpoint = ep->endpoint;
+    path.is_flop = ep->is_flop;
+    path.slack_ps = ep->slack_ps;
+    path.arrival_ps = ep->arrival_ps;
+    path.required_ps = ep->required_ps;
+
+    // Backtrack from the endpoint's D/input pin to a path source, greedily
+    // following the worst (arrival + wire) fanin at each stage.
+    std::vector<PathStage> reversed;
+    InstanceId cur = ep->endpoint;
+    double cum = ep->arrival_ps;
+    for (;;) {
+      PathStage stage;
+      stage.instance = cur;
+      stage.arrival_ps = cum;
+      reversed.push_back(stage);
+      const auto& m = nl.master_of(cur);
+      const bool is_source = m.function == CellFunction::Input ||
+                             (m.function == CellFunction::Dff && cur != ep->endpoint);
+      if (is_source) break;
+      // Worst fanin.
+      InstanceId best = netlist::kNoInstance;
+      double best_arr = -1e300;
+      for (const NetId in : nl.instance(cur).input_nets) {
+        if (in == netlist::kNoNet) continue;
+        const InstanceId drv = nl.net(in).driver;
+        const double a = arrival[drv] + wire_delay(in, cur) * derate;
+        if (a > best_arr) {
+          best_arr = a;
+          best = drv;
+        }
+      }
+      if (best == netlist::kNoInstance) break;
+      cum = arrival[best];
+      cur = best;
+      if (reversed.size() > nl.instance_count()) break;  // safety
+    }
+    std::reverse(reversed.begin(), reversed.end());
+    for (std::size_t i = 0; i < reversed.size(); ++i) {
+      reversed[i].incr_ps =
+          i == 0 ? reversed[i].arrival_ps : reversed[i].arrival_ps - reversed[i - 1].arrival_ps;
+    }
+    path.stages = std::move(reversed);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::string format_path(const TimingPath& path, const netlist::Netlist& nl) {
+  std::ostringstream os;
+  os << "Endpoint: " << nl.instance(path.endpoint).name << " ("
+     << (path.is_flop ? "flop D" : "output") << ")\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "  arrival %10.1f ps   required %10.1f ps   slack %+9.1f ps\n",
+                path.arrival_ps, path.required_ps, path.slack_ps);
+  os << buf;
+  os << "  ----------------------------------------------------------\n";
+  os << "  instance             cell        incr(ps)    arrival(ps)\n";
+  for (const auto& s : path.stages) {
+    std::snprintf(buf, sizeof buf, "  %-20s %-10s %9.2f %13.2f\n",
+                  nl.instance(s.instance).name.c_str(), nl.master_of(s.instance).name.c_str(),
+                  s.incr_ps, s.arrival_ps);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace maestro::timing

@@ -1,0 +1,42 @@
+#pragma once
+// Timing path reports: the report_timing view every STA user expects —
+// the N worst endpoints with their critical paths traced stage by stage
+// (instance, cell, incremental delay, cumulative arrival). Also the
+// machine-readable structure the DoomedRunGuard-style predictors of
+// Section 3.3 would mine ("prediction ... through placement, routing,
+// optimization and IR drop-aware timing analysis").
+
+#include <string>
+#include <vector>
+
+#include "timing/sta.hpp"
+
+namespace maestro::timing {
+
+/// One stage on a traced path.
+struct PathStage {
+  netlist::InstanceId instance = netlist::kNoInstance;
+  double arrival_ps = 0.0;   ///< cumulative at this stage's output (or pin)
+  double incr_ps = 0.0;      ///< gate + wire increment contributed here
+};
+
+/// A traced worst path to one endpoint.
+struct TimingPath {
+  netlist::InstanceId endpoint = netlist::kNoInstance;
+  bool is_flop = false;
+  double slack_ps = 0.0;
+  double arrival_ps = 0.0;
+  double required_ps = 0.0;
+  /// Launch-to-capture stages, in arrival order (first = path start).
+  std::vector<PathStage> stages;
+};
+
+/// Trace the `n_paths` worst endpoints' critical paths under `opt`.
+std::vector<TimingPath> report_timing(const place::Placement& pl, const ClockTree& clock,
+                                      const StaOptions& opt, std::size_t n_paths,
+                                      const route::GridGraph* routed = nullptr);
+
+/// Human-readable rendering of one path (classic report_timing layout).
+std::string format_path(const TimingPath& path, const netlist::Netlist& nl);
+
+}  // namespace maestro::timing

@@ -1,0 +1,113 @@
+#pragma once
+// Static timing analysis engines.
+//
+// Two engines with a *structured* miscorrelation, per Section 3.2 of the
+// paper ("two different tools return different results for the same input
+// data ... and laws of physics"):
+//
+//  * AnalysisMode::GraphBased  — the P&R tool's fast internal timer: net
+//    bounding-box wire delays applied to every sink, a global derate for slew
+//    pessimism. Cheap, pessimistic in structured ways (long/high-fanout nets).
+//  * AnalysisMode::PathBased   — the signoff timer: exact per-sink Elmore
+//    wire delays, no derate. More accurate, more computation.
+//  * with_si = true            — adds signal-integrity coupling penalties on
+//    nets in congested regions (needs a routed GridGraph), the paper's
+//    "SI-mode timing slacks" [27].
+//
+// The CorrelationModel in maestro::core learns the GBA->PBA+SI divergence and
+// shifts the accuracy-cost curve (Fig. 8).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "route/grid_graph.hpp"
+#include "timing/clock_tree.hpp"
+
+namespace maestro::timing {
+
+enum class AnalysisMode : std::uint8_t {
+  GraphBased,  ///< fast, derated, bbox wire model (P&R-internal)
+  PathBased,   ///< exact per-sink wire model, no derate (signoff)
+};
+
+/// A PVT corner. Gate and wire delays scale differently across corners (gate
+/// delay tracks device strength; wire delay tracks metal R/C and is much
+/// flatter), and the slow corner adds setup pessimism — which is what makes
+/// "missing corner" prediction (paper Section 3.2, extension (2)) a learning
+/// problem rather than a single scale factor.
+struct Corner {
+  std::string name = "tt";
+  double gate_factor = 1.0;
+  double wire_factor = 1.0;
+  double setup_factor = 1.0;
+};
+
+/// The standard three-corner set: slow (ss), typical (tt), fast (ff).
+std::vector<Corner> standard_corners();
+/// Lookup by name; asserts the name exists in standard_corners().
+Corner corner_by_name(const std::string& name);
+
+struct WireModel {
+  double cap_per_nm_ff = 2.0e-4;   ///< 0.2 fF/um
+  double res_per_nm_kohm = 1.0e-5; ///< 10 Ohm/um — thin local/intermediate metal
+};
+
+struct StaOptions {
+  AnalysisMode mode = AnalysisMode::GraphBased;
+  bool with_si = false;            ///< add coupling penalties from congestion
+  Corner corner;                   ///< PVT corner (default: typical)
+  double clock_period_ps = 1000.0;
+  double gba_derate = 1.10;        ///< GBA multiplies late (setup) delays by this
+  double gba_early_derate = 0.94;  ///< ...and early (hold) delays by this
+  bool with_hold = false;          ///< also run min-delay (hold) analysis
+  double si_coupling_factor = 0.35;
+  WireModel wire;
+  double io_input_delay_ps = 50.0; ///< arrival at primary inputs
+  double io_output_margin_ps = 50.0;
+};
+
+/// Timing at one endpoint (a flop D pin or a primary output).
+struct EndpointTiming {
+  netlist::InstanceId endpoint = netlist::kNoInstance;
+  bool is_flop = false;
+  double arrival_ps = 0.0;
+  double required_ps = 0.0;
+  double slack_ps = 0.0;
+  /// Worst-path statistics, features for ML correlation models.
+  std::size_t path_stages = 0;
+  double path_wire_delay_ps = 0.0;
+  double path_gate_delay_ps = 0.0;
+  std::size_t max_fanout_on_path = 0;
+  /// Hold analysis (flop endpoints, when StaOptions::with_hold is set):
+  /// min-arrival at D minus (capture insertion + hold requirement).
+  double hold_slack_ps = 0.0;
+};
+
+struct StaReport {
+  std::vector<EndpointTiming> endpoints;
+  double wns_ps = 0.0;  ///< worst negative slack (min slack over endpoints)
+  double tns_ps = 0.0;  ///< total negative slack (sum of negative slacks)
+  double whs_ps = 0.0;  ///< worst hold slack (with_hold only)
+  std::size_t failing_endpoints = 0;
+  std::size_t hold_violations = 0;
+  double analysis_cost = 0.0;  ///< abstract compute units consumed (Fig. 8 x-axis)
+
+  const EndpointTiming* endpoint_of(netlist::InstanceId id) const;
+};
+
+/// Run STA over a placed (and optionally routed) design. `clock` supplies
+/// per-flop insertion delays (pass a default-constructed tree for ideal
+/// clocks); `routed` enables SI analysis when with_si is set.
+StaReport run_sta(const place::Placement& pl, const ClockTree& clock, const StaOptions& opt,
+                  const route::GridGraph* routed = nullptr);
+
+/// Aggregate routing utilization at one GCell (used by SI analysis).
+struct GCellStats {
+  double utilization = 0.0;
+};
+GCellStats gcell_stats(const route::GridGraph& g, std::size_t c, std::size_t r);
+
+}  // namespace maestro::timing

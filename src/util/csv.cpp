@@ -1,0 +1,80 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace maestro::util {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+CsvTable::CsvTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+CsvTable& CsvTable::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+CsvTable& CsvTable::add(const std::string& cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+CsvTable& CsvTable::add(double value, int precision) { return add(format_double(value, precision)); }
+
+CsvTable& CsvTable::add(std::size_t value) { return add(std::to_string(value)); }
+
+CsvTable& CsvTable::add(int value) { return add(std::to_string(value)); }
+
+std::string CsvTable::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << header_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string CsvTable::to_pretty() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void CsvTable::print(std::ostream& os, bool pretty) const {
+  os << (pretty ? to_pretty() : to_csv());
+}
+
+}  // namespace maestro::util

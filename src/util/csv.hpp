@@ -1,0 +1,42 @@
+#pragma once
+// CSV emission for benchmark harnesses. Every bench binary regenerating a
+// paper table/figure prints its series through CsvTable so output is uniform
+// and machine-scrapeable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace maestro::util {
+
+/// A rectangular table with a header row; cells are preformatted strings.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  CsvTable& new_row();
+  CsvTable& add(const std::string& cell);
+  CsvTable& add(double value, int precision = 6);
+  CsvTable& add(std::size_t value);
+  CsvTable& add(int value);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+  /// Raw CSV text.
+  std::string to_csv() const;
+  /// Aligned text table for terminal display.
+  std::string to_pretty() const;
+
+  void print(std::ostream& os, bool pretty = true) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with benches).
+std::string format_double(double value, int precision);
+
+}  // namespace maestro::util

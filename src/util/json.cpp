@@ -1,0 +1,246 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace maestro::util {
+
+namespace {
+const Json kNullJson{};
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::Object) return kNullJson;
+  const auto it = obj_.find(key);
+  return it != obj_.end() ? it->second : kNullJson;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Json::dump() const {
+  switch (type_) {
+    case Type::Null: return "null";
+    case Type::Bool: return bool_ ? "true" : "false";
+    case Type::Number: {
+      if (std::isnan(num_) || std::isinf(num_)) return "null";
+      // Integral values print without decimal point for readability.
+      if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+        std::ostringstream os;
+        os << static_cast<std::int64_t>(num_);
+        return os.str();
+      }
+      std::ostringstream os;
+      os.precision(17);
+      os << num_;
+      return os.str();
+    }
+    case Type::String: return json_escape(str_);
+    case Type::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out.push_back(',');
+        out += arr_[i].dump();
+      }
+      out.push_back(']');
+      return out;
+    }
+    case Type::Object: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += json_escape(k);
+        out.push_back(':');
+        out += v.dump();
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool match(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos >= text.size()) return std::nullopt;
+    const char c = text[pos];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto s = string();
+      if (!s) return std::nullopt;
+      return Json{std::move(*s)};
+    }
+    if (match("true")) return Json{true};
+    if (match("false")) return Json{false};
+    if (match("null")) return Json{nullptr};
+    return number();
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) return std::nullopt;
+        char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Only BMP codepoints below 0x80 round-trip through our writer;
+            // encode others as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    double d = 0.0;
+    const auto* first = text.data() + start;
+    const auto* last = text.data() + pos;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc{} || ptr != last) return std::nullopt;
+    return Json{d};
+  }
+
+  std::optional<Json> array() {
+    if (!eat('[')) return std::nullopt;
+    JsonArray arr;
+    skip_ws();
+    if (eat(']')) return Json{std::move(arr)};
+    for (;;) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      if (eat(']')) return Json{std::move(arr)};
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> object() {
+    if (!eat('{')) return std::nullopt;
+    JsonObject obj;
+    skip_ws();
+    if (eat('}')) return Json{std::move(obj)};
+    for (;;) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      if (!eat(':')) return std::nullopt;
+      auto v = value();
+      if (!v) return std::nullopt;
+      obj.emplace(std::move(*key), std::move(*v));
+      if (eat('}')) return Json{std::move(obj)};
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.value();
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace maestro::util

@@ -1,0 +1,78 @@
+#pragma once
+// Minimal JSON value model, writer and parser.
+//
+// The METRICS system (Section 4 / Fig. 11 of the paper) encodes design-process
+// records for transmission and persistence; the paper's original system used
+// XML + Enterprise Java Beans, and explicitly notes that "reimplementing
+// METRICS with today's commodity ... technologies will be much simpler". We
+// use JSON as that commodity encoding. The parser accepts the subset of JSON
+// that the writer emits (objects, arrays, strings, numbers, bools, null).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maestro::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// A JSON value: null, bool, number (double), string, array or object.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : type_(Type::Number), num_(i) {}
+  Json(std::int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(std::size_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+
+  bool as_bool(bool fallback = false) const { return type_ == Type::Bool ? bool_ : fallback; }
+  double as_number(double fallback = 0.0) const { return type_ == Type::Number ? num_ : fallback; }
+  const std::string& as_string() const { return str_; }
+  const JsonArray& as_array() const { return arr_; }
+  const JsonObject& as_object() const { return obj_; }
+  JsonArray& as_array() { return arr_; }
+  JsonObject& as_object() { return obj_; }
+
+  /// Object field access; returns null Json for missing keys or non-objects.
+  const Json& at(const std::string& key) const;
+
+  /// Serialize to a compact JSON string.
+  std::string dump() const;
+
+  /// Parse a JSON document. Returns nullopt on malformed input.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Escape a string for inclusion in JSON output (adds surrounding quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace maestro::util

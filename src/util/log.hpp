@@ -1,0 +1,52 @@
+#pragma once
+// Structured tool logfiles.
+//
+// The paper's doomed-run predictor (Section 3.3) and the METRICS system
+// (Section 4) both consume tool logfiles: "Tool logfile data can be viewed as
+// time series". maestro tools emit ToolLog objects: a sequence of per-
+// iteration records plus free-form key/value metadata, serializable to JSON so
+// that corpora of logfiles can be persisted and mined exactly like the 1400
+// industry logfiles of Fig. 10.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace maestro::util {
+
+/// One iteration snapshot within a tool run (e.g. one detailed-route pass).
+struct LogIteration {
+  int iteration = 0;
+  /// Named numeric measurements at this iteration (e.g. "drvs", "wirelength").
+  std::map<std::string, double> values;
+
+  double value(const std::string& key, double fallback = 0.0) const {
+    const auto it = values.find(key);
+    return it != values.end() ? it->second : fallback;
+  }
+};
+
+/// A complete tool-run logfile.
+struct ToolLog {
+  std::string tool;       ///< e.g. "detail_route"
+  std::string design;     ///< design/testcase name
+  std::uint64_t seed = 0; ///< RNG seed of the run, for replay
+  std::map<std::string, std::string> metadata;  ///< knob settings etc.
+  std::vector<LogIteration> iterations;
+  bool completed = false; ///< tool ran to its final iteration
+
+  /// Series of one metric across iterations (missing iterations -> fallback).
+  std::vector<double> series(const std::string& key, double fallback = 0.0) const;
+
+  /// Value of a metric at the final iteration, if any iterations exist.
+  std::optional<double> final_value(const std::string& key) const;
+
+  Json to_json() const;
+  static std::optional<ToolLog> from_json(const Json& j);
+};
+
+}  // namespace maestro::util

@@ -1,0 +1,83 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace maestro::util {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  // Lemire-style rejection: draw until the value falls in the largest
+  // multiple of n, guaranteeing exact uniformity.
+  const std::uint64_t threshold = (~n + 1) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::gauss() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * mul;
+  have_spare_ = true;
+  return u * mul;
+}
+
+double Rng::exponential(double lambda) {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return weights.size();
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::gamma(double shape) {
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang augmentation).
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u > 0.0 ? u : 1e-300, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = gauss();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double Rng::beta(double a, double b) {
+  const double x = gamma(a);
+  const double y = gamma(b);
+  return x / (x + y);
+}
+
+}  // namespace maestro::util

@@ -1,0 +1,117 @@
+#pragma once
+// Deterministic, seedable random number generation for reproducible experiments.
+//
+// All stochastic behaviour in maestro (tool noise, netlist generation, bandit
+// sampling, annealing moves) flows through Rng so that every experiment is
+// replayable from a single 64-bit seed. The generator is xoshiro256++, seeded
+// via SplitMix64, following the reference implementations of Blackman & Vigna.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace maestro::util {
+
+/// SplitMix64 step; used to expand a single seed into a full generator state.
+/// Also useful on its own as a cheap hash of integers.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// Satisfies UniformRandomBitGenerator so it can be used with <random>
+/// distributions, but maestro code should prefer the member helpers, which are
+/// bit-exact across platforms (libstdc++/libc++ distributions are not).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x8badf00ddeadbeefULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection to avoid bias.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given the seed).
+  double gauss();
+
+  /// Normal with given mean and standard deviation.
+  double gauss(double mean, double sigma) { return mean + sigma * gauss(); }
+
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Sample an index from an (unnormalized, nonnegative) weight vector.
+  /// Returns weights.size() if all weights are zero.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Gamma(shape, scale=1) via Marsaglia-Tsang; shape > 0.
+  double gamma(double shape);
+
+  /// Beta(a, b) sample, a,b > 0. Used by Bernoulli Thompson sampling.
+  double beta(double a, double b);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel-in-structure use).
+  Rng split() { return Rng{next() ^ 0xa02bdbf7bb3c0a7ULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace maestro::util

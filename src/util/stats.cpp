@@ -1,0 +1,191 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maestro::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double variance(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.variance();
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  const double mx = mean(xs.first(n));
+  const double my = mean(ys.first(n));
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (std::size_t c : counts) t += c;
+  return t;
+}
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins, double lo, double hi) {
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins > 0 ? bins : 1, 0);
+  if (xs.empty() || hi <= lo) return h;
+  const double width = (hi - lo) / static_cast<double>(h.counts.size());
+  for (double x : xs) {
+    if (x < lo || x > hi) continue;
+    auto idx = static_cast<std::size_t>((x - lo) / width);
+    if (idx >= h.counts.size()) idx = h.counts.size() - 1;
+    ++h.counts[idx];
+  }
+  return h;
+}
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins) {
+  if (xs.empty()) return make_histogram(xs, bins, 0.0, 1.0);
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (hi <= lo) hi = lo + 1.0;
+  return make_histogram(xs, bins, lo, hi);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+namespace {
+
+// Asymptotic Kolmogorov distribution Q(d*sqrt(n)) used for the KS p-value.
+double ks_pvalue_from_stat(double d, std::size_t n) {
+  if (n == 0) return 1.0;
+  const double sn = std::sqrt(static_cast<double>(n));
+  const double lambda = (sn + 0.12 + 0.11 / sn) * d;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double sign = (k % 2 == 1) ? 1.0 : -1.0;
+    const double term = sign * std::exp(-2.0 * k * k * lambda * lambda);
+    sum += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+GaussianFit fit_gaussian(std::span<const double> xs) {
+  GaussianFit fit;
+  if (xs.empty()) return fit;
+  fit.mean = mean(xs);
+  fit.sigma = stddev(xs);
+  if (fit.sigma <= 0.0) {
+    fit.ks_statistic = 0.0;
+    fit.ks_pvalue = 1.0;
+    return fit;
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = normal_cdf((sorted[i] - fit.mean) / fit.sigma);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(cdf - lo), std::abs(cdf - hi)});
+  }
+  fit.ks_statistic = d;
+  fit.ks_pvalue = ks_pvalue_from_stat(d, sorted.size());
+  return fit;
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  LineFit f;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return f;
+  const double mx = mean(xs.first(n));
+  const double my = mean(ys.first(n));
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return f;
+}
+
+}  // namespace maestro::util

@@ -1,0 +1,87 @@
+#pragma once
+// Summary statistics and elementary statistical tests used throughout maestro:
+// tool-noise characterisation (Fig. 3), bandit reward accounting (Fig. 7), and
+// the data-mining layer of the METRICS system.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace maestro::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+/// Numerically stable; O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // unbiased
+double stddev(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0,100]. xs need not be sorted.
+double percentile(std::span<const double> xs, double p);
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Histogram with equal-width bins over [lo, hi].
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const;
+  double bin_width() const {
+    return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+  }
+  double bin_center(std::size_t i) const { return lo + (static_cast<double>(i) + 0.5) * bin_width(); }
+};
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins);
+Histogram make_histogram(std::span<const double> xs, std::size_t bins, double lo, double hi);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Fitted Gaussian parameters.
+struct GaussianFit {
+  double mean = 0.0;
+  double sigma = 0.0;
+  /// Kolmogorov-Smirnov statistic of the sample against N(mean, sigma).
+  double ks_statistic = 0.0;
+  /// Approximate KS p-value (asymptotic Kolmogorov distribution).
+  double ks_pvalue = 0.0;
+};
+
+/// Fit a Gaussian by moments and run a KS goodness-of-fit test.
+/// Used to verify the "noise is essentially Gaussian" claim of Fig. 3 (right).
+GaussianFit fit_gaussian(std::span<const double> xs);
+
+/// Ordinary least squares line y = a + b*x. Returns {a, b, r2}.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace maestro::util

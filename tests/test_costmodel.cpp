@@ -1,0 +1,129 @@
+// Unit tests for maestro::costmodel — calibration against the paper's
+// footnote-1 dollar figures and the Fig. 1 capability-gap shape.
+
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.hpp"
+
+namespace mc = maestro::costmodel;
+
+TEST(Roadmap, NodesDensityDoubles) {
+  const auto nodes = mc::roadmap_nodes();
+  ASSERT_GE(nodes.size(), 10u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GT(nodes[i].year, nodes[i - 1].year);
+    EXPECT_LT(nodes[i].feature_nm, nodes[i - 1].feature_nm);
+    EXPECT_GT(nodes[i].available_mtx_per_mm2, nodes[i - 1].available_mtx_per_mm2);
+  }
+}
+
+TEST(CapabilityGap, ClosedBefore2001OpenAfter) {
+  const auto series = mc::capability_gap_series(1995, 2015);
+  ASSERT_EQ(series.size(), 21u);
+  for (const auto& p : series) {
+    if (p.year <= 2001) {
+      EXPECT_NEAR(p.gap_factor, 1.0, 1e-9) << p.year;
+    }
+  }
+  // Gap grows monotonically after 2001 and is substantial by 2015.
+  double prev = 1.0;
+  for (const auto& p : series) {
+    EXPECT_GE(p.gap_factor, prev - 1e-12);
+    prev = p.gap_factor;
+  }
+  EXPECT_GT(series.back().gap_factor, 3.0);
+  EXPECT_LT(series.back().gap_factor, 10.0);
+  // Realized density still grows in absolute terms.
+  EXPECT_GT(series.back().realized_mtx_per_mm2, series.front().realized_mtx_per_mm2);
+}
+
+TEST(CostModel, Calibration2013WithInnovation) {
+  const mc::DesignCostModel model;
+  // Footnote 1: $45.4M in 2013 with the full DT innovation schedule.
+  EXPECT_NEAR(model.design_cost_musd(2013, 2013), 45.4, 45.4 * 0.10);
+}
+
+TEST(CostModel, CalibrationFrozen2000) {
+  const mc::DesignCostModel model;
+  // Footnote 1: without post-2000 innovations, ~$1B in 2013...
+  EXPECT_NEAR(model.design_cost_musd(2013, 2000), 1000.0, 250.0);
+  // ...reaching ~$70B in 2028.
+  EXPECT_NEAR(model.design_cost_musd(2028, 2000), 70000.0, 20000.0);
+}
+
+TEST(CostModel, CalibrationFrozen2013) {
+  const mc::DesignCostModel model;
+  // Footnote 1: absent post-2013 innovation, $45.4M grows to ~$3.4B by 2028.
+  EXPECT_NEAR(model.design_cost_musd(2028, 2013), 3400.0, 850.0);
+}
+
+TEST(CostModel, InnovationKeepsCostTensOfMillions) {
+  const mc::DesignCostModel model;
+  // "a ceiling of several tens of $M through the coming 15-year horizon".
+  for (int year = 2005; year <= 2028; ++year) {
+    const double cost = model.design_cost_musd(year, year);
+    EXPECT_LT(cost, 150.0) << year;
+    EXPECT_GT(cost, 5.0) << year;
+  }
+}
+
+TEST(CostModel, ProductivityMonotoneAndFrozen) {
+  const mc::DesignCostModel model;
+  EXPECT_GT(model.productivity(2013, 2013), model.productivity(2000, 2000));
+  // Freezing caps productivity regardless of year.
+  EXPECT_DOUBLE_EQ(model.productivity(2028, 2000), model.productivity(2000, 2000));
+  EXPECT_GT(model.productivity(2028, 2028), model.productivity(2028, 2013));
+}
+
+TEST(CostModel, TransistorDemandGrows) {
+  const mc::DesignCostModel model;
+  EXPECT_NEAR(model.transistor_demand(2013), 4.0e9, 1e3);
+  EXPECT_GT(model.transistor_demand(2020), model.transistor_demand(2013));
+  // ~75x over 15 years per the calibrated CAGR.
+  EXPECT_NEAR(model.transistor_demand(2028) / model.transistor_demand(2013), 75.0, 8.0);
+}
+
+TEST(CostModel, VerificationShareGrowsAndCaps) {
+  const mc::DesignCostModel model;
+  EXPECT_LT(model.verification_share(1995), model.verification_share(2010));
+  EXPECT_LE(model.verification_share(2050), 0.62);
+  EXPECT_GE(model.verification_share(1990), 0.0);
+}
+
+TEST(CostModel, TrendSeriesConsistent) {
+  const mc::DesignCostModel model;
+  const auto series = mc::cost_trend_series(model, 1995, 2028, 1);
+  ASSERT_EQ(series.size(), 34u);
+  for (const auto& p : series) {
+    EXPECT_NEAR(p.verification_cost_musd,
+                p.design_cost_musd * model.verification_share(p.year), 1e-9);
+    // Frozen scenarios are never cheaper than the innovated one (for years
+    // past the freeze).
+    if (p.year > 2000) EXPECT_GE(p.cost_frozen_2000_musd, p.design_cost_musd - 1e-9);
+    if (p.year > 2013) EXPECT_GE(p.cost_frozen_2013_musd, p.design_cost_musd - 1e-9);
+  }
+  // Cost explosion visible: frozen-2000 2028 cost is ~1000x innovated cost.
+  EXPECT_GT(series.back().cost_frozen_2000_musd / series.back().design_cost_musd, 200.0);
+}
+
+TEST(CostModel, InnovationScheduleWellFormed) {
+  const auto sched = mc::dt_innovation_schedule();
+  ASSERT_GE(sched.size(), 10u);
+  for (std::size_t i = 1; i < sched.size(); ++i) {
+    EXPECT_GE(sched[i].year, sched[i - 1].year);
+  }
+  for (const auto& dt : sched) {
+    EXPECT_GT(dt.productivity_multiplier, 1.0) << dt.name;
+    EXPECT_LT(dt.productivity_multiplier, 3.0) << dt.name;
+    EXPECT_FALSE(dt.name.empty());
+  }
+}
+
+TEST(CostModel, CustomParams) {
+  mc::CostModelParams params;
+  params.transistors_2013 = 8.0e9;  // double the demand
+  const mc::DesignCostModel model{params};
+  const mc::DesignCostModel base;
+  EXPECT_NEAR(model.design_cost_musd(2013, 2013) / base.design_cost_musd(2013, 2013), 2.0,
+              1e-9);
+}

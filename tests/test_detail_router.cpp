@@ -1,0 +1,181 @@
+// Tests for the track-assignment detailed router and its flow integration
+// (route knob detail_engine=track).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "flow/flow.hpp"
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "route/detail_router.hpp"
+
+namespace mf = maestro::flow;
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+namespace mr = maestro::route;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+
+struct Routed {
+  std::unique_ptr<mn::Netlist> nl;
+  std::unique_ptr<mp::Floorplan> fp;
+  std::unique_ptr<mp::Placement> pl;
+  mr::GridGraph grid;
+  std::vector<mr::RoutedSegment> segments;
+};
+
+std::unique_ptr<Routed> routed_design(std::uint64_t seed, double util, std::size_t gates = 500) {
+  auto r = std::make_unique<Routed>();
+  mn::RandomLogicSpec spec;
+  spec.gates = gates;
+  spec.seed = seed;
+  r->nl = std::make_unique<mn::Netlist>(mn::make_random_logic(lib(), spec));
+  r->fp = std::make_unique<mp::Floorplan>(mp::Floorplan::for_netlist(*r->nl, util));
+  Rng rng{seed};
+  r->pl = std::make_unique<mp::Placement>(mp::random_placement(*r->nl, *r->fp, rng));
+  mp::AnnealOptions ao;
+  ao.moves_per_cell = 10.0;
+  mp::anneal_placement(*r->pl, ao, rng);
+  mp::legalize(*r->pl);
+  mr::RouteOptions ro;
+  ro.gcells_x = ro.gcells_y = 24;
+  const double gw = static_cast<double>(r->fp->core().width()) / 24.0 / 1000.0;
+  ro.h_capacity = 20.0 * gw;
+  ro.v_capacity = 17.0 * gw;
+  ro.keep_segments = true;
+  auto gr = mr::global_route(*r->pl, ro, r->grid, rng);
+  r->segments = std::move(gr.segments);
+  return r;
+}
+}  // namespace
+
+TEST(GridGraph, EdgeCellsRoundTrip) {
+  const maestro::geom::GridIndexer idx{{{0, 0}, {100, 100}}, 5, 4};
+  mr::GridGraph g{5, 4, 10.0, 10.0, idx};
+  for (std::uint32_t row = 0; row < 4; ++row) {
+    for (std::uint32_t col = 0; col + 1 < 5; ++col) {
+      const auto e = g.edge_id({col, row}, mr::Dir::East);
+      EXPECT_TRUE(g.is_east(e));
+      const auto [a, b] = g.edge_cells(e);
+      EXPECT_EQ(a, (mr::GCell{col, row}));
+      EXPECT_EQ(b, (mr::GCell{col + 1, row}));
+    }
+  }
+  for (std::uint32_t row = 0; row + 1 < 4; ++row) {
+    for (std::uint32_t col = 0; col < 5; ++col) {
+      const auto e = g.edge_id({col, row}, mr::Dir::North);
+      EXPECT_FALSE(g.is_east(e));
+      const auto [a, b] = g.edge_cells(e);
+      EXPECT_EQ(a, (mr::GCell{col, row}));
+      EXPECT_EQ(b, (mr::GCell{col, row + 1}));
+    }
+  }
+}
+
+TEST(GlobalRouter, KeepSegmentsReturnsConsistentPaths) {
+  const auto r = routed_design(1, 0.6);
+  ASSERT_FALSE(r->segments.empty());
+  for (const auto& seg : r->segments) {
+    if (seg.from == seg.to) {
+      EXPECT_TRUE(seg.edges.empty());
+      continue;
+    }
+    ASSERT_FALSE(seg.edges.empty());
+    // The path's edges form a connected chain from `from` to `to`.
+    mr::GCell cur = seg.from;
+    for (const std::size_t e : seg.edges) {
+      const auto [a, b] = r->grid.edge_cells(e);
+      ASSERT_TRUE(a == cur || b == cur) << "disconnected path";
+      cur = (a == cur) ? b : a;
+    }
+    EXPECT_EQ(cur, seg.to);
+  }
+}
+
+TEST(DetailRouter, CleanDesignConvergesImmediately) {
+  auto r = routed_design(3, 0.5, 300);
+  mr::DetailRouteOptions opt;
+  Rng rng{3};
+  const auto res = mr::detail_route(*r->pl, r->grid, r->segments, opt, rng);
+  EXPECT_TRUE(res.succeeded);
+  EXPECT_LE(res.final_drvs, opt.success_threshold);
+  EXPECT_GT(res.via_count, 0u);
+  EXPECT_FALSE(res.drvs_per_iteration.empty());
+}
+
+TEST(DetailRouter, TightViaBudgetCreatesViolations) {
+  auto r = routed_design(5, 0.7);
+  mr::DetailRouteOptions opt;
+  opt.vias_per_cell = 4.0;  // absurd: pin demand alone exceeds it
+  Rng rng{5};
+  const auto res = mr::detail_route(*r->pl, r->grid, r->segments, opt, rng);
+  EXPECT_FALSE(res.succeeded);
+  EXPECT_GT(res.via_overflow, 0.0);
+}
+
+TEST(DetailRouter, FixingReducesViolations) {
+  auto r = routed_design(7, 0.8, 700);
+  mr::DetailRouteOptions opt;
+  opt.track_utilization = 0.8;  // squeeze tracks to force repair work
+  Rng rng{7};
+  const auto res = mr::detail_route(*r->pl, r->grid, r->segments, opt, rng);
+  ASSERT_GE(res.drvs_per_iteration.size(), 2u);
+  // The repair loop must not make things worse overall.
+  EXPECT_LE(res.drvs_per_iteration.back(), res.drvs_per_iteration.front() * 1.05);
+}
+
+TEST(DetailRouter, LogMatchesSeries) {
+  auto r = routed_design(9, 0.7);
+  mr::DetailRouteOptions opt;
+  opt.max_iterations = 8;
+  Rng rng{9};
+  const auto res = mr::detail_route(*r->pl, r->grid, r->segments, opt, rng);
+  EXPECT_EQ(res.log.iterations.size(), res.drvs_per_iteration.size());
+  const auto series = res.log.series("drvs");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i], res.drvs_per_iteration[i]);
+  }
+  EXPECT_LE(res.iterations_used, 8);
+}
+
+TEST(DetailRouter, FlowKnobSelectsTrackEngine) {
+  mf::FlowManager fm{lib()};
+  mf::FlowRecipe recipe;
+  recipe.design.kind = mf::DesignSpec::Kind::RandomLogic;
+  recipe.design.scale = 1;
+  recipe.design.name = "track_flow";
+  recipe.target_ghz = 0.9;
+  recipe.seed = 11;
+  recipe.knobs.set(mf::FlowStep::Floorplan, "utilization", "0.60");
+  recipe.knobs.set(mf::FlowStep::Route, "detail_engine", "track");
+  mf::DesignState state;
+  const auto res = fm.run_keep_state(recipe, mf::FlowConstraints{}, state);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(state.droute.log.metadata.at("engine"), "track");
+  // Easy utilization: the real engine should rate it clean.
+  EXPECT_TRUE(res.drc_clean) << res.final_drvs;
+}
+
+TEST(DetailRouter, FlowTrackVsModelAgreeOnEasyDesign) {
+  // Both engines must call an uncongested design routable.
+  mf::FlowManager fm{lib()};
+  auto run_with = [&](const char* engine) {
+    mf::FlowRecipe recipe;
+    recipe.design.kind = mf::DesignSpec::Kind::RandomLogic;
+    recipe.design.scale = 1;
+    recipe.design.name = "agree";
+    recipe.target_ghz = 0.8;
+    recipe.seed = 13;
+    recipe.knobs.set(mf::FlowStep::Floorplan, "utilization", "0.55");
+    recipe.knobs.set(mf::FlowStep::Route, "detail_engine", engine);
+    return fm.run(recipe);
+  };
+  EXPECT_TRUE(run_with("model").drc_clean);
+  EXPECT_TRUE(run_with("track").drc_clean);
+}

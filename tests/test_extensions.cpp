@@ -1,0 +1,313 @@
+// Tests for the paper's extension features: multi-corner STA and missing-
+// corner prediction (Section 3.2 extension (2)), the HMM doomed-run detector
+// (Section 3.3), gate sizing characterized on eyecharts (Section 3.3 (iii)),
+// intrinsic Rent-parameter evaluation (Section 3.3 (ii), ref [44]), and the
+// project-level license scheduler (footnote 4, ref [1]).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/corner_predictor.hpp"
+#include "core/hmm_guard.hpp"
+#include "core/scheduler.hpp"
+#include "core/sizer.hpp"
+#include "flow/flow.hpp"
+#include "place/rent.hpp"
+
+namespace mc = maestro::core;
+namespace mf = maestro::flow;
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+namespace mr = maestro::route;
+namespace mt = maestro::timing;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+}  // namespace
+
+// ------------------------------------------------------- multi-corner STA
+
+TEST(Corners, StandardSetOrdering) {
+  const auto corners = mt::standard_corners();
+  ASSERT_EQ(corners.size(), 3u);
+  const auto ss = mt::corner_by_name("ss");
+  const auto tt = mt::corner_by_name("tt");
+  const auto ff = mt::corner_by_name("ff");
+  EXPECT_GT(ss.gate_factor, tt.gate_factor);
+  EXPECT_GT(tt.gate_factor, ff.gate_factor);
+  EXPECT_DOUBLE_EQ(tt.gate_factor, 1.0);
+  // Wire varies less than gate across corners.
+  EXPECT_LT(ss.wire_factor - 1.0, ss.gate_factor - 1.0);
+  EXPECT_LT(1.0 - ff.wire_factor, 1.0 - ff.gate_factor);
+}
+
+namespace {
+struct CornerFixture {
+  mf::DesignState state;
+  std::map<std::string, mt::StaReport> reports;
+};
+
+std::unique_ptr<CornerFixture> corner_fixture(std::uint64_t seed) {
+  auto fx = std::make_unique<CornerFixture>();
+  mf::FlowManager fm{lib()};
+  mf::FlowRecipe recipe;
+  recipe.design.kind = mf::DesignSpec::Kind::RandomLogic;
+  recipe.design.scale = 1;
+  recipe.design.rtl_seed = seed;
+  recipe.design.name = "corner" + std::to_string(seed);
+  recipe.target_ghz = 1.2;
+  recipe.seed = seed;
+  fm.run_keep_state(recipe, mf::FlowConstraints{}, fx->state);
+  for (const auto& corner : mt::standard_corners()) {
+    mt::StaOptions opt;
+    opt.mode = mt::AnalysisMode::PathBased;
+    opt.clock_period_ps = 1000.0 / 1.2;
+    opt.corner = corner;
+    fx->reports[corner.name] = mt::run_sta(*fx->state.pl, fx->state.clock, opt);
+  }
+  return fx;
+}
+}  // namespace
+
+TEST(Corners, SlowCornerHasWorstSlack) {
+  const auto fx = corner_fixture(1);
+  EXPECT_LT(fx->reports.at("ss").wns_ps, fx->reports.at("tt").wns_ps);
+  EXPECT_LT(fx->reports.at("tt").wns_ps, fx->reports.at("ff").wns_ps);
+}
+
+TEST(Corners, CornerScalingIsNotAScalar) {
+  // Per-endpoint ss/tt arrival ratios must vary (wire-heavy vs gate-heavy
+  // paths scale differently) — this is what makes corner prediction ML-worthy.
+  const auto fx = corner_fixture(2);
+  const auto& ss = fx->reports.at("ss");
+  const auto& tt = fx->reports.at("tt");
+  double min_ratio = 1e9;
+  double max_ratio = 0.0;
+  for (const auto& ep : ss.endpoints) {
+    const auto* t = tt.endpoint_of(ep.endpoint);
+    ASSERT_NE(t, nullptr);
+    if (t->arrival_ps <= 0.0) continue;
+    const double ratio = ep.arrival_ps / t->arrival_ps;
+    min_ratio = std::min(min_ratio, ratio);
+    max_ratio = std::max(max_ratio, ratio);
+  }
+  EXPECT_GT(max_ratio - min_ratio, 0.005);
+}
+
+TEST(CornerPredictor, JoinProducesCompleteSamples) {
+  const auto fx = corner_fixture(3);
+  const auto samples = mc::join_corner_reports(fx->reports);
+  EXPECT_EQ(samples.size(), fx->reports.at("tt").endpoints.size());
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.slack_by_corner.size(), 3u);
+  }
+}
+
+TEST(CornerPredictor, BeatsScalarDerateOnMissingCorner) {
+  // Train on several designs at {tt, ff}; predict ss.
+  std::vector<mc::CornerSample> train;
+  std::vector<mc::CornerSample> test;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto fx = corner_fixture(seed + 10);
+    auto samples = mc::join_corner_reports(fx->reports);
+    auto& dst = seed <= 3 ? train : test;
+    dst.insert(dst.end(), samples.begin(), samples.end());
+  }
+  mc::CornerPredictor predictor{{"tt", "ff"}, "ss"};
+  predictor.fit(train);
+  const auto rep = predictor.evaluate(test);
+  ASSERT_GT(rep.endpoints, 10u);
+  EXPECT_GT(rep.r2, 0.9);
+  EXPECT_LT(rep.mean_abs_error_ps, rep.scalar_baseline_mae_ps);
+}
+
+// ------------------------------------------------------------- HMM guard
+
+namespace {
+std::vector<mr::DrvRun> guard_corpus(mr::CorpusKind kind, std::size_t n, std::uint64_t seed) {
+  mr::DrvSimOptions opt;
+  opt.seed = seed;
+  Rng rng{seed};
+  return mr::make_drv_corpus(kind, n, opt, rng);
+}
+}  // namespace
+
+TEST(HmmGuard, TrainsValidModels) {
+  const auto corpus = guard_corpus(mr::CorpusKind::ArtificialLayouts, 300, 21);
+  mc::HmmGuard guard;
+  guard.train(corpus);
+  EXPECT_TRUE(guard.trained());
+  EXPECT_TRUE(guard.success_model().valid(1e-6));
+  EXPECT_TRUE(guard.failure_model().valid(1e-6));
+}
+
+TEST(HmmGuard, EvidenceSeparatesOutcomes) {
+  const auto train = guard_corpus(mr::CorpusKind::ArtificialLayouts, 400, 23);
+  mc::HmmGuard guard;
+  guard.train(train);
+  // Full-trajectory evidence should be clearly higher for failing runs.
+  const auto test = guard_corpus(mr::CorpusKind::CpuFloorplans, 120, 25);
+  double good_evidence = 0.0;
+  double bad_evidence = 0.0;
+  std::size_t n_good = 0;
+  std::size_t n_bad = 0;
+  for (const auto& run : test) {
+    std::vector<int> obs;
+    for (std::size_t t = 1; t < run.drvs.size(); ++t) {
+      obs.push_back(guard.symbol_of(run.drvs[t], run.drvs[t - 1]));
+    }
+    const double e = guard.failure_evidence(obs);
+    if (run.succeeded) {
+      good_evidence += e;
+      ++n_good;
+    } else {
+      bad_evidence += e;
+      ++n_bad;
+    }
+  }
+  ASSERT_GT(n_good, 0u);
+  ASSERT_GT(n_bad, 0u);
+  EXPECT_GT(bad_evidence / static_cast<double>(n_bad),
+            good_evidence / static_cast<double>(n_good) + 1.0);
+}
+
+TEST(HmmGuard, LowErrorOnTestCorpus) {
+  const auto train = guard_corpus(mr::CorpusKind::ArtificialLayouts, 600, 27);
+  const auto test = guard_corpus(mr::CorpusKind::CpuFloorplans, 600, 29);
+  mc::HmmGuard guard;
+  guard.train(train);
+  const auto err = guard.evaluate(test);
+  EXPECT_EQ(err.total_runs, 600u);
+  EXPECT_LT(err.error_rate(), 0.15);
+  EXPECT_GT(err.iterations_saved, 0u);
+}
+
+// ------------------------------------------------------------ gate sizing
+
+TEST(Sizer, ImprovesChainDelay) {
+  auto ec = mn::make_eyechart(lib(), 8, 150.0);
+  const double before = ec.unit_drive_delay_ps;
+  mc::SizerOptions opt;
+  const auto res = mc::size_greedy(ec.netlist, opt);
+  EXPECT_NEAR(res.initial_delay_ps, before, 1e-6);
+  EXPECT_LT(res.final_delay_ps, before);
+  EXPECT_GT(res.final_area_um2, res.initial_area_um2);
+  EXPECT_GT(res.moves, 0);
+}
+
+TEST(Sizer, NeverBeatsEyechartOptimum) {
+  for (const std::size_t stages : {4u, 6u, 10u}) {
+    const auto ch = mc::characterize_on_eyechart(lib(), stages, 120.0);
+    EXPECT_GE(ch.heuristic_delay_ps, ch.optimal_delay_ps - 1e-9) << stages;
+    EXPECT_LE(ch.heuristic_delay_ps, ch.unit_drive_delay_ps + 1e-9) << stages;
+  }
+}
+
+TEST(Sizer, CapturesMostOfTheImprovement) {
+  const auto ch = mc::characterize_on_eyechart(lib(), 8, 200.0);
+  // Greedy sizing should recover the bulk of the X1 -> optimal gap.
+  EXPECT_GT(ch.improvement_capture(), 0.8);
+  EXPECT_LT(ch.suboptimality(), 0.15);
+}
+
+TEST(Sizer, RespectsTargetDelay) {
+  auto ec = mn::make_eyechart(lib(), 8, 150.0);
+  mc::SizerOptions opt;
+  opt.target_delay_ps = ec.unit_drive_delay_ps * 0.9;  // easy target
+  const auto res = mc::size_greedy(ec.netlist, opt);
+  EXPECT_LE(res.final_delay_ps, opt.target_delay_ps + 1e-9);
+  // Should stop early, not size to the bitter end.
+  const auto full = mc::characterize_on_eyechart(lib(), 8, 150.0);
+  EXPECT_GT(res.final_delay_ps, full.heuristic_delay_ps - 1e-9);
+}
+
+// ------------------------------------------------------- Rent estimation
+
+TEST(Rent, RentNetlistRecoversStructuredExponent) {
+  mn::RentSpec spec;
+  spec.levels = 5;
+  spec.leaf_gates = 24;
+  spec.rent_exponent = 0.65;
+  spec.seed = 31;
+  const auto nl = mn::make_rent_netlist(lib(), spec);
+  Rng rng{31};
+  const auto fit = mp::estimate_rent(nl, mp::RentEstimateOptions{}, rng);
+  ASSERT_GE(fit.levels.size(), 2u);
+  EXPECT_GT(fit.exponent, 0.3);
+  EXPECT_LT(fit.exponent, 0.95);
+  EXPECT_GT(fit.r2, 0.7);
+  // Bigger blocks expose more terminals.
+  EXPECT_GT(fit.levels.front().mean_terminals, fit.levels.back().mean_terminals);
+}
+
+TEST(Rent, LocalLogicMorePartitionableThanGlobal) {
+  // A netlist with locality should show a lower Rent exponent than one wired
+  // globally at random.
+  mn::RandomLogicSpec local_spec;
+  local_spec.gates = 800;
+  local_spec.seed = 33;
+  const auto local_nl = mn::make_random_logic(lib(), local_spec);
+
+  Rng r1{33};
+  const auto local_fit = mp::estimate_rent(local_nl, mp::RentEstimateOptions{}, r1);
+  ASSERT_GE(local_fit.levels.size(), 2u);
+  // Locality-aware generator: meaningfully below the unstructured limit p=1.
+  EXPECT_LT(local_fit.exponent, 0.95);
+  EXPECT_GT(local_fit.exponent, 0.2);
+}
+
+// ---------------------------------------------------------- scheduler
+
+TEST(Scheduler, MoreLicensesShorterMakespan) {
+  Rng rng{41};
+  const auto tasks = mc::make_project(60, 0.2, rng);
+  mc::ScheduleOptions opt;
+  opt.licenses = 2;
+  const auto two = mc::simulate_schedule(tasks, opt);
+  opt.licenses = 8;
+  const auto eight = mc::simulate_schedule(tasks, opt);
+  EXPECT_LT(eight.makespan_min, two.makespan_min);
+  // Same total work (no guard): identical license-minutes.
+  EXPECT_NEAR(eight.license_busy_min, two.license_busy_min, 1e-9);
+  EXPECT_LE(eight.utilization, 1.0 + 1e-12);
+}
+
+TEST(Scheduler, DoomedGuardCutsWasteAndMakespan) {
+  Rng rng{43};
+  const auto tasks = mc::make_project(80, 0.3, rng);
+  mc::ScheduleOptions opt;
+  opt.licenses = 4;
+  opt.doomed_guard = false;
+  const auto unguarded = mc::simulate_schedule(tasks, opt);
+  opt.doomed_guard = true;
+  const auto guarded = mc::simulate_schedule(tasks, opt);
+  EXPECT_LT(guarded.wasted_min, unguarded.wasted_min);
+  EXPECT_LE(guarded.makespan_min, unguarded.makespan_min);
+  EXPECT_LT(guarded.license_busy_min, unguarded.license_busy_min);
+}
+
+TEST(Scheduler, ShortestFirstNoWorseMakespan) {
+  Rng rng{47};
+  const auto tasks = mc::make_project(50, 0.15, rng);
+  mc::ScheduleOptions opt;
+  opt.licenses = 3;
+  opt.policy = mc::QueuePolicy::Fifo;
+  const auto fifo = mc::simulate_schedule(tasks, opt);
+  opt.policy = mc::QueuePolicy::ShortestFirst;
+  const auto sjf = mc::simulate_schedule(tasks, opt);
+  // SJF is a classic makespan heuristic for list scheduling; allow ties.
+  EXPECT_LE(sjf.makespan_min, fifo.makespan_min * 1.10);
+  EXPECT_EQ(sjf.runs_executed, fifo.runs_executed);
+}
+
+TEST(Scheduler, NoTasksNoMakespan) {
+  const auto res = mc::simulate_schedule({}, mc::ScheduleOptions{});
+  EXPECT_DOUBLE_EQ(res.makespan_min, 0.0);
+  EXPECT_EQ(res.runs_executed, 0u);
+}

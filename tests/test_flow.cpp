@@ -1,0 +1,297 @@
+// Unit and integration tests for maestro::flow — knob spaces, each tool in
+// isolation, and the end-to-end RTL-to-signoff flow with its documented
+// noisy-tool behaviour.
+
+#include <gtest/gtest.h>
+
+#include "flow/flow.hpp"
+#include "place/placement.hpp"
+#include "util/stats.hpp"
+
+namespace mf = maestro::flow;
+namespace mn = maestro::netlist;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+
+mf::FlowRecipe basic_recipe(double ghz = 1.0, std::uint64_t seed = 1) {
+  mf::FlowRecipe r;
+  r.design.kind = mf::DesignSpec::Kind::RandomLogic;
+  r.design.scale = 1;
+  r.design.name = "t";
+  r.target_ghz = ghz;
+  r.seed = seed;
+  return r;
+}
+}  // namespace
+
+TEST(Knobs, DefaultSpacesCoverAllSteps) {
+  const auto spaces = mf::default_knob_spaces();
+  EXPECT_EQ(spaces.size(), mf::kFlowStepCount);
+  for (const auto& s : spaces) {
+    EXPECT_FALSE(s.knobs.empty()) << mf::to_string(s.step);
+    EXPECT_GE(s.combinations(), 2.0);
+  }
+}
+
+TEST(Knobs, TrajectoryCountIsProductOfCombos) {
+  const auto spaces = mf::default_knob_spaces();
+  double expect = 1.0;
+  for (const auto& s : spaces) expect *= s.combinations();
+  EXPECT_DOUBLE_EQ(mf::count_trajectories(spaces), expect);
+  // The paper's "well over ten thousand command-option combinations" for a
+  // single P&R tool: our whole-flow space must be comfortably beyond that.
+  EXPECT_GT(mf::count_trajectories(spaces), 1e4);
+}
+
+TEST(Knobs, IterationExplodesTrajectorySpace) {
+  const auto spaces = mf::default_knob_spaces();
+  const double one = mf::count_trajectories_with_iteration(spaces, 1);
+  const double two = mf::count_trajectories_with_iteration(spaces, 2);
+  EXPECT_DOUBLE_EQ(one, mf::count_trajectories(spaces));
+  EXPECT_GT(two, one * 1000.0);
+}
+
+TEST(Knobs, DefaultTrajectoryUsesFirstValues) {
+  const auto spaces = mf::default_knob_spaces();
+  const auto t = mf::default_trajectory(spaces);
+  for (const auto& s : spaces) {
+    for (const auto& k : s.knobs) {
+      EXPECT_EQ(t.value(s.step, k.name, "?"), k.values.front());
+    }
+  }
+}
+
+TEST(Knobs, RandomTrajectoryIsLegal) {
+  const auto spaces = mf::default_knob_spaces();
+  Rng rng{3};
+  const auto t = mf::random_trajectory(spaces, rng);
+  for (const auto& s : spaces) {
+    for (const auto& k : s.knobs) {
+      const auto& v = t.value(s.step, k.name, "?");
+      EXPECT_NE(std::find(k.values.begin(), k.values.end(), v), k.values.end());
+    }
+  }
+}
+
+TEST(Knobs, ValueFallback) {
+  mf::FlowTrajectory t;
+  const std::string fb = "fallback";
+  EXPECT_EQ(t.value(mf::FlowStep::Place, "nope", fb), fb);
+  t.set(mf::FlowStep::Place, "effort", "high");
+  EXPECT_EQ(t.value(mf::FlowStep::Place, "effort", fb), "high");
+}
+
+TEST(Synthesis, ProducesValidSizedNetlist) {
+  mf::DesignState ds;
+  ds.lib = &lib();
+  mf::ToolContext ctx;
+  ctx.target_ghz = 1.0;
+  ctx.seed = 5;
+  const auto out = mf::run_synthesis(ds, basic_recipe().design, ctx);
+  EXPECT_TRUE(out.ok);
+  ASSERT_NE(ds.nl, nullptr);
+  std::string why;
+  EXPECT_TRUE(ds.nl->validate(&why)) << why;
+  EXPECT_GT(out.runtime_min, 0.0);
+  EXPECT_FALSE(out.log.iterations.empty());
+}
+
+TEST(Synthesis, MaxFanoutRespected) {
+  mf::DesignState ds;
+  ds.lib = &lib();
+  mf::ToolContext ctx;
+  ctx.target_ghz = 0.5;
+  ctx.seed = 7;
+  ctx.knobs["max_fanout"] = "8";
+  mf::DesignSpec spec = basic_recipe().design;
+  const auto out = mf::run_synthesis(ds, spec, ctx);
+  ASSERT_TRUE(out.ok);
+  for (const auto& net : ds.nl->nets()) {
+    EXPECT_LE(net.sinks.size(), 8u) << net.name;
+  }
+  EXPECT_TRUE(ds.nl->validate());
+}
+
+TEST(Synthesis, HigherTargetMoreArea) {
+  auto run_at = [&](double ghz) {
+    mf::DesignState ds;
+    ds.lib = &lib();
+    mf::ToolContext ctx;
+    ctx.target_ghz = ghz;
+    ctx.seed = 9;
+    ctx.knobs["sizing_iterations"] = "8";
+    mf::run_synthesis(ds, basic_recipe().design, ctx);
+    return ds.nl->total_area_um2();
+  };
+  const double relaxed = run_at(0.4);
+  const double aggressive = run_at(2.4);
+  EXPECT_GT(aggressive, relaxed * 1.05);
+}
+
+TEST(Synthesis, WireloadTimingPositiveAndMonotoneInDepth) {
+  const auto shallow = mn::make_chain(lib(), 3);
+  const auto deep = mn::make_chain(lib(), 30);
+  const auto t_shallow = mf::wireload_timing(shallow, 1.4);
+  const auto t_deep = mf::wireload_timing(deep, 1.4);
+  EXPECT_GT(t_shallow.critical_path_ps, 0.0);
+  EXPECT_GT(t_deep.critical_path_ps, 5.0 * t_shallow.critical_path_ps);
+}
+
+TEST(FlowSteps, RequirePriorState) {
+  mf::DesignState ds;
+  ds.lib = &lib();
+  mf::ToolContext ctx;
+  EXPECT_FALSE(mf::run_floorplan(ds, ctx).ok);
+  EXPECT_FALSE(mf::run_place(ds, ctx).ok);
+  EXPECT_FALSE(mf::run_cts(ds, ctx).ok);
+  EXPECT_FALSE(mf::run_route(ds, ctx).ok);
+  EXPECT_FALSE(mf::run_signoff(ds, ctx).ok);
+}
+
+TEST(Flow, EndToEndAtModestTargetSucceeds) {
+  mf::FlowManager fm{lib()};
+  const auto res = fm.run(basic_recipe(0.8, 11));
+  EXPECT_TRUE(res.completed);
+  EXPECT_TRUE(res.timing_met) << "wns=" << res.wns_ps;
+  EXPECT_TRUE(res.drc_clean) << "drvs=" << res.final_drvs;
+  EXPECT_TRUE(res.success());
+  EXPECT_GT(res.area_um2, 0.0);
+  EXPECT_GT(res.power_mw, 0.0);
+  EXPECT_GT(res.tat_minutes, 0.0);
+  EXPECT_GT(res.hpwl_dbu, 0.0);
+  EXPECT_EQ(res.logs.size(), mf::kFlowStepCount);
+}
+
+TEST(Flow, AbsurdTargetFailsTiming) {
+  mf::FlowManager fm{lib()};
+  const auto res = fm.run(basic_recipe(5.0, 13));
+  EXPECT_TRUE(res.completed);
+  EXPECT_FALSE(res.timing_met);
+  EXPECT_FALSE(res.success());
+}
+
+TEST(Flow, PowerConstraintEnforced) {
+  mf::FlowManager fm{lib()};
+  mf::FlowConstraints c;
+  c.max_power_mw = 1e-6;  // impossible
+  const auto res = fm.run(basic_recipe(0.8, 17), c);
+  EXPECT_TRUE(res.completed);
+  EXPECT_FALSE(res.constraints_met);
+  EXPECT_FALSE(res.success());
+}
+
+TEST(Flow, DeterministicGivenSeed) {
+  mf::FlowManager fm{lib()};
+  const auto a = fm.run(basic_recipe(1.0, 19));
+  const auto b = fm.run(basic_recipe(1.0, 19));
+  EXPECT_DOUBLE_EQ(a.area_um2, b.area_um2);
+  EXPECT_DOUBLE_EQ(a.wns_ps, b.wns_ps);
+  EXPECT_DOUBLE_EQ(a.final_drvs, b.final_drvs);
+}
+
+TEST(Flow, SeedChangesResults) {
+  mf::FlowManager fm{lib()};
+  // Near max frequency, results must vary run-to-run (the Fig. 3 claim).
+  const auto a = fm.run(basic_recipe(1.35, 23));
+  const auto b = fm.run(basic_recipe(1.35, 24));
+  EXPECT_NE(a.wns_ps, b.wns_ps);
+}
+
+TEST(Flow, NoiseGrowsTowardMaxFrequency) {
+  mf::FlowManager fm{lib()};
+  auto wns_sigma_at = [&](double ghz) {
+    maestro::util::RunningStats s;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      s.add(fm.run(basic_recipe(ghz, 100 + seed)).area_um2);
+    }
+    return s.stddev();
+  };
+  const double low = wns_sigma_at(0.6);
+  const double high = wns_sigma_at(1.45);
+  EXPECT_GT(high, low);  // area noise appears near the achievable limit
+}
+
+TEST(Flow, LowUtilizationEasesRouting) {
+  mf::FlowManager fm{lib()};
+  auto recipe = basic_recipe(0.8, 29);
+  recipe.knobs.set(mf::FlowStep::Floorplan, "utilization", "0.50");
+  const auto loose = fm.run(recipe);
+  recipe.knobs.set(mf::FlowStep::Floorplan, "utilization", "0.95");
+  recipe.seed = 29;
+  const auto tight = fm.run(recipe);
+  EXPECT_LE(loose.route_difficulty, tight.route_difficulty + 0.2);
+}
+
+TEST(Flow, RouteMonitorCanStopEarly) {
+  mf::FlowManager fm{lib()};
+  auto recipe = basic_recipe(1.0, 31);
+  int calls = 0;
+  recipe.route_monitor = [&calls](int iter, double, double) {
+    ++calls;
+    return iter < 4;  // stop after 5 iterations
+  };
+  const auto res = fm.run(recipe);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(calls, 5);  // iterations 0..4 observed; monitor vetoes at 4
+  // The route log is truncated.
+  for (const auto& log : res.logs) {
+    if (log.tool == "route") {
+      EXPECT_LE(log.iterations.size(), 5u);
+      EXPECT_FALSE(log.completed);
+    }
+  }
+}
+
+TEST(Flow, KeepStateExposesDatabase) {
+  mf::FlowManager fm{lib()};
+  mf::DesignState state;
+  const auto res = fm.run_keep_state(basic_recipe(0.9, 37), mf::FlowConstraints{}, state);
+  EXPECT_TRUE(res.completed);
+  ASSERT_NE(state.nl, nullptr);
+  ASSERT_NE(state.pl, nullptr);
+  EXPECT_GT(state.signoff.endpoints.size(), 0u);
+  EXPECT_GT(state.clock.buffers, 0u);
+  // Placement is legal after the flow.
+  EXPECT_TRUE(maestro::place::check_overlaps(*state.pl).legal());
+}
+
+TEST(Flow, TatScalesWithEffort) {
+  mf::FlowManager fm{lib()};
+  auto low = basic_recipe(0.8, 41);
+  low.knobs.set(mf::FlowStep::Place, "effort", "low");
+  low.knobs.set(mf::FlowStep::Route, "detail_iterations", "12");
+  auto high = basic_recipe(0.8, 41);
+  high.knobs.set(mf::FlowStep::Place, "effort", "high");
+  high.knobs.set(mf::FlowStep::Route, "detail_iterations", "40");
+  EXPECT_LT(fm.run(low).tat_minutes, fm.run(high).tat_minutes);
+}
+
+TEST(Flow, CpuLikeDesignRuns) {
+  mf::FlowManager fm{lib()};
+  mf::FlowRecipe r;
+  r.design.kind = mf::DesignSpec::Kind::CpuLike;
+  r.design.scale = 1;
+  r.design.name = "pulpino_like";
+  r.target_ghz = 0.7;
+  r.seed = 43;
+  const auto res = fm.run(r);
+  EXPECT_TRUE(res.completed);
+  EXPECT_GT(res.area_um2, 1000.0);
+}
+
+TEST(Flow, GatesOverrideHonored) {
+  mf::FlowManager fm{lib()};
+  auto r = basic_recipe(0.8, 47);
+  r.design.gates_override = 333;
+  mf::DesignState state;
+  fm.run_keep_state(r, mf::FlowConstraints{}, state);
+  const auto stats = mn::compute_stats(*state.nl);
+  // 333 gates + flops + ios + fanout buffers.
+  EXPECT_GE(stats.instances, 333u);
+  EXPECT_LE(stats.instances, 333u + 120u + 64u + 50u);
+}

@@ -1,0 +1,127 @@
+// Unit tests for maestro::geom — points, rects, bounding boxes, HPWL,
+// grid maps and indexers.
+
+#include <gtest/gtest.h>
+
+#include "geom/geometry.hpp"
+
+namespace mg = maestro::geom;
+
+TEST(Point, ArithmeticAndManhattan) {
+  const mg::Point a{3, 4};
+  const mg::Point b{1, 1};
+  EXPECT_EQ((a + b), (mg::Point{4, 5}));
+  EXPECT_EQ((a - b), (mg::Point{2, 3}));
+  EXPECT_EQ(mg::manhattan(a, b), 5);
+  EXPECT_EQ(mg::manhattan(b, a), 5);
+  EXPECT_EQ(mg::manhattan(a, a), 0);
+}
+
+TEST(Rect, BasicProperties) {
+  const mg::Rect r{{0, 0}, {10, 20}};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 20);
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.center(), (mg::Point{5, 10}));
+}
+
+TEST(Rect, ContainsAndIntersects) {
+  const mg::Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 10}));
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_FALSE(r.contains({11, 5}));
+  EXPECT_TRUE(r.intersects({{5, 5}, {15, 15}}));
+  EXPECT_TRUE(r.intersects({{10, 10}, {20, 20}}));  // touching counts
+  EXPECT_FALSE(r.intersects({{11, 11}, {20, 20}}));
+}
+
+TEST(Rect, IntersectionAndBloat) {
+  const mg::Rect a{{0, 0}, {10, 10}};
+  const mg::Rect b{{5, 5}, {20, 20}};
+  const mg::Rect i = a.intersection(b);
+  EXPECT_EQ(i, (mg::Rect{{5, 5}, {10, 10}}));
+  const mg::Rect no = a.intersection({{30, 30}, {40, 40}});
+  EXPECT_FALSE(no.valid());
+  EXPECT_EQ(a.bloat(2), (mg::Rect{{-2, -2}, {12, 12}}));
+}
+
+TEST(BBox, ExpandAndHalfPerimeter) {
+  mg::BBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.half_perimeter(), 0);
+  box.expand(mg::Point{2, 3});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.half_perimeter(), 0);  // single point
+  box.expand(mg::Point{5, 7});
+  EXPECT_EQ(box.half_perimeter(), (5 - 2) + (7 - 3));
+  box.expand(mg::Rect{{0, 0}, {1, 1}});
+  EXPECT_EQ(box.rect().lo, (mg::Point{0, 0}));
+  EXPECT_EQ(box.half_perimeter(), 5 + 7);
+}
+
+TEST(Hpwl, MatchesManualBox) {
+  const std::vector<mg::Point> pins = {{0, 0}, {10, 5}, {4, 20}};
+  EXPECT_EQ(mg::hpwl(pins), 10 + 20);
+  EXPECT_EQ(mg::hpwl(std::vector<mg::Point>{}), 0);
+  EXPECT_EQ(mg::hpwl(std::vector<mg::Point>{{3, 3}}), 0);
+}
+
+TEST(GridMap, StoreAndFill) {
+  mg::GridMap<int> g{3, 2, 7};
+  EXPECT_EQ(g.cols(), 3u);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.at(2, 1), 7);
+  g.at(1, 0) = 42;
+  EXPECT_EQ(g.at(1, 0), 42);
+  g.fill(0);
+  EXPECT_EQ(g.at(1, 0), 0);
+  EXPECT_TRUE(g.in_bounds(2, 1));
+  EXPECT_FALSE(g.in_bounds(3, 0));
+  EXPECT_FALSE(g.in_bounds(0, 2));
+}
+
+TEST(GridIndexer, CellOfCorners) {
+  const mg::GridIndexer idx{{{0, 0}, {100, 100}}, 10, 10};
+  EXPECT_EQ(idx.cell_of({0, 0}), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(idx.cell_of({99, 99}), (std::pair<std::size_t, std::size_t>{9, 9}));
+  // Out-of-range points clamp.
+  EXPECT_EQ(idx.cell_of({-5, 500}), (std::pair<std::size_t, std::size_t>{0, 9}));
+  EXPECT_EQ(idx.cell_of({100, 100}), (std::pair<std::size_t, std::size_t>{9, 9}));
+}
+
+TEST(GridIndexer, CellRectTilesRegion) {
+  const mg::GridIndexer idx{{{0, 0}, {100, 50}}, 4, 2};
+  const auto r00 = idx.cell_rect(0, 0);
+  EXPECT_EQ(r00, (mg::Rect{{0, 0}, {25, 25}}));
+  const auto r31 = idx.cell_rect(3, 1);
+  EXPECT_EQ(r31, (mg::Rect{{75, 25}, {100, 50}}));
+  // Center of a cell maps back to that cell.
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      EXPECT_EQ(idx.cell_of(idx.center_of(c, r)), (std::pair<std::size_t, std::size_t>{c, r}));
+    }
+  }
+}
+
+// Property: every point in the region maps to an in-bounds cell.
+class GridIndexerProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GridIndexerProperty, AllPointsInBounds) {
+  const auto [cols, rows] = GetParam();
+  const mg::GridIndexer idx{{{-50, -30}, {70, 90}}, static_cast<std::size_t>(cols),
+                            static_cast<std::size_t>(rows)};
+  for (mg::Dbu x = -50; x <= 70; x += 7) {
+    for (mg::Dbu y = -30; y <= 90; y += 11) {
+      const auto [c, r] = idx.cell_of({x, y});
+      EXPECT_LT(c, static_cast<std::size_t>(cols));
+      EXPECT_LT(r, static_cast<std::size_t>(rows));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridIndexerProperty,
+                         ::testing::Values(std::pair{1, 1}, std::pair{3, 5}, std::pair{16, 2},
+                                           std::pair{32, 32}));

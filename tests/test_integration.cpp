@@ -1,0 +1,214 @@
+// Cross-module integration tests: end-to-end scenarios combining the flow,
+// the orchestration layer, METRICS and the schedulers — the system working
+// as a whole, the way the examples drive it.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/doomed_guard.hpp"
+#include "core/metrics_loop.hpp"
+#include "core/robot_engineer.hpp"
+#include "core/scheduler.hpp"
+#include "core/sizer.hpp"
+#include "metrics/miner.hpp"
+
+namespace mc = maestro::core;
+namespace mf = maestro::flow;
+namespace mm = maestro::metrics;
+namespace mn = maestro::netlist;
+namespace mr = maestro::route;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+}  // namespace
+
+TEST(Integration, MinedKnobsFeedRobotEngineer) {
+  // Collect a small corpus, mine best knobs for WNS, hand the mined
+  // trajectory to a robot — the full METRICS -> decision -> execution loop.
+  mf::FlowManager fm{lib()};
+  mm::Server server;
+  mm::Transmitter tx{server};
+  Rng rng{1};
+  const auto spaces = mf::default_knob_spaces();
+
+  mf::DesignSpec design;
+  design.kind = mf::DesignSpec::Kind::RandomLogic;
+  design.scale = 1;
+  design.name = "loop_dut";
+  for (int i = 0; i < 10; ++i) {
+    mf::FlowRecipe recipe;
+    recipe.design = design;
+    recipe.target_ghz = 1.1;
+    recipe.knobs = mf::random_trajectory(spaces, rng);
+    recipe.seed = rng.next();
+    tx.transmit_flow(recipe, fm.run(recipe));
+  }
+  const auto mined = mm::best_knob_settings(server, mm::names::kWnsPs, false);
+  ASSERT_FALSE(mined.empty());
+
+  // Build a trajectory from the mined settings (legal values only).
+  mf::FlowTrajectory knobs = mf::default_trajectory(spaces);
+  for (const auto& space : spaces) {
+    const std::string prefix = std::string(mf::to_string(space.step)) + ".";
+    for (const auto& spec : space.knobs) {
+      const auto it = mined.find(prefix + spec.name);
+      if (it != mined.end() &&
+          std::find(spec.values.begin(), spec.values.end(), it->second) != spec.values.end()) {
+        knobs.set(space.step, spec.name, it->second);
+      }
+    }
+  }
+  mc::RobotEngineer robot{fm};
+  mf::FlowRecipe recipe;
+  recipe.design = design;
+  recipe.target_ghz = 1.0;
+  recipe.knobs = knobs;
+  recipe.seed = 99;
+  const auto out = robot.execute(recipe, mf::FlowConstraints{}, rng);
+  EXPECT_TRUE(out.succeeded);
+}
+
+TEST(Integration, GuardSavingsImproveProjectSchedule) {
+  // Measure the guard's iteration savings on a corpus, then verify the
+  // project scheduler turns the same cut fractions into shorter makespan.
+  mr::DrvSimOptions dso;
+  dso.seed = 5;
+  Rng rng{5};
+  const auto train = mr::make_drv_corpus(mr::CorpusKind::ArtificialLayouts, 400, dso, rng);
+  mc::DoomedRunGuard guard;
+  guard.train(train);
+  const auto test = mr::make_drv_corpus(mr::CorpusKind::CpuFloorplans, 300, dso, rng);
+  const auto err = guard.evaluate(test, 2);
+  ASSERT_GT(err.iterations_saved, 0u);
+
+  // Project where each doomed run would be cut at the guard's measured
+  // average fraction.
+  std::size_t doomed = 0;
+  for (const auto& r : test) doomed += r.succeeded ? 0 : 1;
+  const double avg_cut = 1.0 - static_cast<double>(err.iterations_saved) /
+                                   (static_cast<double>(doomed) * 19.0);
+  Rng prng{7};
+  auto tasks = mc::make_project(60, 0.3, prng);
+  for (auto& t : tasks) t.guard_cut_fraction = std::clamp(avg_cut, 0.05, 0.9);
+  mc::ScheduleOptions sopt;
+  sopt.licenses = 4;
+  sopt.doomed_guard = false;
+  const auto before = mc::simulate_schedule(tasks, sopt);
+  sopt.doomed_guard = true;
+  const auto after = mc::simulate_schedule(tasks, sopt);
+  EXPECT_LT(after.makespan_min, before.makespan_min);
+}
+
+TEST(Integration, EyechartSurvivesFullFlow) {
+  // An eyechart netlist is a legal design: it must place, route and sign off
+  // through the standard flow machinery.
+  auto ec = mn::make_eyechart(lib(), 12, 60.0);
+  // Size it first (the flow's synthesis step is bypassed — we operate on the
+  // already-built netlist directly through the placement/timing substrate).
+  mc::SizerOptions sopt;
+  mc::size_greedy(ec.netlist, sopt);
+
+  const auto fp = maestro::place::Floorplan::for_netlist(ec.netlist, 0.6);
+  Rng rng{11};
+  auto pl = maestro::place::random_placement(ec.netlist, fp, rng);
+  maestro::place::legalize(pl);
+  EXPECT_TRUE(maestro::place::check_overlaps(pl).legal());
+
+  const auto clock = maestro::timing::build_clock_tree(pl, maestro::timing::ClockTreeOptions{}, rng);
+  maestro::timing::StaOptions so;
+  so.clock_period_ps = 5000.0;
+  const auto rep = maestro::timing::run_sta(pl, clock, so);
+  ASSERT_FALSE(rep.endpoints.empty());
+  EXPECT_GT(rep.wns_ps, 0.0);  // relaxed clock: must meet timing
+}
+
+TEST(Integration, MetricsRoundTripPreservesMining) {
+  // Mining results must be identical after a save/load cycle.
+  mf::FlowManager fm{lib()};
+  mm::Server server;
+  mm::Transmitter tx{server};
+  Rng rng{13};
+  mf::DesignSpec design;
+  design.kind = mf::DesignSpec::Kind::RandomLogic;
+  design.scale = 1;
+  design.name = "rt_dut";
+  const auto spaces = mf::default_knob_spaces();
+  for (int i = 0; i < 6; ++i) {
+    mf::FlowRecipe recipe;
+    recipe.design = design;
+    recipe.target_ghz = 1.0;
+    recipe.knobs = mf::random_trajectory(spaces, rng);
+    recipe.seed = rng.next();
+    tx.transmit_flow(recipe, fm.run(recipe));
+  }
+  const std::string path = "/tmp/maestro_it_roundtrip.jsonl";
+  ASSERT_TRUE(server.save(path));
+  mm::Server loaded;
+  ASSERT_EQ(loaded.load(path), server.size());
+  const auto a = mm::best_knob_settings(server, mm::names::kAreaUm2, true);
+  const auto b = mm::best_knob_settings(loaded, mm::names::kAreaUm2, true);
+  EXPECT_EQ(a, b);
+  const auto fa = mm::knob_sensitivity(server, mm::names::kTatMin);
+  const auto fb = mm::knob_sensitivity(loaded, mm::names::kTatMin);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].knob, fb[i].knob);
+    EXPECT_NEAR(fa[i].mean_metric, fb[i].mean_metric, 1e-9);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Integration, WholePipelineDeterministic) {
+  // Flow + guard training + evaluation must be bit-identical across
+  // executions with the same seeds (the reproducibility contract).
+  auto run_once = [&] {
+    mf::FlowManager fm{lib()};
+    mf::FlowRecipe recipe;
+    recipe.design.kind = mf::DesignSpec::Kind::CpuLike;
+    recipe.design.scale = 1;
+    recipe.design.name = "det";
+    recipe.target_ghz = 0.7;
+    recipe.seed = 21;
+    const auto res = fm.run(recipe);
+
+    mr::DrvSimOptions dso;
+    dso.seed = 23;
+    Rng rng{23};
+    const auto corpus = mr::make_drv_corpus(mr::CorpusKind::ArtificialLayouts, 150, dso, rng);
+    mc::DoomedRunGuard guard;
+    guard.train(corpus);
+    return std::tuple{res.area_um2, res.wns_ps, res.final_drvs, guard.card().stop_fraction()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, FlowStateConsistentAcrossModules) {
+  // The kept DesignState must be internally consistent: STA endpoints match
+  // the netlist, power reflects the placement, the clock tree covers the
+  // flops, and the routed grid covers the core.
+  mf::FlowManager fm{lib()};
+  mf::FlowRecipe recipe;
+  recipe.design.kind = mf::DesignSpec::Kind::RandomLogic;
+  recipe.design.scale = 1;
+  recipe.design.name = "consist";
+  recipe.target_ghz = 1.0;
+  recipe.seed = 31;
+  mf::DesignState state;
+  const auto res = fm.run_keep_state(recipe, mf::FlowConstraints{}, state);
+  ASSERT_TRUE(res.completed);
+
+  const auto flops = state.nl->flops();
+  EXPECT_EQ(state.signoff.endpoints.size(), flops.size() + state.nl->primary_outputs().size());
+  for (const auto ff : flops) EXPECT_GT(state.clock.insertion_of(ff), 0.0);
+  EXPECT_GT(state.routed.node_count(), 0u);
+  EXPECT_EQ(state.routed.indexer().region(), state.fp->core());
+  const auto pwr = maestro::power::estimate_power(*state.pl, recipe.target_ghz,
+                                                  maestro::power::PowerOptions{});
+  EXPECT_NEAR(pwr.total_mw(), res.power_mw, 1e-9);
+}

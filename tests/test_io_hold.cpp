@@ -1,0 +1,221 @@
+// Tests for netlist/placement interchange I/O and hold-time analysis.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netlist/generators.hpp"
+#include "netlist/io.hpp"
+#include "place/io.hpp"
+#include "place/placer.hpp"
+#include "timing/sta.hpp"
+
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+namespace mt = maestro::timing;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+}  // namespace
+
+// ------------------------------------------------------------- netlist I/O
+
+TEST(NetlistIo, RoundTripPreservesStructure) {
+  mn::RandomLogicSpec spec;
+  spec.gates = 300;
+  spec.seed = 7;
+  const auto nl = mn::make_random_logic(lib(), spec);
+  const std::string text = mn::write_netlist(nl);
+  mn::ParseError err;
+  const auto back = mn::read_netlist(lib(), text, &err);
+  ASSERT_TRUE(back.has_value()) << "line " << err.line << ": " << err.message;
+  EXPECT_EQ(back->name(), nl.name());
+  EXPECT_EQ(back->instance_count(), nl.instance_count());
+  EXPECT_EQ(back->net_count(), nl.net_count());
+  EXPECT_TRUE(back->validate());
+  // Per-instance masters and connectivity identical.
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    const auto id = static_cast<mn::InstanceId>(i);
+    EXPECT_EQ(back->instance(id).master, nl.instance(id).master);
+    EXPECT_EQ(back->instance(id).input_nets, nl.instance(id).input_nets);
+  }
+  const auto s1 = mn::compute_stats(nl);
+  const auto s2 = mn::compute_stats(*back);
+  EXPECT_EQ(s1.max_logic_depth, s2.max_logic_depth);
+  EXPECT_EQ(s1.max_fanout, s2.max_fanout);
+  // Round-trip is a fixed point.
+  EXPECT_EQ(mn::write_netlist(*back), text);
+}
+
+TEST(NetlistIo, RejectsMalformedInput) {
+  mn::ParseError err;
+  EXPECT_FALSE(mn::read_netlist(lib(), "", &err).has_value());
+  EXPECT_FALSE(mn::read_netlist(lib(), "wrong header\n", &err).has_value());
+  const std::string bad_master =
+      "maestro_netlist 1\ndesign d\ninstance u0 NOT_A_CELL\n";
+  EXPECT_FALSE(mn::read_netlist(lib(), bad_master, &err).has_value());
+  EXPECT_EQ(err.line, 3u);
+  EXPECT_NE(err.message.find("unknown master"), std::string::npos);
+  const std::string bad_driver = "maestro_netlist 1\ndesign d\nnet n0 ghost\n";
+  EXPECT_FALSE(mn::read_netlist(lib(), bad_driver, &err).has_value());
+  const std::string dup =
+      "maestro_netlist 1\ndesign d\ninstance u0 INV_X1\ninstance u0 INV_X1\n";
+  EXPECT_FALSE(mn::read_netlist(lib(), dup, &err).has_value());
+  EXPECT_NE(err.message.find("duplicate"), std::string::npos);
+  const std::string bad_pin =
+      "maestro_netlist 1\ndesign d\ninstance a INPUT\ninstance b INV_X1\nnet n a b:7\n";
+  EXPECT_FALSE(mn::read_netlist(lib(), bad_pin, &err).has_value());
+  EXPECT_NE(err.message.find("pin out of range"), std::string::npos);
+}
+
+TEST(NetlistIo, HandlesCommentsAndBlankLines) {
+  const std::string text =
+      "maestro_netlist 1\n"
+      "design tiny\n"
+      "# a comment\n"
+      "\n"
+      "instance pi0 INPUT\n"
+      "instance g0 INV_X2\n"
+      "instance po0 OUTPUT\n"
+      "net a pi0 g0:0\n"
+      "net b g0 po0:0\n";
+  const auto nl = mn::read_netlist(lib(), text);
+  ASSERT_TRUE(nl.has_value());
+  EXPECT_TRUE(nl->validate());
+  EXPECT_EQ(nl->instance_count(), 3u);
+  EXPECT_EQ(nl->master_of(1).drive, 2);
+}
+
+// ----------------------------------------------------------- placement I/O
+
+TEST(PlacementIo, RoundTripPreservesLocations) {
+  mn::RandomLogicSpec spec;
+  spec.gates = 200;
+  spec.seed = 9;
+  const auto nl = mn::make_random_logic(lib(), spec);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  Rng rng{9};
+  auto pl = mp::random_placement(nl, fp, rng);
+  mp::legalize(pl);
+
+  const std::string text = mp::write_placement(pl);
+  mn::ParseError err;
+  const auto back = mp::read_placement(nl, fp, text, &err);
+  ASSERT_TRUE(back.has_value()) << "line " << err.line << ": " << err.message;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    const auto id = static_cast<mn::InstanceId>(i);
+    EXPECT_EQ(back->loc(id), pl.loc(id));
+  }
+  // Identical locations -> identical HPWL.
+  EXPECT_EQ(back->total_hpwl(), pl.total_hpwl());
+}
+
+TEST(PlacementIo, RejectsUnknownInstance) {
+  const auto nl = mn::make_chain(lib(), 2);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  const std::string text = "maestro_placement 1\nplace ghost 0 0\n";
+  mn::ParseError err;
+  EXPECT_FALSE(mp::read_placement(nl, fp, text, &err).has_value());
+  EXPECT_NE(err.message.find("unknown instance"), std::string::npos);
+}
+
+TEST(PlacementIo, RejectsDesignMismatch) {
+  const auto nl = mn::make_chain(lib(), 2);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  const std::string text = "maestro_placement 1\ndesign other\n";
+  EXPECT_FALSE(mp::read_placement(nl, fp, text).has_value());
+}
+
+// ---------------------------------------------------------- hold analysis
+
+namespace {
+struct HoldFixture {
+  std::unique_ptr<mn::Netlist> nl;
+  std::unique_ptr<mp::Floorplan> fp;
+  std::unique_ptr<mp::Placement> pl;
+};
+
+HoldFixture hold_fixture(std::uint64_t seed, double flop_ratio = 0.25) {
+  HoldFixture f;
+  mn::RandomLogicSpec spec;
+  spec.gates = 400;
+  spec.flop_ratio = flop_ratio;
+  spec.seed = seed;
+  f.nl = std::make_unique<mn::Netlist>(mn::make_random_logic(lib(), spec));
+  f.fp = std::make_unique<mp::Floorplan>(mp::Floorplan::for_netlist(*f.nl, 0.7));
+  Rng rng{seed};
+  f.pl = std::make_unique<mp::Placement>(mp::random_placement(*f.nl, *f.fp, rng));
+  mp::legalize(*f.pl);
+  return f;
+}
+}  // namespace
+
+TEST(Hold, IdealClockGivesPositiveHoldSlack) {
+  // With zero skew, every data path (>= one gate) comfortably beats the
+  // 6 ps hold requirement.
+  const auto f = hold_fixture(1);
+  mt::StaOptions opt;
+  opt.with_hold = true;
+  const auto rep = mt::run_sta(*f.pl, mt::ClockTree{}, opt);
+  EXPECT_GT(rep.whs_ps, 0.0);
+  EXPECT_EQ(rep.hold_violations, 0u);
+}
+
+TEST(Hold, SkewedClockDegradesHoldSlack) {
+  const auto f = hold_fixture(2);
+  Rng rng{2};
+  mt::ClockTreeOptions co;
+  const auto clock = mt::build_clock_tree(*f.pl, co, rng);
+  mt::StaOptions opt;
+  opt.with_hold = true;
+  const auto ideal = mt::run_sta(*f.pl, mt::ClockTree{}, opt);
+  const auto skewed = mt::run_sta(*f.pl, clock, opt);
+  // Hold is a race against the capture clock edge: insertion-delay spread
+  // must not IMPROVE the worst hold slack.
+  EXPECT_LE(skewed.whs_ps, ideal.whs_ps + 1e-9);
+}
+
+TEST(Hold, OnlyFlopEndpointsCarryHoldSlack) {
+  const auto f = hold_fixture(3);
+  mt::StaOptions opt;
+  opt.with_hold = true;
+  const auto rep = mt::run_sta(*f.pl, mt::ClockTree{}, opt);
+  for (const auto& ep : rep.endpoints) {
+    if (!ep.is_flop) EXPECT_DOUBLE_EQ(ep.hold_slack_ps, 0.0);
+  }
+}
+
+TEST(Hold, DisabledByDefault) {
+  const auto f = hold_fixture(4);
+  mt::StaOptions opt;
+  const auto rep = mt::run_sta(*f.pl, mt::ClockTree{}, opt);
+  EXPECT_DOUBLE_EQ(rep.whs_ps, 0.0);
+  EXPECT_EQ(rep.hold_violations, 0u);
+}
+
+TEST(Hold, GbaEarlyDerateIsPessimistic) {
+  // GBA's early derate (<1) shrinks early arrivals, so GBA hold slack must
+  // be <= PBA hold slack at every endpoint.
+  const auto f = hold_fixture(5);
+  Rng rng{5};
+  const auto clock = mt::build_clock_tree(*f.pl, mt::ClockTreeOptions{}, rng);
+  mt::StaOptions gba;
+  gba.mode = mt::AnalysisMode::GraphBased;
+  gba.with_hold = true;
+  mt::StaOptions pba;
+  pba.mode = mt::AnalysisMode::PathBased;
+  pba.with_hold = true;
+  const auto rep_gba = mt::run_sta(*f.pl, clock, gba);
+  const auto rep_pba = mt::run_sta(*f.pl, clock, pba);
+  EXPECT_LE(rep_gba.whs_ps, rep_pba.whs_ps + 1e-9);
+  for (const auto& ep : rep_gba.endpoints) {
+    if (!ep.is_flop) continue;
+    const auto* p = rep_pba.endpoint_of(ep.endpoint);
+    ASSERT_NE(p, nullptr);
+    EXPECT_LE(ep.hold_slack_ps, p->hold_slack_ps + 1e-9);
+  }
+}

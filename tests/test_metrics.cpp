@@ -1,0 +1,205 @@
+// Unit tests for maestro::metrics — records, the server/transmitter, and
+// the data miner's knob-sensitivity / prescription / outcome-model features.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "flow/flow.hpp"
+#include "metrics/miner.hpp"
+#include "metrics/server.hpp"
+
+namespace mm = maestro::metrics;
+namespace mf = maestro::flow;
+using maestro::util::Rng;
+
+namespace {
+mm::Record make_record(const std::string& design, double area, const std::string& util) {
+  mm::Record r;
+  r.design = design;
+  r.step = "flow";
+  r.knobs["floorplan.utilization"] = util;
+  r.values[mm::names::kAreaUm2] = area;
+  return r;
+}
+}  // namespace
+
+TEST(Record, JsonRoundTrip) {
+  mm::Record r;
+  r.run_id = 42;
+  r.design = "cpu";
+  r.step = "route";
+  r.seed = 7;
+  r.knobs["k"] = "v";
+  r.values["m"] = 1.25;
+  const auto back = mm::Record::from_json(r.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->run_id, 42u);
+  EXPECT_EQ(back->design, "cpu");
+  EXPECT_EQ(back->step, "route");
+  EXPECT_EQ(back->seed, 7u);
+  EXPECT_EQ(*back->knob("k"), "v");
+  EXPECT_DOUBLE_EQ(*back->value("m"), 1.25);
+  EXPECT_FALSE(back->value("absent").has_value());
+  EXPECT_FALSE(back->knob("absent").has_value());
+}
+
+TEST(Server, SubmitAssignsIds) {
+  mm::Server server;
+  const auto id1 = server.submit(make_record("a", 1.0, "0.7"));
+  const auto id2 = server.submit(make_record("b", 2.0, "0.7"));
+  EXPECT_NE(id1, 0u);
+  EXPECT_NE(id2, id1);
+  EXPECT_EQ(server.size(), 2u);
+}
+
+TEST(Server, QueriesFilter) {
+  mm::Server server;
+  server.submit(make_record("a", 1.0, "0.7"));
+  server.submit(make_record("a", 2.0, "0.8"));
+  server.submit(make_record("b", 3.0, "0.7"));
+  EXPECT_EQ(server.for_design("a").size(), 2u);
+  EXPECT_EQ(server.for_design("b").size(), 1u);
+  EXPECT_EQ(server.for_step("flow").size(), 3u);
+  EXPECT_EQ(server.for_step("route").size(), 0u);
+  const auto big = server.query(
+      [](const mm::Record& r) { return r.value(mm::names::kAreaUm2).value_or(0) > 1.5; });
+  EXPECT_EQ(big.size(), 2u);
+}
+
+TEST(Server, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/maestro_metrics_test.jsonl";
+  {
+    mm::Server server;
+    server.submit(make_record("a", 1.0, "0.7"));
+    server.submit(make_record("b", 2.0, "0.8"));
+    ASSERT_TRUE(server.save(path));
+  }
+  mm::Server loaded;
+  EXPECT_EQ(loaded.load(path), 2u);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.for_design("a").size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(Server, LoadMissingFileReturnsZero) {
+  mm::Server server;
+  EXPECT_EQ(server.load("/tmp/definitely_not_here.jsonl"), 0u);
+}
+
+TEST(Transmitter, FlattensFlowRun) {
+  const auto lib = maestro::netlist::make_default_library();
+  mf::FlowManager fm{lib};
+  mf::FlowRecipe recipe;
+  recipe.design.kind = mf::DesignSpec::Kind::RandomLogic;
+  recipe.design.scale = 1;
+  recipe.design.name = "tx_test";
+  recipe.target_ghz = 0.8;
+  recipe.seed = 3;
+  recipe.knobs = mf::default_trajectory(mf::default_knob_spaces());
+  const auto result = fm.run(recipe);
+
+  mm::Server server;
+  mm::Transmitter tx{server};
+  const auto id = tx.transmit_flow(recipe, result);
+  EXPECT_NE(id, 0u);
+  // One flow record + one per step log.
+  EXPECT_EQ(server.size(), 1u + result.logs.size());
+  const auto flows = server.for_step("flow");
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0]->design, "tx_test");
+  EXPECT_TRUE(flows[0]->value(mm::names::kAreaUm2).has_value());
+  EXPECT_TRUE(flows[0]->knob("floorplan.utilization").has_value());
+  // Step records present with parsed numeric metadata.
+  EXPECT_EQ(server.for_step("synthesis").size(), 1u);
+  EXPECT_EQ(server.for_step("route").size(), 1u);
+}
+
+TEST(Miner, KnobSensitivityGroupsByValue) {
+  mm::Server server;
+  // utilization 0.7 -> small area, 0.9 -> big area, clean separation.
+  for (int i = 0; i < 10; ++i) {
+    server.submit(make_record("d", 100.0 + i, "0.7"));
+    server.submit(make_record("d", 200.0 + i, "0.9"));
+  }
+  const auto effects = mm::knob_sensitivity(server, mm::names::kAreaUm2);
+  ASSERT_EQ(effects.size(), 2u);
+  double mean07 = 0.0;
+  double mean09 = 0.0;
+  for (const auto& e : effects) {
+    EXPECT_EQ(e.knob, "floorplan.utilization");
+    EXPECT_EQ(e.runs, 10u);
+    if (e.value == "0.7") mean07 = e.mean_metric;
+    if (e.value == "0.9") mean09 = e.mean_metric;
+  }
+  EXPECT_NEAR(mean07, 104.5, 1e-9);
+  EXPECT_NEAR(mean09, 204.5, 1e-9);
+}
+
+TEST(Miner, BestKnobSettingsMinimize) {
+  mm::Server server;
+  for (int i = 0; i < 5; ++i) {
+    server.submit(make_record("d", 100.0, "0.7"));
+    server.submit(make_record("d", 200.0, "0.9"));
+  }
+  const auto best_min = mm::best_knob_settings(server, mm::names::kAreaUm2, true);
+  EXPECT_EQ(best_min.at("floorplan.utilization"), "0.7");
+  const auto best_max = mm::best_knob_settings(server, mm::names::kAreaUm2, false);
+  EXPECT_EQ(best_max.at("floorplan.utilization"), "0.9");
+}
+
+TEST(Miner, PrescribeFrequencyFindsHighestReliable) {
+  mm::Server server;
+  auto add_runs = [&](double ghz, int succ, int fail) {
+    for (int i = 0; i < succ + fail; ++i) {
+      mm::Record r;
+      r.design = "cpu";
+      r.step = "flow";
+      r.values[mm::names::kTargetGhz] = ghz;
+      r.values[mm::names::kSuccess] = i < succ ? 1.0 : 0.0;
+      server.submit(std::move(r));
+    }
+  };
+  add_runs(0.8, 10, 0);   // 100%
+  add_runs(1.0, 9, 1);    // 90%
+  add_runs(1.2, 5, 5);    // 50%
+  add_runs(1.4, 0, 10);   // 0%
+  const auto p = mm::prescribe_frequency(server, "cpu", 0.8);
+  EXPECT_DOUBLE_EQ(p.recommended_ghz, 1.0);
+  EXPECT_NEAR(p.predicted_success_rate, 0.9, 1e-12);
+  EXPECT_EQ(p.supporting_runs, 40u);
+  // Different design: no data.
+  const auto none = mm::prescribe_frequency(server, "other", 0.8);
+  EXPECT_DOUBLE_EQ(none.recommended_ghz, 0.0);
+}
+
+TEST(Miner, OutcomeModelLearnsLinearRelation) {
+  mm::Server server;
+  Rng rng{5};
+  for (int i = 0; i < 200; ++i) {
+    mm::Record r;
+    r.design = "d";
+    r.step = "flow";
+    const double f = rng.uniform(0.5, 2.0);
+    r.values[mm::names::kTargetGhz] = f;
+    r.values[mm::names::kPowerMw] = 3.0 * f + rng.gauss(0, 0.01);
+    server.submit(std::move(r));
+  }
+  Rng rng2{7};
+  const auto model = mm::fit_outcome_model(server, {mm::names::kTargetGhz},
+                                           mm::names::kPowerMw, rng2);
+  EXPECT_EQ(model.rows, 200u);
+  EXPECT_GT(model.test_r2, 0.99);
+  const double pred = model.predict({{mm::names::kTargetGhz, 1.0}});
+  EXPECT_NEAR(pred, 3.0, 0.1);
+}
+
+TEST(Miner, OutcomeModelNeedsData) {
+  mm::Server server;
+  Rng rng{9};
+  const auto model =
+      mm::fit_outcome_model(server, {mm::names::kTargetGhz}, mm::names::kPowerMw, rng);
+  EXPECT_EQ(model.rows, 0u);
+  EXPECT_DOUBLE_EQ(model.test_r2, 0.0);
+}

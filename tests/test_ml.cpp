@@ -1,0 +1,450 @@
+// Unit tests for maestro::ml — bandit policies, MDP solvers, Q-learning,
+// hidden Markov models, linear algebra, and regression models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/bandit.hpp"
+#include "ml/hmm.hpp"
+#include "ml/linalg.hpp"
+#include "ml/mdp.hpp"
+#include "ml/regression.hpp"
+
+namespace ml = maestro::ml;
+using maestro::util::Rng;
+
+// ---------------------------------------------------------------- bandits
+
+namespace {
+std::vector<ml::GaussianArm> three_arms() {
+  return {{0.2, 0.1}, {0.5, 0.1}, {0.8, 0.1}};
+}
+}  // namespace
+
+TEST(Bandit, ArmStatsMoments) {
+  ml::ArmStats s;
+  s.pulls = 4;
+  s.reward_sum = 10.0;
+  s.reward_sq_sum = 30.0;
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), (30.0 - 4 * 6.25) / 3.0, 1e-12);
+}
+
+class BanditConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BanditConvergence, AllPoliciesFindBestArm) {
+  const auto arms = three_arms();
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<std::unique_ptr<ml::BanditPolicy>> policies;
+  policies.push_back(std::make_unique<ml::ThompsonGaussian>(arms.size()));
+  policies.push_back(std::make_unique<ml::EpsilonGreedy>(arms.size(), 0.1));
+  policies.push_back(std::make_unique<ml::Softmax>(arms.size(), 0.05));
+  policies.push_back(std::make_unique<ml::Ucb1>(arms.size()));
+  for (auto& p : policies) {
+    const auto res = ml::run_bandit(*p, arms, 300, 1, rng);
+    EXPECT_EQ(p->best_empirical_arm(), 2u) << p->name();
+    // The best arm should dominate pulls.
+    EXPECT_GT(res.pulls_per_arm[2], res.pulls_per_arm[0]) << p->name();
+    EXPECT_GT(res.pulls_per_arm[2], res.pulls_per_arm[1]) << p->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BanditConvergence, ::testing::Values(1, 2, 3));
+
+TEST(Bandit, ThompsonRegretSublinear) {
+  const auto arms = three_arms();
+  Rng rng{7};
+  ml::ThompsonGaussian ts{arms.size()};
+  const auto res = ml::run_bandit(ts, arms, 500, 1, rng);
+  // Late-half regret accumulation much slower than early half.
+  const double early = res.cumulative_regret[249];
+  const double late = res.cumulative_regret[499] - early;
+  EXPECT_LT(late, 0.6 * early);
+}
+
+TEST(Bandit, ThompsonBeatsUniformRandom) {
+  const auto arms = three_arms();
+  Rng rng{9};
+  ml::ThompsonGaussian ts{arms.size()};
+  const auto res = ml::run_bandit(ts, arms, 400, 1, rng);
+  // Uniform random regret would be ~ (0.6+0.3+0)/3 = 0.3 per pull.
+  EXPECT_LT(res.total_regret, 0.3 * 400 * 0.5);
+}
+
+TEST(Bandit, BatchedPullsWork) {
+  const auto arms = three_arms();
+  Rng rng{11};
+  ml::ThompsonGaussian ts{arms.size()};
+  const auto res = ml::run_bandit(ts, arms, 40, 5, rng);
+  EXPECT_EQ(res.cumulative_regret.size(), 40u);
+  std::size_t total = 0;
+  for (const auto n : res.pulls_per_arm) total += n;
+  EXPECT_EQ(total, 200u);  // 40 x 5
+  EXPECT_EQ(ts.total_pulls(), 200u);
+}
+
+TEST(Bandit, ThompsonBernoulliConverges) {
+  Rng rng{13};
+  ml::ThompsonBernoulli tb{3};
+  const std::vector<double> probs = {0.2, 0.5, 0.8};
+  for (int i = 0; i < 600; ++i) {
+    const auto arm = tb.select(rng);
+    tb.update(arm, rng.chance(probs[arm]) ? 1.0 : 0.0);
+  }
+  EXPECT_GT(tb.stats(2).pulls, tb.stats(0).pulls);
+  EXPECT_GT(tb.stats(2).pulls, tb.stats(1).pulls);
+}
+
+TEST(Bandit, EpsilonZeroIsGreedy) {
+  Rng rng{15};
+  ml::EpsilonGreedy greedy{2, 0.0};
+  greedy.update(0, 1.0);
+  greedy.update(1, 0.0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(greedy.select(rng), 0u);
+}
+
+// ------------------------------------------------------------------- MDP
+
+namespace {
+// Two-state chain: state 0 can GO (to terminal 1 with reward depending on
+// action quality) or STOP. Optimal is to GO when the go-reward is higher.
+ml::Mdp two_state(double go_reward, double stop_reward) {
+  ml::Mdp mdp{2, 2};
+  mdp.add_transition(0, 0, {1, 1.0, go_reward});
+  mdp.add_transition(0, 1, {1, 1.0, stop_reward});
+  return mdp;
+}
+}  // namespace
+
+TEST(Mdp, ValueIterationPicksBetterAction) {
+  const auto pick_go = ml::value_iteration(two_state(2.0, 1.0));
+  EXPECT_EQ(pick_go.action[0], 0u);
+  const auto pick_stop = ml::value_iteration(two_state(1.0, 2.0));
+  EXPECT_EQ(pick_stop.action[0], 1u);
+}
+
+TEST(Mdp, PolicyIterationMatchesValueIteration) {
+  // Random-ish 6-state MDP; both solvers must agree on values and actions.
+  Rng rng{17};
+  ml::Mdp mdp{6, 2};
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      mdp.add_transition(s, a, {s + 1, 0.7, rng.uniform(-1, 1)});
+      mdp.add_transition(s, a, {rng.below(6), 0.3, rng.uniform(-1, 1)});
+    }
+  }
+  mdp.normalize();
+  ml::SolveOptions opt;
+  opt.gamma = 0.9;
+  const auto vi = ml::value_iteration(mdp, opt);
+  const auto pi = ml::policy_iteration(mdp, opt);
+  for (std::size_t s = 0; s < 6; ++s) {
+    EXPECT_NEAR(vi.value[s], pi.value[s], 1e-4) << "state " << s;
+    if (!mdp.terminal(s)) EXPECT_EQ(vi.action[s], pi.action[s]) << "state " << s;
+  }
+}
+
+TEST(Mdp, TerminalDetection) {
+  ml::Mdp mdp{3, 2};
+  mdp.add_transition(0, 0, {1, 1.0, 0.0});
+  EXPECT_FALSE(mdp.terminal(0));
+  EXPECT_TRUE(mdp.terminal(1));
+  EXPECT_TRUE(mdp.terminal(2));
+}
+
+TEST(Mdp, NormalizeMakesDistributions) {
+  ml::Mdp mdp{2, 1};
+  mdp.add_transition(0, 0, {1, 3.0, 1.0});
+  mdp.add_transition(0, 0, {0, 1.0, 0.0});
+  mdp.normalize();
+  double total = 0.0;
+  for (const auto& t : mdp.outcomes(0, 0)) total += t.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(mdp.outcomes(0, 0)[0].probability, 0.75, 1e-12);
+}
+
+TEST(Mdp, DiscountAffectsValues) {
+  // A chain paying 1 per step forever: value = 1/(1-gamma) at the start.
+  ml::Mdp mdp{2, 1};
+  mdp.add_transition(0, 0, {0, 1.0, 1.0});
+  ml::SolveOptions opt;
+  opt.gamma = 0.9;
+  opt.tolerance = 1e-10;
+  const auto p = ml::value_iteration(mdp, opt);
+  EXPECT_NEAR(p.value[0], 10.0, 1e-3);
+}
+
+TEST(QLearning, SolvesSmallMdp) {
+  // 3-state corridor: action 0 moves right (reward 1 at the end), action 1
+  // stays put (reward 0). Q-learning should learn to move right.
+  ml::Mdp mdp{4, 2};
+  mdp.add_transition(0, 0, {1, 1.0, 0.0});
+  mdp.add_transition(1, 0, {2, 1.0, 0.0});
+  mdp.add_transition(2, 0, {3, 1.0, 10.0});
+  for (std::size_t s = 0; s < 3; ++s) mdp.add_transition(s, 1, {s, 1.0, -0.1});
+  ml::MdpEnvironment env{mdp};
+  Rng rng{19};
+  ml::QLearnOptions opt;
+  opt.episodes = 3000;
+  const auto policy = ml::q_learning(env, opt, rng);
+  EXPECT_EQ(policy.action[0], 0u);
+  EXPECT_EQ(policy.action[1], 0u);
+  EXPECT_EQ(policy.action[2], 0u);
+}
+
+// ------------------------------------------------------------------- HMM
+
+TEST(Hmm, RandomModelIsValid) {
+  Rng rng{21};
+  const auto h = ml::Hmm::random(3, 4, rng);
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(h.n_states(), 3u);
+  EXPECT_EQ(h.n_symbols(), 4u);
+}
+
+TEST(Hmm, LikelihoodOfDeterministicModel) {
+  // Two states that always self-loop and emit their own symbol.
+  ml::Hmm h;
+  h.initial = {1.0, 0.0};
+  h.transition = {{1.0, 0.0}, {0.0, 1.0}};
+  h.emission = {{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_NEAR(ml::log_likelihood(h, {0, 0, 0}), 0.0, 1e-9);  // P = 1
+  EXPECT_LT(ml::log_likelihood(h, {0, 1, 0}), -10.0);        // impossible-ish
+}
+
+TEST(Hmm, ViterbiDecodesPlantedStates) {
+  // Noisy two-state model with distinct emissions.
+  ml::Hmm h;
+  h.initial = {0.5, 0.5};
+  h.transition = {{0.9, 0.1}, {0.1, 0.9}};
+  h.emission = {{0.9, 0.1}, {0.1, 0.9}};
+  const std::vector<int> obs = {0, 0, 0, 1, 1, 1, 0, 0};
+  const auto path = ml::viterbi(h, obs);
+  ASSERT_EQ(path.size(), obs.size());
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[4], 1u);
+  EXPECT_EQ(path[7], 0u);
+}
+
+TEST(Hmm, PosteriorsAreDistributions) {
+  Rng rng{23};
+  const auto h = ml::Hmm::random(3, 4, rng);
+  const auto obs = ml::sample_sequence(h, 20, rng);
+  std::vector<std::vector<double>> post;
+  ml::log_likelihood(h, obs, &post);
+  ASSERT_EQ(post.size(), obs.size());
+  for (const auto& p : post) {
+    double total = 0.0;
+    for (const double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Hmm, BaumWelchImprovesLikelihood) {
+  // Generate data from a planted model; train a random model on it.
+  ml::Hmm truth;
+  truth.initial = {0.7, 0.3};
+  truth.transition = {{0.85, 0.15}, {0.2, 0.8}};
+  truth.emission = {{0.8, 0.15, 0.05}, {0.05, 0.25, 0.7}};
+  Rng rng{25};
+  std::vector<std::vector<int>> seqs;
+  for (int i = 0; i < 30; ++i) seqs.push_back(ml::sample_sequence(truth, 40, rng));
+
+  ml::Hmm model = ml::Hmm::random(2, 3, rng);
+  double before = 0.0;
+  for (const auto& s : seqs) before += ml::log_likelihood(model, s);
+  ml::BaumWelchOptions opt;
+  opt.max_iterations = 40;
+  ml::baum_welch(model, seqs, opt);
+  double after = 0.0;
+  for (const auto& s : seqs) after += ml::log_likelihood(model, s);
+  EXPECT_GT(after, before);
+  EXPECT_TRUE(model.valid(1e-6));
+}
+
+TEST(Hmm, SampleSequenceSymbolsInRange) {
+  Rng rng{27};
+  const auto h = ml::Hmm::random(2, 5, rng);
+  const auto obs = ml::sample_sequence(h, 100, rng);
+  EXPECT_EQ(obs.size(), 100u);
+  for (const int o : obs) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 5);
+  }
+}
+
+// ---------------------------------------------------------------- linalg
+
+TEST(Linalg, SolveKnownSystem) {
+  ml::Matrix a{2, 2};
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = ml::solve_linear(a, {5.0, 10.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+}
+
+TEST(Linalg, SingularReturnsNullopt) {
+  ml::Matrix a{2, 2};
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_FALSE(ml::solve_linear(a, {1.0, 2.0}).has_value());
+}
+
+TEST(Linalg, SolveNeedsPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  ml::Matrix a{2, 2};
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto x = ml::solve_linear(a, {3.0, 7.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, MatrixOps) {
+  ml::Matrix m{2, 3};
+  m.at(0, 0) = 1;
+  m.at(0, 2) = 2;
+  m.at(1, 1) = 3;
+  const auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 2.0);
+  const auto p = m.multiply(t);  // 2x2
+  EXPECT_EQ(p.rows(), 2u);
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 9.0);
+  const auto id = ml::Matrix::identity(3);
+  const auto mi = m.multiply(id);
+  EXPECT_DOUBLE_EQ(mi.at(0, 2), 2.0);
+}
+
+// ------------------------------------------------------------- regression
+
+namespace {
+ml::Dataset linear_data(Rng& rng, std::size_t n = 200) {
+  ml::Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-5, 5);
+    const double x1 = rng.uniform(-5, 5);
+    d.add({x0, x1}, 3.0 + 2.0 * x0 - 1.5 * x1 + rng.gauss(0, 0.01));
+  }
+  return d;
+}
+}  // namespace
+
+TEST(Regression, RidgeRecoversLinearFunction) {
+  Rng rng{31};
+  const auto d = linear_data(rng);
+  ml::RidgeRegression model{1e-6};
+  model.fit(d);
+  EXPECT_NEAR(model.intercept(), 3.0, 0.05);
+  EXPECT_NEAR(model.weights()[0], 2.0, 0.02);
+  EXPECT_NEAR(model.weights()[1], -1.5, 0.02);
+  EXPECT_NEAR(model.predict(std::vector<double>{1.0, 1.0}), 3.5, 0.1);
+}
+
+TEST(Regression, TrainTestSplitPartitions) {
+  Rng rng{33};
+  const auto d = linear_data(rng, 100);
+  const auto [train, test] = ml::train_test_split(d, 0.25, rng);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.size(), 75u);
+}
+
+TEST(Regression, ScalerNormalizes) {
+  Rng rng{35};
+  ml::Dataset d;
+  for (int i = 0; i < 500; ++i) d.add({rng.gauss(100, 20), rng.gauss(-5, 0.1)}, 0.0);
+  ml::StandardScaler sc;
+  sc.fit(d);
+  const auto scaled = sc.transform(d);
+  double m0 = 0.0;
+  double v0 = 0.0;
+  for (const auto& row : scaled.x) m0 += row[0];
+  m0 /= 500;
+  for (const auto& row : scaled.x) v0 += (row[0] - m0) * (row[0] - m0);
+  v0 /= 500;
+  EXPECT_NEAR(m0, 0.0, 1e-9);
+  EXPECT_NEAR(v0, 1.0, 1e-6);
+}
+
+TEST(Regression, KnnInterpolatesLocally) {
+  ml::Dataset d;
+  for (int i = 0; i <= 10; ++i) d.add({static_cast<double>(i)}, static_cast<double>(i * i));
+  ml::KnnRegressor knn{1};
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{3.1}), 9.0);
+  ml::KnnRegressor knn3{3};
+  knn3.fit(d);
+  // Neighbors of 5.0 are {4,5,6} -> mean(16,25,36) = 25.67.
+  EXPECT_NEAR(knn3.predict(std::vector<double>{5.0}), (16 + 25 + 36) / 3.0, 1e-9);
+}
+
+TEST(Regression, BoostedStumpsFitNonlinear) {
+  Rng rng{37};
+  ml::Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-3, 3);
+    d.add({x}, x > 0 ? 5.0 : -5.0);  // step function: stumps' home turf
+  }
+  ml::BoostedStumps model{100, 0.3};
+  model.fit(d);
+  EXPECT_GT(model.rounds_fitted(), 10u);
+  EXPECT_NEAR(model.predict(std::vector<double>{2.0}), 5.0, 0.5);
+  EXPECT_NEAR(model.predict(std::vector<double>{-2.0}), -5.0, 0.5);
+}
+
+TEST(Regression, BoostedStumpsBeatRidgeOnNonlinearity) {
+  Rng rng{39};
+  ml::Dataset d;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3, 3);
+    d.add({x}, std::abs(x) + rng.gauss(0, 0.05));
+  }
+  auto [train, test] = ml::train_test_split(d, 0.3, rng);
+  ml::RidgeRegression ridge;
+  ridge.fit(train);
+  ml::BoostedStumps stumps{200, 0.15};
+  stumps.fit(train);
+  const double ridge_mse = ml::mse(test.y, ridge.predict_all(test));
+  const double stump_mse = ml::mse(test.y, stumps.predict_all(test));
+  EXPECT_LT(stump_mse, 0.5 * ridge_mse);
+}
+
+TEST(Regression, Metrics) {
+  const std::vector<double> truth = {1, 2, 3, 4};
+  const std::vector<double> pred = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ml::mse(truth, pred), 0.0);
+  EXPECT_DOUBLE_EQ(ml::mae(truth, pred), 0.0);
+  EXPECT_DOUBLE_EQ(ml::r2_score(truth, pred), 1.0);
+  const std::vector<double> off = {2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ml::mse(truth, off), 1.0);
+  EXPECT_DOUBLE_EQ(ml::mae(truth, off), 1.0);
+  EXPECT_LT(ml::r2_score(truth, off), 1.0);
+}
+
+TEST(Regression, ConfusionCounts) {
+  const std::vector<double> scores = {0.9, 0.8, 0.3, 0.1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const auto c = ml::confusion_at(scores, labels, 0.5);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+}

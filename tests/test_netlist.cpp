@@ -1,0 +1,309 @@
+// Unit tests for maestro::netlist — the cell library, netlist graph
+// invariants, and every synthetic generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mn = maestro::netlist;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+}  // namespace
+
+TEST(CellLibrary, HasAllFunctionsAndDrives) {
+  for (const auto f : {mn::CellFunction::Inv, mn::CellFunction::Buf, mn::CellFunction::Nand2,
+                       mn::CellFunction::Nor2, mn::CellFunction::And2, mn::CellFunction::Or2,
+                       mn::CellFunction::Xor2, mn::CellFunction::Mux2}) {
+    const auto v = lib().variants(f);
+    ASSERT_EQ(v.size(), 4u) << mn::to_string(f);
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      EXPECT_LT(lib().master(v[i - 1]).drive, lib().master(v[i]).drive);
+    }
+  }
+  EXPECT_EQ(lib().variants(mn::CellFunction::Dff).size(), 2u);
+}
+
+TEST(CellLibrary, FindByNameAndFunction) {
+  const auto id = lib().find("INV_X4");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(lib().master(*id).function, mn::CellFunction::Inv);
+  EXPECT_EQ(lib().master(*id).drive, 4);
+  EXPECT_FALSE(lib().find("BOGUS").has_value());
+  EXPECT_FALSE(lib().find(mn::CellFunction::Inv, 3).has_value());
+  const auto byf = lib().find(mn::CellFunction::Nand2, 2);
+  ASSERT_TRUE(byf.has_value());
+  EXPECT_EQ(lib().master(*byf).name, "NAND2_X2");
+}
+
+TEST(CellLibrary, DriveScalingIsPhysical) {
+  const auto x1 = *lib().find(mn::CellFunction::Inv, 1);
+  const auto x8 = *lib().find(mn::CellFunction::Inv, 8);
+  // Bigger drive: more area, more input cap, lower resistance, more leakage.
+  EXPECT_GT(lib().master(x8).area_um2, lib().master(x1).area_um2);
+  EXPECT_GT(lib().master(x8).input_cap_ff, lib().master(x1).input_cap_ff);
+  EXPECT_LT(lib().master(x8).drive_res_kohm, lib().master(x1).drive_res_kohm);
+  EXPECT_GT(lib().master(x8).leakage_nw, lib().master(x1).leakage_nw);
+  // At heavy load the X8 is faster.
+  EXPECT_LT(lib().master(x8).delay_ps(50.0), lib().master(x1).delay_ps(50.0));
+}
+
+TEST(CellLibrary, WidthsAreSiteMultiples) {
+  for (const auto& m : lib().masters()) {
+    EXPECT_EQ(m.width_dbu % lib().site_width_dbu(), 0) << m.name;
+    EXPECT_GT(m.width_dbu, 0) << m.name;
+  }
+}
+
+TEST(CellLibrary, InputCounts) {
+  EXPECT_EQ(mn::input_count(mn::CellFunction::Inv), 1);
+  EXPECT_EQ(mn::input_count(mn::CellFunction::Nand2), 2);
+  EXPECT_EQ(mn::input_count(mn::CellFunction::Mux2), 3);
+  EXPECT_EQ(mn::input_count(mn::CellFunction::Dff), 1);
+  EXPECT_EQ(mn::input_count(mn::CellFunction::Input), 0);
+  EXPECT_TRUE(mn::is_sequential(mn::CellFunction::Dff));
+  EXPECT_FALSE(mn::is_sequential(mn::CellFunction::Nand2));
+}
+
+TEST(Netlist, BuildTinyAndValidate) {
+  mn::Netlist nl{lib(), "tiny"};
+  const auto pi = nl.add_instance("pi", lib().smallest(mn::CellFunction::Input));
+  const auto inv = nl.add_instance("inv", lib().smallest(mn::CellFunction::Inv));
+  const auto po = nl.add_instance("po", lib().smallest(mn::CellFunction::Output));
+  const auto n0 = nl.add_net("n0", pi);
+  const auto n1 = nl.add_net("n1", inv);
+  nl.connect(n0, inv, 0);
+  nl.connect(n1, po, 0);
+  std::string why;
+  EXPECT_TRUE(nl.validate(&why)) << why;
+  EXPECT_EQ(nl.instance_count(), 3u);
+  EXPECT_EQ(nl.net_count(), 2u);
+  EXPECT_EQ(nl.net(n0).sinks.size(), 1u);
+  EXPECT_EQ(nl.primary_inputs().size(), 1u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+}
+
+TEST(Netlist, ValidateCatchesUnconnectedPin) {
+  mn::Netlist nl{lib(), "bad"};
+  const auto pi = nl.add_instance("pi", lib().smallest(mn::CellFunction::Input));
+  nl.add_net("n0", pi);
+  nl.add_instance("inv", lib().smallest(mn::CellFunction::Inv));  // pin open
+  std::string why;
+  EXPECT_FALSE(nl.validate(&why));
+  EXPECT_NE(why.find("unconnected"), std::string::npos);
+}
+
+TEST(Netlist, TopoOrderRespectsEdges) {
+  const auto nl = mn::make_chain(lib(), 10);
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), nl.instance_count());
+  std::vector<std::size_t> pos(nl.instance_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& net : nl.nets()) {
+    for (const auto& sink : net.sinks) {
+      if (mn::is_sequential(nl.master_of(sink.instance).function)) continue;
+      EXPECT_LT(pos[net.driver], pos[sink.instance]);
+    }
+  }
+}
+
+TEST(Netlist, FlopsBreakCycles) {
+  // PI -> NAND -> DFF -> (feedback to NAND) is legal because the flop
+  // boundary breaks the combinational cycle.
+  mn::Netlist nl{lib(), "loop"};
+  const auto pi = nl.add_instance("pi", lib().smallest(mn::CellFunction::Input));
+  const auto g = nl.add_instance("g", lib().smallest(mn::CellFunction::Nand2));
+  const auto ff = nl.add_instance("ff", lib().smallest(mn::CellFunction::Dff));
+  const auto npi = nl.add_net("npi", pi);
+  const auto ng = nl.add_net("ng", g);
+  const auto nff = nl.add_net("nff", ff);
+  nl.connect(npi, g, 0);
+  nl.connect(nff, g, 1);  // feedback through flop
+  nl.connect(ng, ff, 0);
+  EXPECT_FALSE(nl.topo_order().empty());
+  EXPECT_TRUE(nl.validate());
+}
+
+TEST(Netlist, ResizePreservesFunction) {
+  mn::Netlist nl{lib(), "rs"};
+  const auto inv = nl.add_instance("i", *lib().find(mn::CellFunction::Inv, 1));
+  nl.resize_instance(inv, *lib().find(mn::CellFunction::Inv, 4));
+  EXPECT_EQ(nl.master_of(inv).drive, 4);
+}
+
+TEST(Netlist, ReconnectMovesSink) {
+  mn::Netlist nl{lib(), "rc"};
+  const auto pi1 = nl.add_instance("pi1", lib().smallest(mn::CellFunction::Input));
+  const auto pi2 = nl.add_instance("pi2", lib().smallest(mn::CellFunction::Input));
+  const auto inv = nl.add_instance("inv", lib().smallest(mn::CellFunction::Inv));
+  const auto n1 = nl.add_net("n1", pi1);
+  const auto n2 = nl.add_net("n2", pi2);
+  nl.connect(n1, inv, 0);
+  EXPECT_EQ(nl.net(n1).sinks.size(), 1u);
+  nl.reconnect(n2, inv, 0);
+  EXPECT_EQ(nl.net(n1).sinks.size(), 0u);
+  EXPECT_EQ(nl.net(n2).sinks.size(), 1u);
+  EXPECT_EQ(nl.instance(inv).input_nets[0], n2);
+}
+
+TEST(Netlist, AreaAndLeakageSums) {
+  const auto nl = mn::make_chain(lib(), 5);
+  const double inv_area = lib().master(lib().smallest(mn::CellFunction::Inv)).area_um2;
+  EXPECT_NEAR(nl.total_area_um2(), 5 * inv_area, 1e-9);
+  EXPECT_GT(nl.total_leakage_nw(), 0.0);
+}
+
+TEST(Generators, ChainStructure) {
+  const auto nl = mn::make_chain(lib(), 8);
+  EXPECT_TRUE(nl.validate());
+  EXPECT_EQ(nl.instance_count(), 10u);  // 8 + pi + po
+  const auto stats = mn::compute_stats(nl);
+  EXPECT_EQ(stats.max_logic_depth, 8u);
+  EXPECT_EQ(stats.max_fanout, 1u);
+}
+
+TEST(Generators, BufferChain) {
+  const auto nl = mn::make_chain(lib(), 4, /*buffers=*/true);
+  EXPECT_TRUE(nl.validate());
+  std::size_t bufs = 0;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    if (nl.master_of(static_cast<mn::InstanceId>(i)).function == mn::CellFunction::Buf) ++bufs;
+  }
+  EXPECT_EQ(bufs, 4u);
+}
+
+class RandomLogicProperty : public ::testing::TestWithParam<std::tuple<std::size_t, double, std::uint64_t>> {};
+
+TEST_P(RandomLogicProperty, AlwaysValidAndSized) {
+  const auto [gates, flop_ratio, seed] = GetParam();
+  mn::RandomLogicSpec spec;
+  spec.gates = gates;
+  spec.flop_ratio = flop_ratio;
+  spec.seed = seed;
+  const auto nl = mn::make_random_logic(lib(), spec);
+  std::string why;
+  EXPECT_TRUE(nl.validate(&why)) << why;
+  const auto stats = mn::compute_stats(nl);
+  EXPECT_EQ(stats.primary_inputs, spec.primary_inputs);
+  EXPECT_EQ(stats.primary_outputs, spec.primary_outputs);
+  const auto expected_flops =
+      static_cast<std::size_t>(std::round(flop_ratio * static_cast<double>(gates)));
+  EXPECT_EQ(stats.flops, expected_flops);
+  // Instance count = gates + flops + ios.
+  EXPECT_EQ(stats.instances, gates + expected_flops + spec.primary_inputs + spec.primary_outputs);
+  EXPECT_GT(stats.max_logic_depth, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomLogicProperty,
+    ::testing::Values(std::tuple{200, 0.1, 1}, std::tuple{200, 0.1, 2}, std::tuple{500, 0.0, 3},
+                      std::tuple{1000, 0.15, 4}, std::tuple{1000, 0.3, 5},
+                      std::tuple{2500, 0.2, 6}));
+
+TEST(Generators, RandomLogicDeterministicBySeed) {
+  mn::RandomLogicSpec spec;
+  spec.gates = 300;
+  spec.seed = 42;
+  const auto a = mn::make_random_logic(lib(), spec);
+  const auto b = mn::make_random_logic(lib(), spec);
+  ASSERT_EQ(a.instance_count(), b.instance_count());
+  ASSERT_EQ(a.net_count(), b.net_count());
+  for (std::size_t i = 0; i < a.instance_count(); ++i) {
+    EXPECT_EQ(a.instance(static_cast<mn::InstanceId>(i)).master,
+              b.instance(static_cast<mn::InstanceId>(i)).master);
+  }
+}
+
+TEST(Generators, RentNetlistValidAndClustered) {
+  mn::RentSpec spec;
+  spec.levels = 4;
+  spec.leaf_gates = 16;
+  spec.seed = 9;
+  const auto nl = mn::make_rent_netlist(lib(), spec);
+  std::string why;
+  EXPECT_TRUE(nl.validate(&why)) << why;
+  const auto stats = mn::compute_stats(nl);
+  // 4^(levels-1) leaves x leaf_gates.
+  EXPECT_GE(stats.instances, 64u * 16u);
+  EXPECT_GT(stats.flops, 0u);
+}
+
+TEST(Generators, EyechartOptimalBeatsUnitSizing) {
+  const auto ec = mn::make_eyechart(lib(), 6, 120.0);
+  EXPECT_TRUE(ec.netlist.validate());
+  EXPECT_EQ(ec.chain.size(), 6u);
+  EXPECT_EQ(ec.optimal_drives.size(), 6u);
+  EXPECT_LT(ec.optimal_delay_ps, ec.unit_drive_delay_ps);
+  // Geometric-sizing intuition: drives should not decrease toward the load.
+  for (std::size_t i = 1; i < ec.optimal_drives.size(); ++i) {
+    EXPECT_GE(ec.optimal_drives[i], ec.optimal_drives[i - 1]);
+  }
+}
+
+TEST(Generators, EyechartOptimumMatchesBruteForce) {
+  // 3 stages x 4 drives = 64 assignments; brute-force the optimum and check
+  // the DP result matches exactly. The effective load is the pad-rounded
+  // value the eyechart reports.
+  const auto ec = mn::make_eyechart(lib(), 3, 80.0);
+  const double load = ec.load_ff;
+  const auto variants = lib().variants(mn::CellFunction::Inv);
+  double best = 1e300;
+  for (const auto v0 : variants) {
+    for (const auto v1 : variants) {
+      for (const auto v2 : variants) {
+        const auto& m0 = lib().master(v0);
+        const auto& m1 = lib().master(v1);
+        const auto& m2 = lib().master(v2);
+        const double d = m0.delay_ps(m1.input_cap_ff) + m1.delay_ps(m2.input_cap_ff) +
+                         m2.delay_ps(load);
+        best = std::min(best, d);
+      }
+    }
+  }
+  EXPECT_NEAR(ec.optimal_delay_ps, best, 1e-9);
+}
+
+TEST(Generators, EyechartHeavierLoadWantsBiggerFinalDrive) {
+  const auto light = mn::make_eyechart(lib(), 5, 5.0);
+  const auto heavy = mn::make_eyechart(lib(), 5, 400.0);
+  EXPECT_GE(heavy.optimal_drives.back(), light.optimal_drives.back());
+  EXPECT_GT(heavy.optimal_delay_ps, light.optimal_delay_ps);
+}
+
+TEST(Generators, CpuLikeHasCpuCharacter) {
+  mn::CpuLikeSpec spec;
+  spec.scale = 1;
+  spec.seed = 3;
+  const auto nl = mn::make_cpu_like(lib(), spec);
+  EXPECT_TRUE(nl.validate());
+  const auto stats = mn::compute_stats(nl);
+  EXPECT_GE(stats.instances, 2500u);
+  // CPU-ish flop ratio ~22%.
+  const double flop_frac =
+      static_cast<double>(stats.flops) / static_cast<double>(stats.instances);
+  EXPECT_GT(flop_frac, 0.1);
+  EXPECT_LT(flop_frac, 0.3);
+  EXPECT_GT(stats.max_fanout, 8u);  // control-signal hubs
+}
+
+TEST(NetlistStats, FanoutAccounting) {
+  mn::Netlist nl{lib(), "f"};
+  const auto pi = nl.add_instance("pi", lib().smallest(mn::CellFunction::Input));
+  const auto n = nl.add_net("n", pi);
+  for (int i = 0; i < 5; ++i) {
+    const auto po = nl.add_instance("po" + std::to_string(i),
+                                    lib().smallest(mn::CellFunction::Output));
+    nl.connect(n, po, 0);
+  }
+  const auto stats = mn::compute_stats(nl);
+  EXPECT_EQ(stats.max_fanout, 5u);
+  EXPECT_DOUBLE_EQ(stats.avg_fanout, 5.0);
+}

@@ -1,0 +1,211 @@
+// Unit tests for maestro::opt — landscapes, local search, multistart
+// strategies and go-with-the-winners.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/gwtw.hpp"
+#include "opt/landscape.hpp"
+#include "opt/local_search.hpp"
+#include "opt/multistart.hpp"
+
+namespace mo = maestro::opt;
+using maestro::util::Rng;
+
+TEST(Landscape, BigValleyOptimumIsLow) {
+  const mo::BigValleyLandscape f{4};
+  const double at_opt = f.cost(f.optimum());
+  Rng rng{1};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(at_opt, f.cost(f.random_point(rng)) + 8.0);  // ripples allow small slack
+  }
+  // Far from the center the bowl dominates.
+  std::vector<double> far(4, 9.5);
+  EXPECT_GT(f.cost(far), at_opt + 10.0);
+}
+
+TEST(Landscape, RandomPointInBounds) {
+  const mo::RastriginLandscape f{6};
+  Rng rng{2};
+  for (int i = 0; i < 20; ++i) {
+    const auto x = f.random_point(rng);
+    ASSERT_EQ(x.size(), 6u);
+    for (const double v : x) {
+      EXPECT_GE(v, f.lower());
+      EXPECT_LT(v, f.upper());
+    }
+  }
+}
+
+TEST(Landscape, RastriginGlobalMinimumAtZero) {
+  const mo::RastriginLandscape f{3};
+  const std::vector<double> zero(3, 0.0);
+  EXPECT_NEAR(f.cost(zero), 0.0, 1e-12);
+  const std::vector<double> off(3, 0.5);
+  EXPECT_GT(f.cost(off), 10.0);
+}
+
+TEST(LocalSearch, DescendsToLocalMinimum) {
+  const mo::BigValleyLandscape f{3};
+  Rng rng{3};
+  const auto start = f.random_point(rng);
+  const double start_cost = f.cost(start);
+  const auto res = mo::local_search(f, start, mo::LocalSearchOptions{});
+  EXPECT_LE(res.cost, start_cost);
+  EXPECT_GT(res.evals, 1);
+  // Result is (approximately) a local minimum: small coordinate moves don't
+  // improve.
+  for (std::size_t i = 0; i < res.x.size(); ++i) {
+    for (const double d : {0.01, -0.01}) {
+      auto probe = res.x;
+      probe[i] = std::clamp(probe[i] + d, f.lower(), f.upper());
+      EXPECT_GE(f.cost(probe), res.cost - 0.01);
+    }
+  }
+}
+
+TEST(LocalSearch, SaStepsRespectTemperature) {
+  const mo::BigValleyLandscape f{3};
+  Rng rng{5};
+  const auto start = f.random_point(rng);
+  const double c0 = f.cost(start);
+  mo::SaStepOptions cold;
+  cold.temperature = 1e-9;
+  cold.steps = 300;
+  const auto res = mo::sa_steps(f, start, c0, cold, rng);
+  // At ~zero temperature SA is greedy: cost can only go down.
+  EXPECT_LE(res.cost, c0);
+}
+
+TEST(Multistart, BestSoFarIsMonotone) {
+  const mo::BigValleyLandscape f{4};
+  Rng rng{7};
+  mo::MultistartOptions opt;
+  opt.starts = 10;
+  const auto res = mo::random_multistart(f, opt, rng);
+  ASSERT_EQ(res.best_so_far.size(), 10u);
+  for (std::size_t i = 1; i < res.best_so_far.size(); ++i) {
+    EXPECT_LE(res.best_so_far[i], res.best_so_far[i - 1]);
+  }
+  EXPECT_EQ(res.minima_costs.size(), 10u);
+  EXPECT_GT(res.total_evals, 0);
+}
+
+TEST(Multistart, AdaptiveBeatsRandomOnBigValley) {
+  // Average over several seeds: adaptive multistart exploits the big valley
+  // and should win at equal start budget (paper Fig. 6(b) claim).
+  const mo::BigValleyLandscape f{6, 3.0, 3.0, 11};
+  mo::MultistartOptions opt;
+  opt.starts = 25;
+  opt.seed_starts = 5;
+  // A conservative local searcher (step below the ripple period) gets
+  // trapped in the nearest minimum — the regime where start-point quality,
+  // and hence the adaptive bet, matters.
+  opt.local.initial_step = 0.3;
+  opt.perturb_frac = 0.04;
+  double adaptive_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng r1{seed};
+    Rng r2{seed};
+    adaptive_total += mo::adaptive_multistart(f, opt, r1).best_cost;
+    random_total += mo::random_multistart(f, opt, r2).best_cost;
+  }
+  EXPECT_LT(adaptive_total, random_total + 1e-9);
+}
+
+TEST(Multistart, AdaptiveNoAdvantageWithoutStructure) {
+  // Control: on a scattered-minima landscape the adaptive bet buys little.
+  // (It should not be dramatically WORSE either.)
+  const mo::ScatteredMinimaLandscape f{6, 13};
+  mo::MultistartOptions opt;
+  opt.starts = 20;
+  double adaptive_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng r1{seed};
+    Rng r2{seed};
+    adaptive_total += mo::adaptive_multistart(f, opt, r1).best_cost;
+    random_total += mo::random_multistart(f, opt, r2).best_cost;
+  }
+  // Advantage (if any) should be small relative to the big-valley case.
+  EXPECT_NEAR(adaptive_total, random_total, 0.5 * std::abs(random_total) + 1.0);
+}
+
+namespace {
+mo::GwtwProblem<std::vector<double>> landscape_problem(const mo::Landscape& f) {
+  mo::GwtwProblem<std::vector<double>> prob;
+  prob.init = [&f](Rng& rng) { return f.random_point(rng); };
+  prob.advance = [&f](const std::vector<double>& x, Rng& rng) {
+    mo::SaStepOptions sa;
+    sa.temperature = 0.5;
+    sa.steps = 60;
+    return mo::sa_steps(f, x, f.cost(x), sa, rng).x;
+  };
+  prob.cost = [&f](const std::vector<double>& x) { return f.cost(x); };
+  return prob;
+}
+}  // namespace
+
+TEST(Gwtw, ImprovesOverRounds) {
+  const mo::BigValleyLandscape f{5};
+  const auto prob = landscape_problem(f);
+  mo::GwtwOptions opt;
+  opt.population = 8;
+  opt.rounds = 15;
+  Rng rng{17};
+  const auto res = mo::go_with_the_winners(prob, opt, rng);
+  ASSERT_EQ(res.best_per_round.size(), 15u);
+  EXPECT_LT(res.best_per_round.back(), res.best_per_round.front());
+  EXPECT_GT(res.clones_made, 0u);
+  EXPECT_LE(res.best_cost, res.best_per_round.back() + 1e-12);
+}
+
+TEST(Gwtw, BeatsIndependentThreadsAtEqualBudget) {
+  // GWTW with cloning vs. the same population without resampling
+  // (survivor_fraction = 1 disables cloning). Average over seeds.
+  const mo::BigValleyLandscape f{6, 3.0, 3.0, 23};
+  const auto prob = landscape_problem(f);
+  mo::GwtwOptions gwtw;
+  gwtw.population = 10;
+  gwtw.rounds = 12;
+  gwtw.survivor_fraction = 0.4;
+  mo::GwtwOptions indep = gwtw;
+  indep.survivor_fraction = 1.0;
+  double with_clone = 0.0;
+  double without_clone = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng r1{seed};
+    Rng r2{seed};
+    with_clone += mo::go_with_the_winners(prob, gwtw, r1).best_cost;
+    without_clone += mo::go_with_the_winners(prob, indep, r2).best_cost;
+  }
+  EXPECT_LE(with_clone, without_clone + 1e-9);
+}
+
+TEST(Gwtw, SingleThreadDegeneratesGracefully) {
+  const mo::RastriginLandscape f{3};
+  const auto prob = landscape_problem(f);
+  mo::GwtwOptions opt;
+  opt.population = 1;
+  opt.rounds = 5;
+  Rng rng{29};
+  const auto res = mo::go_with_the_winners(prob, opt, rng);
+  EXPECT_EQ(res.best_per_round.size(), 5u);
+  EXPECT_EQ(res.clones_made, 0u);
+}
+
+TEST(Gwtw, MeanTracksAboveBest) {
+  const mo::BigValleyLandscape f{4};
+  const auto prob = landscape_problem(f);
+  mo::GwtwOptions opt;
+  opt.population = 6;
+  opt.rounds = 8;
+  Rng rng{31};
+  const auto res = mo::go_with_the_winners(prob, opt, rng);
+  for (std::size_t r = 0; r < res.best_per_round.size(); ++r) {
+    EXPECT_GE(res.mean_per_round[r], res.best_per_round[r] - 1e-12);
+  }
+}

@@ -1,0 +1,262 @@
+// Unit tests for maestro::place — floorplanning, placement quality,
+// legalization invariants, congestion estimation and FM partitioning.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/generators.hpp"
+#include "place/partition.hpp"
+#include "place/placer.hpp"
+
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+
+mn::Netlist small_design(std::uint64_t seed = 1, std::size_t gates = 400) {
+  mn::RandomLogicSpec spec;
+  spec.gates = gates;
+  spec.seed = seed;
+  return mn::make_random_logic(lib(), spec);
+}
+}  // namespace
+
+TEST(Floorplan, CoreSizedForUtilization) {
+  const auto nl = small_design();
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  const double cell_area_nm2 = nl.total_area_um2() * 1e6;
+  const double core_area = static_cast<double>(fp.core().area());
+  // Core fits the cells at the target utilization (within rounding).
+  EXPECT_GE(core_area, cell_area_nm2 / 0.7 * 0.95);
+  EXPECT_LE(core_area, cell_area_nm2 / 0.7 * 1.15);
+  EXPECT_FALSE(fp.rows().empty());
+  // Rows tile the core height exactly.
+  EXPECT_EQ(static_cast<maestro::geom::Dbu>(fp.rows().size()) * fp.rows()[0].height,
+            fp.core().height());
+}
+
+TEST(Floorplan, AspectRatioRespected) {
+  const auto nl = small_design();
+  const auto wide = mp::Floorplan::for_netlist(nl, 0.7, 0.5);
+  const auto tall = mp::Floorplan::for_netlist(nl, 0.7, 2.0);
+  EXPECT_GT(wide.core().width(), wide.core().height());
+  EXPECT_LT(tall.core().width(), tall.core().height());
+}
+
+TEST(Floorplan, SnapProducesLegalSites) {
+  const auto nl = small_design();
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  const auto p = fp.snap({12345, 67890});
+  EXPECT_EQ((p.x - fp.core().lo.x) % fp.site_width(), 0);
+  // Snapped y is a row origin.
+  bool on_row = false;
+  for (const auto& r : fp.rows()) on_row = on_row || r.y == p.y;
+  EXPECT_TRUE(on_row);
+}
+
+TEST(Floorplan, IoPinsOnBoundary) {
+  const auto nl = small_design();
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto p = fp.io_pin_location(i, 40);
+    const bool on_edge = p.x == fp.core().lo.x || p.x == fp.core().hi.x ||
+                         p.y == fp.core().lo.y || p.y == fp.core().hi.y;
+    EXPECT_TRUE(on_edge) << "pin " << i << " at (" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST(Placement, RandomPlacementInsideCore) {
+  const auto nl = small_design();
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  Rng rng{5};
+  const auto pl = mp::random_placement(nl, fp, rng);
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    const auto id = static_cast<mn::InstanceId>(i);
+    const auto p = pl.loc(id);
+    EXPECT_GE(p.x, fp.core().lo.x);
+    EXPECT_LE(p.x, fp.core().hi.x);
+    EXPECT_GE(p.y, fp.core().lo.y);
+    EXPECT_LE(p.y, fp.core().hi.y);
+  }
+  EXPECT_GT(pl.total_hpwl(), 0);
+}
+
+TEST(Placement, NetHpwlMatchesManual) {
+  const auto nl = small_design();
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  Rng rng{5};
+  const auto pl = mp::random_placement(nl, fp, rng);
+  // Sum of per-net HPWL equals total.
+  std::int64_t total = 0;
+  for (std::size_t n = 0; n < nl.net_count(); ++n) {
+    total += pl.net_hpwl(static_cast<mn::NetId>(n));
+  }
+  EXPECT_EQ(total, pl.total_hpwl());
+}
+
+TEST(Placer, AnnealingImprovesHpwl) {
+  const auto nl = small_design(3);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  Rng rng{7};
+  auto pl = mp::random_placement(nl, fp, rng);
+  mp::AnnealOptions opt;
+  opt.moves_per_cell = 30.0;
+  const auto res = mp::anneal_placement(pl, opt, rng);
+  EXPECT_LT(res.final_hpwl, res.initial_hpwl);
+  // Meaningful improvement, not epsilon.
+  EXPECT_LT(static_cast<double>(res.final_hpwl),
+            0.8 * static_cast<double>(res.initial_hpwl));
+  EXPECT_GT(res.moves_accepted, 0u);
+  EXPECT_EQ(res.moves_attempted,
+            static_cast<std::size_t>(opt.moves_per_cell * static_cast<double>(
+                nl.instance_count() - nl.primary_inputs().size() - nl.primary_outputs().size())));
+}
+
+TEST(Placer, MoreEffortNoWorse) {
+  const auto nl = small_design(11);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  std::int64_t hpwl_low = 0;
+  std::int64_t hpwl_high = 0;
+  {
+    Rng rng{13};
+    auto pl = mp::random_placement(nl, fp, rng);
+    mp::AnnealOptions opt;
+    opt.moves_per_cell = 5.0;
+    mp::anneal_placement(pl, opt, rng);
+    hpwl_low = pl.total_hpwl();
+  }
+  {
+    Rng rng{13};
+    auto pl = mp::random_placement(nl, fp, rng);
+    mp::AnnealOptions opt;
+    opt.moves_per_cell = 60.0;
+    mp::anneal_placement(pl, opt, rng);
+    hpwl_high = pl.total_hpwl();
+  }
+  EXPECT_LE(hpwl_high, hpwl_low);
+}
+
+class LegalizeProperty : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(LegalizeProperty, NoOverlapsAtAnyUtilization) {
+  const auto [util, seed] = GetParam();
+  const auto nl = small_design(seed);
+  const auto fp = mp::Floorplan::for_netlist(nl, util);
+  Rng rng{seed};
+  auto pl = mp::random_placement(nl, fp, rng);
+  mp::AnnealOptions opt;
+  opt.moves_per_cell = 10.0;
+  mp::anneal_placement(pl, opt, rng);
+  mp::legalize(pl);
+  const auto rep = mp::check_overlaps(pl);
+  EXPECT_TRUE(rep.legal()) << rep.overlapping_pairs << " overlapping pairs, total "
+                           << rep.total_overlap;
+  // All cells on row origins and site grid.
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    const auto id = static_cast<mn::InstanceId>(i);
+    const auto f = nl.master_of(id).function;
+    if (f == mn::CellFunction::Input || f == mn::CellFunction::Output) continue;
+    EXPECT_EQ((pl.loc(id).x - fp.core().lo.x) % fp.site_width(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UtilSweep, LegalizeProperty,
+                         ::testing::Values(std::tuple{0.5, 1}, std::tuple{0.7, 2},
+                                           std::tuple{0.8, 3}, std::tuple{0.9, 4},
+                                           std::tuple{0.95, 5}));
+
+TEST(Congestion, HigherUtilizationMoreOverflow) {
+  const auto nl = small_design(19, 800);
+  Rng rng{19};
+  // Loose floorplan.
+  const auto fp_loose = mp::Floorplan::for_netlist(nl, 0.5);
+  auto pl_loose = mp::random_placement(nl, fp_loose, rng);
+  mp::legalize(pl_loose);
+  const auto cm_loose = mp::estimate_congestion(pl_loose, 16, 16);
+  // Tight floorplan -> same wire demand in less area -> denser bins.
+  const auto fp_tight = mp::Floorplan::for_netlist(nl, 0.95);
+  auto pl_tight = mp::random_placement(nl, fp_tight, rng);
+  mp::legalize(pl_tight);
+  const auto cm_tight = mp::estimate_congestion(pl_tight, 16, 16);
+  EXPECT_GT(cm_tight.avg_utilization, cm_loose.avg_utilization);
+}
+
+TEST(Congestion, MapShapesAndTotals) {
+  const auto nl = small_design(23);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  Rng rng{23};
+  auto pl = mp::random_placement(nl, fp, rng);
+  const auto cm = mp::estimate_congestion(pl, 8, 12);
+  EXPECT_EQ(cm.demand.cols(), 8u);
+  EXPECT_EQ(cm.demand.rows(), 12u);
+  double sum = 0.0;
+  for (const double d : cm.demand.flat()) sum += d;
+  EXPECT_GT(sum, 0.0);
+  EXPECT_GE(cm.max_overflow, 0.0);
+  EXPECT_GE(cm.overflow_fraction, 0.0);
+  EXPECT_LE(cm.overflow_fraction, 1.0);
+}
+
+TEST(Partition, BipartitionBalancedAndBetterThanRandom) {
+  const auto nl = small_design(29, 600);
+  Rng rng{29};
+  mp::FmOptions opt;
+  const auto res = mp::fm_bipartition(nl, opt, rng);
+  ASSERT_EQ(res.part.size(), nl.instance_count());
+  // Balance by area within tolerance.
+  double a0 = 0.0;
+  double a1 = 0.0;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    const double a = nl.master_of(static_cast<mn::InstanceId>(i)).area_um2;
+    (res.part[i] == 0 ? a0 : a1) += a;
+  }
+  const double total = a0 + a1;
+  EXPECT_LE(std::abs(a0 - a1) / total, 2.1 * opt.balance_tolerance + 0.05);
+
+  // FM cut must beat the expected random cut by a wide margin.
+  Rng rng2{31};
+  std::vector<int> random_part(nl.instance_count());
+  for (auto& p : random_part) p = rng2.chance(0.5) ? 1 : 0;
+  const auto random_cut = mp::count_cut_nets(nl, random_part);
+  EXPECT_LT(res.cut_nets, random_cut / 2);
+}
+
+TEST(Partition, RecursiveBisectionBlockCount) {
+  const auto nl = small_design(37, 600);
+  Rng rng{37};
+  mp::FmOptions opt;
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    const auto res = mp::recursive_bisection(nl, k, opt, rng);
+    EXPECT_EQ(res.blocks, k);
+    std::set<int> used(res.part.begin(), res.part.end());
+    EXPECT_GT(used.size(), k / 2);  // most blocks populated
+    EXPECT_LE(used.size(), k);
+    for (const int b : used) {
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, static_cast<int>(k));
+    }
+  }
+}
+
+TEST(Partition, MoreBlocksMoreCut) {
+  const auto nl = small_design(41, 800);
+  Rng rng{41};
+  mp::FmOptions opt;
+  const auto cut2 = mp::recursive_bisection(nl, 2, opt, rng).cut_nets;
+  const auto cut8 = mp::recursive_bisection(nl, 8, opt, rng).cut_nets;
+  EXPECT_GT(cut8, cut2);
+}
+
+TEST(Partition, SingleBlockNoCut) {
+  const auto nl = small_design(43, 200);
+  Rng rng{43};
+  const auto res = mp::recursive_bisection(nl, 1, mp::FmOptions{}, rng);
+  EXPECT_EQ(res.blocks, 1u);
+  EXPECT_EQ(res.cut_nets, 0u);
+}

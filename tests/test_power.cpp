@@ -1,0 +1,131 @@
+// Unit tests for maestro::power — power estimation scaling laws and the
+// IR-drop grid solver.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "power/ir_drop.hpp"
+#include "power/power.hpp"
+
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+namespace mw = maestro::power;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+
+struct Fixture {
+  std::unique_ptr<mn::Netlist> nl;
+  std::unique_ptr<mp::Floorplan> fp;
+  std::unique_ptr<mp::Placement> pl;
+};
+
+Fixture make_fixture(std::uint64_t seed, std::size_t gates = 400) {
+  Fixture f;
+  mn::RandomLogicSpec spec;
+  spec.gates = gates;
+  spec.seed = seed;
+  f.nl = std::make_unique<mn::Netlist>(mn::make_random_logic(lib(), spec));
+  f.fp = std::make_unique<mp::Floorplan>(mp::Floorplan::for_netlist(*f.nl, 0.7));
+  Rng rng{seed};
+  f.pl = std::make_unique<mp::Placement>(mp::random_placement(*f.nl, *f.fp, rng));
+  mp::legalize(*f.pl);
+  return f;
+}
+}  // namespace
+
+TEST(Power, ComponentsPositive) {
+  const auto f = make_fixture(1);
+  const auto rep = mw::estimate_power(*f.pl, 1.0, mw::PowerOptions{});
+  EXPECT_GT(rep.switching_mw, 0.0);
+  EXPECT_GT(rep.leakage_mw, 0.0);
+  EXPECT_GT(rep.clock_mw, 0.0);
+  EXPECT_NEAR(rep.total_mw(), rep.switching_mw + rep.leakage_mw + rep.clock_mw, 1e-12);
+}
+
+TEST(Power, SwitchingScalesLinearlyWithFrequency) {
+  const auto f = make_fixture(2);
+  const auto at1 = mw::estimate_power(*f.pl, 1.0, mw::PowerOptions{});
+  const auto at2 = mw::estimate_power(*f.pl, 2.0, mw::PowerOptions{});
+  EXPECT_NEAR(at2.switching_mw, 2.0 * at1.switching_mw, 1e-9);
+  EXPECT_NEAR(at2.clock_mw, 2.0 * at1.clock_mw, 1e-9);
+  // Leakage is frequency independent.
+  EXPECT_NEAR(at2.leakage_mw, at1.leakage_mw, 1e-12);
+}
+
+TEST(Power, ScalesWithVddSquared) {
+  const auto f = make_fixture(3);
+  mw::PowerOptions lo;
+  lo.vdd_v = 0.6;
+  mw::PowerOptions hi;
+  hi.vdd_v = 1.2;
+  const auto p_lo = mw::estimate_power(*f.pl, 1.0, lo);
+  const auto p_hi = mw::estimate_power(*f.pl, 1.0, hi);
+  EXPECT_NEAR(p_hi.switching_mw / p_lo.switching_mw, 4.0, 1e-9);
+}
+
+TEST(Power, BiggerDesignMorePower) {
+  const auto small = make_fixture(4, 200);
+  const auto big = make_fixture(4, 1000);
+  const auto p_small = mw::estimate_power(*small.pl, 1.0, mw::PowerOptions{});
+  const auto p_big = mw::estimate_power(*big.pl, 1.0, mw::PowerOptions{});
+  EXPECT_GT(p_big.total_mw(), 2.0 * p_small.total_mw());
+}
+
+TEST(IrDrop, SolverConvergesAndBounded) {
+  const auto f = make_fixture(5);
+  const auto pwr = mw::estimate_power(*f.pl, 1.5, mw::PowerOptions{});
+  mw::IrDropOptions opt;
+  const auto rep = mw::analyze_ir_drop(*f.pl, pwr, opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GT(rep.worst_drop_v, 0.0);
+  EXPECT_LT(rep.worst_drop_v, opt.vdd_v);
+  EXPECT_LE(rep.avg_drop_v, rep.worst_drop_v);
+  // All node voltages within [0, vdd].
+  for (const double v : rep.voltage.flat()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, opt.vdd_v + 1e-12);
+  }
+}
+
+TEST(IrDrop, MorePowerMoreDrop) {
+  const auto f = make_fixture(6);
+  mw::PowerReport p1;
+  p1.switching_mw = 5.0;
+  mw::PowerReport p2;
+  p2.switching_mw = 50.0;
+  mw::IrDropOptions opt;
+  const auto r1 = mw::analyze_ir_drop(*f.pl, p1, opt);
+  const auto r2 = mw::analyze_ir_drop(*f.pl, p2, opt);
+  EXPECT_GT(r2.worst_drop_v, r1.worst_drop_v);
+  // Linear system: 10x current -> ~10x drop.
+  EXPECT_NEAR(r2.worst_drop_v / r1.worst_drop_v, 10.0, 0.5);
+}
+
+TEST(IrDrop, MorePadsLessDrop) {
+  const auto f = make_fixture(7);
+  const auto pwr = mw::estimate_power(*f.pl, 1.5, mw::PowerOptions{});
+  mw::IrDropOptions sparse;
+  sparse.pad_every = 16;
+  mw::IrDropOptions dense;
+  dense.pad_every = 2;
+  const auto r_sparse = mw::analyze_ir_drop(*f.pl, pwr, sparse);
+  const auto r_dense = mw::analyze_ir_drop(*f.pl, pwr, dense);
+  EXPECT_LT(r_dense.worst_drop_v, r_sparse.worst_drop_v);
+}
+
+TEST(IrDrop, TimingDerateAboveOne) {
+  mw::IrDropReport rep;
+  rep.worst_drop_v = 0.04;
+  EXPECT_GT(rep.timing_derate(0.8), 1.0);
+  EXPECT_NEAR(rep.timing_derate(0.8), 1.1, 1e-9);
+  rep.worst_drop_v = 0.0;
+  EXPECT_DOUBLE_EQ(rep.timing_derate(0.8), 1.0);
+}

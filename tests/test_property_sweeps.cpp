@@ -1,0 +1,209 @@
+// Parameterized property sweeps across modules: invariants that must hold
+// for every seed / corner / configuration, not just the fixtures unit tests
+// happen to pick.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "flow/flow.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/io.hpp"
+#include "place/placer.hpp"
+#include "timing/sta.hpp"
+#include "util/json.hpp"
+
+namespace mf = maestro::flow;
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+namespace mt = maestro::timing;
+namespace mu = maestro::util;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+}  // namespace
+
+// ---- STA invariants hold at every corner, both engines, several seeds ----
+
+class StaCornerProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int, std::uint64_t>> {};
+
+TEST_P(StaCornerProperty, SlacksWellFormed) {
+  const auto [corner_name, mode, seed] = GetParam();
+  mn::RandomLogicSpec spec;
+  spec.gates = 250;
+  spec.seed = seed;
+  const auto nl = mn::make_random_logic(lib(), spec);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  Rng rng{seed};
+  auto pl = mp::random_placement(nl, fp, rng);
+  mp::legalize(pl);
+  const auto clock = mt::build_clock_tree(pl, mt::ClockTreeOptions{}, rng);
+
+  mt::StaOptions opt;
+  opt.mode = mode == 0 ? mt::AnalysisMode::GraphBased : mt::AnalysisMode::PathBased;
+  opt.corner = mt::corner_by_name(corner_name);
+  opt.with_hold = true;
+  opt.clock_period_ps = 800.0;
+  const auto rep = mt::run_sta(pl, clock, opt);
+
+  // Invariants: every endpoint has slack = required - arrival; WNS is the
+  // minimum; TNS sums exactly the negative slacks; arrivals positive.
+  double min_slack = 1e300;
+  double tns = 0.0;
+  for (const auto& ep : rep.endpoints) {
+    EXPECT_NEAR(ep.slack_ps, ep.required_ps - ep.arrival_ps, 1e-9);
+    EXPECT_GT(ep.arrival_ps, 0.0);
+    min_slack = std::min(min_slack, ep.slack_ps);
+    if (ep.slack_ps < 0) tns += ep.slack_ps;
+  }
+  EXPECT_NEAR(rep.wns_ps, min_slack, 1e-9);
+  EXPECT_NEAR(rep.tns_ps, tns, 1e-9);
+  EXPECT_GT(rep.analysis_cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CornersEnginesSeeds, StaCornerProperty,
+    ::testing::Combine(::testing::Values("ss", "tt", "ff"), ::testing::Values(0, 1),
+                       ::testing::Values(11u, 12u)));
+
+// ---- Corner ordering: ss <= tt <= ff slack at EVERY endpoint ----
+
+class CornerOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CornerOrderProperty, SlackMonotoneAcrossCorners) {
+  const auto seed = GetParam();
+  mn::RandomLogicSpec spec;
+  spec.gates = 200;
+  spec.seed = seed;
+  const auto nl = mn::make_random_logic(lib(), spec);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  Rng rng{seed};
+  auto pl = mp::random_placement(nl, fp, rng);
+  mp::legalize(pl);
+
+  std::map<std::string, mt::StaReport> reports;
+  for (const auto& corner : mt::standard_corners()) {
+    mt::StaOptions opt;
+    opt.mode = mt::AnalysisMode::PathBased;
+    opt.corner = corner;
+    reports[corner.name] = mt::run_sta(pl, mt::ClockTree{}, opt);
+  }
+  for (const auto& ep : reports["ss"].endpoints) {
+    const auto* tt = reports["tt"].endpoint_of(ep.endpoint);
+    const auto* ff = reports["ff"].endpoint_of(ep.endpoint);
+    ASSERT_NE(tt, nullptr);
+    ASSERT_NE(ff, nullptr);
+    EXPECT_LE(ep.slack_ps, tt->slack_ps + 1e-9);
+    EXPECT_LE(tt->slack_ps, ff->slack_ps + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CornerOrderProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---- Netlist I/O round-trip is lossless for every generator ----
+
+class NetlistIoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetlistIoProperty, RoundTripAllGenerators) {
+  mn::Netlist nl = [&] {
+    switch (GetParam()) {
+      case 0: return mn::make_chain(lib(), 12);
+      case 1: {
+        mn::RandomLogicSpec s;
+        s.gates = 350;
+        s.seed = 5;
+        return mn::make_random_logic(lib(), s);
+      }
+      case 2: {
+        mn::RentSpec s;
+        s.levels = 3;
+        s.seed = 5;
+        return mn::make_rent_netlist(lib(), s);
+      }
+      default: return mn::make_eyechart(lib(), 6, 90.0).netlist;
+    }
+  }();
+  const auto text = mn::write_netlist(nl);
+  const auto back = mn::read_netlist(lib(), text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->instance_count(), nl.instance_count());
+  EXPECT_EQ(back->net_count(), nl.net_count());
+  EXPECT_EQ(mn::write_netlist(*back), text);
+  EXPECT_TRUE(back->validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, NetlistIoProperty, ::testing::Values(0, 1, 2, 3));
+
+// ---- Flow success is monotone-ish in target frequency per seed ----
+
+class FlowFrequencyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowFrequencyProperty, HarderTargetsNeverIncreaseSlack) {
+  const auto seed = GetParam();
+  mf::FlowManager fm{lib()};
+  auto run_at = [&](double ghz) {
+    mf::FlowRecipe r;
+    r.design.kind = mf::DesignSpec::Kind::RandomLogic;
+    r.design.scale = 1;
+    r.design.name = "sweep";
+    r.target_ghz = ghz;
+    r.seed = seed;
+    return fm.run(r);
+  };
+  const auto easy = run_at(0.6);
+  const auto hard = run_at(1.8);
+  // Same seed, same netlist: the tighter clock can only reduce slack.
+  EXPECT_GT(easy.wns_ps, hard.wns_ps);
+  // Area never shrinks when the tool works harder.
+  EXPECT_GE(hard.area_um2, easy.area_um2 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowFrequencyProperty, ::testing::Values(101, 102, 103));
+
+// ---- JSON round-trips survive adversarial content ----
+
+class JsonRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonRoundTripProperty, RandomToolLogsRoundTrip) {
+  Rng rng{GetParam()};
+  mu::ToolLog log;
+  log.tool = "t\"\\\n" + std::to_string(rng.next());
+  log.design = "d\tname";
+  log.seed = rng.next();
+  log.completed = rng.chance(0.5);
+  const int n_meta = static_cast<int>(rng.below(6));
+  for (int i = 0; i < n_meta; ++i) {
+    log.metadata["k" + std::to_string(i)] = std::string(1, static_cast<char>(rng.range(32, 126)));
+  }
+  const int n_iters = static_cast<int>(rng.below(10));
+  for (int i = 0; i < n_iters; ++i) {
+    mu::LogIteration it;
+    it.iteration = i;
+    it.values["v"] = rng.gauss(0, 1e6);
+    it.values["w"] = rng.uniform(-1e-9, 1e-9);
+    log.iterations.push_back(it);
+  }
+  const auto text = log.to_json().dump();
+  const auto parsed = mu::Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = mu::ToolLog::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->tool, log.tool);
+  EXPECT_EQ(back->design, log.design);
+  EXPECT_EQ(back->seed, log.seed);
+  EXPECT_EQ(back->metadata, log.metadata);
+  ASSERT_EQ(back->iterations.size(), log.iterations.size());
+  for (std::size_t i = 0; i < log.iterations.size(); ++i) {
+    for (const auto& [k, v] : log.iterations[i].values) {
+      EXPECT_DOUBLE_EQ(back->iterations[i].values.at(k), v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

@@ -1,0 +1,197 @@
+// Tests for timing path reports (report_timing) and the hold-fix ECO.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/eco.hpp"
+#include "flow/flow.hpp"
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "timing/report.hpp"
+
+namespace mc = maestro::core;
+namespace mf = maestro::flow;
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+namespace mt = maestro::timing;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+
+struct Fx {
+  std::unique_ptr<mn::Netlist> nl;
+  std::unique_ptr<mp::Floorplan> fp;
+  std::unique_ptr<mp::Placement> pl;
+  mt::ClockTree clock;
+};
+
+Fx fixture(std::uint64_t seed, std::size_t gates = 400) {
+  Fx f;
+  mn::RandomLogicSpec spec;
+  spec.gates = gates;
+  spec.flop_ratio = 0.2;
+  spec.seed = seed;
+  f.nl = std::make_unique<mn::Netlist>(mn::make_random_logic(lib(), spec));
+  f.fp = std::make_unique<mp::Floorplan>(mp::Floorplan::for_netlist(*f.nl, 0.7));
+  Rng rng{seed};
+  f.pl = std::make_unique<mp::Placement>(mp::random_placement(*f.nl, *f.fp, rng));
+  mp::legalize(*f.pl);
+  f.clock = mt::build_clock_tree(*f.pl, mt::ClockTreeOptions{}, rng);
+  return f;
+}
+}  // namespace
+
+// ------------------------------------------------------------ report_timing
+
+TEST(ReportTiming, WorstPathMatchesStaReport) {
+  const auto f = fixture(1);
+  mt::StaOptions opt;
+  opt.clock_period_ps = 700.0;
+  const auto rep = mt::run_sta(*f.pl, f.clock, opt);
+  const auto paths = mt::report_timing(*f.pl, f.clock, opt, 5);
+  ASSERT_EQ(paths.size(), 5u);
+  // Paths sorted worst-first; the first matches the report's WNS endpoint.
+  EXPECT_NEAR(paths[0].slack_ps, rep.wns_ps, 1e-9);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].slack_ps, paths[i - 1].slack_ps - 1e-9);
+  }
+}
+
+TEST(ReportTiming, StagesAreConsistent) {
+  const auto f = fixture(2);
+  mt::StaOptions opt;
+  const auto paths = mt::report_timing(*f.pl, f.clock, opt, 3);
+  for (const auto& p : paths) {
+    ASSERT_GE(p.stages.size(), 2u);
+    // Path starts at a source (input or flop), ends at the endpoint.
+    const auto first_f = f.nl->master_of(p.stages.front().instance).function;
+    EXPECT_TRUE(first_f == mn::CellFunction::Input || first_f == mn::CellFunction::Dff);
+    EXPECT_EQ(p.stages.back().instance, p.endpoint);
+    // Increments sum to the endpoint arrival; arrivals are nondecreasing.
+    double sum = 0.0;
+    double prev = -1e300;
+    for (const auto& s : p.stages) {
+      sum += s.incr_ps;
+      EXPECT_GE(s.arrival_ps, prev - 1e-9);
+      prev = s.arrival_ps;
+    }
+    EXPECT_NEAR(sum, p.arrival_ps, 1e-6);
+  }
+}
+
+TEST(ReportTiming, FormatsReadably) {
+  const auto f = fixture(3);
+  mt::StaOptions opt;
+  const auto paths = mt::report_timing(*f.pl, f.clock, opt, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  const std::string text = mt::format_path(paths[0], *f.nl);
+  EXPECT_NE(text.find("Endpoint:"), std::string::npos);
+  EXPECT_NE(text.find("slack"), std::string::npos);
+  EXPECT_NE(text.find("arrival"), std::string::npos);
+  // One line per stage.
+  EXPECT_GE(std::count(text.begin(), text.end(), '\n'), static_cast<long>(paths[0].stages.size()));
+}
+
+TEST(ReportTiming, GbaPathsSlowerThanPba) {
+  const auto f = fixture(4);
+  mt::StaOptions gba;
+  gba.mode = mt::AnalysisMode::GraphBased;
+  mt::StaOptions pba;
+  pba.mode = mt::AnalysisMode::PathBased;
+  const auto g = mt::report_timing(*f.pl, f.clock, gba, 1);
+  const auto p = mt::report_timing(*f.pl, f.clock, pba, 1);
+  ASSERT_FALSE(g.empty());
+  ASSERT_FALSE(p.empty());
+  EXPECT_GE(g[0].arrival_ps, p[0].arrival_ps - 1e-9);
+}
+
+// ------------------------------------------------------------- hold ECO
+
+TEST(HoldEco, FixesManufacturedViolations) {
+  mf::DesignState state;
+  state.lib = &lib();
+  {
+    auto f = fixture(5, 300);
+    state.nl = std::move(f.nl);
+    state.fp = std::move(f.fp);
+    state.pl = std::move(f.pl);
+  }
+  // Build the skewed clock against the actual state.
+  mt::ClockTree clock;
+  clock.insertion_ps.assign(state.nl->instance_count(), 0.0);
+  const auto flops = state.nl->flops();
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    clock.insertion_ps[flops[i]] = (i % 2 == 0) ? 120.0 : 0.0;
+  }
+  clock.max_insertion_ps = 120.0;
+  state.clock = clock;
+
+  mt::StaOptions sta;
+  sta.mode = mt::AnalysisMode::PathBased;
+  sta.clock_period_ps = 2000.0;  // relaxed setup so hold dominates
+  sta.with_hold = true;
+  const auto before = mt::run_sta(*state.pl, state.clock, sta);
+  ASSERT_GT(before.hold_violations, 0u) << "fixture failed to create violations";
+
+  const auto res = mc::fix_hold(state, sta);
+  EXPECT_GT(res.buffers_added, 0u);
+  EXPECT_GT(res.whs_after_ps, res.whs_before_ps);
+  const auto after = mt::run_sta(*state.pl, state.clock, sta);
+  EXPECT_LT(after.hold_violations, before.hold_violations);
+  // Setup must survive (relaxed clock: still positive).
+  EXPECT_GT(res.wns_after_ps, 0.0);
+  // Netlist still valid after the surgery.
+  std::string why;
+  EXPECT_TRUE(state.nl->validate(&why)) << why;
+}
+
+TEST(HoldEco, NoOpOnCleanDesign) {
+  mf::DesignState state;
+  state.lib = &lib();
+  {
+    auto f = fixture(7, 300);
+    state.nl = std::move(f.nl);
+    state.fp = std::move(f.fp);
+    state.pl = std::move(f.pl);
+    state.clock = mt::ClockTree{};  // ideal clock: no skew, no violations
+  }
+  mt::StaOptions sta;
+  sta.clock_period_ps = 2000.0;
+  const std::size_t before_count = state.nl->instance_count();
+  const auto res = mc::fix_hold(state, sta);
+  EXPECT_EQ(res.buffers_added, 0u);
+  EXPECT_EQ(state.nl->instance_count(), before_count);
+  EXPECT_DOUBLE_EQ(res.whs_after_ps, res.whs_before_ps);
+}
+
+TEST(HoldEco, RespectsBufferBudget) {
+  mf::DesignState state;
+  state.lib = &lib();
+  {
+    auto f = fixture(9, 300);
+    state.nl = std::move(f.nl);
+    state.fp = std::move(f.fp);
+    state.pl = std::move(f.pl);
+  }
+  mt::ClockTree clock;
+  clock.insertion_ps.assign(state.nl->instance_count(), 0.0);
+  for (const auto ff : state.nl->flops()) clock.insertion_ps[ff] = 400.0;  // extreme
+  clock.max_insertion_ps = 400.0;
+  // Leave half the flops at 0 to create massive skew.
+  const auto flops = state.nl->flops();
+  for (std::size_t i = 0; i < flops.size(); i += 2) clock.insertion_ps[flops[i]] = 0.0;
+  state.clock = clock;
+
+  mt::StaOptions sta;
+  sta.clock_period_ps = 3000.0;
+  sta.with_hold = true;
+  mc::HoldFixOptions opt;
+  opt.max_total_buffers = 10;
+  const auto res = mc::fix_hold(state, sta, opt);
+  EXPECT_LE(res.buffers_added, 10u);
+}

@@ -1,0 +1,252 @@
+// Unit tests for maestro::route — grid graph indexing, the negotiated-
+// congestion global router, and the DRV-convergence simulator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "route/drv_sim.hpp"
+#include "route/global_router.hpp"
+
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+namespace mr = maestro::route;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+
+mp::Placement placed_design(std::uint64_t seed, std::size_t gates, double util,
+                            std::unique_ptr<mn::Netlist>& nl_out,
+                            std::unique_ptr<mp::Floorplan>& fp_out) {
+  mn::RandomLogicSpec spec;
+  spec.gates = gates;
+  spec.seed = seed;
+  nl_out = std::make_unique<mn::Netlist>(mn::make_random_logic(lib(), spec));
+  fp_out = std::make_unique<mp::Floorplan>(mp::Floorplan::for_netlist(*nl_out, util));
+  Rng rng{seed};
+  auto pl = mp::random_placement(*nl_out, *fp_out, rng);
+  mp::AnnealOptions ao;
+  ao.moves_per_cell = 10.0;
+  mp::anneal_placement(pl, ao, rng);
+  mp::legalize(pl);
+  return pl;
+}
+}  // namespace
+
+TEST(GridGraph, EdgeIdsAreUniqueAndComplete) {
+  const maestro::geom::GridIndexer idx{{{0, 0}, {100, 100}}, 4, 3};
+  mr::GridGraph g{4, 3, 10.0, 8.0, idx};
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3u + 4u * 2u);  // east + north
+  std::set<std::size_t> ids;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    for (std::uint32_t c = 0; c + 1 < 4; ++c) ids.insert(g.edge_id({c, r}, mr::Dir::East));
+  }
+  for (std::uint32_t r = 0; r + 1 < 3; ++r) {
+    for (std::uint32_t c = 0; c < 4; ++c) ids.insert(g.edge_id({c, r}, mr::Dir::North));
+  }
+  EXPECT_EQ(ids.size(), g.edge_count());
+  // Capacities by direction.
+  EXPECT_DOUBLE_EQ(g.capacity(g.edge_id({0, 0}, mr::Dir::East)), 10.0);
+  EXPECT_DOUBLE_EQ(g.capacity(g.edge_id({0, 0}, mr::Dir::North)), 8.0);
+}
+
+TEST(GridGraph, UsageAndOverflowAccounting) {
+  const maestro::geom::GridIndexer idx{{{0, 0}, {10, 10}}, 2, 2};
+  mr::GridGraph g{2, 2, 1.0, 1.0, idx};
+  const auto e = g.edge_id({0, 0}, mr::Dir::East);
+  g.add_usage(e, 3.0);
+  EXPECT_DOUBLE_EQ(g.usage(e), 3.0);
+  EXPECT_DOUBLE_EQ(g.overflow(e), 2.0);
+  EXPECT_DOUBLE_EQ(g.total_overflow(), 2.0);
+  EXPECT_EQ(g.overflowed_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.max_utilization(), 3.0);
+  g.reset_usage();
+  EXPECT_DOUBLE_EQ(g.total_overflow(), 0.0);
+}
+
+TEST(GlobalRouter, RoutesEasyDesignCleanly) {
+  std::unique_ptr<mn::Netlist> nl;
+  std::unique_ptr<mp::Floorplan> fp;
+  const auto pl = placed_design(1, 300, 0.5, nl, fp);
+  Rng rng{1};
+  mr::RouteOptions opt;
+  opt.gcells_x = opt.gcells_y = 16;
+  opt.h_capacity = 60.0;
+  opt.v_capacity = 60.0;
+  const auto res = mr::global_route(pl, opt, rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_DOUBLE_EQ(res.total_overflow, 0.0);
+  EXPECT_GT(res.wirelength_gcells, 0.0);
+}
+
+TEST(GlobalRouter, TightCapacityCausesOverflowOrMoreWire) {
+  std::unique_ptr<mn::Netlist> nl;
+  std::unique_ptr<mp::Floorplan> fp;
+  const auto pl = placed_design(2, 600, 0.85, nl, fp);
+  mr::RouteOptions loose;
+  loose.gcells_x = loose.gcells_y = 16;
+  loose.h_capacity = loose.v_capacity = 100.0;
+  mr::RouteOptions tight = loose;
+  tight.h_capacity = tight.v_capacity = 4.0;
+  Rng r1{3};
+  Rng r2{3};
+  const auto easy = mr::global_route(pl, loose, r1);
+  const auto hard = mr::global_route(pl, tight, r2);
+  EXPECT_GT(hard.total_overflow + (hard.wirelength_gcells - easy.wirelength_gcells), 0.0);
+  EXPECT_GE(hard.max_utilization, easy.max_utilization);
+}
+
+TEST(GlobalRouter, NegotiationReducesOverflow) {
+  std::unique_ptr<mn::Netlist> nl;
+  std::unique_ptr<mp::Floorplan> fp;
+  const auto pl = placed_design(5, 700, 0.8, nl, fp);
+  mr::RouteOptions opt;
+  opt.gcells_x = opt.gcells_y = 16;
+  opt.h_capacity = opt.v_capacity = 9.0;
+  opt.max_rounds = 8;
+  Rng rng{5};
+  const auto res = mr::global_route(pl, opt, rng);
+  ASSERT_GE(res.overflow_per_round.size(), 2u);
+  // Overflow after negotiation no worse than the first round.
+  EXPECT_LE(res.overflow_per_round.back(), res.overflow_per_round.front());
+}
+
+TEST(DifficultyFromCongestion, MonotoneInOverflow) {
+  mr::RouteResult a;
+  a.max_utilization = 0.5;
+  a.total_overflow = 0.0;
+  mr::RouteResult b = a;
+  b.max_utilization = 1.2;
+  b.total_overflow = 100.0;
+  mr::RouteResult c = b;
+  c.total_overflow = 500.0;
+  EXPECT_LT(mr::difficulty_from_congestion(a).value, mr::difficulty_from_congestion(b).value);
+  EXPECT_LE(mr::difficulty_from_congestion(b).value, mr::difficulty_from_congestion(c).value);
+  EXPECT_GE(mr::difficulty_from_congestion(a).value, 0.0);
+  EXPECT_LE(mr::difficulty_from_congestion(c).value, 1.0);
+}
+
+TEST(DrvSim, EasyRunConvergesHardRunDoesNot) {
+  mr::DrvSimOptions opt;
+  Rng easy_rng{7};
+  const auto easy = mr::simulate_drv_run({0.1}, opt, easy_rng);
+  EXPECT_TRUE(easy.succeeded);
+  EXPECT_LT(easy.drvs.back(), opt.success_threshold);
+
+  Rng hard_rng{7};
+  const auto hard = mr::simulate_drv_run({0.95}, opt, hard_rng);
+  EXPECT_FALSE(hard.succeeded);
+  EXPECT_GT(hard.drvs.back(), opt.success_threshold);
+}
+
+TEST(DrvSim, TrajectoryLengthAndLog) {
+  mr::DrvSimOptions opt;
+  opt.iterations = 25;
+  Rng rng{9};
+  const auto run = mr::simulate_drv_run({0.4}, opt, rng);
+  EXPECT_EQ(run.drvs.size(), 25u);
+  EXPECT_EQ(run.log.iterations.size(), 25u);
+  EXPECT_EQ(run.log.tool, "detail_route");
+  // Log series matches the trajectory.
+  const auto series = run.log.series("drvs");
+  for (std::size_t i = 0; i < series.size(); ++i) EXPECT_DOUBLE_EQ(series[i], run.drvs[i]);
+}
+
+TEST(DrvSim, SuccessRateFallsWithDifficulty) {
+  mr::DrvSimOptions opt;
+  Rng rng{11};
+  auto success_rate = [&](double difficulty) {
+    int ok = 0;
+    for (int i = 0; i < 60; ++i) {
+      ok += mr::simulate_drv_run({difficulty}, opt, rng).succeeded ? 1 : 0;
+    }
+    return ok / 60.0;
+  };
+  const double easy = success_rate(0.15);
+  const double mid = success_rate(0.55);
+  const double hard = success_rate(0.9);
+  EXPECT_GT(easy, 0.9);
+  EXPECT_LT(hard, 0.1);
+  EXPECT_GE(easy, mid);
+  EXPECT_GT(mid, hard);
+}
+
+TEST(DrvSim, ExhibitsDivergentRegime) {
+  // Among hard runs, some must *increase* DRVs late (Fig. 9 red curve).
+  mr::DrvSimOptions opt;
+  Rng rng{13};
+  bool saw_divergence = false;
+  for (int i = 0; i < 40 && !saw_divergence; ++i) {
+    const auto run = mr::simulate_drv_run({0.85}, opt, rng);
+    const auto mid = run.drvs[run.drvs.size() / 2];
+    if (run.drvs.back() > 1.5 * mid) saw_divergence = true;
+  }
+  EXPECT_TRUE(saw_divergence);
+}
+
+TEST(DrvSim, ExhibitsPlateauRegime) {
+  // Moderately hard runs should stall well above zero but below start.
+  mr::DrvSimOptions opt;
+  Rng rng{17};
+  bool saw_plateau = false;
+  for (int i = 0; i < 40 && !saw_plateau; ++i) {
+    const auto run = mr::simulate_drv_run({0.65}, opt, rng);
+    const double last = run.drvs.back();
+    const double prev5 = run.drvs[run.drvs.size() - 6];
+    if (last > opt.success_threshold && last < 0.3 * run.drvs.front() &&
+        std::abs(last - prev5) < 0.5 * prev5) {
+      saw_plateau = true;
+    }
+  }
+  EXPECT_TRUE(saw_plateau);
+}
+
+TEST(DrvCorpus, SizesAndKinds) {
+  mr::DrvSimOptions opt;
+  Rng rng{19};
+  const auto train = mr::make_drv_corpus(mr::CorpusKind::ArtificialLayouts, 100, opt, rng);
+  EXPECT_EQ(train.size(), 100u);
+  const auto test = mr::make_drv_corpus(mr::CorpusKind::CpuFloorplans, 50, opt, rng);
+  EXPECT_EQ(test.size(), 50u);
+  // Artificial corpus spreads difficulty broadly.
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& r : train) {
+    lo = std::min(lo, r.difficulty);
+    hi = std::max(hi, r.difficulty);
+  }
+  EXPECT_LT(lo, 0.2);
+  EXPECT_GT(hi, 0.8);
+  // Both corpora contain successes and failures.
+  auto count_success = [](const std::vector<mr::DrvRun>& c) {
+    std::size_t n = 0;
+    for (const auto& r : c) n += r.succeeded ? 1 : 0;
+    return n;
+  };
+  EXPECT_GT(count_success(train), 0u);
+  EXPECT_LT(count_success(train), train.size());
+  EXPECT_GT(count_success(test), 0u);
+  EXPECT_LT(count_success(test), test.size());
+}
+
+TEST(DrvCorpus, DeterministicBySeed) {
+  mr::DrvSimOptions opt;
+  Rng a{21};
+  Rng b{21};
+  const auto c1 = mr::make_drv_corpus(mr::CorpusKind::CpuFloorplans, 10, opt, a);
+  const auto c2 = mr::make_drv_corpus(mr::CorpusKind::CpuFloorplans, 10, opt, b);
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(c1[i].drvs.size(), c2[i].drvs.size());
+    for (std::size_t t = 0; t < c1[i].drvs.size(); ++t) {
+      EXPECT_DOUBLE_EQ(c1[i].drvs[t], c2[i].drvs[t]);
+    }
+  }
+}

@@ -1,0 +1,145 @@
+// Tests for the Section-4 sharing infrastructure (anonymization, corpus
+// persistence) and k-fold cross-validation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/doomed_guard.hpp"
+#include "metrics/sharing.hpp"
+#include "ml/regression.hpp"
+
+namespace mm = maestro::metrics;
+namespace mc = maestro::core;
+namespace mr = maestro::route;
+namespace ml = maestro::ml;
+using maestro::util::Rng;
+
+TEST(Pseudonym, DeterministicPerKeyAndDistinctAcrossKeys) {
+  const auto a1 = mm::pseudonym("pulpino_top", 1);
+  const auto a2 = mm::pseudonym("pulpino_top", 1);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, mm::pseudonym("pulpino_top", 2));
+  EXPECT_NE(a1, mm::pseudonym("other_design", 1));
+  EXPECT_EQ(a1.rfind("d_", 0), 0u);
+  // The original name must not leak.
+  EXPECT_EQ(a1.find("pulpino"), std::string::npos);
+}
+
+TEST(Anonymize, ScrubsRecordFields) {
+  mm::Record r;
+  r.design = "secret_soc";
+  r.seed = 424242;
+  r.step = "flow";
+  r.knobs["synthesis.effort"] = "high";
+  r.knobs["floorplan.utilization"] = "0.85";
+  r.values[mm::names::kAreaUm2] = 1234.5;
+  r.values[mm::names::kWnsPs] = -3.2;
+
+  mm::AnonymizeOptions opt;
+  opt.quantize[mm::names::kAreaUm2] = 100.0;
+  opt.drop_knob_values = {"floorplan.utilization"};
+  const auto a = mm::anonymize(r, opt);
+  EXPECT_EQ(a.design.find("secret"), std::string::npos);
+  EXPECT_EQ(a.seed, 0u);
+  EXPECT_DOUBLE_EQ(*a.value(mm::names::kAreaUm2), 1200.0);       // quantized
+  EXPECT_DOUBLE_EQ(*a.value(mm::names::kWnsPs), -3.2);           // untouched
+  EXPECT_EQ(*a.knob("floorplan.utilization"), "<redacted>");
+  EXPECT_EQ(*a.knob("synthesis.effort"), "high");                // kept
+  EXPECT_EQ(a.step, "flow");
+}
+
+TEST(Anonymize, ServerJoinsSurviveWithinKey) {
+  mm::Server server;
+  for (int i = 0; i < 3; ++i) {
+    mm::Record r;
+    r.design = "design_a";
+    r.step = "flow";
+    r.values[mm::names::kAreaUm2] = 100.0 + i;
+    server.submit(std::move(r));
+  }
+  mm::Record other;
+  other.design = "design_b";
+  other.step = "flow";
+  server.submit(std::move(other));
+
+  const auto anon = mm::anonymize(server, mm::AnonymizeOptions{});
+  EXPECT_EQ(anon.size(), 4u);
+  // Same source design -> same pseudonym: per-design queries still work.
+  const auto pseud = mm::pseudonym("design_a", mm::AnonymizeOptions{}.key);
+  EXPECT_EQ(anon.for_design(pseud).size(), 3u);
+}
+
+TEST(DrvCorpusSharing, RoundTripPreservesTrainingValue) {
+  mr::DrvSimOptions opt;
+  opt.seed = 31;
+  Rng rng{31};
+  const auto corpus = mr::make_drv_corpus(mr::CorpusKind::ArtificialLayouts, 300, opt, rng);
+
+  const std::string path = "/tmp/maestro_shared_corpus.jsonl";
+  ASSERT_TRUE(mm::save_drv_corpus(corpus, path, mm::AnonymizeOptions{}));
+  const auto loaded = mm::load_drv_corpus(path);
+  ASSERT_EQ(loaded.size(), corpus.size());
+
+  // Trajectories and labels survive; provenance does not.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(loaded[i].succeeded, corpus[i].succeeded);
+    ASSERT_EQ(loaded[i].drvs.size(), corpus[i].drvs.size());
+    for (std::size_t t = 0; t < corpus[i].drvs.size(); ++t) {
+      EXPECT_DOUBLE_EQ(loaded[i].drvs[t], corpus[i].drvs[t]);
+    }
+    EXPECT_EQ(loaded[i].log.seed, 0u);
+    EXPECT_EQ(loaded[i].log.metadata.count("difficulty"), 0u);
+    EXPECT_EQ(loaded[i].log.design.find("art"), std::string::npos);
+  }
+
+  // The shared corpus trains a guard as well as the original.
+  mc::DoomedRunGuard guard_orig;
+  guard_orig.train(corpus);
+  mc::DoomedRunGuard guard_shared;
+  guard_shared.train(loaded);
+  mr::DrvSimOptions topt;
+  topt.seed = 33;
+  Rng trng{33};
+  const auto test = mr::make_drv_corpus(mr::CorpusKind::CpuFloorplans, 300, topt, trng);
+  const auto e1 = guard_orig.evaluate(test, 2);
+  const auto e2 = guard_shared.evaluate(test, 2);
+  EXPECT_EQ(e1.type1, e2.type1);
+  EXPECT_EQ(e1.type2, e2.type2);
+  std::filesystem::remove(path);
+}
+
+TEST(CrossValidate, FoldsPartitionData) {
+  ml::Dataset d;
+  Rng rng{41};
+  for (int i = 0; i < 50; ++i) d.add({static_cast<double>(i)}, 2.0 * i);
+  std::size_t total_test = 0;
+  const auto scores =
+      ml::cross_validate(d, 5, rng, [&](const ml::Dataset& train, const ml::Dataset& test) {
+        total_test += test.size();
+        EXPECT_EQ(train.size() + test.size(), d.size());
+        return 1.0;
+      });
+  EXPECT_EQ(scores.size(), 5u);
+  EXPECT_EQ(total_test, d.size());  // every sample tested exactly once
+}
+
+TEST(CrossValidate, R2OfLinearModelOnLinearData) {
+  ml::Dataset d;
+  Rng rng{43};
+  for (int i = 0; i < 120; ++i) {
+    const double x = rng.uniform(-5, 5);
+    d.add({x}, 3.0 * x + 1.0 + rng.gauss(0, 0.01));
+  }
+  const double r2 =
+      ml::cross_validated_r2(d, 4, rng, [] { return ml::RidgeRegression{1e-6}; });
+  EXPECT_GT(r2, 0.999);
+}
+
+TEST(CrossValidate, DegenerateInputsRejected) {
+  ml::Dataset d;
+  d.add({1.0}, 1.0);
+  Rng rng{45};
+  EXPECT_TRUE(ml::cross_validate(d, 5, rng, [](const auto&, const auto&) { return 0.0; }).empty());
+  EXPECT_TRUE(ml::cross_validate(d, 1, rng, [](const auto&, const auto&) { return 0.0; }).empty());
+}

@@ -1,0 +1,241 @@
+// Unit tests for maestro::timing — clock tree synthesis and the two STA
+// engines, including their deliberate GBA-vs-PBA miscorrelation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+#include "timing/sta.hpp"
+
+namespace mn = maestro::netlist;
+namespace mp = maestro::place;
+namespace mt = maestro::timing;
+namespace mr = maestro::route;
+using maestro::util::Rng;
+
+namespace {
+const mn::CellLibrary& lib() {
+  static const mn::CellLibrary l = mn::make_default_library();
+  return l;
+}
+
+struct Fixture {
+  std::unique_ptr<mn::Netlist> nl;
+  std::unique_ptr<mp::Floorplan> fp;
+  std::unique_ptr<mp::Placement> pl;
+  mt::ClockTree clock;
+};
+
+Fixture make_fixture(std::uint64_t seed, std::size_t gates = 400, double flop_ratio = 0.15) {
+  Fixture f;
+  mn::RandomLogicSpec spec;
+  spec.gates = gates;
+  spec.flop_ratio = flop_ratio;
+  spec.seed = seed;
+  f.nl = std::make_unique<mn::Netlist>(mn::make_random_logic(lib(), spec));
+  f.fp = std::make_unique<mp::Floorplan>(mp::Floorplan::for_netlist(*f.nl, 0.7));
+  Rng rng{seed};
+  f.pl = std::make_unique<mp::Placement>(mp::random_placement(*f.nl, *f.fp, rng));
+  mp::AnnealOptions ao;
+  ao.moves_per_cell = 8.0;
+  mp::anneal_placement(*f.pl, ao, rng);
+  mp::legalize(*f.pl);
+  f.clock = mt::build_clock_tree(*f.pl, mt::ClockTreeOptions{}, rng);
+  return f;
+}
+}  // namespace
+
+TEST(ClockTree, InsertionDelaysPositiveForFlops) {
+  const auto f = make_fixture(1);
+  for (const auto ff : f.nl->flops()) {
+    EXPECT_GT(f.clock.insertion_of(ff), 0.0);
+  }
+  EXPECT_GT(f.clock.buffers, 0u);
+  EXPECT_GE(f.clock.skew_ps(), 0.0);
+  EXPECT_GT(f.clock.max_insertion_ps, f.clock.min_insertion_ps - 1e-9);
+}
+
+TEST(ClockTree, SkewBoundedRelativeToInsertion) {
+  const auto f = make_fixture(2, 800, 0.2);
+  // A tree should not have pathological skew: well under max insertion.
+  EXPECT_LT(f.clock.skew_ps(), f.clock.max_insertion_ps);
+}
+
+TEST(ClockTree, NoFlopsMeansEmptyTree) {
+  mn::RandomLogicSpec spec;
+  spec.gates = 100;
+  spec.flop_ratio = 0.0;
+  spec.seed = 3;
+  const auto nl = mn::make_random_logic(lib(), spec);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.7);
+  Rng rng{3};
+  const auto pl = mp::random_placement(nl, fp, rng);
+  const auto tree = mt::build_clock_tree(pl, mt::ClockTreeOptions{}, rng);
+  EXPECT_EQ(tree.buffers, 0u);
+  EXPECT_DOUBLE_EQ(tree.skew_ps(), 0.0);
+}
+
+TEST(Sta, ChainDelayMatchesHandComputation) {
+  // Build a 3-inverter chain, place pads and gates at known positions.
+  mn::Netlist nl = mn::make_chain(lib(), 3);
+  const auto fp = mp::Floorplan::for_netlist(nl, 0.5);
+  Rng rng{5};
+  auto pl = mp::random_placement(nl, fp, rng);
+  mp::legalize(pl);
+
+  mt::StaOptions opt;
+  opt.mode = mt::AnalysisMode::PathBased;  // exact engine
+  opt.clock_period_ps = 10000.0;
+  const auto rep = mt::run_sta(pl, mt::ClockTree{}, opt);
+  ASSERT_EQ(rep.endpoints.size(), 1u);  // the PO
+
+  // Hand computation: io_input_delay + 3 gate delays + wire delays.
+  const auto inv = lib().smallest(mn::CellFunction::Inv);
+  const auto& m = lib().master(inv);
+  double expect = opt.io_input_delay_ps;
+  // Stage loads: wire cap + sink pin cap; walk nets in order.
+  for (std::size_t n = 0; n < nl.net_count(); ++n) {
+    const auto id = static_cast<mn::NetId>(n);
+    const auto& net = nl.net(id);
+    if (net.sinks.empty()) continue;
+    const double wl = static_cast<double>(pl.net_hpwl(id));
+    const double sink_cap = nl.master_of(net.sinks[0].instance).input_cap_ff;
+    const double load = opt.wire.cap_per_nm_ff * wl + sink_cap;
+    const double rw = opt.wire.res_per_nm_kohm *
+                      static_cast<double>(maestro::geom::manhattan(
+                          pl.pin_of(net.driver), pl.pin_of(net.sinks[0].instance)));
+    const double cw = opt.wire.cap_per_nm_ff * wl;
+    const double wire_delay = rw * (0.5 * cw + sink_cap);
+    const bool driver_is_gate = nl.master_of(net.driver).function == mn::CellFunction::Inv;
+    if (driver_is_gate) expect += m.delay_ps(load);
+    else expect += lib().master(nl.instance(net.driver).master).drive_res_kohm * 0.0;
+    expect += wire_delay;
+  }
+  EXPECT_NEAR(rep.endpoints[0].arrival_ps, expect, 1e-6);
+}
+
+TEST(Sta, GbaIsPessimisticVsPba) {
+  const auto f = make_fixture(7);
+  mt::StaOptions gba;
+  gba.mode = mt::AnalysisMode::GraphBased;
+  mt::StaOptions pba;
+  pba.mode = mt::AnalysisMode::PathBased;
+  const auto rep_gba = mt::run_sta(*f.pl, f.clock, gba);
+  const auto rep_pba = mt::run_sta(*f.pl, f.clock, pba);
+  ASSERT_EQ(rep_gba.endpoints.size(), rep_pba.endpoints.size());
+  // Every endpoint: GBA arrival >= PBA arrival (bbox + derate pessimism).
+  std::size_t strictly_greater = 0;
+  for (std::size_t i = 0; i < rep_gba.endpoints.size(); ++i) {
+    EXPECT_GE(rep_gba.endpoints[i].arrival_ps, rep_pba.endpoints[i].arrival_ps - 1e-9);
+    if (rep_gba.endpoints[i].arrival_ps > rep_pba.endpoints[i].arrival_ps + 1e-9) {
+      ++strictly_greater;
+    }
+  }
+  EXPECT_GT(strictly_greater, rep_gba.endpoints.size() / 2);
+  EXPECT_LE(rep_gba.wns_ps, rep_pba.wns_ps + 1e-9);
+}
+
+TEST(Sta, SiModeAddsPessimismInCongestion) {
+  const auto f = make_fixture(9, 600);
+  Rng rng{9};
+  mr::RouteOptions ro;
+  ro.gcells_x = ro.gcells_y = 16;
+  ro.h_capacity = ro.v_capacity = 8.0;  // force congestion
+  mr::GridGraph grid;
+  mr::global_route(*f.pl, ro, grid, rng);
+
+  mt::StaOptions plain;
+  plain.mode = mt::AnalysisMode::PathBased;
+  mt::StaOptions si = plain;
+  si.with_si = true;
+  const auto rep_plain = mt::run_sta(*f.pl, f.clock, plain, &grid);
+  const auto rep_si = mt::run_sta(*f.pl, f.clock, si, &grid);
+  ASSERT_EQ(rep_plain.endpoints.size(), rep_si.endpoints.size());
+  double sum_delta = 0.0;
+  for (std::size_t i = 0; i < rep_si.endpoints.size(); ++i) {
+    EXPECT_GE(rep_si.endpoints[i].arrival_ps, rep_plain.endpoints[i].arrival_ps - 1e-9);
+    sum_delta += rep_si.endpoints[i].arrival_ps - rep_plain.endpoints[i].arrival_ps;
+  }
+  EXPECT_GT(sum_delta, 0.0);
+  EXPECT_GT(rep_si.analysis_cost, rep_plain.analysis_cost);
+}
+
+TEST(Sta, EndpointsAreFlopsAndOutputs) {
+  const auto f = make_fixture(11);
+  mt::StaOptions opt;
+  const auto rep = mt::run_sta(*f.pl, f.clock, opt);
+  EXPECT_EQ(rep.endpoints.size(), f.nl->flops().size() + f.nl->primary_outputs().size());
+  std::size_t flop_eps = 0;
+  for (const auto& ep : rep.endpoints) flop_eps += ep.is_flop ? 1 : 0;
+  EXPECT_EQ(flop_eps, f.nl->flops().size());
+}
+
+TEST(Sta, SlackRespondsToClockPeriod) {
+  const auto f = make_fixture(13);
+  mt::StaOptions fast;
+  fast.clock_period_ps = 300.0;
+  mt::StaOptions slow;
+  slow.clock_period_ps = 3000.0;
+  const auto rep_fast = mt::run_sta(*f.pl, f.clock, fast);
+  const auto rep_slow = mt::run_sta(*f.pl, f.clock, slow);
+  EXPECT_LT(rep_fast.wns_ps, rep_slow.wns_ps);
+  EXPECT_NEAR(rep_slow.wns_ps - rep_fast.wns_ps, 2700.0, 1e-6);
+  EXPECT_LE(rep_fast.tns_ps, 0.0);
+  EXPECT_GE(rep_fast.failing_endpoints,
+            static_cast<std::size_t>(rep_slow.failing_endpoints));
+}
+
+TEST(Sta, WnsIsMinimumSlack) {
+  const auto f = make_fixture(17);
+  mt::StaOptions opt;
+  opt.clock_period_ps = 600.0;
+  const auto rep = mt::run_sta(*f.pl, f.clock, opt);
+  double min_slack = 1e300;
+  double tns = 0.0;
+  for (const auto& ep : rep.endpoints) {
+    min_slack = std::min(min_slack, ep.slack_ps);
+    if (ep.slack_ps < 0) tns += ep.slack_ps;
+  }
+  EXPECT_DOUBLE_EQ(rep.wns_ps, min_slack);
+  EXPECT_DOUBLE_EQ(rep.tns_ps, tns);
+}
+
+TEST(Sta, PbaCostsMoreThanGba) {
+  const auto f = make_fixture(19);
+  mt::StaOptions gba;
+  gba.mode = mt::AnalysisMode::GraphBased;
+  mt::StaOptions pba;
+  pba.mode = mt::AnalysisMode::PathBased;
+  const auto rep_gba = mt::run_sta(*f.pl, f.clock, gba);
+  const auto rep_pba = mt::run_sta(*f.pl, f.clock, pba);
+  EXPECT_GT(rep_pba.analysis_cost, rep_gba.analysis_cost);
+}
+
+TEST(Sta, EndpointFeaturesPopulated) {
+  const auto f = make_fixture(23);
+  mt::StaOptions opt;
+  const auto rep = mt::run_sta(*f.pl, f.clock, opt);
+  std::size_t with_stages = 0;
+  std::size_t with_wire = 0;
+  for (const auto& ep : rep.endpoints) {
+    with_stages += ep.path_stages > 0 ? 1 : 0;
+    with_wire += ep.path_wire_delay_ps > 0.0 ? 1 : 0;
+  }
+  EXPECT_GT(with_stages, rep.endpoints.size() / 2);
+  EXPECT_GT(with_wire, rep.endpoints.size() / 2);
+}
+
+TEST(Sta, EndpointLookup) {
+  const auto f = make_fixture(29);
+  mt::StaOptions opt;
+  const auto rep = mt::run_sta(*f.pl, f.clock, opt);
+  ASSERT_FALSE(rep.endpoints.empty());
+  const auto& first = rep.endpoints.front();
+  const auto* found = rep.endpoint_of(first.endpoint);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->slack_ps, first.slack_ps);
+  EXPECT_EQ(rep.endpoint_of(static_cast<mn::InstanceId>(999999)), nullptr);
+}

@@ -1,0 +1,366 @@
+// Unit tests for maestro::util — RNG determinism and distribution sanity,
+// summary statistics, JSON round-trips, CSV formatting, tool logs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mu = maestro::util;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  mu::Rng a{123};
+  mu::Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  mu::Rng a{1};
+  mu::Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  mu::Rng rng{7};
+  mu::RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallRange) {
+  mu::Rng rng{11};
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, RangeInclusive) {
+  mu::Rng rng{3};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussMoments) {
+  mu::Rng rng{5};
+  mu::RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.gauss());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussShifted) {
+  mu::Rng rng{5};
+  mu::RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.gauss(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  mu::Rng rng{9};
+  mu::RunningStats s;
+  for (int i = 0; i < 30000; ++i) s.add(rng.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  mu::Rng rng{13};
+  for (const double shape : {0.5, 1.0, 3.0, 9.0}) {
+    mu::RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(rng.gamma(shape));
+    EXPECT_NEAR(s.mean(), shape, shape * 0.05) << "shape=" << shape;
+  }
+}
+
+TEST(Rng, BetaMean) {
+  mu::Rng rng{17};
+  mu::RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.beta(2.0, 6.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  mu::Rng rng{21};
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const auto idx = rng.weighted_index(w);
+    ASSERT_LT(idx, w.size());
+    ++counts[idx];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+  mu::Rng rng{1};
+  EXPECT_EQ(rng.weighted_index({0.0, 0.0}), 2u);
+  EXPECT_EQ(rng.weighted_index({}), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  mu::Rng rng{2};
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  mu::Rng rng{4};
+  mu::Rng child = rng.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += rng.next() == child.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RunningStats, BasicMoments) {
+  mu::RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  mu::Rng rng{31};
+  mu::RunningStats a;
+  mu::RunningStats b;
+  mu::RunningStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.gauss(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, PercentileAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mu::median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(xs, 50.0), 3.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(mu::pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(mu::pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(mu::pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, HistogramCountsAndRange) {
+  const std::vector<double> xs = {0.1, 0.2, 0.5, 0.9};
+  const auto h = mu::make_histogram(xs, 2, 0.0, 1.0);
+  EXPECT_EQ(h.counts.size(), 2u);
+  // Half-open bins: 0.5 belongs to the upper bin.
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+}
+
+TEST(Stats, NormalCdfKnownValues) {
+  EXPECT_NEAR(mu::normal_cdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(mu::normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(mu::normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Stats, GaussianFitAcceptsGaussianData) {
+  mu::Rng rng{41};
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.gauss(5.0, 1.5));
+  const auto fit = mu::fit_gaussian(xs);
+  EXPECT_NEAR(fit.mean, 5.0, 0.1);
+  EXPECT_NEAR(fit.sigma, 1.5, 0.1);
+  EXPECT_GT(fit.ks_pvalue, 0.01);  // should not reject normality
+}
+
+TEST(Stats, GaussianFitRejectsHeavyBimodal) {
+  mu::Rng rng{43};
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.chance(0.5) ? rng.gauss(-6, 0.3) : rng.gauss(6, 0.3));
+  const auto fit = mu::fit_gaussian(xs);
+  EXPECT_LT(fit.ks_pvalue, 0.001);  // strongly non-normal
+}
+
+TEST(Stats, LineFitRecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const auto f = mu::fit_line(xs, ys);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(mu::Json{42}.dump(), "42");
+  EXPECT_EQ(mu::Json{true}.dump(), "true");
+  EXPECT_EQ(mu::Json{nullptr}.dump(), "null");
+  EXPECT_EQ(mu::Json{"hi"}.dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectRoundTrip) {
+  mu::JsonObject obj;
+  obj["name"] = mu::Json{"x"};
+  obj["v"] = mu::Json{1.5};
+  obj["list"] = mu::Json{mu::JsonArray{mu::Json{1}, mu::Json{2}}};
+  const std::string text = mu::Json{obj}.dump();
+  const auto parsed = mu::Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("name").as_string(), "x");
+  EXPECT_DOUBLE_EQ(parsed->at("v").as_number(), 1.5);
+  EXPECT_EQ(parsed->at("list").as_array().size(), 2u);
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  const mu::Json j{std::string("a\"b\\c\nd")};
+  const auto parsed = mu::Json::parse(j.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "a\"b\\c\nd");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(mu::Json::parse("{").has_value());
+  EXPECT_FALSE(mu::Json::parse("[1,]").has_value());
+  EXPECT_FALSE(mu::Json::parse("tru").has_value());
+  EXPECT_FALSE(mu::Json::parse("{\"a\":1} extra").has_value());
+  EXPECT_FALSE(mu::Json::parse("").has_value());
+}
+
+TEST(Json, MissingKeyIsNull) {
+  const auto parsed = mu::Json::parse("{\"a\":1}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->at("b").is_null());
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto parsed = mu::Json::parse(R"({"a":{"b":[1,2,{"c":true}]},"d":null})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->at("a").at("b").as_array()[2].at("c").as_bool());
+  EXPECT_TRUE(parsed->at("d").is_null());
+}
+
+TEST(Csv, BuildsTable) {
+  mu::CsvTable t{{"a", "b"}};
+  t.new_row().add(1).add(2.5, 1);
+  t.new_row().add("x").add("y");
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("a,b"), std::string::npos);
+  EXPECT_NE(csv.find("1,2.5"), std::string::npos);
+  EXPECT_NE(csv.find("x,y"), std::string::npos);
+  EXPECT_FALSE(t.to_pretty().empty());
+}
+
+TEST(ToolLog, SeriesAndFinalValue) {
+  mu::ToolLog log;
+  log.tool = "t";
+  for (int i = 0; i < 3; ++i) {
+    mu::LogIteration it;
+    it.iteration = i;
+    it.values["drvs"] = 100.0 - i * 10;
+    log.iterations.push_back(it);
+  }
+  const auto s = log.series("drvs");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[2], 80.0);
+  ASSERT_TRUE(log.final_value("drvs").has_value());
+  EXPECT_DOUBLE_EQ(*log.final_value("drvs"), 80.0);
+  EXPECT_FALSE(log.final_value("nope").has_value());
+}
+
+TEST(ToolLog, JsonRoundTrip) {
+  mu::ToolLog log;
+  log.tool = "route";
+  log.design = "cpu1";
+  log.seed = 77;
+  log.completed = true;
+  log.metadata["knob"] = "fast";
+  mu::LogIteration it;
+  it.iteration = 0;
+  it.values["drvs"] = 123.0;
+  log.iterations.push_back(it);
+
+  const auto parsed = mu::ToolLog::from_json(log.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tool, "route");
+  EXPECT_EQ(parsed->design, "cpu1");
+  EXPECT_EQ(parsed->seed, 77u);
+  EXPECT_TRUE(parsed->completed);
+  EXPECT_EQ(parsed->metadata.at("knob"), "fast");
+  ASSERT_EQ(parsed->iterations.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->iterations[0].values.at("drvs"), 123.0);
+}
+
+// Property-style sweep: percentile is monotone in p for any data.
+class PercentileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileProperty, MonotoneInP) {
+  mu::Rng rng{GetParam()};
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.gauss(0, 10));
+  double prev = -1e300;
+  for (double p = 0.0; p <= 100.0; p += 5.0) {
+    const double v = mu::percentile(xs, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// Property: histogram total never exceeds sample count, and equals it when
+// the range covers all samples.
+class HistogramProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramProperty, TotalPreserved) {
+  mu::Rng rng{99};
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < 500; ++i) xs.push_back(rng.uniform(-3, 3));
+  const auto h = mu::make_histogram(xs, GetParam());
+  EXPECT_EQ(h.total(), xs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, HistogramProperty, ::testing::Values(1, 2, 5, 10, 50));
