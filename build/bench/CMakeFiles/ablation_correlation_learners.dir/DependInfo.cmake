@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_correlation_learners.cpp" "bench/CMakeFiles/ablation_correlation_learners.dir/ablation_correlation_learners.cpp.o" "gcc" "bench/CMakeFiles/ablation_correlation_learners.dir/ablation_correlation_learners.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maestro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/maestro_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/maestro_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/maestro_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/maestro_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/maestro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/maestro_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/maestro_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/maestro_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/maestro_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/maestro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/maestro_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detail_engines.dir/ablation_detail_engines.cpp.o"
+  "CMakeFiles/ablation_detail_engines.dir/ablation_detail_engines.cpp.o.d"
+  "ablation_detail_engines"
+  "ablation_detail_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detail_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

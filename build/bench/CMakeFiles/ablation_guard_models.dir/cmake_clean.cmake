@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_guard_models.dir/ablation_guard_models.cpp.o"
+  "CMakeFiles/ablation_guard_models.dir/ablation_guard_models.cpp.o.d"
+  "ablation_guard_models"
+  "ablation_guard_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guard_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

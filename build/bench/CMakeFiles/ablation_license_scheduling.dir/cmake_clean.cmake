@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_license_scheduling.dir/ablation_license_scheduling.cpp.o"
+  "CMakeFiles/ablation_license_scheduling.dir/ablation_license_scheduling.cpp.o.d"
+  "ablation_license_scheduling"
+  "ablation_license_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_license_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

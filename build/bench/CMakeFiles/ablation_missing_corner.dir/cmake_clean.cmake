@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_missing_corner.dir/ablation_missing_corner.cpp.o"
+  "CMakeFiles/ablation_missing_corner.dir/ablation_missing_corner.cpp.o.d"
+  "ablation_missing_corner"
+  "ablation_missing_corner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_missing_corner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_strategy_card.dir/fig10_strategy_card.cpp.o"
+  "CMakeFiles/fig10_strategy_card.dir/fig10_strategy_card.cpp.o.d"
+  "fig10_strategy_card"
+  "fig10_strategy_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_strategy_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_metrics_mining.dir/fig11_metrics_mining.cpp.o"
+  "CMakeFiles/fig11_metrics_mining.dir/fig11_metrics_mining.cpp.o.d"
+  "fig11_metrics_mining"
+  "fig11_metrics_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_metrics_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

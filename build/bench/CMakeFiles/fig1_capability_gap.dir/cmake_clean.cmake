@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_capability_gap.dir/fig1_capability_gap.cpp.o"
+  "CMakeFiles/fig1_capability_gap.dir/fig1_capability_gap.cpp.o.d"
+  "fig1_capability_gap"
+  "fig1_capability_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_capability_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

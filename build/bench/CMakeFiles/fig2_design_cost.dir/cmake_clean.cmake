@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_design_cost.dir/fig2_design_cost.cpp.o"
+  "CMakeFiles/fig2_design_cost.dir/fig2_design_cost.cpp.o.d"
+  "fig2_design_cost"
+  "fig2_design_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_design_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

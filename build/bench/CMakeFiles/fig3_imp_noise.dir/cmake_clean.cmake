@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_imp_noise.dir/fig3_imp_noise.cpp.o"
+  "CMakeFiles/fig3_imp_noise.dir/fig3_imp_noise.cpp.o.d"
+  "fig3_imp_noise"
+  "fig3_imp_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_imp_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

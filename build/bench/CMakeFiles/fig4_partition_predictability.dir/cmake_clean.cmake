@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_partition_predictability.dir/fig4_partition_predictability.cpp.o"
+  "CMakeFiles/fig4_partition_predictability.dir/fig4_partition_predictability.cpp.o.d"
+  "fig4_partition_predictability"
+  "fig4_partition_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_partition_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

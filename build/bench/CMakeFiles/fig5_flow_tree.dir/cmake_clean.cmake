@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_flow_tree.dir/fig5_flow_tree.cpp.o"
+  "CMakeFiles/fig5_flow_tree.dir/fig5_flow_tree.cpp.o.d"
+  "fig5_flow_tree"
+  "fig5_flow_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_flow_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gwtw_multistart.dir/fig6_gwtw_multistart.cpp.o"
+  "CMakeFiles/fig6_gwtw_multistart.dir/fig6_gwtw_multistart.cpp.o.d"
+  "fig6_gwtw_multistart"
+  "fig6_gwtw_multistart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gwtw_multistart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mab_scheduling.dir/fig7_mab_scheduling.cpp.o"
+  "CMakeFiles/fig7_mab_scheduling.dir/fig7_mab_scheduling.cpp.o.d"
+  "fig7_mab_scheduling"
+  "fig7_mab_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mab_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_accuracy_cost.dir/fig8_accuracy_cost.cpp.o"
+  "CMakeFiles/fig8_accuracy_cost.dir/fig8_accuracy_cost.cpp.o.d"
+  "fig8_accuracy_cost"
+  "fig8_accuracy_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_accuracy_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

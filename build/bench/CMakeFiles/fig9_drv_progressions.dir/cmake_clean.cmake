@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_drv_progressions.dir/fig9_drv_progressions.cpp.o"
+  "CMakeFiles/fig9_drv_progressions.dir/fig9_drv_progressions.cpp.o.d"
+  "fig9_drv_progressions"
+  "fig9_drv_progressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_drv_progressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

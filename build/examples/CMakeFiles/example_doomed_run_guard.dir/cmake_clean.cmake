@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_doomed_run_guard.dir/doomed_run_guard.cpp.o"
+  "CMakeFiles/example_doomed_run_guard.dir/doomed_run_guard.cpp.o.d"
+  "example_doomed_run_guard"
+  "example_doomed_run_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_doomed_run_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_doomed_run_guard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flow_cli.dir/flow_cli.cpp.o"
+  "CMakeFiles/example_flow_cli.dir/flow_cli.cpp.o.d"
+  "example_flow_cli"
+  "example_flow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

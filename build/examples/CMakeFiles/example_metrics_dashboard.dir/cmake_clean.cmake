@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_metrics_dashboard.dir/metrics_dashboard.cpp.o"
+  "CMakeFiles/example_metrics_dashboard.dir/metrics_dashboard.cpp.o.d"
+  "example_metrics_dashboard"
+  "example_metrics_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_metrics_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

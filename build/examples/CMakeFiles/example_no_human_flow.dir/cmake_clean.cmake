@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_no_human_flow.dir/no_human_flow.cpp.o"
+  "CMakeFiles/example_no_human_flow.dir/no_human_flow.cpp.o.d"
+  "example_no_human_flow"
+  "example_no_human_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_no_human_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_soc_project.dir/soc_project.cpp.o"
+  "CMakeFiles/example_soc_project.dir/soc_project.cpp.o.d"
+  "example_soc_project"
+  "example_soc_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_soc_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_timing_closure.dir/timing_closure.cpp.o"
+  "CMakeFiles/example_timing_closure.dir/timing_closure.cpp.o.d"
+  "example_timing_closure"
+  "example_timing_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_timing_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

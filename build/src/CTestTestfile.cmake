@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("netlist")
+subdirs("place")
+subdirs("route")
+subdirs("timing")
+subdirs("power")
+subdirs("ml")
+subdirs("opt")
+subdirs("flow")
+subdirs("metrics")
+subdirs("costmodel")
+subdirs("core")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/corner_predictor.cpp" "src/core/CMakeFiles/maestro_core.dir/corner_predictor.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/corner_predictor.cpp.o.d"
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/maestro_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/doomed_guard.cpp" "src/core/CMakeFiles/maestro_core.dir/doomed_guard.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/doomed_guard.cpp.o.d"
+  "/root/repo/src/core/eco.cpp" "src/core/CMakeFiles/maestro_core.dir/eco.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/eco.cpp.o.d"
+  "/root/repo/src/core/flow_search.cpp" "src/core/CMakeFiles/maestro_core.dir/flow_search.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/flow_search.cpp.o.d"
+  "/root/repo/src/core/guardband.cpp" "src/core/CMakeFiles/maestro_core.dir/guardband.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/guardband.cpp.o.d"
+  "/root/repo/src/core/hmm_guard.cpp" "src/core/CMakeFiles/maestro_core.dir/hmm_guard.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/hmm_guard.cpp.o.d"
+  "/root/repo/src/core/mab_scheduler.cpp" "src/core/CMakeFiles/maestro_core.dir/mab_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/mab_scheduler.cpp.o.d"
+  "/root/repo/src/core/metrics_loop.cpp" "src/core/CMakeFiles/maestro_core.dir/metrics_loop.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/metrics_loop.cpp.o.d"
+  "/root/repo/src/core/robot_engineer.cpp" "src/core/CMakeFiles/maestro_core.dir/robot_engineer.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/robot_engineer.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/maestro_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/sizer.cpp" "src/core/CMakeFiles/maestro_core.dir/sizer.cpp.o" "gcc" "src/core/CMakeFiles/maestro_core.dir/sizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/maestro_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/maestro_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/maestro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/maestro_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/maestro_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/maestro_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/maestro_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/maestro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/maestro_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/maestro_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

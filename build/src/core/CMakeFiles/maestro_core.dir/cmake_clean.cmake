@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_core.dir/corner_predictor.cpp.o"
+  "CMakeFiles/maestro_core.dir/corner_predictor.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/correlation.cpp.o"
+  "CMakeFiles/maestro_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/doomed_guard.cpp.o"
+  "CMakeFiles/maestro_core.dir/doomed_guard.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/eco.cpp.o"
+  "CMakeFiles/maestro_core.dir/eco.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/flow_search.cpp.o"
+  "CMakeFiles/maestro_core.dir/flow_search.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/guardband.cpp.o"
+  "CMakeFiles/maestro_core.dir/guardband.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/hmm_guard.cpp.o"
+  "CMakeFiles/maestro_core.dir/hmm_guard.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/mab_scheduler.cpp.o"
+  "CMakeFiles/maestro_core.dir/mab_scheduler.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/metrics_loop.cpp.o"
+  "CMakeFiles/maestro_core.dir/metrics_loop.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/robot_engineer.cpp.o"
+  "CMakeFiles/maestro_core.dir/robot_engineer.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/scheduler.cpp.o"
+  "CMakeFiles/maestro_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/maestro_core.dir/sizer.cpp.o"
+  "CMakeFiles/maestro_core.dir/sizer.cpp.o.d"
+  "libmaestro_core.a"
+  "libmaestro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

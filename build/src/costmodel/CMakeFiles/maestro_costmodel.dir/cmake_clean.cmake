@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_costmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/maestro_costmodel.dir/cost_model.cpp.o.d"
+  "libmaestro_costmodel.a"
+  "libmaestro_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_flow.dir/flow.cpp.o"
+  "CMakeFiles/maestro_flow.dir/flow.cpp.o.d"
+  "CMakeFiles/maestro_flow.dir/knobs.cpp.o"
+  "CMakeFiles/maestro_flow.dir/knobs.cpp.o.d"
+  "CMakeFiles/maestro_flow.dir/tools.cpp.o"
+  "CMakeFiles/maestro_flow.dir/tools.cpp.o.d"
+  "libmaestro_flow.a"
+  "libmaestro_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

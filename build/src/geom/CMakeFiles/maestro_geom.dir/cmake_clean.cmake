@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_geom.dir/geometry.cpp.o"
+  "CMakeFiles/maestro_geom.dir/geometry.cpp.o.d"
+  "libmaestro_geom.a"
+  "libmaestro_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

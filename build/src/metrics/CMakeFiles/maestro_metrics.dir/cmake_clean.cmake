@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_metrics.dir/miner.cpp.o"
+  "CMakeFiles/maestro_metrics.dir/miner.cpp.o.d"
+  "CMakeFiles/maestro_metrics.dir/record.cpp.o"
+  "CMakeFiles/maestro_metrics.dir/record.cpp.o.d"
+  "CMakeFiles/maestro_metrics.dir/server.cpp.o"
+  "CMakeFiles/maestro_metrics.dir/server.cpp.o.d"
+  "CMakeFiles/maestro_metrics.dir/sharing.cpp.o"
+  "CMakeFiles/maestro_metrics.dir/sharing.cpp.o.d"
+  "libmaestro_metrics.a"
+  "libmaestro_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

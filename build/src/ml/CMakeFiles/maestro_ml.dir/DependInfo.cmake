@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bandit.cpp" "src/ml/CMakeFiles/maestro_ml.dir/bandit.cpp.o" "gcc" "src/ml/CMakeFiles/maestro_ml.dir/bandit.cpp.o.d"
+  "/root/repo/src/ml/hmm.cpp" "src/ml/CMakeFiles/maestro_ml.dir/hmm.cpp.o" "gcc" "src/ml/CMakeFiles/maestro_ml.dir/hmm.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/maestro_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/maestro_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/mdp.cpp" "src/ml/CMakeFiles/maestro_ml.dir/mdp.cpp.o" "gcc" "src/ml/CMakeFiles/maestro_ml.dir/mdp.cpp.o.d"
+  "/root/repo/src/ml/regression.cpp" "src/ml/CMakeFiles/maestro_ml.dir/regression.cpp.o" "gcc" "src/ml/CMakeFiles/maestro_ml.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_ml.dir/bandit.cpp.o"
+  "CMakeFiles/maestro_ml.dir/bandit.cpp.o.d"
+  "CMakeFiles/maestro_ml.dir/hmm.cpp.o"
+  "CMakeFiles/maestro_ml.dir/hmm.cpp.o.d"
+  "CMakeFiles/maestro_ml.dir/linalg.cpp.o"
+  "CMakeFiles/maestro_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/maestro_ml.dir/mdp.cpp.o"
+  "CMakeFiles/maestro_ml.dir/mdp.cpp.o.d"
+  "CMakeFiles/maestro_ml.dir/regression.cpp.o"
+  "CMakeFiles/maestro_ml.dir/regression.cpp.o.d"
+  "libmaestro_ml.a"
+  "libmaestro_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

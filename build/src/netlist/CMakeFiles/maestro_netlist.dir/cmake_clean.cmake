@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/maestro_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/maestro_netlist.dir/generators.cpp.o"
+  "CMakeFiles/maestro_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/maestro_netlist.dir/io.cpp.o"
+  "CMakeFiles/maestro_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/maestro_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/maestro_netlist.dir/netlist.cpp.o.d"
+  "libmaestro_netlist.a"
+  "libmaestro_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

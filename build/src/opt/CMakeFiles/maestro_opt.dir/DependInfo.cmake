@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/landscape.cpp" "src/opt/CMakeFiles/maestro_opt.dir/landscape.cpp.o" "gcc" "src/opt/CMakeFiles/maestro_opt.dir/landscape.cpp.o.d"
+  "/root/repo/src/opt/local_search.cpp" "src/opt/CMakeFiles/maestro_opt.dir/local_search.cpp.o" "gcc" "src/opt/CMakeFiles/maestro_opt.dir/local_search.cpp.o.d"
+  "/root/repo/src/opt/multistart.cpp" "src/opt/CMakeFiles/maestro_opt.dir/multistart.cpp.o" "gcc" "src/opt/CMakeFiles/maestro_opt.dir/multistart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

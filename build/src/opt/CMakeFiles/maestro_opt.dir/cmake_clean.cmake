@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_opt.dir/landscape.cpp.o"
+  "CMakeFiles/maestro_opt.dir/landscape.cpp.o.d"
+  "CMakeFiles/maestro_opt.dir/local_search.cpp.o"
+  "CMakeFiles/maestro_opt.dir/local_search.cpp.o.d"
+  "CMakeFiles/maestro_opt.dir/multistart.cpp.o"
+  "CMakeFiles/maestro_opt.dir/multistart.cpp.o.d"
+  "libmaestro_opt.a"
+  "libmaestro_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

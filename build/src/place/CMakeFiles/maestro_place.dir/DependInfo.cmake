@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/floorplan.cpp" "src/place/CMakeFiles/maestro_place.dir/floorplan.cpp.o" "gcc" "src/place/CMakeFiles/maestro_place.dir/floorplan.cpp.o.d"
+  "/root/repo/src/place/io.cpp" "src/place/CMakeFiles/maestro_place.dir/io.cpp.o" "gcc" "src/place/CMakeFiles/maestro_place.dir/io.cpp.o.d"
+  "/root/repo/src/place/partition.cpp" "src/place/CMakeFiles/maestro_place.dir/partition.cpp.o" "gcc" "src/place/CMakeFiles/maestro_place.dir/partition.cpp.o.d"
+  "/root/repo/src/place/placement.cpp" "src/place/CMakeFiles/maestro_place.dir/placement.cpp.o" "gcc" "src/place/CMakeFiles/maestro_place.dir/placement.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/place/CMakeFiles/maestro_place.dir/placer.cpp.o" "gcc" "src/place/CMakeFiles/maestro_place.dir/placer.cpp.o.d"
+  "/root/repo/src/place/rent.cpp" "src/place/CMakeFiles/maestro_place.dir/rent.cpp.o" "gcc" "src/place/CMakeFiles/maestro_place.dir/rent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/maestro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/maestro_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

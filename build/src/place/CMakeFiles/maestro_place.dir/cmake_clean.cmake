@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_place.dir/floorplan.cpp.o"
+  "CMakeFiles/maestro_place.dir/floorplan.cpp.o.d"
+  "CMakeFiles/maestro_place.dir/io.cpp.o"
+  "CMakeFiles/maestro_place.dir/io.cpp.o.d"
+  "CMakeFiles/maestro_place.dir/partition.cpp.o"
+  "CMakeFiles/maestro_place.dir/partition.cpp.o.d"
+  "CMakeFiles/maestro_place.dir/placement.cpp.o"
+  "CMakeFiles/maestro_place.dir/placement.cpp.o.d"
+  "CMakeFiles/maestro_place.dir/placer.cpp.o"
+  "CMakeFiles/maestro_place.dir/placer.cpp.o.d"
+  "CMakeFiles/maestro_place.dir/rent.cpp.o"
+  "CMakeFiles/maestro_place.dir/rent.cpp.o.d"
+  "libmaestro_place.a"
+  "libmaestro_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

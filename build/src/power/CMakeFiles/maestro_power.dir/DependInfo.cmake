@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/ir_drop.cpp" "src/power/CMakeFiles/maestro_power.dir/ir_drop.cpp.o" "gcc" "src/power/CMakeFiles/maestro_power.dir/ir_drop.cpp.o.d"
+  "/root/repo/src/power/power.cpp" "src/power/CMakeFiles/maestro_power.dir/power.cpp.o" "gcc" "src/power/CMakeFiles/maestro_power.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/place/CMakeFiles/maestro_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/maestro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/maestro_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

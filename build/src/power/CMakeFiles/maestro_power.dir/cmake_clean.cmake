@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_power.dir/ir_drop.cpp.o"
+  "CMakeFiles/maestro_power.dir/ir_drop.cpp.o.d"
+  "CMakeFiles/maestro_power.dir/power.cpp.o"
+  "CMakeFiles/maestro_power.dir/power.cpp.o.d"
+  "libmaestro_power.a"
+  "libmaestro_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/detail_router.cpp" "src/route/CMakeFiles/maestro_route.dir/detail_router.cpp.o" "gcc" "src/route/CMakeFiles/maestro_route.dir/detail_router.cpp.o.d"
+  "/root/repo/src/route/drv_sim.cpp" "src/route/CMakeFiles/maestro_route.dir/drv_sim.cpp.o" "gcc" "src/route/CMakeFiles/maestro_route.dir/drv_sim.cpp.o.d"
+  "/root/repo/src/route/global_router.cpp" "src/route/CMakeFiles/maestro_route.dir/global_router.cpp.o" "gcc" "src/route/CMakeFiles/maestro_route.dir/global_router.cpp.o.d"
+  "/root/repo/src/route/grid_graph.cpp" "src/route/CMakeFiles/maestro_route.dir/grid_graph.cpp.o" "gcc" "src/route/CMakeFiles/maestro_route.dir/grid_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/place/CMakeFiles/maestro_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/maestro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/maestro_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

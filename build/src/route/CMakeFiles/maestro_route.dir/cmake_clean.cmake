@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_route.dir/detail_router.cpp.o"
+  "CMakeFiles/maestro_route.dir/detail_router.cpp.o.d"
+  "CMakeFiles/maestro_route.dir/drv_sim.cpp.o"
+  "CMakeFiles/maestro_route.dir/drv_sim.cpp.o.d"
+  "CMakeFiles/maestro_route.dir/global_router.cpp.o"
+  "CMakeFiles/maestro_route.dir/global_router.cpp.o.d"
+  "CMakeFiles/maestro_route.dir/grid_graph.cpp.o"
+  "CMakeFiles/maestro_route.dir/grid_graph.cpp.o.d"
+  "libmaestro_route.a"
+  "libmaestro_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/clock_tree.cpp" "src/timing/CMakeFiles/maestro_timing.dir/clock_tree.cpp.o" "gcc" "src/timing/CMakeFiles/maestro_timing.dir/clock_tree.cpp.o.d"
+  "/root/repo/src/timing/report.cpp" "src/timing/CMakeFiles/maestro_timing.dir/report.cpp.o" "gcc" "src/timing/CMakeFiles/maestro_timing.dir/report.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/timing/CMakeFiles/maestro_timing.dir/sta.cpp.o" "gcc" "src/timing/CMakeFiles/maestro_timing.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/place/CMakeFiles/maestro_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/maestro_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/maestro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/maestro_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

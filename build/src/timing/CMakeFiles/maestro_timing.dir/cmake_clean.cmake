@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_timing.dir/clock_tree.cpp.o"
+  "CMakeFiles/maestro_timing.dir/clock_tree.cpp.o.d"
+  "CMakeFiles/maestro_timing.dir/report.cpp.o"
+  "CMakeFiles/maestro_timing.dir/report.cpp.o.d"
+  "CMakeFiles/maestro_timing.dir/sta.cpp.o"
+  "CMakeFiles/maestro_timing.dir/sta.cpp.o.d"
+  "libmaestro_timing.a"
+  "libmaestro_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_util.dir/csv.cpp.o"
+  "CMakeFiles/maestro_util.dir/csv.cpp.o.d"
+  "CMakeFiles/maestro_util.dir/json.cpp.o"
+  "CMakeFiles/maestro_util.dir/json.cpp.o.d"
+  "CMakeFiles/maestro_util.dir/log.cpp.o"
+  "CMakeFiles/maestro_util.dir/log.cpp.o.d"
+  "CMakeFiles/maestro_util.dir/rng.cpp.o"
+  "CMakeFiles/maestro_util.dir/rng.cpp.o.d"
+  "CMakeFiles/maestro_util.dir/stats.cpp.o"
+  "CMakeFiles/maestro_util.dir/stats.cpp.o.d"
+  "libmaestro_util.a"
+  "libmaestro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/maestro_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_costmodel.cpp" "tests/CMakeFiles/maestro_tests.dir/test_costmodel.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_costmodel.cpp.o.d"
+  "/root/repo/tests/test_detail_router.cpp" "tests/CMakeFiles/maestro_tests.dir/test_detail_router.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_detail_router.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/maestro_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/maestro_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_geom.cpp" "tests/CMakeFiles/maestro_tests.dir/test_geom.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_geom.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/maestro_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io_hold.cpp" "tests/CMakeFiles/maestro_tests.dir/test_io_hold.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_io_hold.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/maestro_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/maestro_tests.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_ml.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/maestro_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/maestro_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_place.cpp" "tests/CMakeFiles/maestro_tests.dir/test_place.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_place.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/maestro_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/maestro_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_report_eco.cpp" "tests/CMakeFiles/maestro_tests.dir/test_report_eco.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_report_eco.cpp.o.d"
+  "/root/repo/tests/test_route.cpp" "tests/CMakeFiles/maestro_tests.dir/test_route.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_route.cpp.o.d"
+  "/root/repo/tests/test_sharing.cpp" "tests/CMakeFiles/maestro_tests.dir/test_sharing.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_sharing.cpp.o.d"
+  "/root/repo/tests/test_timing.cpp" "tests/CMakeFiles/maestro_tests.dir/test_timing.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_timing.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/maestro_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maestro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/maestro_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/maestro_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/maestro_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/maestro_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/maestro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/maestro_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/maestro_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/maestro_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/maestro_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/maestro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/maestro_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maestro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
