@@ -5,8 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 
+#include "exec/executor.hpp"
 #include "ml/bandit.hpp"
 #include "ml/mdp.hpp"
 #include "netlist/generators.hpp"
@@ -155,5 +157,55 @@ static void BM_PolicyIteration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PolicyIteration);
+
+namespace {
+/// A CPU-bound stand-in for one tool run (~tens of microseconds of hash
+/// chain), pure in its seed so pooled execution stays deterministic.
+double synthetic_flow_run(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  double acc = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    acc += static_cast<double>(util::splitmix64(s) >> 40);
+  }
+  return acc;
+}
+
+/// Inline (no pool) runs/second, measured once — the speedup baseline.
+double serial_runs_per_sec() {
+  static const double rate = [] {
+    constexpr int kRuns = 256;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRuns; ++i) {
+      benchmark::DoNotOptimize(synthetic_flow_run(static_cast<std::uint64_t>(i) + 1));
+    }
+    const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return secs > 0.0 ? kRuns / secs : 0.0;
+  }();
+  return rate;
+}
+}  // namespace
+
+/// RunExecutor throughput on the synthetic flow oracle at 1/2/4/8 workers.
+/// runs_per_s is pooled throughput; speedup_vs_serial divides it by the
+/// measured no-pool baseline (expect ~#workers on an unloaded multicore
+/// machine, ~1x when hardware_concurrency is 1).
+static void BM_RunExecutorThroughput(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  exec::RunExecutor pool{{.threads = workers}};
+  constexpr std::size_t kBatch = 64;
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    const auto results =
+        pool.map("synthetic_flow", ++base, kBatch,
+                 [](std::size_t, exec::RunContext& ctx) { return synthetic_flow_run(ctx.seed); });
+    benchmark::DoNotOptimize(results);
+  }
+  const auto total_runs = static_cast<double>(state.iterations()) * static_cast<double>(kBatch);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_runs));
+  state.counters["runs_per_s"] = benchmark::Counter(total_runs, benchmark::Counter::kIsRate);
+  state.counters["speedup_vs_serial"] =
+      benchmark::Counter(total_runs / serial_runs_per_sec(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RunExecutorThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -7,16 +7,19 @@
 //      subproblems") with real FM partitioning statistics.
 //   2. A doomed-run guard is trained from a shared (anonymized) corpus
 //      (Section 4 infrastructure).
-//   3. Robot engineers implement every block concurrently under a license
-//      pool; the guard's early termination shortens the schedule.
+//   3. A fleet of robot engineers implements every block concurrently on a
+//      RunExecutor license pool; the guard's STOP verdict cancels a doomed
+//      run mid-route and returns its license.
 //   4. Every run is transmitted to the METRICS server; the miner prescribes
 //      the achievable frequency for the next project.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/doomed_guard.hpp"
 #include "core/robot_engineer.hpp"
 #include "core/scheduler.hpp"
+#include "exec/executor.hpp"
 #include "metrics/miner.hpp"
 #include "metrics/sharing.hpp"
 #include "place/partition.hpp"
@@ -54,37 +57,53 @@ int main() {
   std::printf("    guard trained on %zu anonymized logfiles (%.0f%% STOP cells)\n",
               shared.size(), 100.0 * guard.card().stop_fraction());
 
-  // --- 3. Robots implement all blocks; runs feed METRICS. ---
-  std::puts("[3] robot engineers implement the 8 blocks (guarded routing)");
+  // --- 3. A robot fleet implements all blocks in parallel; runs feed
+  //        METRICS. Each block's guard monitor is bound to that run's cancel
+  //        token: a STOP verdict aborts the block mid-route and returns its
+  //        license to the pool. ---
+  std::puts("[3] robot fleet implements the 8 blocks (4 licenses, guarded routing)");
   metrics::Server server;
   metrics::Transmitter tx{server};
   core::RobotEngineer robot{manager};
+  exec::RunExecutor pool{{.threads = 4, .licenses = 4}};
+  std::vector<core::FleetTask> fleet;
+  for (std::size_t b = 0; b < 8; ++b) {
+    core::FleetTask task;
+    task.recipe.design.kind = flow::DesignSpec::Kind::RandomLogic;
+    task.recipe.design.gates_override = 1000;
+    task.recipe.design.rtl_seed = 100 + b;
+    task.recipe.design.name = "block" + std::to_string(b);
+    task.recipe.target_ghz = 1.0;
+    task.recipe.seed = rng.next();
+    auto monitor =
+        std::make_shared<core::DoomedRunGuard::Monitor>(guard.monitor(3, task.recipe.cancel));
+    task.recipe.route_monitor = [monitor](int it, double d, double dd) {
+      return (*monitor)(it, d, dd);
+    };
+    fleet.push_back(std::move(task));
+  }
+  const auto outcomes = robot.run_fleet(fleet, pool, rng.next());
   std::vector<core::ProjectTask> schedule_tasks;
   std::size_t blocks_closed = 0;
-  for (std::size_t b = 0; b < 8; ++b) {
-    flow::FlowRecipe recipe;
-    recipe.design.kind = flow::DesignSpec::Kind::RandomLogic;
-    recipe.design.gates_override = 1000;
-    recipe.design.rtl_seed = 100 + b;
-    recipe.design.name = "block" + std::to_string(b);
-    recipe.target_ghz = 1.0;
-    recipe.seed = rng.next();
-    auto monitor = guard.monitor(3);
-    recipe.route_monitor = [&monitor](int it, double d, double dd) { return monitor(it, d, dd); };
-    const auto out = robot.execute(recipe, flow::FlowConstraints{}, rng);
-    tx.transmit_flow(recipe, out.result);
+  for (std::size_t b = 0; b < outcomes.size(); ++b) {
+    const auto& out = outcomes[b];
+    tx.transmit_flow(fleet[b].recipe, out.result);
     blocks_closed += out.succeeded ? 1 : 0;
     std::printf("    block%zu: %s in %d attempt(s), wns %+.0f ps, TAT %.0f min\n", b,
                 out.succeeded ? "closed" : "OPEN", out.attempts, out.result.wns_ps,
                 out.total_tat_minutes);
     core::ProjectTask t;
-    t.name = recipe.design.name;
+    t.name = fleet[b].recipe.design.name;
     t.duration_min = out.total_tat_minutes;
     t.doomed = !out.succeeded;
     schedule_tasks.push_back(t);
   }
-  std::printf("    %zu/8 blocks closed; METRICS holds %zu records\n", blocks_closed,
-              server.size());
+  tx.transmit_journal(pool.journal());
+  std::printf("    %zu/8 blocks closed; pool: %zu completed, %zu cancelled by the guard, "
+              "%.0f ms total queue wait; METRICS holds %zu records\n",
+              blocks_closed, pool.journal().count(exec::RunState::Completed),
+              pool.journal().count(exec::RunState::Cancelled),
+              pool.journal().total_queue_wait_ms(), server.size());
 
   // --- 4. Project schedule under the license pool. ---
   std::puts("[4] project schedule (4 licenses, guard on)");

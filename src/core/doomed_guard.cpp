@@ -212,7 +212,10 @@ bool DoomedRunGuard::Monitor::operator()(int iteration, double drvs, double delt
   first_ = false;
   prev_drvs_ = drvs;
   if (guard_->stop_signal(drvs, d, prev)) {
-    if (++streak_ >= required_) return false;
+    if (++streak_ >= required_) {
+      if (cancel_) cancel_->request_cancel();
+      return false;
+    }
   } else {
     streak_ = 0;
   }

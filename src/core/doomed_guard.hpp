@@ -14,9 +14,11 @@
 // the Table-1 study sweeps K in {1, 2, 3}.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "exec/cancel.hpp"
 #include "ml/mdp.hpp"
 #include "route/drv_sim.hpp"
 
@@ -111,20 +113,29 @@ class DoomedRunGuard {
 
   /// A stateful monitor for live runs (plugs into flow::ToolContext::
   /// route_monitor). Returns false (terminate) after K consecutive STOPs.
+  /// When bound to a CancelToken, the final STOP verdict also requests
+  /// cancellation, so the whole flow run aborts and its license returns to
+  /// the pool (not just the route step).
   class Monitor {
    public:
     Monitor(const DoomedRunGuard& guard, int consecutive_stops)
         : guard_(&guard), required_(consecutive_stops) {}
+    Monitor(const DoomedRunGuard& guard, int consecutive_stops, exec::CancelToken cancel)
+        : guard_(&guard), required_(consecutive_stops), cancel_(std::move(cancel)) {}
     bool operator()(int iteration, double drvs, double delta);
 
    private:
     const DoomedRunGuard* guard_;
     int required_;
+    std::optional<exec::CancelToken> cancel_;
     int streak_ = 0;
     double prev_drvs_ = 0.0;
     bool first_ = true;
   };
   Monitor monitor(int consecutive_stops) const { return Monitor{*this, consecutive_stops}; }
+  Monitor monitor(int consecutive_stops, exec::CancelToken cancel) const {
+    return Monitor{*this, consecutive_stops, std::move(cancel)};
+  }
 
  private:
   GuardOptions options_;

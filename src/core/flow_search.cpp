@@ -65,49 +65,76 @@ FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& 
   };
   std::vector<Thread> population(options_.population);
 
-  auto evaluate = [&](Thread& th) {
-    th.result = oracle(th.trajectory, rng.next());
-    th.cost = qor_cost(th.result, options_.weights);
-    ++res.flow_runs;
-    if (th.cost < res.best_cost) {
-      res.best_cost = th.cost;
-      res.best_trajectory = th.trajectory;
-      res.best_result = th.result;
+  // One round of N concurrent robot runs. `prepare(th, i)` mutates thread
+  // trajectories serially (it consumes the shared Rng), seed draws follow in
+  // the same fixed order, then the flow runs execute — in parallel when a
+  // pool is configured. The fold back into best-so-far is serial and in
+  // thread order, so parallel and serial execution are bitwise identical.
+  auto run_round = [&](auto prepare) {
+    std::vector<std::uint64_t> seeds(population.size());
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      prepare(population[i], i);
+      seeds[i] = rng.next();
+    }
+    std::vector<flow::FlowResult> results(population.size());
+    if (options_.executor) {
+      std::vector<std::future<flow::FlowResult>> futures;
+      futures.reserve(population.size());
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        futures.push_back(options_.executor->submit(
+            "flow_search#" + std::to_string(res.flow_runs + i), seeds[i],
+            [&oracle, &t = population[i].trajectory, seed = seeds[i]](exec::RunContext&) {
+              return oracle(t, seed);
+            }));
+      }
+      for (std::size_t i = 0; i < population.size(); ++i) results[i] = futures[i].get();
+    } else {
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        results[i] = oracle(population[i].trajectory, seeds[i]);
+      }
+    }
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      Thread& th = population[i];
+      th.result = std::move(results[i]);
+      th.cost = qor_cost(th.result, options_.weights);
+      ++res.flow_runs;
+      if (th.cost < res.best_cost) {
+        res.best_cost = th.cost;
+        res.best_trajectory = th.trajectory;
+        res.best_result = th.result;
+      }
     }
   };
 
   // Initial population: default trajectory plus random ones.
-  for (std::size_t i = 0; i < population.size(); ++i) {
-    population[i].trajectory = i == 0 ? flow::default_trajectory(spaces_)
-                                      : flow::random_trajectory(spaces_, rng);
-    evaluate(population[i]);
-  }
+  run_round([&](Thread& th, std::size_t i) {
+    th.trajectory =
+        i == 0 ? flow::default_trajectory(spaces_) : flow::random_trajectory(spaces_, rng);
+  });
   res.best_per_round.push_back(res.best_cost);
 
   for (std::size_t round = 1; round < options_.rounds; ++round) {
     switch (options_.strategy) {
       case SearchStrategy::RandomMultistart: {
-        for (auto& th : population) {
+        run_round([&](Thread& th, std::size_t) {
           th.trajectory = flow::random_trajectory(spaces_, rng);
-          evaluate(th);
-        }
+        });
         break;
       }
       case SearchStrategy::AdaptiveMultistart: {
-        // New starts are perturbations of the best trajectory so far — the
-        // big-valley bet applied to knob space.
-        for (auto& th : population) {
+        // New starts are perturbations of the best trajectory as of the
+        // round start (batch-synchronous, so the round's runs can execute
+        // concurrently) — the big-valley bet applied to knob space.
+        run_round([&](Thread& th, std::size_t) {
           th.trajectory = mutate(res.best_trajectory, options_.mutations_per_round, rng);
-          evaluate(th);
-        }
+        });
         break;
       }
       case SearchStrategy::Gwtw: {
         // Advance: each thread mutates its own trajectory.
-        for (auto& th : population) {
+        run_round([&](Thread& th, std::size_t) {
           th.trajectory = mutate(th.trajectory, options_.mutations_per_round, rng);
-          evaluate(th);
-        }
+        });
         // Resample: clone winners over losers.
         std::vector<std::size_t> order(population.size());
         for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

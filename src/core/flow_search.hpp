@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "flow/flow.hpp"
 #include "util/rng.hpp"
 
@@ -46,6 +47,10 @@ struct FlowSearchOptions {
   double survivor_fraction = 0.5;  ///< GWTW
   std::size_t mutations_per_round = 2;  ///< knobs flipped when advancing
   QorWeights weights;
+  /// Optional pool: each round's population of flow runs executes in
+  /// parallel. Trajectory mutation and seed draws stay serial, so results
+  /// are bitwise identical to the serial path (nullptr) for a given seed.
+  exec::RunExecutor* executor = nullptr;
 };
 
 struct FlowSearchResult {

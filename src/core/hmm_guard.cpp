@@ -98,4 +98,26 @@ GuardErrors HmmGuard::evaluate(const std::vector<route::DrvRun>& corpus) const {
   return err;
 }
 
+bool HmmGuard::Monitor::operator()(int iteration, double drvs, double delta) {
+  (void)iteration;
+  (void)delta;
+  // The offline encoder maps run.drvs[t-1] -> run.drvs[t] transitions; the
+  // first observation only establishes prev.
+  if (first_) {
+    first_ = false;
+    prev_drvs_ = drvs;
+    return true;
+  }
+  prefix_.push_back(guard_->symbol_of(drvs, prev_drvs_));
+  prev_drvs_ = drvs;
+  if (static_cast<int>(prefix_.size()) < std::max(guard_->options().min_observations, 1)) {
+    return true;
+  }
+  if (guard_->failure_evidence(prefix_) > guard_->options().stop_threshold) {
+    if (cancel_) cancel_->request_cancel();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace maestro::core

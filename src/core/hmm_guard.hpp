@@ -11,9 +11,11 @@
 // it emits STOP. Compare with the MDP StrategyCard via
 // bench/ablation_hmm_vs_mdp.
 
+#include <optional>
 #include <vector>
 
 #include "core/doomed_guard.hpp"  // GuardErrors
+#include "exec/cancel.hpp"
 #include "ml/hmm.hpp"
 #include "route/drv_sim.hpp"
 
@@ -50,6 +52,29 @@ class HmmGuard {
   const ml::Hmm& success_model() const { return success_; }
   const ml::Hmm& failure_model() const { return failure_; }
   const HmmGuardOptions& options() const { return options_; }
+
+  /// A stateful monitor for live runs (plugs into flow::ToolContext::
+  /// route_monitor), mirroring DoomedRunGuard::Monitor: it accumulates the
+  /// observed DRV-delta prefix and returns false (terminate) once the
+  /// failure model's log-likelihood margin exceeds stop_threshold. When
+  /// bound to a CancelToken, the STOP verdict also requests cancellation so
+  /// the run releases its license mid-route.
+  class Monitor {
+   public:
+    explicit Monitor(const HmmGuard& guard) : guard_(&guard) {}
+    Monitor(const HmmGuard& guard, exec::CancelToken cancel)
+        : guard_(&guard), cancel_(std::move(cancel)) {}
+    bool operator()(int iteration, double drvs, double delta);
+
+   private:
+    const HmmGuard* guard_;
+    std::optional<exec::CancelToken> cancel_;
+    std::vector<int> prefix_;
+    double prev_drvs_ = 0.0;
+    bool first_ = true;
+  };
+  Monitor monitor() const { return Monitor{*this}; }
+  Monitor monitor(exec::CancelToken cancel) const { return Monitor{*this, std::move(cancel)}; }
 
  private:
   std::vector<int> encode(const route::DrvRun& run) const;

@@ -56,28 +56,60 @@ std::unique_ptr<ml::BanditPolicy> MabScheduler::make_policy() const {
 }
 
 MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng) const {
+  exec::RunExecutor pool;
+  return run(oracle, rng, pool);
+}
+
+MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
+                               exec::RunExecutor& pool) const {
   MabRunResult res;
   auto policy = make_policy();
   const auto& arms = options_.frequency_arms_ghz;
 
-  // Empirical per-arm mean rewards accumulate as we go; regret is computed
-  // retrospectively against the best arm's final empirical mean (the
-  // practical analogue of footnote 3's oracle regret).
-  std::vector<std::size_t> pull_trace;
+  struct ArmAgg {
+    std::size_t pulls = 0;
+    std::size_t successes = 0;
+    double reward_sum = 0.0;
+  };
+  std::vector<ArmAgg> agg(arms.size());
 
   double best = 0.0;
-  std::uint64_t run_seed = rng.next();
+  const std::uint64_t base_seed = rng.next();
+  std::uint64_t run_index = 0;
   for (std::size_t it = 0; it < options_.iterations; ++it) {
+    // Serial: arm selection consumes the shared Rng in a fixed order.
     std::vector<std::size_t> chosen;
+    chosen.reserve(options_.concurrency);
     for (std::size_t b = 0; b < options_.concurrency; ++b) chosen.push_back(policy->select(rng));
-    for (const std::size_t arm : chosen) {
+
+    // Parallel: the iteration's B concurrent tool runs (Fig. 7's "5
+    // concurrent samples"). Seeds depend only on (base_seed, run_index), so
+    // the trajectory is bitwise identical at any pool size.
+    std::vector<std::future<flow::FlowResult>> futures;
+    futures.reserve(chosen.size());
+    for (std::size_t b = 0; b < chosen.size(); ++b) {
+      const double freq = arms[chosen[b]];
+      const std::uint64_t seed = exec::derive_run_seed(base_seed, run_index + b);
+      futures.push_back(pool.submit("mab#" + std::to_string(run_index + b), seed,
+                                    [&oracle, freq, seed](exec::RunContext&) {
+                                      return oracle(freq, seed);
+                                    }));
+    }
+    run_index += chosen.size();
+
+    // Barrier, then serial: observe rewards and update the policy in
+    // submission order — exactly the serial schedule.
+    for (std::size_t b = 0; b < chosen.size(); ++b) {
+      const std::size_t arm = chosen[b];
       const double freq = arms[arm];
-      const flow::FlowResult fr = oracle(freq, ++run_seed);
+      const flow::FlowResult fr = futures[b].get();
       // Reward: achieved (target) frequency when the run succeeds under its
       // constraints, else zero. Bounded, scale-free in GHz.
       const double reward = fr.success() ? freq : 0.0;
       policy->update(arm, reward);
-      pull_trace.push_back(arm);
+      ArmAgg& a = agg[arm];
+      ++a.pulls;
+      a.reward_sum += reward;
 
       MabSample s;
       s.iteration = it;
@@ -87,6 +119,7 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng) const {
       res.samples.push_back(s);
       ++res.total_runs;
       if (fr.success()) {
+        ++a.successes;
         ++res.successful_runs;
         best = std::max(best, freq);
       }
@@ -95,14 +128,22 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng) const {
   }
   res.best_feasible_ghz = best;
 
-  // Retrospective regret vs. the best arm's final empirical mean.
-  double best_mean = 0.0;
-  for (std::size_t a = 0; a < arms.size(); ++a) {
-    best_mean = std::max(best_mean, policy->stats(a).mean());
+  // Regret vs. the best *feasible* arm discovered over the whole corpus:
+  // mu* is the highest empirical mean reward among arms with at least one
+  // successful run (mean reward = frequency x empirical success rate). Each
+  // pull is charged mu* minus the reward it actually obtained. A campaign
+  // that never found a feasible arm has zero regret — nothing better was
+  // discoverable.
+  double best_feasible_mean = 0.0;
+  for (const auto& a : agg) {
+    if (a.successes > 0) {
+      best_feasible_mean =
+          std::max(best_feasible_mean, a.reward_sum / static_cast<double>(a.pulls));
+    }
   }
-  for (const std::size_t arm : pull_trace) {
-    res.total_regret += best_mean - policy->stats(arm).mean();
-  }
+  double regret = 0.0;
+  for (const auto& s : res.samples) regret += best_feasible_mean - s.reward;
+  res.total_regret = std::max(regret, 0.0);
   return res;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "flow/flow.hpp"
 #include "ml/bandit.hpp"
 
@@ -52,14 +53,23 @@ struct MabRunResult {
   double best_feasible_ghz = 0.0;
   std::size_t total_runs = 0;
   std::size_t successful_runs = 0;
-  double total_regret = 0.0;            ///< vs. always playing the best arm
+  /// Regret vs. always playing the best *feasible* arm discovered over the
+  /// whole corpus (highest empirical mean reward among arms with >= 1
+  /// successful run), per footnote 3's regret-minimization formulation.
+  double total_regret = 0.0;
 };
 
 class MabScheduler {
  public:
   explicit MabScheduler(MabOptions options);
 
-  /// Run the explore/exploit campaign against the oracle.
+  /// Run the explore/exploit campaign against the oracle. Each iteration's B
+  /// concurrent runs execute in parallel on `pool`; every run's seed derives
+  /// from (campaign seed, run index), so the sampled trajectory is bitwise
+  /// identical at any pool size (MAESTRO_THREADS=1 == MAESTRO_THREADS=8).
+  MabRunResult run(const FlowOracle& oracle, util::Rng& rng, exec::RunExecutor& pool) const;
+  /// Convenience: runs on a private pool sized by MAESTRO_THREADS /
+  /// hardware concurrency.
   MabRunResult run(const FlowOracle& oracle, util::Rng& rng) const;
 
   const MabOptions& options() const { return options_; }

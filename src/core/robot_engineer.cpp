@@ -109,4 +109,27 @@ RobotOutcome RobotEngineer::execute(const flow::FlowRecipe& initial,
   return out;
 }
 
+std::vector<RobotOutcome> RobotEngineer::run_fleet(std::vector<FleetTask> tasks,
+                                                   exec::RunExecutor& pool,
+                                                   std::uint64_t fleet_seed) const {
+  std::vector<std::future<RobotOutcome>> futures;
+  futures.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::uint64_t task_seed = exec::derive_run_seed(fleet_seed, i);
+    std::string label = "robot:" + tasks[i].recipe.design.name;
+    exec::CancelToken token = tasks[i].recipe.cancel;
+    futures.push_back(pool.submit(
+        std::move(label), task_seed,
+        [this, task = std::move(tasks[i]), task_seed](exec::RunContext&) {
+          util::Rng rng{task_seed};
+          return execute(task.recipe, task.constraints, rng);
+        },
+        token));
+  }
+  std::vector<RobotOutcome> outcomes;
+  outcomes.reserve(futures.size());
+  for (auto& f : futures) outcomes.push_back(f.get());
+  return outcomes;
+}
+
 }  // namespace maestro::core

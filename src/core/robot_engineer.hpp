@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "flow/flow.hpp"
 
 namespace maestro::core {
@@ -42,6 +43,12 @@ struct RobotOutcome {
   double total_tat_minutes = 0.0;    ///< across all attempts
 };
 
+/// One unit of fleet work: an independent design task for a robot engineer.
+struct FleetTask {
+  flow::FlowRecipe recipe;
+  flow::FlowConstraints constraints;
+};
+
 class RobotEngineer {
  public:
   RobotEngineer(const flow::FlowManager& manager, RobotOptions options = {})
@@ -50,6 +57,15 @@ class RobotEngineer {
   /// Drive the task to completion (or exhaust attempts).
   RobotOutcome execute(const flow::FlowRecipe& initial, const flow::FlowConstraints& constraints,
                        util::Rng& rng) const;
+
+  /// Drive many independent tasks under one pool — Section 2's "N robot
+  /// engineers ... constrained chiefly by compute and license resources".
+  /// Task i's Rng derives from (fleet_seed, i), so outcomes are
+  /// deterministic at any pool size. Each task's recipe token becomes its
+  /// pooled run's CancelToken, so a guard STOP verdict aborts the flow and
+  /// journals the run as cancelled. Outcomes return in task order.
+  std::vector<RobotOutcome> run_fleet(std::vector<FleetTask> tasks, exec::RunExecutor& pool,
+                                      std::uint64_t fleet_seed) const;
 
  private:
   const flow::FlowManager* manager_;

@@ -1,0 +1,109 @@
+#include "exec/executor.hpp"
+
+#include <cstdlib>
+
+namespace maestro::exec {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("MAESTRO_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v >= 1) return v < 256 ? static_cast<std::size_t>(v) : 256;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+RunExecutor::RunExecutor(ExecOptions opt) : opt_(opt) {
+  const std::size_t n_threads = opt_.threads > 0 ? opt_.threads : default_thread_count();
+  license_total_ = opt_.licenses > 0 ? opt_.licenses : n_threads;
+  licenses_free_ = license_total_;
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RunExecutor::~RunExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  license_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t RunExecutor::licenses_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return license_total_ - licenses_free_;
+}
+
+void RunExecutor::enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void RunExecutor::acquire_license() {
+  std::unique_lock<std::mutex> lock(mu_);
+  license_cv_.wait(lock, [this] { return licenses_free_ > 0; });
+  --licenses_free_;
+}
+
+void RunExecutor::release_license() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++licenses_free_;
+  }
+  license_cv_.notify_one();
+}
+
+void RunExecutor::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    RunContext ctx;
+    ctx.run_id = task.run_id;
+    ctx.seed = task.seed;
+    ctx.cancel = task.cancel;
+    ctx.deadline = task.deadline;
+
+    // Cancelled (or timed out) while queued: skip without consuming a
+    // license — the whole point of guard-driven cancellation is returning
+    // capacity to the pool early.
+    if (ctx.should_stop()) {
+      task.body(ctx, /*run=*/false);
+      journal_.on_finish(task.run_id, RunState::Cancelled);
+      task.deliver();
+      continue;
+    }
+
+    acquire_license();
+    // Re-check: cancellation may have landed while waiting for a license.
+    if (ctx.should_stop()) {
+      release_license();
+      task.body(ctx, /*run=*/false);
+      journal_.on_finish(task.run_id, RunState::Cancelled);
+      task.deliver();
+      continue;
+    }
+
+    journal_.on_start(task.run_id);
+    Outcome outcome = task.body(ctx, /*run=*/true);
+    release_license();
+    journal_.on_finish(task.run_id, outcome.state, std::move(outcome.note));
+    task.deliver();
+  }
+}
+
+}  // namespace maestro::exec

@@ -1,0 +1,184 @@
+#pragma once
+// RunExecutor — the concurrency layer under maestro's orchestration stack.
+//
+// The paper's orchestration constructs are explicitly concurrent: Fig. 7
+// schedules "5 concurrent samples" per bandit iteration, GWTW advances a
+// population of optimization threads, and Section 2's N robot engineers are
+// "constrained chiefly by compute and license resources". RunExecutor makes
+// that real: a fixed-size pool of worker threads fed from a FIFO queue,
+// gated by a license semaphore (licenses <= threads models a tool-license
+// pool smaller than the machine), with futures-based result collection and
+// a RunJournal recording every run's queue wait and wall time.
+//
+// Determinism contract (enforced by tests/test_exec.cpp): callers derive
+// each run's RNG seed from (base seed, run index) via derive_run_seed and
+// never share an Rng across pooled work, so results are bitwise identical
+// no matter the thread count — MAESTRO_THREADS=1 and =8 produce the same
+// samples, in the same order.
+//
+// Cancellation: every run carries a CancelToken. Requesting cancellation
+// while the run is queued skips it entirely (the future throws
+// RunCancelled); mid-run it is cooperative — the work polls
+// RunContext::should_stop() (e.g. the detailed-route iteration loop) and
+// returns early, which releases the license and journals the run as
+// Cancelled while still delivering the partial result through the future.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "exec/cancel.hpp"
+#include "exec/journal.hpp"
+
+namespace maestro::exec {
+
+/// Thrown through the future of a run cancelled before it started.
+struct RunCancelled : std::runtime_error {
+  RunCancelled() : std::runtime_error("run cancelled before start") {}
+};
+
+struct ExecOptions {
+  /// Worker threads. 0 = MAESTRO_THREADS env override, else hardware
+  /// concurrency (at least 1).
+  std::size_t threads = 0;
+  /// License semaphore gating admission. 0 = same as threads.
+  std::size_t licenses = 0;
+};
+
+/// MAESTRO_THREADS env override if set (clamped to [1, 256]), else
+/// std::thread::hardware_concurrency(), else 1.
+std::size_t default_thread_count();
+
+class RunExecutor {
+ public:
+  explicit RunExecutor(ExecOptions opt = {});
+  /// Joins after draining the queue: queued runs still execute.
+  ~RunExecutor();
+
+  RunExecutor(const RunExecutor&) = delete;
+  RunExecutor& operator=(const RunExecutor&) = delete;
+
+  std::size_t threads() const { return workers_.size(); }
+  std::size_t licenses() const { return license_total_; }
+  /// Licenses currently held by running work (for tests / dashboards).
+  std::size_t licenses_in_use() const;
+
+  RunJournal& journal() { return journal_; }
+  const RunJournal& journal() const { return journal_; }
+
+  /// Submit one run. `fn` is invoked as fn(RunContext&) on a worker thread
+  /// once a license is available; the returned future carries its result.
+  template <typename F>
+  auto submit(std::string label, std::uint64_t seed, F fn, CancelToken cancel = {},
+              std::chrono::steady_clock::time_point deadline = {})
+      -> std::future<std::invoke_result_t<F&, RunContext&>> {
+    using R = std::invoke_result_t<F&, RunContext&>;
+    static_assert(!std::is_void_v<R>, "pooled runs must return a result");
+    auto promise = std::make_shared<std::promise<R>>();
+    std::future<R> fut = promise->get_future();
+    // The worker journals the final state *before* deliver() resolves the
+    // future, so a caller unblocked by get() always observes the run's
+    // terminal journal entry. The body therefore parks the result here
+    // instead of fulfilling the promise itself.
+    struct Slot {
+      std::optional<R> value;
+      std::exception_ptr error;
+    };
+    auto slot = std::make_shared<Slot>();
+    Task task;
+    task.run_id = journal_.on_enqueue(std::move(label), seed);
+    task.seed = seed;
+    task.cancel = cancel;
+    task.deadline = deadline;
+    task.body = [slot, fn = std::move(fn)](RunContext& ctx, bool run) mutable -> Outcome {
+      if (!run) {
+        slot->error = std::make_exception_ptr(RunCancelled{});
+        return {RunState::Cancelled, {}};
+      }
+      try {
+        slot->value.emplace(fn(ctx));
+      } catch (const std::exception& e) {
+        slot->error = std::current_exception();
+        return {RunState::Failed, e.what()};
+      } catch (...) {
+        slot->error = std::current_exception();
+        return {RunState::Failed, "unknown error"};
+      }
+      return {ctx.cancel.cancelled() ? RunState::Cancelled : RunState::Completed, {}};
+    };
+    task.deliver = [slot, promise]() {
+      if (slot->error) promise->set_exception(slot->error);
+      else promise->set_value(std::move(*slot->value));
+    };
+    enqueue(std::move(task));
+    return fut;
+  }
+
+  /// Fan out n runs whose seeds derive from (base_seed, index) and collect
+  /// the results in index order (a barrier). Result i is independent of
+  /// scheduling, so map() is deterministic at any thread count.
+  template <typename F>
+  auto map(const std::string& label, std::uint64_t base_seed, std::size_t n, F fn)
+      -> std::vector<std::invoke_result_t<F&, std::size_t, RunContext&>> {
+    using R = std::invoke_result_t<F&, std::size_t, RunContext&>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(submit(label + "#" + std::to_string(i), derive_run_seed(base_seed, i),
+                               [fn, i](RunContext& ctx) { return fn(i, ctx); }));
+    }
+    std::vector<R> results;
+    results.reserve(n);
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  }
+
+ private:
+  /// Final state plus the journal note (error text for Failed runs).
+  struct Outcome {
+    RunState state = RunState::Completed;
+    std::string note;
+  };
+
+  struct Task {
+    std::uint64_t run_id = 0;
+    std::uint64_t seed = 0;
+    CancelToken cancel;
+    std::chrono::steady_clock::time_point deadline{};
+    /// Invoked with run=true to execute (returns the final outcome) or
+    /// run=false to park the cancelled-before-start exception.
+    std::function<Outcome(RunContext&, bool run)> body;
+    /// Resolves the caller's future from the parked result; called after
+    /// the journal records the terminal state.
+    std::function<void()> deliver;
+  };
+
+  void enqueue(Task task);
+  void worker_loop();
+  void acquire_license();
+  void release_license();
+
+  ExecOptions opt_;
+  RunJournal journal_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;    ///< workers wait for tasks
+  std::condition_variable license_cv_;  ///< workers wait for licenses
+  std::deque<Task> queue_;
+  std::size_t license_total_ = 0;
+  std::size_t licenses_free_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace maestro::exec

@@ -1,0 +1,85 @@
+#include "exec/journal.hpp"
+
+namespace maestro::exec {
+
+const char* to_string(RunState s) {
+  switch (s) {
+    case RunState::Queued: return "queued";
+    case RunState::Running: return "running";
+    case RunState::Completed: return "completed";
+    case RunState::Cancelled: return "cancelled";
+    case RunState::Failed: return "failed";
+  }
+  return "?";
+}
+
+RunJournal::RunJournal() : epoch_(std::chrono::steady_clock::now()) {}
+
+double RunJournal::now_ms() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t RunJournal::on_enqueue(std::string label, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RunRecord r;
+  r.run_id = records_.size() + 1;
+  r.label = std::move(label);
+  r.seed = seed;
+  r.state = RunState::Queued;
+  r.enqueue_ms = now_ms();
+  records_.push_back(std::move(r));
+  return records_.back().run_id;
+}
+
+void RunJournal::on_start(std::uint64_t run_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (run_id == 0 || run_id > records_.size()) return;
+  RunRecord& r = records_[run_id - 1];
+  r.state = RunState::Running;
+  r.start_ms = now_ms();
+}
+
+void RunJournal::on_finish(std::uint64_t run_id, RunState state, std::string note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (run_id == 0 || run_id > records_.size()) return;
+  RunRecord& r = records_[run_id - 1];
+  r.state = state;
+  r.finish_ms = now_ms();
+  r.note = std::move(note);
+}
+
+std::size_t RunJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::size_t RunJournal::count(RunState s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.state == s) ++n;
+  }
+  return n;
+}
+
+std::vector<RunRecord> RunJournal::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+double RunJournal::total_queue_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& r : records_) total += r.queue_wait_ms();
+  return total;
+}
+
+double RunJournal::total_wall_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& r : records_) total += r.wall_ms();
+  return total;
+}
+
+}  // namespace maestro::exec

@@ -1,0 +1,72 @@
+#pragma once
+// RunJournal — the executor's flight recorder.
+//
+// Every pooled run leaves one RunRecord: label, seed, lifecycle state and
+// the three timestamps (enqueue, start, finish) from which queue-wait and
+// wall time derive. The journal is the bridge between maestro::exec and
+// maestro::metrics: metrics::Transmitter::transmit_journal flattens these
+// records into the METRICS store so license-pool utilization and doomed-run
+// cancellations are minable like any other tool metric.
+//
+// Appends are mutex-protected ("lock-free enough": records are appended
+// once per lifecycle event, never rewritten concurrently with readers that
+// hold the same mutex; snapshot() copies out under the lock).
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace maestro::exec {
+
+enum class RunState { Queued, Running, Completed, Cancelled, Failed };
+const char* to_string(RunState s);
+
+/// One run's lifecycle, timestamps in milliseconds since the journal epoch.
+struct RunRecord {
+  std::uint64_t run_id = 0;
+  std::string label;
+  std::uint64_t seed = 0;
+  RunState state = RunState::Queued;
+  double enqueue_ms = 0.0;
+  double start_ms = 0.0;   ///< license acquired, work begun
+  double finish_ms = 0.0;
+  std::string note;        ///< error text for Failed runs
+
+  double queue_wait_ms() const {
+    if (start_ms > 0.0) return start_ms - enqueue_ms;
+    return finish_ms > 0.0 ? finish_ms - enqueue_ms : 0.0;  // cancelled while queued
+  }
+  double wall_ms() const { return start_ms > 0.0 ? finish_ms - start_ms : 0.0; }
+};
+
+class RunJournal {
+ public:
+  RunJournal();
+
+  /// Record a queued run; returns its journal run_id (1-based).
+  std::uint64_t on_enqueue(std::string label, std::uint64_t seed);
+  /// Mark a run started (license held, worker executing).
+  void on_start(std::uint64_t run_id);
+  /// Mark a run finished in `state` (Completed, Cancelled or Failed).
+  /// A run cancelled while still queued never gets on_start; its wall time
+  /// is zero and its queue wait runs to the cancellation.
+  void on_finish(std::uint64_t run_id, RunState state, std::string note = {});
+
+  std::size_t size() const;
+  std::size_t count(RunState s) const;
+  /// Copy of all records, in run_id order.
+  std::vector<RunRecord> snapshot() const;
+  double total_queue_wait_ms() const;
+  double total_wall_ms() const;
+
+ private:
+  double now_ms() const;
+
+  mutable std::mutex mu_;
+  std::vector<RunRecord> records_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace maestro::exec

@@ -26,6 +26,7 @@ FlowResult FlowManager::run_keep_state(const FlowRecipe& recipe,
     // Per-step decorrelated seeds derived from the recipe seed.
     ctx.seed = recipe.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(step) + 1;
     if (step == FlowStep::Route) ctx.route_monitor = recipe.route_monitor;
+    ctx.cancel = recipe.cancel;
     return ctx;
   };
 
@@ -44,6 +45,12 @@ FlowResult FlowManager::run_keep_state(const FlowRecipe& recipe,
   };
 
   for (const auto& entry : steps) {
+    // A cancelled run abandons remaining steps — the license-holding caller
+    // gets its partial result back immediately.
+    if (recipe.cancel.cancelled()) {
+      res.failed_step = "cancelled";
+      return res;
+    }
     StepOutcome outcome = entry.invoke();
     res.tat_minutes += outcome.runtime_min;
     res.logs.push_back(std::move(outcome.log));

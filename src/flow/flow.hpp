@@ -21,6 +21,11 @@ struct FlowRecipe {
   std::uint64_t seed = 1;
   /// Optional early-stop hook for the detailed-route step.
   std::function<bool(int, double, double)> route_monitor;
+  /// Cooperative cancellation: checked between flow steps and inside the
+  /// detailed-route iteration loop. Guards (DoomedRunGuard::Monitor,
+  /// HmmGuard::Monitor) request cancellation on their STOP verdict so a
+  /// doomed run aborts and releases its license instead of running signoff.
+  exec::CancelToken cancel;
 };
 
 /// PPA constraints used to judge success (Fig. 7 runs under "given power and

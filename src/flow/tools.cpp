@@ -343,15 +343,18 @@ StepOutcome run_route(DesignState& ds, const ToolContext& ctx) {
   }
   ds.droute.log.design = out.log.design;
 
-  // Early-termination hook (DoomedRunGuard).
+  // Early-termination hooks (DoomedRunGuard monitor and cooperative
+  // cancellation): a STOP verdict or a cancelled token truncates the
+  // iteration series, so a doomed run gives its license back mid-route.
   int iterations_run = static_cast<int>(ds.droute.drvs.size());
-  if (ctx.route_monitor) {
+  if (ctx.route_monitor || ctx.cancel.cancelled()) {
     double prev = ds.droute.drvs.empty() ? 0.0 : ds.droute.drvs.front();
     for (int t = 0; t < static_cast<int>(ds.droute.drvs.size()); ++t) {
       const double drvs = ds.droute.drvs[static_cast<std::size_t>(t)];
       const double delta = t == 0 ? 0.0 : drvs - prev;
       prev = drvs;
-      if (!ctx.route_monitor(t, drvs, delta)) {
+      const bool guard_stop = ctx.route_monitor && !ctx.route_monitor(t, drvs, delta);
+      if (guard_stop || ctx.cancel.cancelled()) {
         iterations_run = t + 1;
         ds.droute.drvs.resize(static_cast<std::size_t>(iterations_run));
         ds.droute.log.iterations.resize(static_cast<std::size_t>(iterations_run));

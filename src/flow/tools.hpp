@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "exec/cancel.hpp"
 #include "flow/knobs.hpp"
 #include "netlist/generators.hpp"
 #include "place/placer.hpp"
@@ -59,6 +60,9 @@ struct ToolContext {
   /// (iteration, drvs, delta); returning false terminates the run early —
   /// the hook the DoomedRunGuard plugs into (Section 3.3).
   std::function<bool(int, double, double)> route_monitor;
+  /// Cooperative cancellation: iteration loops poll this and bail out, so a
+  /// run judged doomed releases its license mid-route.
+  exec::CancelToken cancel;
 };
 
 /// What every tool returns.

@@ -5,7 +5,25 @@
 
 namespace maestro::metrics {
 
+Server::Server(Server&& other) noexcept {
+  const std::lock_guard<std::mutex> lock(other.mu_);
+  records_ = std::move(other.records_);
+  next_id_ = other.next_id_;
+  other.next_id_ = 1;
+}
+
+Server& Server::operator=(Server&& other) noexcept {
+  if (this != &other) {
+    const std::scoped_lock lock(mu_, other.mu_);
+    records_ = std::move(other.records_);
+    next_id_ = other.next_id_;
+    other.next_id_ = 1;
+  }
+  return *this;
+}
+
 std::uint64_t Server::submit(Record r) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (r.run_id == 0) r.run_id = next_id_++;
   else next_id_ = std::max(next_id_, r.run_id + 1);
   const std::uint64_t id = r.run_id;
@@ -13,8 +31,14 @@ std::uint64_t Server::submit(Record r) {
   return id;
 }
 
+std::size_t Server::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
 std::vector<const Record*> Server::query(
     const std::function<bool(const Record&)>& pred) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Record*> out;
   for (const auto& r : records_) {
     if (pred(r)) out.push_back(&r);
@@ -33,6 +57,7 @@ std::vector<const Record*> Server::for_step(const std::string& step) const {
 bool Server::save(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& r : records_) out << r.to_json().dump() << '\n';
   return static_cast<bool>(out);
 }
@@ -120,6 +145,24 @@ std::uint64_t Transmitter::transmit_log(const util::ToolLog& log, const std::str
     rec.values["iterations"] = static_cast<double>(log.iterations.size());
   }
   return server_->submit(std::move(rec));
+}
+
+std::size_t Transmitter::transmit_journal(const exec::RunJournal& journal) {
+  std::size_t n = 0;
+  for (const auto& run : journal.snapshot()) {
+    Record rec;
+    rec.design = run.label;
+    rec.step = "exec";
+    rec.seed = run.seed;
+    rec.values["queue_wait_ms"] = run.queue_wait_ms();
+    rec.values["wall_ms"] = run.wall_ms();
+    rec.values["cancelled"] = run.state == exec::RunState::Cancelled ? 1.0 : 0.0;
+    rec.knobs["state"] = to_string(run.state);
+    if (!run.note.empty()) rec.knobs["note"] = run.note;
+    server_->submit(std::move(rec));
+    ++n;
+  }
+  return n;
 }
 
 }  // namespace maestro::metrics

@@ -8,22 +8,37 @@
 // the "wrapper script / API call from within the tools" of Fig. 11: it
 // flattens FlowResults and ToolLogs into Records.
 
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "exec/journal.hpp"
 #include "flow/flow.hpp"
 #include "metrics/record.hpp"
 
 namespace maestro::metrics {
 
 /// Central collection point with simple query support.
+///
+/// Ingestion is thread-safe: concurrent tool runs on a RunExecutor submit
+/// records without external locking. Storage is a deque so records never
+/// relocate — pointers returned by query() stay valid across later
+/// submits. Queries snapshot under the same mutex; the pointers they return
+/// are stable but the records they point at are immutable once submitted.
 class Server {
  public:
+  Server() = default;
+  // Movable for by-value construction (e.g. anonymize()); moving a server
+  // that other threads are still submitting to is a caller error.
+  Server(Server&& other) noexcept;
+  Server& operator=(Server&& other) noexcept;
+
   std::uint64_t submit(Record r);  ///< assigns and returns run_id if unset
 
-  std::size_t size() const { return records_.size(); }
-  const std::vector<Record>& all() const { return records_; }
+  std::size_t size() const;
+  const std::deque<Record>& all() const { return records_; }
 
   /// Records matching a predicate.
   std::vector<const Record*> query(const std::function<bool(const Record&)>& pred) const;
@@ -38,7 +53,8 @@ class Server {
   std::size_t load(const std::string& path);
 
  private:
-  std::vector<Record> records_;
+  mutable std::mutex mu_;
+  std::deque<Record> records_;
   std::uint64_t next_id_ = 1;
 };
 
@@ -55,6 +71,11 @@ class Transmitter {
   /// Transmit a single tool log with explicit context.
   std::uint64_t transmit_log(const util::ToolLog& log, const std::string& design,
                              std::uint64_t seed);
+
+  /// Flatten an executor run journal into step="exec" records (one per
+  /// pooled run: queue wait, wall time, final state). Returns the number of
+  /// records submitted.
+  std::size_t transmit_journal(const exec::RunJournal& journal);
 
  private:
   Server* server_;

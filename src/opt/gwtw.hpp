@@ -8,14 +8,24 @@
 // Solution 2). The implementation is generic over a State so it can drive
 // both synthetic landscapes (bench fig6) and real flow searches
 // (maestro::core::FlowTreeSearch).
+//
+// Concurrency: when GwtwOptions::executor is set, each round's advance+cost
+// evaluations run in parallel on the pool. Every advance draws from an Rng
+// seeded by (campaign seed, round, thread index) — never from the shared
+// generator — so serial and parallel execution produce bitwise-identical
+// populations and winners. init/advance/cost must be safe to call
+// concurrently (pure functions of their inputs plus their own Rng).
 
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "util/rng.hpp"
 
 namespace maestro::opt {
@@ -35,6 +45,9 @@ struct GwtwOptions {
   std::size_t population = 8;    ///< concurrent threads (licenses)
   int rounds = 20;               ///< resampling rounds
   double survivor_fraction = 0.5;  ///< top fraction kept and cloned
+  /// Optional pool: advance+cost of all threads run concurrently per round.
+  /// Results are identical to the serial path (nullptr) for a given seed.
+  exec::RunExecutor* executor = nullptr;
 };
 
 template <typename State>
@@ -57,12 +70,37 @@ GwtwResult<State> go_with_the_winners(const GwtwProblem<State>& prob, const Gwtw
   population.reserve(opt.population);
   for (std::size_t i = 0; i < opt.population; ++i) population.push_back(prob.init(rng));
 
+  // Per-advance RNGs derive from (advance_base, round, thread) — never from
+  // the shared generator — so the campaign is schedule-independent.
+  const std::uint64_t advance_base = rng.next();
+
   std::vector<double> costs(opt.population);
   for (int round = 0; round < opt.rounds; ++round) {
-    // Advance every thread.
+    // Advance every thread (in parallel when a pool is provided).
+    const auto advance_one = [&](std::size_t i) {
+      const std::uint64_t seed = exec::derive_run_seed(
+          advance_base, static_cast<std::uint64_t>(round) * opt.population + i);
+      util::Rng thread_rng{seed};
+      State next = prob.advance(population[i], thread_rng);
+      double cost = prob.cost(next);
+      return std::make_pair(std::move(next), cost);
+    };
+    std::vector<std::pair<State, double>> advanced(population.size());
+    if (opt.executor) {
+      std::vector<std::future<std::pair<State, double>>> futures;
+      futures.reserve(population.size());
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        futures.push_back(opt.executor->submit(
+            "gwtw_r" + std::to_string(round) + "#" + std::to_string(i), 0,
+            [&advance_one, i](exec::RunContext&) { return advance_one(i); }));
+      }
+      for (std::size_t i = 0; i < population.size(); ++i) advanced[i] = futures[i].get();
+    } else {
+      for (std::size_t i = 0; i < population.size(); ++i) advanced[i] = advance_one(i);
+    }
     for (std::size_t i = 0; i < population.size(); ++i) {
-      population[i] = prob.advance(population[i], rng);
-      costs[i] = prob.cost(population[i]);
+      population[i] = std::move(advanced[i].first);
+      costs[i] = advanced[i].second;
       if (costs[i] < res.best_cost) {
         res.best_cost = costs[i];
         res.best = population[i];
