@@ -10,13 +10,97 @@
 // human.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <set>
+#include <sstream>
 
+#include "core/mab_scheduler.hpp"
 #include "core/metrics_loop.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 
-int main() {
+namespace {
+
+/// `--emit-trace <path>`: run a miniature campaign with the tracer installed,
+/// export the Chrome trace to <path>, then re-parse it through util::Json and
+/// check it contains span events from the exec, flow, route and sched
+/// subsystems. Registered as the `fig11_trace_export` ctest; exit code is the
+/// check result.
+int emit_trace(const char* path) {
   using namespace maestro;
+  obs::Tracer tracer{{.capacity = 1 << 16}};
+  obs::Tracer::install(&tracer);
+
+  // One tiny real flow run: flow-step and router spans.
+  const auto lib = netlist::make_default_library();
+  flow::FlowManager fm{lib};
+  flow::DesignSpec design;
+  design.kind = flow::DesignSpec::Kind::RandomLogic;
+  design.scale = 1;
+  design.name = "trace_dut";
+  flow::FlowRecipe recipe;
+  recipe.design = design;
+  recipe.target_ghz = 0.9;
+  recipe.seed = 7;
+  fm.run(recipe);
+
+  // A short pooled bandit campaign: scheduler iteration and executor spans.
+  core::MabOptions opt;
+  opt.frequency_arms_ghz = core::frequency_arms(0.5, 1.5, 6);
+  opt.iterations = 4;
+  opt.concurrency = 3;
+  exec::RunExecutor pool{{.threads = 2}};
+  util::Rng rng{11};
+  const auto oracle = [](double target_ghz, std::uint64_t seed) {
+    util::Rng r{seed};
+    flow::FlowResult res;
+    res.completed = true;
+    res.timing_met = 1.1 + r.gauss(0.0, 0.03) > target_ghz;
+    res.drc_clean = true;
+    res.constraints_met = true;
+    res.wns_ps = (1.1 - target_ghz) * 100.0;
+    return res;
+  };
+  core::MabScheduler{opt}.run(oracle, rng, pool);
+
+  obs::Tracer::uninstall();
+  if (!tracer.export_chrome_trace(path)) {
+    std::fprintf(stderr, "FAIL: cannot write trace to %s\n", path);
+    return 1;
+  }
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = util::Json::parse(buf.str());
+  if (!doc || !doc->is_object() || !doc->at("traceEvents").is_array()) {
+    std::fprintf(stderr, "FAIL: %s is not a Chrome trace document\n", path);
+    return 1;
+  }
+  std::set<std::string> categories;
+  for (const auto& ev : doc->at("traceEvents").as_array()) {
+    categories.insert(ev.at("cat").as_string());
+  }
+  for (const char* want : {"exec", "flow", "route", "sched"}) {
+    if (categories.count(want) == 0) {
+      std::fprintf(stderr, "FAIL: trace has no '%s' events\n", want);
+      return 1;
+    }
+  }
+  std::printf("OK: %zu events across %zu categories written to %s\n",
+              doc->at("traceEvents").as_array().size(), categories.size(), path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace maestro;
+  if (argc == 3 && std::strcmp(argv[1], "--emit-trace") == 0) return emit_trace(argv[2]);
+  obs::Tracer::install_from_env();
   std::puts("=== FIG11: METRICS collection -> mining -> midstream adaptation ===");
 
   const auto lib = netlist::make_default_library();

@@ -205,6 +205,14 @@ static void BM_RunExecutorThroughput(benchmark::State& state) {
   state.counters["runs_per_s"] = benchmark::Counter(total_runs, benchmark::Counter::kIsRate);
   state.counters["speedup_vs_serial"] =
       benchmark::Counter(total_runs / serial_runs_per_sec(), benchmark::Counter::kIsRate);
+  // Journal percentile digest: where did pooled runs spend their time?
+  const exec::JournalSummary js = pool.journal().summarize();
+  state.counters["qwait_p50_ms"] = js.queue_wait_p50_ms;
+  state.counters["qwait_p95_ms"] = js.queue_wait_p95_ms;
+  state.counters["qwait_max_ms"] = js.queue_wait_max_ms;
+  state.counters["wall_p50_ms"] = js.wall_p50_ms;
+  state.counters["wall_p95_ms"] = js.wall_p95_ms;
+  state.counters["wall_max_ms"] = js.wall_max_ms;
 }
 BENCHMARK(BM_RunExecutorThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 

@@ -22,6 +22,7 @@
 
 #include "core/robot_engineer.hpp"
 #include "netlist/io.hpp"
+#include "obs/trace.hpp"
 #include "place/io.hpp"
 #include "util/json.hpp"
 
@@ -40,6 +41,8 @@ void usage() {
 
 int main(int argc, char** argv) {
   using namespace maestro;
+  // MAESTRO_TRACE=<path> writes a Chrome trace of the run.
+  obs::Tracer::install_from_env();
 
   std::string design_kind = "cpu";
   std::size_t scale = 1;

@@ -22,10 +22,13 @@
 #include "exec/executor.hpp"
 #include "metrics/miner.hpp"
 #include "metrics/sharing.hpp"
+#include "obs/trace.hpp"
 #include "place/partition.hpp"
 
 int main() {
   using namespace maestro;
+  // MAESTRO_TRACE=<path> writes a Chrome trace of the whole project run.
+  obs::Tracer::install_from_env();
   const netlist::CellLibrary lib = netlist::make_default_library();
   const flow::FlowManager manager{lib};
   util::Rng rng{777};

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace maestro::core {
 
 double qor_cost(const flow::FlowResult& result, const QorWeights& w) {
@@ -70,7 +73,14 @@ FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& 
   // the same fixed order, then the flow runs execute — in parallel when a
   // pool is configured. The fold back into best-so-far is serial and in
   // thread order, so parallel and serial execution are bitwise identical.
+  std::size_t round_index = 0;
   auto run_round = [&](auto prepare) {
+    // GWTW/tree-search rounds are the campaign's heartbeat: one span per
+    // round (advance + parallel runs + fold) with the best cost so far.
+    obs::Span round_span("search_round", "sched");
+    round_span.arg("strategy", to_string(options_.strategy))
+        .arg("round", static_cast<double>(round_index++));
+    obs::Registry::global().counter("sched.search_rounds").add();
     std::vector<std::uint64_t> seeds(population.size());
     for (std::size_t i = 0; i < population.size(); ++i) {
       prepare(population[i], i);
@@ -104,6 +114,8 @@ FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& 
         res.best_result = th.result;
       }
     }
+    round_span.arg("best_cost", res.best_cost)
+        .arg("flow_runs", static_cast<double>(res.flow_runs));
   };
 
   // Initial population: default trajectory plus random ones.

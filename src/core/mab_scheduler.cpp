@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace maestro::core {
 
 const char* to_string(MabAlgorithm a) {
@@ -66,6 +69,11 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
   auto policy = make_policy();
   const auto& arms = options_.frequency_arms_ghz;
 
+  obs::Span run_span("mab_run", "sched");
+  run_span.arg("algorithm", to_string(options_.algorithm))
+      .arg("arms", static_cast<double>(arms.size()))
+      .arg("iterations", static_cast<double>(options_.iterations));
+
   struct ArmAgg {
     std::size_t pulls = 0;
     std::size_t successes = 0;
@@ -77,10 +85,16 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
   const std::uint64_t base_seed = rng.next();
   std::uint64_t run_index = 0;
   for (std::size_t it = 0; it < options_.iterations; ++it) {
+    // The iteration span covers arm selection, the parallel batch and the
+    // barrier — where the batch stalls on licenses shows up as its tail.
+    obs::Span it_span("mab_iter", "sched");
+    it_span.arg("iteration", static_cast<double>(it));
+
     // Serial: arm selection consumes the shared Rng in a fixed order.
     std::vector<std::size_t> chosen;
     chosen.reserve(options_.concurrency);
     for (std::size_t b = 0; b < options_.concurrency; ++b) chosen.push_back(policy->select(rng));
+    obs::Registry::global().counter("sched.mab_pulls").add(chosen.size());
 
     // Parallel: the iteration's B concurrent tool runs (Fig. 7's "5
     // concurrent samples"). Seeds depend only on (base_seed, run_index), so
@@ -125,8 +139,11 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
       }
     }
     res.best_per_iteration.push_back(best);
+    it_span.arg("best_feasible_ghz", best);
   }
   res.best_feasible_ghz = best;
+  run_span.arg("best_feasible_ghz", best)
+      .arg("total_runs", static_cast<double>(res.total_runs));
 
   // Regret vs. the best *feasible* arm discovered over the whole corpus:
   // mu* is the highest empirical mean reward among arms with at least one

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace maestro::core {
 
 using flow::FlowStep;
@@ -37,11 +40,19 @@ RobotOutcome RobotEngineer::execute(const flow::FlowRecipe& initial,
   RobotOutcome out;
   flow::FlowRecipe recipe = initial;
 
+  obs::Span robot_span("robot", "sched");
+  robot_span.arg("design", initial.design.name);
+
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    obs::Span attempt_span("robot_attempt", "sched");
+    attempt_span.arg("attempt", static_cast<double>(attempt))
+        .arg("target_ghz", recipe.target_ghz);
+    obs::Registry::global().counter("sched.robot_attempts").add();
     recipe.seed = initial.seed + static_cast<std::uint64_t>(attempt) * 7919 + rng.below(1000);
     out.result = manager_->run(recipe, constraints);
     out.attempts = attempt + 1;
     out.total_tat_minutes += out.result.tat_minutes;
+    attempt_span.arg("success", out.result.success() ? 1.0 : 0.0);
     if (out.result.success()) {
       out.succeeded = true;
       break;
@@ -106,6 +117,8 @@ RobotOutcome RobotEngineer::execute(const flow::FlowRecipe& initial,
   }
   out.final_target_ghz = recipe.target_ghz;
   out.final_knobs = recipe.knobs;
+  robot_span.arg("attempts", static_cast<double>(out.attempts))
+      .arg("succeeded", out.succeeded ? 1.0 : 0.0);
   return out;
 }
 

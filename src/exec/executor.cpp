@@ -2,7 +2,29 @@
 
 #include <cstdlib>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace maestro::exec {
+
+namespace {
+
+/// Registry instrumentation for one finished run: terminal-state counter
+/// plus queue-wait / wall-time histograms (always on — runs are coarse, the
+/// atomic updates are noise next to a tool run).
+void observe_run(const RunRecord& rec) {
+  auto& reg = obs::Registry::global();
+  switch (rec.state) {
+    case RunState::Completed: reg.counter("exec.runs_completed").add(); break;
+    case RunState::Cancelled: reg.counter("exec.runs_cancelled").add(); break;
+    case RunState::Failed: reg.counter("exec.runs_failed").add(); break;
+    default: break;
+  }
+  reg.histogram("exec.queue_wait_ms").observe(rec.queue_wait_ms());
+  reg.histogram("exec.wall_ms").observe(rec.wall_ms());
+}
+
+}  // namespace
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("MAESTRO_THREADS")) {
@@ -83,25 +105,42 @@ void RunExecutor::worker_loop() {
     // capacity to the pool early.
     if (ctx.should_stop()) {
       task.body(ctx, /*run=*/false);
-      journal_.on_finish(task.run_id, RunState::Cancelled);
+      observe_run(journal_.on_finish(task.run_id, RunState::Cancelled));
       task.deliver();
       continue;
     }
 
-    acquire_license();
+    {
+      // License stalls are a first-class observable: this span is where
+      // scheduler arms wait when the pool is licence-bound.
+      obs::Span wait_span("license_wait", "exec");
+      acquire_license();
+    }
+    if (obs::Tracer* t = obs::Tracer::current()) {
+      t->counter("exec.licenses_in_use", static_cast<double>(licenses_in_use()), "exec");
+    }
     // Re-check: cancellation may have landed while waiting for a license.
     if (ctx.should_stop()) {
       release_license();
       task.body(ctx, /*run=*/false);
-      journal_.on_finish(task.run_id, RunState::Cancelled);
+      observe_run(journal_.on_finish(task.run_id, RunState::Cancelled));
       task.deliver();
       continue;
     }
 
     journal_.on_start(task.run_id);
-    Outcome outcome = task.body(ctx, /*run=*/true);
+    Outcome outcome;
+    {
+      obs::Span run_span("run", "exec");
+      run_span.arg("label", task.label).arg("seed", static_cast<double>(task.seed));
+      outcome = task.body(ctx, /*run=*/true);
+    }
     release_license();
-    journal_.on_finish(task.run_id, outcome.state, std::move(outcome.note));
+    if (obs::Tracer* t = obs::Tracer::current()) {
+      t->counter("exec.licenses_in_use", static_cast<double>(licenses_in_use()), "exec");
+    }
+    const RunRecord rec = journal_.on_finish(task.run_id, outcome.state, std::move(outcome.note));
+    observe_run(rec);
     task.deliver();
   }
 }

@@ -95,6 +95,7 @@ class RunExecutor {
     };
     auto slot = std::make_shared<Slot>();
     Task task;
+    task.label = label;
     task.run_id = journal_.on_enqueue(std::move(label), seed);
     task.seed = seed;
     task.cancel = cancel;
@@ -151,6 +152,7 @@ class RunExecutor {
 
   struct Task {
     std::uint64_t run_id = 0;
+    std::string label;  ///< for the run's trace span
     std::uint64_t seed = 0;
     CancelToken cancel;
     std::chrono::steady_clock::time_point deadline{};

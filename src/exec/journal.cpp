@@ -1,5 +1,9 @@
 #include "exec/journal.hpp"
 
+#include <algorithm>
+
+#include "util/stats.hpp"
+
 namespace maestro::exec {
 
 const char* to_string(RunState s) {
@@ -40,13 +44,14 @@ void RunJournal::on_start(std::uint64_t run_id) {
   r.start_ms = now_ms();
 }
 
-void RunJournal::on_finish(std::uint64_t run_id, RunState state, std::string note) {
+RunRecord RunJournal::on_finish(std::uint64_t run_id, RunState state, std::string note) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (run_id == 0 || run_id > records_.size()) return;
+  if (run_id == 0 || run_id > records_.size()) return RunRecord{};
   RunRecord& r = records_[run_id - 1];
   r.state = state;
   r.finish_ms = now_ms();
   r.note = std::move(note);
+  return r;
 }
 
 std::size_t RunJournal::size() const {
@@ -80,6 +85,30 @@ double RunJournal::total_wall_ms() const {
   double total = 0.0;
   for (const auto& r : records_) total += r.wall_ms();
   return total;
+}
+
+JournalSummary RunJournal::summarize() const {
+  std::vector<double> queue_waits;
+  std::vector<double> walls;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_waits.reserve(records_.size());
+    walls.reserve(records_.size());
+    for (const auto& r : records_) {
+      queue_waits.push_back(r.queue_wait_ms());
+      walls.push_back(r.wall_ms());
+    }
+  }
+  JournalSummary s;
+  s.runs = queue_waits.size();
+  if (s.runs == 0) return s;
+  s.queue_wait_p50_ms = util::percentile(queue_waits, 50.0);
+  s.queue_wait_p95_ms = util::percentile(queue_waits, 95.0);
+  s.queue_wait_max_ms = *std::max_element(queue_waits.begin(), queue_waits.end());
+  s.wall_p50_ms = util::percentile(walls, 50.0);
+  s.wall_p95_ms = util::percentile(walls, 95.0);
+  s.wall_max_ms = *std::max_element(walls.begin(), walls.end());
+  return s;
 }
 
 }  // namespace maestro::exec

@@ -41,6 +41,19 @@ struct RunRecord {
   double wall_ms() const { return start_ms > 0.0 ? finish_ms - start_ms : 0.0; }
 };
 
+/// Percentile digest of a journal: p50/p95/max queue wait and wall time
+/// over every finished run (printed by perf_kernels, asserted monotone in
+/// tests).
+struct JournalSummary {
+  std::size_t runs = 0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  double queue_wait_max_ms = 0.0;
+  double wall_p50_ms = 0.0;
+  double wall_p95_ms = 0.0;
+  double wall_max_ms = 0.0;
+};
+
 class RunJournal {
  public:
   RunJournal();
@@ -49,10 +62,11 @@ class RunJournal {
   std::uint64_t on_enqueue(std::string label, std::uint64_t seed);
   /// Mark a run started (license held, worker executing).
   void on_start(std::uint64_t run_id);
-  /// Mark a run finished in `state` (Completed, Cancelled or Failed).
+  /// Mark a run finished in `state` (Completed, Cancelled or Failed) and
+  /// return a copy of its final record (empty record for unknown ids).
   /// A run cancelled while still queued never gets on_start; its wall time
   /// is zero and its queue wait runs to the cancellation.
-  void on_finish(std::uint64_t run_id, RunState state, std::string note = {});
+  RunRecord on_finish(std::uint64_t run_id, RunState state, std::string note = {});
 
   std::size_t size() const;
   std::size_t count(RunState s) const;
@@ -60,6 +74,8 @@ class RunJournal {
   std::vector<RunRecord> snapshot() const;
   double total_queue_wait_ms() const;
   double total_wall_ms() const;
+  /// Percentile summary over all records (linear-interpolated percentiles).
+  JournalSummary summarize() const;
 
  private:
   double now_ms() const;

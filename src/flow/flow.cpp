@@ -1,5 +1,8 @@
 #include "flow/flow.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace maestro::flow {
 
 FlowResult FlowManager::run(const FlowRecipe& recipe) const {
@@ -17,6 +20,10 @@ FlowResult FlowManager::run_keep_state(const FlowRecipe& recipe,
   FlowResult res;
   state = DesignState{};
   state.lib = lib_;
+
+  obs::Span flow_span("flow", "flow");
+  flow_span.arg("design", recipe.design.name).arg("target_ghz", recipe.target_ghz);
+  obs::Registry::global().counter("flow.runs").add();
 
   auto context_for = [&](FlowStep step) {
     ToolContext ctx;
@@ -49,13 +56,19 @@ FlowResult FlowManager::run_keep_state(const FlowRecipe& recipe,
     // gets its partial result back immediately.
     if (recipe.cancel.cancelled()) {
       res.failed_step = "cancelled";
+      flow_span.arg("failed_step", res.failed_step);
       return res;
     }
+    obs::Span step_span(to_string(entry.step), "flow");
     StepOutcome outcome = entry.invoke();
+    step_span.arg("runtime_min", outcome.runtime_min).arg("ok", outcome.ok ? 1.0 : 0.0);
+    obs::Registry::global().counter("flow.steps_run").add();
+    obs::Registry::global().histogram("flow.step_runtime_min").observe(outcome.runtime_min);
     res.tat_minutes += outcome.runtime_min;
     res.logs.push_back(std::move(outcome.log));
     if (!outcome.ok) {
       res.failed_step = to_string(entry.step);
+      flow_span.arg("failed_step", res.failed_step);
       return res;
     }
   }
@@ -76,6 +89,7 @@ FlowResult FlowManager::run_keep_state(const FlowRecipe& recipe,
   res.drc_clean = res.final_drvs < constraints.max_drvs;
   res.constraints_met =
       res.area_um2 <= constraints.max_area_um2 && res.power_mw <= constraints.max_power_mw;
+  flow_span.arg("success", res.success() ? 1.0 : 0.0).arg("wns_ps", res.wns_ps);
   return res;
 }
 

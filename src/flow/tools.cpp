@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "route/detail_router.hpp"
 #include "util/rng.hpp"
 
@@ -314,11 +315,18 @@ StepOutcome run_route(DesignState& ds, const ToolContext& ctx) {
   ro.v_capacity = tracks_per_um * gcell_w_um * 0.85;
   const std::string engine = knob_string(ctx.knobs, "detail_engine", "model");
   ro.keep_segments = engine == "track";
-  ds.groute = route::global_route(*ds.pl, ro, ds.routed, rng);
+  {
+    obs::Span gr_span("global_route", "route");
+    ds.groute = route::global_route(*ds.pl, ro, ds.routed, rng);
+    gr_span.arg("overflow", ds.groute.total_overflow)
+        .arg("wirelength_gcells", ds.groute.wirelength_gcells);
+  }
 
   const int detail_iterations =
       static_cast<int>(knob_double(ctx.knobs, "detail_iterations", 20));
   const route::RouteDifficulty diff = route::difficulty_from_congestion(ds.groute);
+  obs::Span dr_span("detail_route", "route");
+  dr_span.arg("engine", engine).arg("difficulty", diff.value);
   if (engine == "track") {
     // Real track-assignment detailed routing on the global-route segments.
     route::DetailRouteOptions dro;
@@ -365,6 +373,9 @@ StepOutcome run_route(DesignState& ds, const ToolContext& ctx) {
       }
     }
   }
+
+  dr_span.arg("final_drvs", ds.droute.drvs.empty() ? 0.0 : ds.droute.drvs.back())
+      .arg("iterations", static_cast<double>(iterations_run));
 
   out.log = ds.droute.log;
   out.log.tool = "route";

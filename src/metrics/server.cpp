@@ -36,6 +36,11 @@ std::size_t Server::size() const {
   return records_.size();
 }
 
+std::vector<Record> Server::all() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {records_.begin(), records_.end()};
+}
+
 std::vector<const Record*> Server::query(
     const std::function<bool(const Record&)>& pred) const {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -143,6 +148,22 @@ std::uint64_t Transmitter::transmit_log(const util::ToolLog& log, const std::str
   if (!log.iterations.empty()) {
     for (const auto& [k, v] : log.iterations.back().values) rec.values["final_" + k] = v;
     rec.values["iterations"] = static_cast<double>(log.iterations.size());
+  }
+  return server_->submit(std::move(rec));
+}
+
+std::uint64_t Transmitter::transmit_snapshot(const obs::MetricsSnapshot& snap,
+                                             const std::string& design) {
+  Record rec;
+  rec.design = design;
+  rec.step = "obs";
+  for (const auto& c : snap.counters) rec.values[c.name] = static_cast<double>(c.value);
+  for (const auto& g : snap.gauges) rec.values[g.name] = g.value;
+  for (const auto& h : snap.histograms) {
+    rec.values[h.name + ".count"] = static_cast<double>(h.count);
+    rec.values[h.name + ".mean"] = h.mean();
+    rec.values[h.name + ".p50"] = h.percentile(50.0);
+    rec.values[h.name + ".p95"] = h.percentile(95.0);
   }
   return server_->submit(std::move(rec));
 }

@@ -17,6 +17,7 @@
 #include "exec/journal.hpp"
 #include "flow/flow.hpp"
 #include "metrics/record.hpp"
+#include "obs/registry.hpp"
 
 namespace maestro::metrics {
 
@@ -38,7 +39,9 @@ class Server {
   std::uint64_t submit(Record r);  ///< assigns and returns run_id if unset
 
   std::size_t size() const;
-  const std::deque<Record>& all() const { return records_; }
+  /// Snapshot of every record, copied under the lock. (Returning a
+  /// reference to the live deque would race against concurrent submits.)
+  std::vector<Record> all() const;
 
   /// Records matching a predicate.
   std::vector<const Record*> query(const std::function<bool(const Record&)>& pred) const;
@@ -76,6 +79,13 @@ class Transmitter {
   /// pooled run: queue wait, wall time, final state). Returns the number of
   /// records submitted.
   std::size_t transmit_journal(const exec::RunJournal& journal);
+
+  /// Bridge live obs telemetry into the store: one step="obs" record whose
+  /// values carry every counter and gauge plus count/mean/p50/p95 per
+  /// histogram, so mined records and live telemetry share one store.
+  /// Returns the record's run id.
+  std::uint64_t transmit_snapshot(const obs::MetricsSnapshot& snap,
+                                  const std::string& design = "telemetry");
 
  private:
   Server* server_;

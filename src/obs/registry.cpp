@@ -1,0 +1,155 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+namespace maestro::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double x) {
+  // First bound >= x; everything past the last bound lands in the overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but spotty across standard
+  // libraries; a CAS loop is portable and contention here is light.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+namespace {
+
+/// Shared percentile interpolation over frozen bucket counts.
+double bucket_percentile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& counts, double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (static_cast<double>(cum + c) < target || c == 0) {
+      cum += c;
+      continue;
+    }
+    // The overflow bucket has no upper bound; report its lower edge.
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double frac = (target - static_cast<double>(cum)) / static_cast<double>(c);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+double Histogram::percentile(double p) const {
+  std::vector<std::uint64_t> counts(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts[i] = bucket(i);
+  return bucket_percentile(bounds_, counts, p);
+}
+
+double HistogramSample::percentile(double p) const {
+  return bucket_percentile(bounds, counts, p);
+}
+
+std::vector<double> default_ms_bounds() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+          1000, 2500, 5000, 10000, 30000, 60000, 120000};
+}
+
+Registry::Stripe& Registry::stripe_for(const std::string& name) {
+  return stripes_[std::hash<std::string>{}(name) % kStripes];
+}
+
+const Registry::Stripe& Registry::stripe_for(const std::string& name) const {
+  return stripes_[std::hash<std::string>{}(name) % kStripes];
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Stripe& s = stripe_for(name);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto& slot = s.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Stripe& s = stripe_for(name);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto& slot = s.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  Stripe& s = stripe_for(name);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto& slot = s.histograms[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(bounds.empty() ? default_ms_bounds()
+                                                      : std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Stripe& s : stripes_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [name, c] : s.counters) snap.counters.push_back({name, c->value()});
+    for (const auto& [name, g] : s.gauges) snap.gauges.push_back({name, g->value()});
+    for (const auto& [name, h] : s.histograms) {
+      HistogramSample hs;
+      hs.name = name;
+      hs.bounds = h->bounds();
+      hs.counts.resize(h->bucket_count());
+      for (std::size_t i = 0; i < h->bucket_count(); ++i) hs.counts[i] = h->bucket(i);
+      hs.count = h->count();
+      hs.sum = h->sum();
+      snap.histograms.push_back(std::move(hs));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::string Registry::report() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream os;
+  os << "== obs metrics ==\n";
+  for (const auto& c : snap.counters) os << "counter " << c.name << " = " << c.value << '\n';
+  for (const auto& g : snap.gauges) os << "gauge   " << g.name << " = " << g.value << '\n';
+  os.precision(3);
+  os << std::fixed;
+  for (const auto& h : snap.histograms) {
+    os << "hist    " << h.name << " count=" << h.count << " mean=" << h.mean()
+       << " p50=" << h.percentile(50.0) << " p95=" << h.percentile(95.0) << '\n';
+  }
+  return os.str();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace maestro::obs

@@ -1,0 +1,146 @@
+#pragma once
+// maestro::obs — registry of named counters, gauges and histograms.
+//
+// The always-on half of the observability layer (the Tracer is the opt-in
+// half): subsystems register named instruments once and update them with
+// atomic operations, so hot paths never take a lock after the first lookup.
+// The registry itself is lock-striped — names hash to one of kStripes
+// independently locked maps — and instruments never move once created, so
+// returned references stay valid for the registry's lifetime.
+//
+// snapshot() produces a monotonic, name-sorted view that feeds two sinks:
+// the text report (Registry::report) and the METRICS store via
+// metrics::Transmitter::transmit_snapshot, so mined records and live
+// telemetry share one store (the paper's Fig. 11 loop closed over maestro
+// itself).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace maestro::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations x with
+/// bounds[i-1] < x <= bounds[i] (upper bound inclusive); the final bucket is
+/// the overflow for x > bounds.back(). Updates are lock-free atomics.
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing upper bucket bounds.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t bucket_count() const { return counts_.size(); }  ///< bounds + overflow
+  std::uint64_t bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Percentile estimate (p in [0,100]), linearly interpolated inside the
+  /// owning bucket; the overflow bucket reports its lower bound.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Default bounds for millisecond-scale durations (0.1ms .. ~2min, log-ish).
+std::vector<double> default_ms_bounds();
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds + overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Same interpolation as Histogram::percentile, over the frozen counts.
+  double percentile(double p) const;
+};
+
+/// A point-in-time view of every instrument, name-sorted. Counters are
+/// monotonic across successive snapshots of the same registry.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name. References stay valid for the registry's
+  /// lifetime. A histogram's bounds are fixed by its first registration;
+  /// later calls with different bounds return the existing instrument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  /// Human-readable table of every instrument (counters, gauges, then
+  /// histograms with count/mean/p50/p95).
+  std::string report() const;
+
+  /// The process-wide registry that built-in instrumentation writes to.
+  static Registry& global();
+
+ private:
+  static constexpr std::size_t kStripes = 8;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Stripe& stripe_for(const std::string& name);
+  const Stripe& stripe_for(const std::string& name) const;
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace maestro::obs

@@ -1,0 +1,205 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace maestro::obs {
+
+std::atomic<Tracer*> Tracer::current_{nullptr};
+
+Tracer::Tracer(TracerOptions opt)
+    : capacity_(opt.capacity > 0 ? opt.capacity : 1),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t Tracer::this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void Tracer::record(TraceEvent ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+void Tracer::counter(const char* name, double value, const char* category) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::Counter;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = now_us();
+  ev.tid = this_thread_tid();
+  ev.num_args.emplace_back("value", value);
+  record(std::move(ev));
+}
+
+void Tracer::instant(const char* name, const char* category) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::Instant;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = now_us();
+  ev.tid = this_thread_tid();
+  record(std::move(ev));
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest element once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+const char* phase_of(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::Span: return "X";
+    case TraceEvent::Kind::Counter: return "C";
+    case TraceEvent::Kind::Instant: return "i";
+  }
+  return "X";
+}
+
+util::Json event_to_json(const TraceEvent& ev) {
+  util::JsonObject o;
+  o["name"] = ev.name;
+  o["cat"] = ev.category;
+  o["ph"] = phase_of(ev.kind);
+  o["ts"] = ev.ts_us;
+  if (ev.kind == TraceEvent::Kind::Span) o["dur"] = ev.dur_us;
+  if (ev.kind == TraceEvent::Kind::Instant) o["s"] = "t";
+  o["pid"] = 1;
+  o["tid"] = static_cast<std::size_t>(ev.tid);
+  if (!ev.num_args.empty() || !ev.str_args.empty()) {
+    util::JsonObject args;
+    for (const auto& [k, v] : ev.num_args) args[k] = v;
+    for (const auto& [k, v] : ev.str_args) args[k] = v;
+    o["args"] = std::move(args);
+  }
+  return util::Json{std::move(o)};
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  util::JsonArray events;
+  for (const auto& ev : snapshot()) events.push_back(event_to_json(ev));
+  util::JsonObject doc;
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return util::Json{std::move(doc)}.dump();
+}
+
+bool Tracer::export_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+void Tracer::export_csv(std::ostream& out) const {
+  out << "name,category,kind,ts_us,dur_us,tid,args\n";
+  for (const auto& ev : snapshot()) {
+    out << ev.name << ',' << ev.category << ',';
+    switch (ev.kind) {
+      case TraceEvent::Kind::Span: out << "span"; break;
+      case TraceEvent::Kind::Counter: out << "counter"; break;
+      case TraceEvent::Kind::Instant: out << "instant"; break;
+    }
+    out << ',' << ev.ts_us << ',' << ev.dur_us << ',' << ev.tid << ',';
+    bool first = true;
+    for (const auto& [k, v] : ev.num_args) {
+      out << (first ? "" : ";") << k << '=' << v;
+      first = false;
+    }
+    for (const auto& [k, v] : ev.str_args) {
+      out << (first ? "" : ";") << k << '=' << v;
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+namespace {
+
+// install_from_env state: a process-lifetime tracer whose buffer is written
+// out by atexit. Function-local statics keep initialization lazy.
+Tracer& env_tracer() {
+  static Tracer t{{.capacity = 1 << 18}};
+  return t;
+}
+
+std::string& env_trace_path() {
+  static std::string path;
+  return path;
+}
+
+void export_env_trace() { env_tracer().export_chrome_trace(env_trace_path()); }
+
+}  // namespace
+
+bool Tracer::install_from_env() {
+  const char* path = std::getenv("MAESTRO_TRACE");
+  if (path == nullptr || *path == '\0') return false;
+  env_trace_path() = path;
+  install(&env_tracer());
+  static const bool registered = [] {
+    std::atexit(export_env_trace);
+    return true;
+  }();
+  (void)registered;
+  return true;
+}
+
+void Span::finish() {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::Span;
+  ev.name = name_;
+  ev.category = category_;
+  ev.ts_us = start_us_;
+  ev.dur_us = tracer_->now_us() - start_us_;
+  ev.tid = Tracer::this_thread_tid();
+  ev.num_args = std::move(num_args_);
+  ev.str_args = std::move(str_args_);
+  tracer_->record(std::move(ev));
+}
+
+}  // namespace maestro::obs

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace maestro::route {
 
 namespace {
@@ -128,10 +131,19 @@ DetailRouteResult detail_route(const place::Placement& pl, GridGraph& grid,
   }
 
   for (int it = 0; it < opt.max_iterations; ++it) {
+    // Span per rip-up-and-reroute iteration: DRV count and overflow land as
+    // args, elapsed time is the span's own duration — the "tool logfile as
+    // time series" view of the router's convergence budget.
+    obs::Span it_span("droute_iter", "route");
+    obs::Registry::global().counter("route.droute_iterations").add();
     res.iterations_used = it + 1;
     std::size_t via_total = 0;
     const Violations v = measure(grid, segments, pin_density, opt, &via_total);
     const double drvs = v.drvs(opt);
+    it_span.arg("iteration", static_cast<double>(it))
+        .arg("drvs", drvs)
+        .arg("track_overflow", v.track_overflow)
+        .arg("via_overflow", v.via_overflow);
 
     util::LogIteration li;
     li.iteration = it;

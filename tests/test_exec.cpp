@@ -179,6 +179,26 @@ TEST(RunExecutor, JournalTimestampsAreOrdered) {
   EXPECT_GE(pool.journal().total_wall_ms(), 4.0);
 }
 
+TEST(RunJournal, SummaryPercentilesAreMonotone) {
+  mx::RunExecutor pool{{.threads = 2}};
+  // Variable-duration runs so the percentiles spread out.
+  pool.map("spread", 7, 16, [](std::size_t i, mx::RunContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + i % 5));
+    return i;
+  });
+  const mx::JournalSummary s = pool.journal().summarize();
+  EXPECT_EQ(s.runs, 16u);
+  EXPECT_LE(s.queue_wait_p50_ms, s.queue_wait_p95_ms);
+  EXPECT_LE(s.queue_wait_p95_ms, s.queue_wait_max_ms);
+  EXPECT_LE(s.wall_p50_ms, s.wall_p95_ms);
+  EXPECT_LE(s.wall_p95_ms, s.wall_max_ms);
+  EXPECT_GT(s.wall_max_ms, 0.0);
+
+  const mx::JournalSummary empty = mx::RunExecutor{{.threads = 1}}.journal().summarize();
+  EXPECT_EQ(empty.runs, 0u);
+  EXPECT_EQ(empty.wall_max_ms, 0.0);
+}
+
 TEST(RunExecutor, DefaultThreadCountHonorsEnvOverride) {
   setenv("MAESTRO_THREADS", "3", 1);
   EXPECT_EQ(mx::default_thread_count(), 3u);
