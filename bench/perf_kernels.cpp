@@ -6,7 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "exec/executor.hpp"
 #include "ml/bandit.hpp"
@@ -15,6 +19,9 @@
 #include "place/placer.hpp"
 #include "power/ir_drop.hpp"
 #include "route/global_router.hpp"
+#include "store/fingerprint.hpp"
+#include "store/run_cache.hpp"
+#include "store/run_store.hpp"
 #include "timing/sta.hpp"
 
 using namespace maestro;
@@ -216,4 +223,97 @@ static void BM_RunExecutorThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_RunExecutorThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
-BENCHMARK_MAIN();
+// ------------------------------------------------------------ maestro::store
+
+namespace {
+store::StoredRun bench_stored_run(std::uint64_t n) {
+  store::StoredRun run;
+  run.key.design = "bench";
+  run.key.seed = n;
+  run.key.set("syn.effort", "high");
+  run.key.set("place.density", store::canonical_number(0.6 + 1e-4 * static_cast<double>(n)));
+  run.key.set("route.layers", "6");
+  run.fingerprint = run.key.fingerprint();
+  run.result.completed = true;
+  run.result.area_um2 = 1000.0 + static_cast<double>(n);
+  return run;
+}
+
+std::string bench_store_dir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "maestro_perf_kernels" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+}  // namespace
+
+static void BM_RunKeyFingerprint(benchmark::State& state) {
+  const store::StoredRun run = bench_stored_run(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run.key.fingerprint());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunKeyFingerprint);
+
+static void BM_RunStoreAppend(benchmark::State& state) {
+  const std::string dir = bench_store_dir("append");
+  store::RunStore st(dir);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    st.append_run(bench_stored_run(++n));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunStoreAppend);
+
+static void BM_RunStoreRecover(benchmark::State& state) {
+  const std::string dir = bench_store_dir("recover");
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  {
+    store::RunStore st(dir);
+    for (std::uint64_t n = 0; n < entries; ++n) st.append_run(bench_stored_run(n));
+  }
+  for (auto _ : state) {
+    store::RunStore st(dir);
+    benchmark::DoNotOptimize(st.run_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RunStoreRecover)->Arg(1000);
+
+static void BM_RunCacheLookupHit(benchmark::State& state) {
+  const std::string dir = bench_store_dir("lookup");
+  store::RunStore st(dir);
+  for (std::uint64_t n = 0; n < 1000; ++n) st.append_run(bench_stored_run(n));
+  store::RunCache cache(st);
+  const std::uint64_t fp = bench_stored_run(500).fingerprint;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(fp));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunCacheLookupHit);
+
+// Custom main: default to machine-readable JSON output (BENCH_kernels.json in
+// the working directory) so the perf trajectory is tracked across PRs; any
+// explicit --benchmark_out= flag wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,203 @@
+// perf_store_cache — the store/memoization benchmark and acceptance check.
+//
+// Measures the maestro::store primitives (fingerprinting, WAL append,
+// recovery, compaction, cache lookup), then runs the headline experiment: the
+// same MAB campaign twice against one MAESTRO_STORE. The first pass executes
+// every run cold; the second pass must answer >= 30% of them from the
+// content-addressed cache (identical campaigns reach 100%). The reduction is
+// asserted via the obs::Registry store.cache_miss counter — a regression
+// exits nonzero so the check can gate CI as a ctest (label "store").
+//
+// Results are written as machine-readable JSON (default BENCH_store.json) so
+// the perf trajectory is trackable across PRs:
+//   perf_store_cache [output.json] [scratch-dir]
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/mab_scheduler.hpp"
+#include "obs/registry.hpp"
+#include "store/fingerprint.hpp"
+#include "store/run_cache.hpp"
+#include "store/run_store.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace fs = std::filesystem;
+using namespace maestro;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+store::StoredRun make_run(std::uint64_t n) {
+  store::StoredRun run;
+  run.key.design = "bench";
+  run.key.seed = n;
+  run.key.set("place.density", store::canonical_number(0.6 + 0.0001 * static_cast<double>(n)));
+  run.key.set("syn.effort", "high");
+  run.fingerprint = run.key.fingerprint();
+  run.result.completed = true;
+  run.result.timing_met = true;
+  run.result.drc_clean = true;
+  run.result.constraints_met = true;
+  run.result.area_um2 = 1000.0 + static_cast<double>(n);
+  run.result.power_mw = 4.0;
+  run.result.tat_minutes = 55.0;
+  return run;
+}
+
+/// Same synthetic cliff oracle as the MAB tests: pure in (target_ghz, seed).
+core::FlowOracle cliff_oracle(double max_ghz) {
+  return [max_ghz](double target_ghz, std::uint64_t seed) {
+    util::Rng rng{seed};
+    flow::FlowResult res;
+    res.completed = true;
+    const double margin = max_ghz + rng.gauss(0.0, 0.03) - target_ghz;
+    res.timing_met = margin > 0.0;
+    res.drc_clean = true;
+    res.constraints_met = true;
+    res.wns_ps = margin * 100.0;
+    res.area_um2 = 1000.0;
+    res.power_mw = target_ghz * 2.0;
+    res.tat_minutes = 60.0;
+    return res;
+  };
+}
+
+std::uint64_t counter(const char* name) {
+  return obs::Registry::global().counter(name).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_store.json";
+  const fs::path scratch =
+      argc > 2 ? fs::path(argv[2]) : fs::temp_directory_path() / "maestro_perf_store_cache";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  util::JsonObject report;
+  report["schema"] = util::Json{"maestro.bench.store.v1"};
+
+  // ------------------------------------------------------------ primitives
+  constexpr int kFingerprints = 200000;
+  {
+    const store::StoredRun probe = make_run(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t sink = 0;
+    for (int i = 0; i < kFingerprints; ++i) sink += probe.key.fingerprint();
+    const double secs = seconds_since(t0);
+    report["fingerprint_per_s"] = util::Json{kFingerprints / secs};
+    if (sink == 0) std::fprintf(stderr, "(fingerprint sink zero)\n");  // defeat DCE
+  }
+
+  constexpr std::uint64_t kAppends = 2000;
+  const std::string wal_dir = (scratch / "wal_bench").string();
+  {
+    store::RunStore st(wal_dir);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t n = 0; n < kAppends; ++n) st.append_run(make_run(n));
+    const double secs = seconds_since(t0);
+    report["wal_append_per_s"] = util::Json{static_cast<double>(kAppends) / secs};
+  }
+  double recover_ms = 0.0;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    store::RunStore st(wal_dir);
+    recover_ms = seconds_since(t0) * 1e3;
+    if (st.run_count() != kAppends) {
+      std::fprintf(stderr, "FAIL: recovery lost entries (%zu of %llu)\n", st.run_count(),
+                   static_cast<unsigned long long>(kAppends));
+      return 1;
+    }
+    report["recover_2k_ms"] = util::Json{recover_ms};
+
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!st.compact()) {
+      std::fprintf(stderr, "FAIL: compaction failed\n");
+      return 1;
+    }
+    report["compact_2k_ms"] = util::Json{seconds_since(t1) * 1e3};
+
+    store::RunCache cache(st);
+    constexpr int kLookups = 200000;
+    const std::uint64_t fp = make_run(kAppends / 2).fingerprint;
+    const auto t2 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kLookups; ++i) {
+      if (!cache.lookup(fp)) {
+        std::fprintf(stderr, "FAIL: warm lookup missed\n");
+        return 1;
+      }
+    }
+    report["cache_lookup_per_s"] = util::Json{kLookups / seconds_since(t2)};
+  }
+
+  // -------------------------------------------- repeated-campaign memoization
+  // The acceptance experiment: one MAB campaign run twice against the same
+  // store. Executed (non-cached) runs are exactly the store.cache_miss delta.
+  const std::string campaign_dir = (scratch / "campaign").string();
+  core::MabOptions opt;
+  opt.frequency_arms_ghz = core::frequency_arms(1.0, 2.0, 6);
+  opt.iterations = 8;
+  opt.concurrency = 4;
+  opt.cache_key.design = "bench";
+
+  store::RunStore campaign_store(campaign_dir);
+  std::uint64_t first_executed = 0, second_executed = 0, second_hits = 0;
+  double first_secs = 0.0, second_secs = 0.0;
+  {
+    store::RunCache cache(campaign_store);
+    opt.cache = &cache;
+    util::Rng rng{7};
+    const std::uint64_t miss0 = counter("store.cache_miss");
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = core::MabScheduler(opt).run(cliff_oracle(1.6), rng);
+    first_secs = seconds_since(t0);
+    first_executed = counter("store.cache_miss") - miss0;
+    report["campaign_runs"] = util::Json{static_cast<double>(res.total_runs)};
+  }
+  {
+    store::RunCache cache(campaign_store);  // fresh cache, warm store
+    opt.cache = &cache;
+    util::Rng rng{7};
+    const std::uint64_t miss0 = counter("store.cache_miss");
+    const std::uint64_t hit0 = counter("store.cache_hit");
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)core::MabScheduler(opt).run(cliff_oracle(1.6), rng);
+    second_secs = seconds_since(t0);
+    second_executed = counter("store.cache_miss") - miss0;
+    second_hits = counter("store.cache_hit") - hit0;
+  }
+
+  const double reduction =
+      first_executed == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(second_executed) / static_cast<double>(first_executed);
+  report["first_pass_executed"] = util::Json{static_cast<double>(first_executed)};
+  report["second_pass_executed"] = util::Json{static_cast<double>(second_executed)};
+  report["second_pass_cache_hits"] = util::Json{static_cast<double>(second_hits)};
+  report["executed_run_reduction"] = util::Json{reduction};
+  report["first_pass_secs"] = util::Json{first_secs};
+  report["second_pass_secs"] = util::Json{second_secs};
+  const bool pass = first_executed > 0 && reduction >= 0.30;
+  report["pass"] = util::Json{pass};
+
+  {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << util::Json{std::move(report)}.dump() << '\n';
+  }
+
+  std::printf("perf_store_cache: pass1 executed %llu, pass2 executed %llu (%.0f%% fewer), "
+              "recover(2k) %.2f ms -> %s [%s]\n",
+              static_cast<unsigned long long>(first_executed),
+              static_cast<unsigned long long>(second_executed), reduction * 100.0, recover_ms,
+              pass ? "OK" : "FAIL (< 30% reduction)", out_path.c_str());
+  return pass ? 0 : 1;
+}

@@ -1,25 +1,45 @@
 // METRICS 2.0 in action (paper Section 4, Fig. 11).
 //
 //   $ ./example_metrics_dashboard [metrics.jsonl]
+//   $ ./example_metrics_dashboard --store <dir>
 //
 // Instruments a batch of flow runs, persists the collected records as
 // JSON-lines (the commodity reimplementation of the METRICS server), mines
 // knob sensitivities and an achievable-frequency prescription, and then runs
 // the closed loop that adapts flow knobs midstream with no human.
+//
+// With --store <dir> the dashboard runs against a durable maestro::store
+// RunStore: if the store already holds metric records (e.g. a previous
+// dashboard run, or a campaign run under MAESTRO_STORE=<dir>), they are
+// loaded and mined directly — no flow runs execute. An empty store is
+// populated first (every transmitted record is mirrored into its WAL), so
+// the second invocation mines without re-running anything.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/metrics_loop.hpp"
 #include "metrics/miner.hpp"
 #include "metrics/server.hpp"
+#include "store/run_store.hpp"
 
 int main(int argc, char** argv) {
   using namespace maestro;
-  const std::string store_path = argc > 1 ? argv[1] : "/tmp/maestro_metrics.jsonl";
+  std::string store_path = "/tmp/maestro_metrics.jsonl";
+  std::string durable_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      durable_dir = argv[++i];
+    } else {
+      store_path = argv[i];
+    }
+  }
 
   const netlist::CellLibrary lib = netlist::make_default_library();
   const flow::FlowManager manager{lib};
+  std::unique_ptr<store::RunStore> run_store;  // outlives the server it feeds
   metrics::Server server;
   metrics::Transmitter transmitter{server};
   util::Rng rng{314159};
@@ -29,20 +49,33 @@ int main(int argc, char** argv) {
   design.scale = 1;
   design.name = "dashboard_dut";
 
-  // --- Collection: instrumented runs across frequencies and random knobs ---
   const auto spaces = flow::default_knob_spaces();
-  std::puts("[collect] 24 instrumented flow runs");
-  for (const double ghz : {0.8, 1.0, 1.2, 1.4}) {
-    for (int i = 0; i < 6; ++i) {
-      flow::FlowRecipe recipe;
-      recipe.design = design;
-      recipe.target_ghz = ghz;
-      recipe.knobs = flow::random_trajectory(spaces, rng);
-      recipe.seed = rng.next();
-      transmitter.transmit_flow(recipe, manager.run(recipe));
+  if (!durable_dir.empty()) run_store = std::make_unique<store::RunStore>(durable_dir);
+
+  if (run_store && run_store->metric_count() > 0) {
+    // --- Warm store: mine what previous sessions persisted. ---
+    for (const auto& rec : run_store->metric_records()) server.submit(rec);
+    std::printf("[store] loaded %zu persisted records from %s — skipping collection\n",
+                server.size(), durable_dir.c_str());
+  } else {
+    // --- Collection: instrumented runs across frequencies and random knobs ---
+    if (run_store) {
+      store::bind_metrics_sink(server, *run_store);
+      std::printf("[store] %s is empty — collecting and persisting\n", durable_dir.c_str());
     }
+    std::puts("[collect] 24 instrumented flow runs");
+    for (const double ghz : {0.8, 1.0, 1.2, 1.4}) {
+      for (int i = 0; i < 6; ++i) {
+        flow::FlowRecipe recipe;
+        recipe.design = design;
+        recipe.target_ghz = ghz;
+        recipe.knobs = flow::random_trajectory(spaces, rng);
+        recipe.seed = rng.next();
+        transmitter.transmit_flow(recipe, manager.run(recipe));
+      }
+    }
+    std::printf("  server now holds %zu records\n", server.size());
   }
-  std::printf("  server now holds %zu records\n", server.size());
 
   // --- Persistence: save + reload the store ---
   if (server.save(store_path)) {

@@ -24,6 +24,7 @@
 #include "metrics/sharing.hpp"
 #include "obs/trace.hpp"
 #include "place/partition.hpp"
+#include "store/run_store.hpp"
 
 int main() {
   using namespace maestro;
@@ -65,8 +66,17 @@ int main() {
   //        token: a STOP verdict aborts the block mid-route and returns its
   //        license to the pool. ---
   std::puts("[3] robot fleet implements the 8 blocks (4 licenses, guarded routing)");
+  // MAESTRO_STORE=<dir> makes the METRICS server durable: every transmitted
+  // record is mirrored into a crash-safe run store (WAL + snapshot), so the
+  // next project warm-starts from this one's corpus.
+  auto run_store = store::RunStore::open_from_env();
   metrics::Server server;
   metrics::Transmitter tx{server};
+  if (run_store) {
+    store::bind_metrics_sink(server, *run_store);
+    std::printf("    MAESTRO_STORE=%s (holds %zu runs, %zu metric records)\n",
+                run_store->dir().c_str(), run_store->run_count(), run_store->metric_count());
+  }
   core::RobotEngineer robot{manager};
   exec::RunExecutor pool{{.threads = 4, .licenses = 4}};
   std::vector<core::FleetTask> fleet;

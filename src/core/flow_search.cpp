@@ -3,12 +3,107 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "util/json.hpp"
 
 namespace maestro::core {
+
+namespace {
+
+util::Json trajectory_json(const flow::FlowTrajectory& t) {
+  util::JsonObject o;
+  for (const auto& [step, setting] : t.settings) {
+    util::JsonObject knobs;
+    for (const auto& [name, value] : setting) knobs[name] = util::Json{value};
+    o[flow::to_string(step)] = util::Json{std::move(knobs)};
+  }
+  return util::Json{std::move(o)};
+}
+
+flow::FlowTrajectory trajectory_from_json(const util::Json& j) {
+  flow::FlowTrajectory t;
+  for (const auto& [step_name, knobs] : j.as_object()) {
+    const auto step = flow::step_from_string(step_name);
+    if (!step) continue;
+    for (const auto& [name, value] : knobs.as_object()) {
+      t.set(*step, name, value.as_string());
+    }
+  }
+  return t;
+}
+
+/// One population member's persisted frontier state.
+struct FrontierEntry {
+  flow::FlowTrajectory trajectory;
+  double cost = 0.0;
+};
+
+/// Everything needed to continue (or short-circuit) a tree search.
+struct FtsCampaignState {
+  std::size_t rounds_done = 0;
+  std::size_t flow_runs = 0;
+  double best_cost = 0.0;
+  flow::FlowTrajectory best_trajectory;
+  flow::FlowResult best_result;
+  std::vector<double> best_per_round;
+  std::vector<FrontierEntry> population;
+  util::Json rng_state;
+};
+
+util::Json fts_state_json(const FtsCampaignState& st, const FlowSearchOptions& opt) {
+  util::JsonObject o;
+  o["strategy"] = util::Json{to_string(opt.strategy)};
+  o["rounds_done"] = util::Json{st.rounds_done};
+  o["flow_runs"] = util::Json{st.flow_runs};
+  o["best_cost"] = util::Json{st.best_cost};
+  o["best_trajectory"] = trajectory_json(st.best_trajectory);
+  o["best_result"] = store::flow_result_to_json(st.best_result);
+  util::JsonArray bests;
+  for (const double b : st.best_per_round) bests.push_back(util::Json{b});
+  o["best_per_round"] = util::Json{std::move(bests)};
+  util::JsonArray population;
+  for (const auto& entry : st.population) {
+    util::JsonObject eo;
+    eo["t"] = trajectory_json(entry.trajectory);
+    eo["cost"] = util::Json{entry.cost};
+    population.push_back(util::Json{std::move(eo)});
+  }
+  o["population"] = util::Json{std::move(population)};
+  o["rng"] = st.rng_state;
+  return util::Json{std::move(o)};
+}
+
+std::optional<FtsCampaignState> fts_state_from_json(const util::Json& j,
+                                                    const FlowSearchOptions& opt) {
+  if (!j.is_object()) return std::nullopt;
+  if (j.at("strategy").as_string() != to_string(opt.strategy)) return std::nullopt;
+  FtsCampaignState st;
+  st.rounds_done = static_cast<std::size_t>(j.at("rounds_done").as_number());
+  st.flow_runs = static_cast<std::size_t>(j.at("flow_runs").as_number());
+  st.best_cost = j.at("best_cost").as_number();
+  st.best_trajectory = trajectory_from_json(j.at("best_trajectory"));
+  st.best_result = store::flow_result_from_json(j.at("best_result"));
+  for (const auto& b : j.at("best_per_round").as_array()) {
+    st.best_per_round.push_back(b.as_number());
+  }
+  for (const auto& entry : j.at("population").as_array()) {
+    FrontierEntry fe;
+    fe.trajectory = trajectory_from_json(entry.at("t"));
+    fe.cost = entry.at("cost").as_number();
+    st.population.push_back(std::move(fe));
+  }
+  st.rng_state = j.at("rng");
+  if (st.rng_state.as_array().size() != 6) return std::nullopt;
+  if (st.population.size() != opt.population) return std::nullopt;
+  if (st.rounds_done == 0 || st.best_per_round.size() != st.rounds_done) return std::nullopt;
+  return st;
+}
+
+}  // namespace
 
 double qor_cost(const flow::FlowResult& result, const QorWeights& w) {
   if (!result.completed) return w.incomplete_penalty;
@@ -68,12 +163,60 @@ FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& 
   };
   std::vector<Thread> population(options_.population);
 
+  // Resume a checkpointed campaign: restore the frontier (population
+  // trajectories and costs), best-so-far and the RNG, then continue at the
+  // next round — bitwise identical to the uninterrupted search. A
+  // checkpoint written under different options is ignored.
+  std::size_t rounds_done = 0;
+  const std::string state_key = "fts:" + options_.campaign_id;
+  if (options_.checkpoint) {
+    if (const auto saved = options_.checkpoint->get_state(state_key)) {
+      if (auto st = fts_state_from_json(*saved, options_)) {
+        rounds_done = st->rounds_done;
+        res.flow_runs = st->flow_runs;
+        res.best_cost = st->best_cost;
+        res.best_trajectory = std::move(st->best_trajectory);
+        res.best_result = std::move(st->best_result);
+        res.best_per_round = std::move(st->best_per_round);
+        for (std::size_t i = 0; i < population.size(); ++i) {
+          population[i].trajectory = std::move(st->population[i].trajectory);
+          population[i].cost = st->population[i].cost;
+        }
+        store::rng_state_from_json(rng, st->rng_state);
+        obs::Registry::global().counter("store.campaign_resumed").add();
+      }
+    }
+  }
+
+  const auto save_checkpoint = [&]() {
+    if (!options_.checkpoint) return;
+    FtsCampaignState st;
+    st.rounds_done = rounds_done;
+    st.flow_runs = res.flow_runs;
+    st.best_cost = res.best_cost;
+    st.best_trajectory = res.best_trajectory;
+    st.best_result = res.best_result;
+    st.best_per_round = res.best_per_round;
+    st.population.reserve(population.size());
+    for (const auto& th : population) st.population.push_back({th.trajectory, th.cost});
+    st.rng_state = store::rng_state_to_json(rng);
+    options_.checkpoint->put_state(state_key, fts_state_json(st, options_));
+  };
+
   // One round of N concurrent robot runs. `prepare(th, i)` mutates thread
   // trajectories serially (it consumes the shared Rng), seed draws follow in
   // the same fixed order, then the flow runs execute — in parallel when a
   // pool is configured. The fold back into best-so-far is serial and in
   // thread order, so parallel and serial execution are bitwise identical.
-  std::size_t round_index = 0;
+  std::size_t round_index = rounds_done;
+  // The content-addressed key of one member's run: the campaign's fixed
+  // context plus the flattened trajectory knobs and the round's seed draw.
+  const auto key_for = [this](const flow::FlowTrajectory& t, std::uint64_t seed) {
+    store::RunKey key = options_.cache_key;
+    for (auto& [name, value] : flow::flatten(t)) key.knobs[name] = std::move(value);
+    key.seed = seed;
+    return key;
+  };
   auto run_round = [&](auto prepare) {
     // GWTW/tree-search rounds are the campaign's heartbeat: one span per
     // round (advance + parallel runs + fold) with the best cost so far.
@@ -91,16 +234,35 @@ FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& 
       std::vector<std::future<flow::FlowResult>> futures;
       futures.reserve(population.size());
       for (std::size_t i = 0; i < population.size(); ++i) {
-        futures.push_back(options_.executor->submit(
-            "flow_search#" + std::to_string(res.flow_runs + i), seeds[i],
-            [&oracle, &t = population[i].trajectory, seed = seeds[i]](exec::RunContext&) {
-              return oracle(t, seed);
-            }));
+        const std::string label = "flow_search#" + std::to_string(res.flow_runs + i);
+        auto body = [&oracle, &t = population[i].trajectory, seed = seeds[i]](exec::RunContext&) {
+          return oracle(t, seed);
+        };
+        if (options_.cache) {
+          store::KeyedRunCache keyed{*options_.cache,
+                                     key_for(population[i].trajectory, seeds[i])};
+          futures.push_back(options_.executor->submit_memo(label, seeds[i],
+                                                           keyed.fingerprint(), keyed,
+                                                           std::move(body)));
+        } else {
+          futures.push_back(options_.executor->submit(label, seeds[i], std::move(body)));
+        }
       }
       for (std::size_t i = 0; i < population.size(); ++i) results[i] = futures[i].get();
     } else {
       for (std::size_t i = 0; i < population.size(); ++i) {
-        results[i] = oracle(population[i].trajectory, seeds[i]);
+        if (options_.cache) {
+          const store::RunKey key = key_for(population[i].trajectory, seeds[i]);
+          const std::uint64_t fp = key.fingerprint();
+          if (auto hit = options_.cache->lookup(fp)) {
+            results[i] = std::move(*hit);
+            continue;
+          }
+          results[i] = oracle(population[i].trajectory, seeds[i]);
+          options_.cache->insert(fp, key, results[i]);
+        } else {
+          results[i] = oracle(population[i].trajectory, seeds[i]);
+        }
       }
     }
     for (std::size_t i = 0; i < population.size(); ++i) {
@@ -118,14 +280,19 @@ FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& 
         .arg("flow_runs", static_cast<double>(res.flow_runs));
   };
 
-  // Initial population: default trajectory plus random ones.
-  run_round([&](Thread& th, std::size_t i) {
-    th.trajectory =
-        i == 0 ? flow::default_trajectory(spaces_) : flow::random_trajectory(spaces_, rng);
-  });
-  res.best_per_round.push_back(res.best_cost);
+  // Initial population: default trajectory plus random ones. Skipped when a
+  // checkpoint already carried the campaign past it.
+  if (rounds_done == 0) {
+    run_round([&](Thread& th, std::size_t i) {
+      th.trajectory =
+          i == 0 ? flow::default_trajectory(spaces_) : flow::random_trajectory(spaces_, rng);
+    });
+    res.best_per_round.push_back(res.best_cost);
+    rounds_done = 1;
+    save_checkpoint();
+  }
 
-  for (std::size_t round = 1; round < options_.rounds; ++round) {
+  for (std::size_t round = rounds_done; round < options_.rounds; ++round) {
     switch (options_.strategy) {
       case SearchStrategy::RandomMultistart: {
         run_round([&](Thread& th, std::size_t) {
@@ -164,6 +331,8 @@ FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& 
       }
     }
     res.best_per_round.push_back(res.best_cost);
+    rounds_done = round + 1;
+    save_checkpoint();
   }
   return res;
 }

@@ -14,6 +14,8 @@
 
 #include "exec/executor.hpp"
 #include "flow/flow.hpp"
+#include "store/run_cache.hpp"
+#include "store/run_store.hpp"
 #include "util/rng.hpp"
 
 namespace maestro::core {
@@ -51,6 +53,23 @@ struct FlowSearchOptions {
   /// parallel. Trajectory mutation and seed draws stay serial, so results
   /// are bitwise identical to the serial path (nullptr) for a given seed.
   exec::RunExecutor* executor = nullptr;
+
+  /// Optional content-addressed memoization: each run's key is `cache_key`
+  /// plus its flattened trajectory knobs and derived seed, so trajectories
+  /// revisited by GWTW cloning, adaptive restarts or a repeated campaign
+  /// against the same MAESTRO_STORE resolve from the cache instead of
+  /// dispatching. Works with and without an executor.
+  store::RunCache* cache = nullptr;
+  /// Key template (design name + fixed context such as "target_ghz") for
+  /// cached runs.
+  store::RunKey cache_key;
+
+  /// Optional durable checkpointing: the population frontier, best-so-far
+  /// and RNG state persist to this store after every round under
+  /// "fts:<campaign_id>"; a later run with the same id resumes at the next
+  /// round, bitwise identical to the uninterrupted search.
+  store::RunStore* checkpoint = nullptr;
+  std::string campaign_id = "fts";
 };
 
 struct FlowSearchResult {

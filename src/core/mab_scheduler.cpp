@@ -3,11 +3,142 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "util/json.hpp"
 
 namespace maestro::core {
+
+namespace {
+
+/// Per-arm aggregates the regret computation needs; checkpointed alongside
+/// the policy posteriors so a resumed campaign's regret matches the
+/// uninterrupted one.
+struct ArmAgg {
+  std::size_t pulls = 0;
+  std::size_t successes = 0;
+  double reward_sum = 0.0;
+};
+
+util::Json u64_json(std::uint64_t v) { return util::Json{std::to_string(v)}; }
+std::uint64_t u64_from(const util::Json& j) {
+  return std::strtoull(j.as_string().c_str(), nullptr, 10);
+}
+
+/// Everything needed to continue (or short-circuit) a MAB campaign.
+struct MabCampaignState {
+  std::uint64_t base_seed = 0;
+  std::uint64_t run_index = 0;
+  std::size_t next_iteration = 0;
+  double best = 0.0;
+  std::vector<MabSample> samples;
+  std::vector<double> best_per_iteration;
+  std::vector<ArmAgg> agg;
+  std::vector<ml::ArmStats> policy;
+  util::Json rng_state;
+};
+
+util::Json mab_state_json(const MabCampaignState& st, const MabOptions& opt) {
+  util::JsonObject o;
+  // Campaign identity, validated on resume: a checkpoint from different
+  // options must not be continued.
+  o["algorithm"] = util::Json{to_string(opt.algorithm)};
+  util::JsonArray arms;
+  for (const double a : opt.frequency_arms_ghz) arms.push_back(util::Json{a});
+  o["arms"] = util::Json{std::move(arms)};
+  o["concurrency"] = util::Json{opt.concurrency};
+
+  o["base_seed"] = u64_json(st.base_seed);
+  o["run_index"] = u64_json(st.run_index);
+  o["next_iteration"] = util::Json{st.next_iteration};
+  o["best"] = util::Json{st.best};
+  o["rng"] = st.rng_state;
+  util::JsonArray samples;
+  for (const auto& s : st.samples) {
+    util::JsonObject so;
+    so["it"] = util::Json{s.iteration};
+    so["ghz"] = util::Json{s.frequency_ghz};
+    so["ok"] = util::Json{s.success};
+    so["r"] = util::Json{s.reward};
+    samples.push_back(util::Json{std::move(so)});
+  }
+  o["samples"] = util::Json{std::move(samples)};
+  util::JsonArray bests;
+  for (const double b : st.best_per_iteration) bests.push_back(util::Json{b});
+  o["best_per_iteration"] = util::Json{std::move(bests)};
+  util::JsonArray agg;
+  for (const auto& a : st.agg) {
+    util::JsonObject ao;
+    ao["pulls"] = util::Json{a.pulls};
+    ao["succ"] = util::Json{a.successes};
+    ao["rsum"] = util::Json{a.reward_sum};
+    agg.push_back(util::Json{std::move(ao)});
+  }
+  o["agg"] = util::Json{std::move(agg)};
+  util::JsonArray policy;
+  for (const auto& p : st.policy) {
+    util::JsonObject po;
+    po["pulls"] = util::Json{p.pulls};
+    po["rsum"] = util::Json{p.reward_sum};
+    po["rsq"] = util::Json{p.reward_sq_sum};
+    policy.push_back(util::Json{std::move(po)});
+  }
+  o["policy"] = util::Json{std::move(policy)};
+  return util::Json{std::move(o)};
+}
+
+std::optional<MabCampaignState> mab_state_from_json(const util::Json& j,
+                                                    const MabOptions& opt) {
+  if (!j.is_object()) return std::nullopt;
+  if (j.at("algorithm").as_string() != to_string(opt.algorithm)) return std::nullopt;
+  const auto& arms = j.at("arms").as_array();
+  if (arms.size() != opt.frequency_arms_ghz.size()) return std::nullopt;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    if (arms[i].as_number() != opt.frequency_arms_ghz[i]) return std::nullopt;
+  }
+  if (static_cast<std::size_t>(j.at("concurrency").as_number()) != opt.concurrency) {
+    return std::nullopt;  // seed derivation depends on the batch width
+  }
+  MabCampaignState st;
+  st.base_seed = u64_from(j.at("base_seed"));
+  st.run_index = u64_from(j.at("run_index"));
+  st.next_iteration = static_cast<std::size_t>(j.at("next_iteration").as_number());
+  st.best = j.at("best").as_number();
+  st.rng_state = j.at("rng");
+  if (st.rng_state.as_array().size() != 6) return std::nullopt;
+  for (const auto& s : j.at("samples").as_array()) {
+    MabSample sample;
+    sample.iteration = static_cast<std::size_t>(s.at("it").as_number());
+    sample.frequency_ghz = s.at("ghz").as_number();
+    sample.success = s.at("ok").as_bool();
+    sample.reward = s.at("r").as_number();
+    st.samples.push_back(sample);
+  }
+  for (const auto& b : j.at("best_per_iteration").as_array()) {
+    st.best_per_iteration.push_back(b.as_number());
+  }
+  for (const auto& a : j.at("agg").as_array()) {
+    ArmAgg agg;
+    agg.pulls = static_cast<std::size_t>(a.at("pulls").as_number());
+    agg.successes = static_cast<std::size_t>(a.at("succ").as_number());
+    agg.reward_sum = a.at("rsum").as_number();
+    st.agg.push_back(agg);
+  }
+  for (const auto& p : j.at("policy").as_array()) {
+    ml::ArmStats stats;
+    stats.pulls = static_cast<std::size_t>(p.at("pulls").as_number());
+    stats.reward_sum = p.at("rsum").as_number();
+    stats.reward_sq_sum = p.at("rsq").as_number();
+    st.policy.push_back(stats);
+  }
+  if (st.agg.size() != opt.frequency_arms_ghz.size()) return std::nullopt;
+  if (st.policy.size() != opt.frequency_arms_ghz.size()) return std::nullopt;
+  return st;
+}
+
+}  // namespace
 
 const char* to_string(MabAlgorithm a) {
   switch (a) {
@@ -74,17 +205,60 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
       .arg("arms", static_cast<double>(arms.size()))
       .arg("iterations", static_cast<double>(options_.iterations));
 
-  struct ArmAgg {
-    std::size_t pulls = 0;
-    std::size_t successes = 0;
-    double reward_sum = 0.0;
-  };
   std::vector<ArmAgg> agg(arms.size());
 
   double best = 0.0;
-  const std::uint64_t base_seed = rng.next();
+  std::uint64_t base_seed = 0;
   std::uint64_t run_index = 0;
-  for (std::size_t it = 0; it < options_.iterations; ++it) {
+  std::size_t start_iteration = 0;
+  const std::string state_key = "mab:" + options_.campaign_id;
+
+  // Resume: restore posteriors, aggregates, the sampled trajectory and the
+  // RNG from the last persisted iteration. The restored stream is bitwise
+  // identical to the uninterrupted campaign (tests/test_store.cpp asserts
+  // equality sample-by-sample); a checkpoint written under different
+  // options is ignored and the campaign starts fresh.
+  bool resumed = false;
+  if (options_.checkpoint) {
+    if (const auto saved = options_.checkpoint->get_state(state_key)) {
+      if (auto st = mab_state_from_json(*saved, options_)) {
+        base_seed = st->base_seed;
+        run_index = st->run_index;
+        start_iteration = st->next_iteration;
+        best = st->best;
+        res.samples = std::move(st->samples);
+        res.best_per_iteration = std::move(st->best_per_iteration);
+        for (const auto& s : res.samples) {
+          ++res.total_runs;
+          if (s.success) ++res.successful_runs;
+        }
+        agg = std::move(st->agg);
+        policy->restore_stats(st->policy);
+        store::rng_state_from_json(rng, st->rng_state);
+        resumed = true;
+        obs::Registry::global().counter("store.campaign_resumed").add();
+      }
+    }
+  }
+  if (!resumed) base_seed = rng.next();
+  run_span.arg("start_iteration", static_cast<double>(start_iteration));
+
+  const auto save_checkpoint = [&](std::size_t next_iteration) {
+    if (!options_.checkpoint) return;
+    MabCampaignState st;
+    st.base_seed = base_seed;
+    st.run_index = run_index;
+    st.next_iteration = next_iteration;
+    st.best = best;
+    st.samples = res.samples;
+    st.best_per_iteration = res.best_per_iteration;
+    st.agg = agg;
+    st.policy = policy->export_stats();
+    st.rng_state = store::rng_state_to_json(rng);
+    options_.checkpoint->put_state(state_key, mab_state_json(st, options_));
+  };
+
+  for (std::size_t it = start_iteration; it < options_.iterations; ++it) {
     // The iteration span covers arm selection, the parallel batch and the
     // barrier — where the batch stalls on licenses shows up as its tail.
     obs::Span it_span("mab_iter", "sched");
@@ -104,10 +278,21 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
     for (std::size_t b = 0; b < chosen.size(); ++b) {
       const double freq = arms[chosen[b]];
       const std::uint64_t seed = exec::derive_run_seed(base_seed, run_index + b);
-      futures.push_back(pool.submit("mab#" + std::to_string(run_index + b), seed,
-                                    [&oracle, freq, seed](exec::RunContext&) {
-                                      return oracle(freq, seed);
-                                    }));
+      const std::string label = "mab#" + std::to_string(run_index + b);
+      auto body = [&oracle, freq, seed](exec::RunContext&) { return oracle(freq, seed); };
+      if (options_.cache) {
+        // Content-addressed dispatch: the key is the campaign's fixed
+        // context plus this run's (frequency, seed); a repeated campaign
+        // against the same store answers from the cache.
+        store::RunKey key = options_.cache_key;
+        key.set("target_ghz", freq);
+        key.seed = seed;
+        store::KeyedRunCache keyed{*options_.cache, std::move(key)};
+        futures.push_back(
+            pool.submit_memo(label, seed, keyed.fingerprint(), keyed, std::move(body)));
+      } else {
+        futures.push_back(pool.submit(label, seed, std::move(body)));
+      }
     }
     run_index += chosen.size();
 
@@ -140,6 +325,7 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
     }
     res.best_per_iteration.push_back(best);
     it_span.arg("best_feasible_ghz", best);
+    save_checkpoint(it + 1);
   }
   res.best_feasible_ghz = best;
   run_span.arg("best_feasible_ghz", best)

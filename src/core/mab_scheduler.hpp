@@ -15,6 +15,8 @@
 #include "exec/executor.hpp"
 #include "flow/flow.hpp"
 #include "ml/bandit.hpp"
+#include "store/run_cache.hpp"
+#include "store/run_store.hpp"
 
 namespace maestro::core {
 
@@ -37,6 +39,23 @@ struct MabOptions {
   MabAlgorithm algorithm = MabAlgorithm::Thompson;
   double epsilon = 0.1;  ///< e-greedy only
   double tau = 0.08;     ///< softmax only
+
+  /// Optional content-addressed memoization: when set, every run's key is
+  /// `cache_key` plus (target_ghz, derived seed), and duplicate
+  /// configurations — reissued arms, repeated campaigns over the same
+  /// MAESTRO_STORE — resolve from the cache instead of dispatching.
+  store::RunCache* cache = nullptr;
+  /// Key template for cached runs: design name plus the fixed knob context
+  /// the oracle closes over (see store::run_key_for).
+  store::RunKey cache_key;
+
+  /// Optional durable checkpointing: posteriors, the sampled trajectory and
+  /// the RNG state persist to this store after every iteration under
+  /// "mab:<campaign_id>". A later run with the same id and options resumes
+  /// where it left off — bitwise identical to the uninterrupted campaign —
+  /// instead of restarting; a finished campaign short-circuits entirely.
+  store::RunStore* checkpoint = nullptr;
+  std::string campaign_id = "mab";
 };
 
 /// One tool run in the sampling trajectory (one dot of Fig. 7).

@@ -38,6 +38,7 @@
 
 #include "exec/cancel.hpp"
 #include "exec/journal.hpp"
+#include "obs/registry.hpp"
 
 namespace maestro::exec {
 
@@ -122,6 +123,43 @@ class RunExecutor {
     };
     enqueue(std::move(task));
     return fut;
+  }
+
+  /// Cache-aware dispatch: consult a content-addressed result cache before
+  /// queueing. On a hit the future resolves immediately with the memoized
+  /// result — no license, no worker — and the journal records the run as
+  /// Completed with note "cache_hit" (zero wall time). On a miss the run
+  /// dispatches normally and, unless it was cancelled mid-run (partial
+  /// results must not poison the cache), memoizes its result on completion.
+  ///
+  /// `Cache` is any copyable handle with
+  ///   std::optional<R> lookup(std::uint64_t) and
+  ///   void insert(std::uint64_t, const R&)
+  /// (e.g. store::KeyedRunCache). It is copied into the pooled task, so by-
+  /// value validity must outlast the run. Duplicate fingerprints submitted
+  /// concurrently both miss and both execute (last insert wins) — the cache
+  /// trades that rare double-execution for a lock-free fast path.
+  template <typename Cache, typename F>
+  auto submit_memo(std::string label, std::uint64_t seed, std::uint64_t fingerprint,
+                   Cache cache, F fn, CancelToken cancel = {})
+      -> std::future<std::invoke_result_t<F&, RunContext&>> {
+    using R = std::invoke_result_t<F&, RunContext&>;
+    if (auto hit = cache.lookup(fingerprint)) {
+      const std::uint64_t run_id = journal_.on_enqueue(std::move(label), seed);
+      journal_.on_finish(run_id, RunState::Completed, "cache_hit");
+      obs::Registry::global().counter("exec.cache_hits").add();
+      std::promise<R> ready;
+      ready.set_value(std::move(*hit));
+      return ready.get_future();
+    }
+    return submit(
+        std::move(label), seed,
+        [cache = std::move(cache), fingerprint, fn = std::move(fn)](RunContext& ctx) mutable {
+          R result = fn(ctx);
+          if (!ctx.should_stop()) cache.insert(fingerprint, result);
+          return result;
+        },
+        std::move(cancel));
   }
 
   /// Fan out n runs whose seeds derive from (base_seed, index) and collect

@@ -22,6 +22,23 @@ FlowStep step_at(std::size_t index) {
   return static_cast<FlowStep>(index);
 }
 
+std::optional<FlowStep> step_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kFlowStepCount; ++i) {
+    if (name == to_string(step_at(i))) return step_at(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, std::string>> flatten(const FlowTrajectory& t) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [step, setting] : t.settings) {
+    for (const auto& [name, value] : setting) {
+      out.emplace_back(std::string(to_string(step)) + "." + name, value);
+    }
+  }
+  return out;
+}
+
 double KnobSpace::combinations() const {
   double c = 1.0;
   for (const auto& k : knobs) c *= static_cast<double>(k.values.size());

@@ -10,7 +10,10 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -28,6 +31,8 @@ enum class FlowStep : std::uint8_t {
 constexpr std::size_t kFlowStepCount = 6;
 const char* to_string(FlowStep s);
 FlowStep step_at(std::size_t index);
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<FlowStep> step_from_string(std::string_view name);
 
 /// One named knob and its legal values at a step.
 struct KnobSpec {
@@ -57,6 +62,13 @@ struct FlowTrajectory {
     settings[step][knob] = value;
   }
 };
+
+/// Canonical "step.knob" -> value flattening of a trajectory, in step-enum
+/// then knob-name order. The shared vocabulary of metrics transmission
+/// (metrics::Transmitter) and content-addressed run identity
+/// (store::RunKey) — both must name knobs identically for mined guidance to
+/// feed back into cached search.
+std::vector<std::pair<std::string, std::string>> flatten(const FlowTrajectory& t);
 
 /// The default maestro knob spaces (one per step), mirroring the kinds of
 /// options the paper lists: constraints, floorplan, effort levels, command

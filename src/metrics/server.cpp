@@ -8,6 +8,7 @@ namespace maestro::metrics {
 Server::Server(Server&& other) noexcept {
   const std::lock_guard<std::mutex> lock(other.mu_);
   records_ = std::move(other.records_);
+  sink_ = std::move(other.sink_);
   next_id_ = other.next_id_;
   other.next_id_ = 1;
 }
@@ -16,6 +17,7 @@ Server& Server::operator=(Server&& other) noexcept {
   if (this != &other) {
     const std::scoped_lock lock(mu_, other.mu_);
     records_ = std::move(other.records_);
+    sink_ = std::move(other.sink_);
     next_id_ = other.next_id_;
     other.next_id_ = 1;
   }
@@ -23,12 +25,29 @@ Server& Server::operator=(Server&& other) noexcept {
 }
 
 std::uint64_t Server::submit(Record r) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (r.run_id == 0) r.run_id = next_id_++;
-  else next_id_ = std::max(next_id_, r.run_id + 1);
-  const std::uint64_t id = r.run_id;
-  records_.push_back(std::move(r));
+  std::uint64_t id = 0;
+  std::function<void(const Record&)> sink;
+  Record mirrored;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (r.run_id == 0) r.run_id = next_id_++;
+    else next_id_ = std::max(next_id_, r.run_id + 1);
+    id = r.run_id;
+    if (sink_) {
+      sink = sink_;
+      mirrored = r;
+    }
+    records_.push_back(std::move(r));
+  }
+  // The sink runs outside the lock so a durable store's WAL write never
+  // serializes concurrent submitters behind this mutex.
+  if (sink) sink(mirrored);
   return id;
+}
+
+void Server::set_sink(std::function<void(const Record&)> sink) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
 }
 
 std::size_t Server::size() const {
@@ -90,11 +109,9 @@ std::uint64_t Transmitter::transmit_flow(const flow::FlowRecipe& recipe,
   rec.design = recipe.design.name;
   rec.step = "flow";
   rec.seed = recipe.seed;
-  for (const auto& [step, setting] : recipe.knobs.settings) {
-    for (const auto& [name, value] : setting) {
-      rec.knobs[std::string(flow::to_string(step)) + "." + name] = value;
-    }
-  }
+  // Same canonical "step.knob" names the store's run fingerprints use, so
+  // mined records and cached runs speak one vocabulary.
+  for (auto& [name, value] : flow::flatten(recipe.knobs)) rec.knobs[name] = std::move(value);
   rec.values[names::kTargetGhz] = recipe.target_ghz;
   rec.values[names::kAreaUm2] = result.area_um2;
   rec.values[names::kWnsPs] = result.wns_ps;

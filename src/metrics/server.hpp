@@ -38,6 +38,13 @@ class Server {
 
   std::uint64_t submit(Record r);  ///< assigns and returns run_id if unset
 
+  /// Install a sink invoked — outside the server lock, on the submitting
+  /// thread — with every record after id assignment. This is the
+  /// persistence bridge: maestro::store::bind_metrics_sink mirrors every
+  /// submission into a durable RunStore. The sink must not call back into
+  /// this server's submit (infinite recursion); pass nullptr to detach.
+  void set_sink(std::function<void(const Record&)> sink);
+
   std::size_t size() const;
   /// Snapshot of every record, copied under the lock. (Returning a
   /// reference to the live deque would race against concurrent submits.)
@@ -59,6 +66,7 @@ class Server {
   mutable std::mutex mu_;
   std::deque<Record> records_;
   std::uint64_t next_id_ = 1;
+  std::function<void(const Record&)> sink_;
 };
 
 /// Tool-side instrumentation: converts flow artifacts into Records and

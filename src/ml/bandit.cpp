@@ -22,6 +22,11 @@ void BanditPolicy::update(std::size_t arm, double reward) {
   s.reward_sq_sum += reward * reward;
 }
 
+void BanditPolicy::restore_stats(const std::vector<ArmStats>& stats) {
+  assert(stats.size() == arms_.size());
+  arms_ = stats;
+}
+
 std::size_t BanditPolicy::total_pulls() const {
   std::size_t t = 0;
   for (const auto& a : arms_) t += a.pulls;
@@ -130,6 +135,15 @@ void ThompsonBernoulli::update(std::size_t arm, double reward) {
   const double r = std::clamp(reward, 0.0, 1.0);
   alpha_[arm] += r;
   beta_[arm] += 1.0 - r;
+}
+
+void ThompsonBernoulli::restore_stats(const std::vector<ArmStats>& stats) {
+  BanditPolicy::restore_stats(stats);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const double r = std::clamp(stats[i].reward_sum, 0.0, static_cast<double>(stats[i].pulls));
+    alpha_[i] = 1.0 + r;
+    beta_[i] = 1.0 + static_cast<double>(stats[i].pulls) - r;
+  }
 }
 
 BanditRunResult run_bandit(BanditPolicy& policy, const std::vector<GaussianArm>& arms,

@@ -44,6 +44,13 @@ class BanditPolicy {
   /// Arm with highest empirical mean (ties -> lowest index).
   std::size_t best_empirical_arm() const;
 
+  /// Copy of the per-arm sufficient statistics, for campaign checkpoints.
+  std::vector<ArmStats> export_stats() const { return arms_; }
+  /// Restore per-arm statistics (campaign resume). `stats` must match
+  /// n_arms(); policies with derived state (ThompsonBernoulli) rebuild it
+  /// from these sufficient statistics.
+  virtual void restore_stats(const std::vector<ArmStats>& stats);
+
  protected:
   std::vector<ArmStats> arms_;
 };
@@ -100,6 +107,9 @@ class ThompsonBernoulli : public BanditPolicy {
   std::string name() const override { return "thompson_bernoulli"; }
   std::size_t select(util::Rng& rng) override;
   void update(std::size_t arm, double reward) override;
+  /// Rebuilds the Beta posteriors from the sufficient statistics (exact for
+  /// 0/1 rewards: alpha = 1 + reward_sum, beta = 1 + pulls - reward_sum).
+  void restore_stats(const std::vector<ArmStats>& stats) override;
 
  private:
   std::vector<double> alpha_;

@@ -1,0 +1,67 @@
+#include "store/fingerprint.hpp"
+
+#include <cstdio>
+
+#include "flow/knobs.hpp"
+
+namespace maestro::store {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+/// Length-prefixed string mix: "ab"+"c" and "a"+"bc" hash differently.
+void mix_string(std::uint64_t& h, const std::string& s) {
+  const std::uint64_t len = s.size();
+  mix_bytes(h, &len, sizeof(len));
+  mix_bytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+std::string canonical_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void RunKey::set(const std::string& name, double value) {
+  knobs[name] = canonical_number(value);
+}
+
+std::uint64_t RunKey::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  mix_string(h, design);
+  mix_string(h, step);
+  // std::map iterates name-sorted, so the encoding is independent of the
+  // order callers assigned knobs in.
+  for (const auto& [name, value] : knobs) {
+    mix_string(h, name);
+    mix_string(h, value);
+  }
+  mix_bytes(h, &seed, sizeof(seed));
+  // Final avalanche so nearby seeds spread across the full 64-bit space.
+  std::uint64_t s = h;
+  return util::splitmix64(s);
+}
+
+RunKey run_key_for(const flow::FlowRecipe& recipe) {
+  RunKey key;
+  key.design = recipe.design.name;
+  key.step = "flow";
+  for (auto& [name, value] : flow::flatten(recipe.knobs)) key.knobs[name] = std::move(value);
+  key.set("target_ghz", recipe.target_ghz);
+  key.seed = recipe.seed;
+  return key;
+}
+
+}  // namespace maestro::store

@@ -1,0 +1,53 @@
+#pragma once
+// Content-addressed run identity for maestro::store.
+//
+// The paper's Fig. 11 METRICS loop only pays off if past work is *findable*:
+// FlowTune- and FIST-style tuners revisit overlapping knob subsets
+// constantly, so maestro keys every tool run by a stable 64-bit fingerprint
+// of (design id, flow step, knob vector, seed). Two runs with the same
+// fingerprint are the same computation — the deterministic substrate
+// guarantees bit-identical results — so the RunCache can answer duplicates
+// without dispatching.
+//
+// Stability contract (enforced by tests/test_store.cpp): the fingerprint is
+// independent of knob insertion order (knobs live in a sorted map), changes
+// whenever any single component changes, and is identical across platforms
+// and runs of the process (FNV-1a over a canonical byte encoding — no
+// pointer values, no std::hash).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "flow/flow.hpp"
+
+namespace maestro::store {
+
+/// Canonical identity of one tool run: everything that determines its
+/// result. `knobs` holds the flattened "step.knob" -> value assignment plus
+/// any context pseudo-knobs (e.g. "target_ghz"); the map keeps the encoding
+/// insertion-order independent.
+struct RunKey {
+  std::string design;
+  std::string step = "flow";  ///< flow step name, or "flow" for end-to-end
+  std::map<std::string, std::string> knobs;
+  std::uint64_t seed = 0;
+
+  void set(const std::string& name, std::string value) { knobs[name] = std::move(value); }
+  void set(const std::string& name, double value);
+
+  /// Stable 64-bit content address of this key.
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const RunKey& other) const = default;
+};
+
+/// Fixed-format numeric encoding for knob values ("%.12g"): the same double
+/// always produces the same bytes, so numeric knobs hash stably.
+std::string canonical_number(double v);
+
+/// The key of an end-to-end flow run: design name, "flow", the flattened
+/// trajectory knobs plus target_ghz, and the recipe seed.
+RunKey run_key_for(const flow::FlowRecipe& recipe);
+
+}  // namespace maestro::store

@@ -1,0 +1,42 @@
+#include "store/run_cache.hpp"
+
+#include "obs/registry.hpp"
+
+namespace maestro::store {
+
+RunCache::RunCache(RunStore& store) : store_(&store) {
+  for (auto& run : store.runs()) index_.emplace(run.fingerprint, std::move(run.result));
+}
+
+std::optional<flow::FlowResult> RunCache::lookup(std::uint64_t fingerprint) const {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(fingerprint);
+    if (it != index_.end()) {
+      obs::Registry::global().counter("store.cache_hit").add();
+      return it->second;
+    }
+  }
+  obs::Registry::global().counter("store.cache_miss").add();
+  return std::nullopt;
+}
+
+void RunCache::insert(std::uint64_t fingerprint, const RunKey& key,
+                      const flow::FlowResult& result) {
+  StoredRun run;
+  run.fingerprint = fingerprint;
+  run.key = key;
+  run.result = result;
+  run.result.logs.clear();
+  store_->append_run(run);
+  const std::lock_guard<std::mutex> lock(mu_);
+  index_[fingerprint] = std::move(run.result);
+  obs::Registry::global().counter("store.cache_insert").add();
+}
+
+std::size_t RunCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+}  // namespace maestro::store

@@ -1,0 +1,313 @@
+#include "store/run_store.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace maestro::store {
+
+namespace fs = std::filesystem;
+
+util::Json flow_result_to_json(const flow::FlowResult& r) {
+  util::JsonObject o;
+  o["completed"] = util::Json{r.completed};
+  o["timing_met"] = util::Json{r.timing_met};
+  o["drc_clean"] = util::Json{r.drc_clean};
+  o["constraints_met"] = util::Json{r.constraints_met};
+  o["area_um2"] = util::Json{r.area_um2};
+  o["wns_ps"] = util::Json{r.wns_ps};
+  o["whs_ps"] = util::Json{r.whs_ps};
+  o["tns_ps"] = util::Json{r.tns_ps};
+  o["power_mw"] = util::Json{r.power_mw};
+  o["final_drvs"] = util::Json{r.final_drvs};
+  o["route_difficulty"] = util::Json{r.route_difficulty};
+  o["hpwl_dbu"] = util::Json{r.hpwl_dbu};
+  o["clock_skew_ps"] = util::Json{r.clock_skew_ps};
+  o["ir_drop_v"] = util::Json{r.ir_drop_v};
+  o["tat_minutes"] = util::Json{r.tat_minutes};
+  if (!r.failed_step.empty()) o["failed_step"] = util::Json{r.failed_step};
+  return util::Json{std::move(o)};
+}
+
+flow::FlowResult flow_result_from_json(const util::Json& j) {
+  flow::FlowResult r;
+  r.completed = j.at("completed").as_bool();
+  r.timing_met = j.at("timing_met").as_bool();
+  r.drc_clean = j.at("drc_clean").as_bool();
+  r.constraints_met = j.at("constraints_met").as_bool();
+  r.area_um2 = j.at("area_um2").as_number();
+  r.wns_ps = j.at("wns_ps").as_number();
+  r.whs_ps = j.at("whs_ps").as_number();
+  r.tns_ps = j.at("tns_ps").as_number();
+  r.power_mw = j.at("power_mw").as_number();
+  r.final_drvs = j.at("final_drvs").as_number();
+  r.route_difficulty = j.at("route_difficulty").as_number();
+  r.hpwl_dbu = j.at("hpwl_dbu").as_number();
+  r.clock_skew_ps = j.at("clock_skew_ps").as_number();
+  r.ir_drop_v = j.at("ir_drop_v").as_number();
+  r.tat_minutes = j.at("tat_minutes").as_number();
+  r.failed_step = j.at("failed_step").as_string();
+  return r;
+}
+
+util::Json run_key_to_json(const RunKey& key) {
+  util::JsonObject o;
+  o["design"] = util::Json{key.design};
+  o["step"] = util::Json{key.step};
+  // 64-bit values do not round-trip through a JSON double; use strings.
+  o["seed"] = util::Json{std::to_string(key.seed)};
+  util::JsonObject knobs;
+  for (const auto& [name, value] : key.knobs) knobs[name] = util::Json{value};
+  o["knobs"] = util::Json{std::move(knobs)};
+  return util::Json{std::move(o)};
+}
+
+RunKey run_key_from_json(const util::Json& j) {
+  RunKey key;
+  key.design = j.at("design").as_string();
+  key.step = j.at("step").as_string();
+  key.seed = std::strtoull(j.at("seed").as_string().c_str(), nullptr, 10);
+  for (const auto& [name, value] : j.at("knobs").as_object()) key.knobs[name] = value.as_string();
+  return key;
+}
+
+util::Json rng_state_to_json(const util::Rng& rng) {
+  util::JsonArray words;
+  for (const std::uint64_t w : rng.save_state()) {
+    words.push_back(util::Json{std::to_string(w)});
+  }
+  return util::Json{std::move(words)};
+}
+
+bool rng_state_from_json(util::Rng& rng, const util::Json& j) {
+  const auto& words = j.as_array();
+  if (words.size() != 6) return false;
+  std::array<std::uint64_t, 6> s{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    s[i] = std::strtoull(words[i].as_string().c_str(), nullptr, 10);
+  }
+  rng.restore_state(s);
+  return true;
+}
+
+namespace {
+
+util::Json run_to_entry(const StoredRun& run) {
+  util::JsonObject o;
+  o["t"] = util::Json{"run"};
+  o["fp"] = util::Json{std::to_string(run.fingerprint)};
+  o["key"] = run_key_to_json(run.key);
+  o["result"] = flow_result_to_json(run.result);
+  return util::Json{std::move(o)};
+}
+
+util::Json metric_to_entry(const metrics::Record& rec) {
+  util::JsonObject o;
+  o["t"] = util::Json{"metric"};
+  o["rec"] = rec.to_json();
+  return util::Json{std::move(o)};
+}
+
+util::Json state_to_entry(const std::string& key, const util::Json& value) {
+  util::JsonObject o;
+  o["t"] = util::Json{"state"};
+  o["key"] = util::Json{key};
+  o["value"] = value;
+  return util::Json{std::move(o)};
+}
+
+}  // namespace
+
+RunStore::RunStore(const std::string& dir)
+    : dir_(dir),
+      wal_path_((fs::path(dir) / "wal.jsonl").string()),
+      snapshot_path_((fs::path(dir) / "snapshot.jsonl").string()) {
+  fs::create_directories(dir_);
+  {
+    obs::Span span("store_recover", "store");
+    recovered_entries_ += replay_file(snapshot_path_, /*tolerate_torn_tail=*/false);
+    recovered_entries_ += replay_file(wal_path_, /*tolerate_torn_tail=*/true);
+    span.arg("recovered", static_cast<double>(recovered_entries_))
+        .arg("dropped_tail_bytes", static_cast<double>(dropped_tail_bytes_));
+  }
+  obs::Registry::global().counter("store.opens").add();
+  wal_.open(wal_path_, std::ios::app);
+}
+
+std::unique_ptr<RunStore> RunStore::open_from_env() {
+  const char* dir = std::getenv("MAESTRO_STORE");
+  if (!dir || !*dir) return nullptr;
+  return std::make_unique<RunStore>(dir);
+}
+
+std::size_t RunStore::replay_file(const std::string& path, bool tolerate_torn_tail) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::size_t replayed = 0;
+  std::size_t valid_bytes = 0;
+  std::string line;
+  bool torn = false;
+  while (std::getline(in, line)) {
+    // getline strips the '\n'; eof without a trailing newline means the last
+    // append never completed — that line is the torn tail.
+    const bool complete = !in.eof();
+    if (!complete && tolerate_torn_tail) {
+      torn = true;
+      break;
+    }
+    if (line.empty()) {
+      valid_bytes += 1;
+      continue;
+    }
+    const auto entry = util::Json::parse(line);
+    if (!entry || !ingest_locked(*entry)) {
+      // A terminated but unparseable line can only come from a tear that a
+      // later writer appended past; everything from here on is suspect.
+      if (tolerate_torn_tail) {
+        torn = true;
+        break;
+      }
+      continue;  // snapshot: skip the bad line, keep the rest
+    }
+    ++replayed;
+    valid_bytes += line.size() + (complete ? 1 : 0);
+  }
+  if (torn) {
+    std::error_code ec;
+    const auto total = fs::file_size(path, ec);
+    if (!ec && total > valid_bytes) {
+      dropped_tail_bytes_ += static_cast<std::size_t>(total) - valid_bytes;
+      // Truncate so the next append starts on a clean line boundary instead
+      // of concatenating into the torn record.
+      fs::resize_file(path, valid_bytes, ec);
+    }
+  }
+  return replayed;
+}
+
+bool RunStore::ingest_locked(const util::Json& entry) {
+  if (!entry.is_object()) return false;
+  const std::string& t = entry.at("t").as_string();
+  if (t == "run") {
+    StoredRun run;
+    run.fingerprint = std::strtoull(entry.at("fp").as_string().c_str(), nullptr, 10);
+    run.key = run_key_from_json(entry.at("key"));
+    run.result = flow_result_from_json(entry.at("result"));
+    runs_.push_back(std::move(run));
+    return true;
+  }
+  if (t == "metric") {
+    auto rec = metrics::Record::from_json(entry.at("rec"));
+    if (!rec) return false;
+    metrics_.push_back(std::move(*rec));
+    return true;
+  }
+  if (t == "state") {
+    const std::string& key = entry.at("key").as_string();
+    if (key.empty()) return false;
+    state_[key] = entry.at("value");
+    return true;
+  }
+  return false;
+}
+
+void RunStore::append_line_locked(const util::Json& entry) {
+  wal_ << entry.dump() << '\n';
+  wal_.flush();
+  ++wal_entries_;
+  obs::Registry::global().counter("store.wal_appends").add();
+}
+
+void RunStore::append_run(StoredRun run) {
+  run.result.logs.clear();  // logs are not persisted (see StoredRun)
+  const std::lock_guard<std::mutex> lock(mu_);
+  append_line_locked(run_to_entry(run));
+  runs_.push_back(std::move(run));
+}
+
+void RunStore::append_metric(const metrics::Record& rec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  append_line_locked(metric_to_entry(rec));
+  metrics_.push_back(rec);
+}
+
+void RunStore::put_state(const std::string& key, util::Json value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  append_line_locked(state_to_entry(key, value));
+  state_[key] = std::move(value);
+}
+
+std::vector<StoredRun> RunStore::runs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
+}
+
+std::vector<metrics::Record> RunStore::metric_records() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+std::optional<util::Json> RunStore::get_state(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = state_.find(key);
+  if (it == state_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t RunStore::run_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
+}
+
+std::size_t RunStore::metric_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+std::size_t RunStore::wal_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return wal_entries_;
+}
+
+std::size_t RunStore::recovered_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recovered_entries_;
+}
+
+std::size_t RunStore::dropped_tail_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_tail_bytes_;
+}
+
+bool RunStore::compact() {
+  obs::Span span("store_compact", "store");
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string tmp = snapshot_path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    for (const auto& run : runs_) out << run_to_entry(run).dump() << '\n';
+    for (const auto& rec : metrics_) out << metric_to_entry(rec).dump() << '\n';
+    for (const auto& [key, value] : state_) out << state_to_entry(key, value).dump() << '\n';
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, snapshot_path_, ec);  // atomic within the store directory
+  if (ec) return false;
+  wal_.close();
+  wal_.open(wal_path_, std::ios::trunc);
+  wal_entries_ = 0;
+  span.arg("entries",
+           static_cast<double>(runs_.size() + metrics_.size() + state_.size()));
+  obs::Registry::global().counter("store.compactions").add();
+  return static_cast<bool>(wal_);
+}
+
+void bind_metrics_sink(metrics::Server& server, RunStore& store) {
+  server.set_sink([&store](const metrics::Record& rec) { store.append_metric(rec); });
+}
+
+}  // namespace maestro::store

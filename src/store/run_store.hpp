@@ -1,0 +1,125 @@
+#pragma once
+// RunStore — the durable half of the METRICS vision (paper Section 3.3 /
+// Fig. 11): a crash-safe, append-only store of every tool run, every
+// transmitted metrics record, and every campaign checkpoint, so that
+// flow-trajectory search, MAB scheduling and doomed-run guards can learn
+// from (and avoid repeating) past work across process restarts.
+//
+// On-disk layout (one directory per store, MAESTRO_STORE=<dir> activates it
+// in the examples):
+//
+//   <dir>/snapshot.jsonl   last compaction, written whole then atomically
+//                          renamed into place — always a complete file
+//   <dir>/wal.jsonl        append-only JSONL write-ahead log since the last
+//                          compaction; flushed per entry
+//
+// Entry grammar (one JSON object per line): {"t":"run",...} a memoized tool
+// run, {"t":"metric",...} a metrics::Record, {"t":"state","key":...,
+// "value":...} a campaign-checkpoint blob (last write per key wins).
+//
+// Recovery contract (the kill-the-writer test in tests/test_store.cpp): a
+// writer that dies mid-append leaves a torn final line; open() replays the
+// snapshot, then the WAL up to the last complete line, drops only the torn
+// tail, and truncates the file to the recovered length so later appends
+// start on a clean line boundary. Every complete record survives.
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/record.hpp"
+#include "metrics/server.hpp"
+#include "store/fingerprint.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace maestro::store {
+
+/// One memoized run: its content address, the key it was computed from, and
+/// the result. Step logs are dropped on persist (they are bulky and nothing
+/// downstream of the cache consumes them; FlowResult::logs comes back empty
+/// from the store).
+struct StoredRun {
+  std::uint64_t fingerprint = 0;
+  RunKey key;
+  flow::FlowResult result;
+};
+
+/// FlowResult <-> JSON (logs dropped; see StoredRun).
+util::Json flow_result_to_json(const flow::FlowResult& r);
+flow::FlowResult flow_result_from_json(const util::Json& j);
+util::Json run_key_to_json(const RunKey& key);
+RunKey run_key_from_json(const util::Json& j);
+/// Rng state <-> JSON (six decimal-string words — 64-bit values do not
+/// survive a JSON double). The campaign checkpoints use this so a resumed
+/// search continues the identical random stream.
+util::Json rng_state_to_json(const util::Rng& rng);
+bool rng_state_from_json(util::Rng& rng, const util::Json& j);
+
+class RunStore {
+ public:
+  /// Opens (creating the directory if needed) and recovers: snapshot first,
+  /// then the WAL with torn-tail tolerance.
+  explicit RunStore(const std::string& dir);
+
+  /// A store at $MAESTRO_STORE, or nullptr when the variable is unset.
+  static std::unique_ptr<RunStore> open_from_env();
+
+  RunStore(const RunStore&) = delete;
+  RunStore& operator=(const RunStore&) = delete;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Appends are thread-safe and flushed per entry.
+  void append_run(StoredRun run);
+  void append_metric(const metrics::Record& rec);
+  /// Campaign checkpoint: last write per key wins on recovery.
+  void put_state(const std::string& key, util::Json value);
+
+  /// Snapshot copies of the in-memory mirror.
+  std::vector<StoredRun> runs() const;
+  std::vector<metrics::Record> metric_records() const;
+  std::optional<util::Json> get_state(const std::string& key) const;
+
+  std::size_t run_count() const;
+  std::size_t metric_count() const;
+  /// WAL entries appended since open (excludes recovered ones).
+  std::size_t wal_entries() const;
+  /// Complete entries replayed at open (snapshot + WAL).
+  std::size_t recovered_entries() const;
+  /// Bytes of torn WAL tail dropped (and truncated away) at open.
+  std::size_t dropped_tail_bytes() const;
+
+  /// Fold everything into snapshot.jsonl (write-temp + atomic rename), then
+  /// truncate the WAL. False on I/O failure (store stays usable).
+  bool compact();
+
+ private:
+  void append_line_locked(const util::Json& entry);
+  bool ingest_locked(const util::Json& entry);
+  std::size_t replay_file(const std::string& path, bool tolerate_torn_tail);
+
+  std::string dir_;
+  std::string wal_path_;
+  std::string snapshot_path_;
+
+  mutable std::mutex mu_;
+  std::ofstream wal_;
+  std::vector<StoredRun> runs_;
+  std::vector<metrics::Record> metrics_;
+  std::map<std::string, util::Json> state_;
+  std::size_t wal_entries_ = 0;
+  std::size_t recovered_entries_ = 0;
+  std::size_t dropped_tail_bytes_ = 0;
+};
+
+/// Bridge the in-memory METRICS server into a durable store: every record
+/// submitted to `server` from now on is also appended to `store`. The store
+/// must outlive the server (or a later set_sink(nullptr)).
+void bind_metrics_sink(metrics::Server& server, RunStore& store);
+
+}  // namespace maestro::store

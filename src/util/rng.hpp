@@ -7,6 +7,7 @@
 // via SplitMix64, following the reference implementations of Blackman & Vigna.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -103,6 +104,21 @@ class Rng {
 
   /// Derive an independent child generator (for parallel-in-structure use).
   Rng split() { return Rng{next() ^ 0xa02bdbf7bb3c0a7ULL}; }
+
+  /// Serializable generator state: the four xoshiro words plus the Gaussian
+  /// spare (flag, bits). Lets campaign checkpoints resume bit-exactly —
+  /// restore_state(save_state()) continues the identical stream, including a
+  /// pending Marsaglia spare.
+  std::array<std::uint64_t, 6> save_state() const {
+    return {state_[0], state_[1], state_[2], state_[3],
+            have_spare_ ? std::uint64_t{1} : std::uint64_t{0},
+            std::bit_cast<std::uint64_t>(spare_)};
+  }
+  void restore_state(const std::array<std::uint64_t, 6>& s) {
+    state_ = {s[0], s[1], s[2], s[3]};
+    have_spare_ = s[4] != 0;
+    spare_ = std::bit_cast<double>(s[5]);
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
