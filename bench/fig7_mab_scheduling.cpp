@@ -14,12 +14,18 @@
 
 #include "core/mab_scheduler.hpp"
 #include "exec/executor.hpp"
+#include "resil/fault.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
 int main() {
   using namespace maestro;
   std::puts("=== FIG7: MAB sampling of the SP&R flow (5 x 40, Thompson) ===");
+  // MAESTRO_FAULTS="crash=0.2,hang=0.05,..." replays the campaign under
+  // deterministic chaos; crashed pulls appear as censored samples.
+  if (resil::FaultInjector::install_from_env()) {
+    std::puts("MAESTRO_FAULTS active: campaign runs under injected faults");
+  }
 
   const auto lib = netlist::make_default_library();
   flow::FlowManager fm{lib};

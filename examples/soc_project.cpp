@@ -24,12 +24,22 @@
 #include "metrics/sharing.hpp"
 #include "obs/trace.hpp"
 #include "place/partition.hpp"
+#include "resil/fault.hpp"
 #include "store/run_store.hpp"
 
 int main() {
   using namespace maestro;
   // MAESTRO_TRACE=<path> writes a Chrome trace of the whole project run.
   obs::Tracer::install_from_env();
+  // MAESTRO_FAULTS="crash=0.2,hang=0.05,..." runs the whole project under
+  // deterministic chaos: tool steps crash/hang/corrupt per the plan and the
+  // fleet degrades gracefully instead of aborting.
+  if (resil::FaultInjector::install_from_env()) {
+    const auto plan = resil::FaultInjector::plan();
+    std::printf("MAESTRO_FAULTS active (crash=%.2f hang=%.2f license=%.2f corrupt=%.2f)\n",
+                plan->rates().crash, plan->rates().hang, plan->rates().license_drop,
+                plan->rates().corrupt_result);
+  }
   const netlist::CellLibrary lib = netlist::make_default_library();
   const flow::FlowManager manager{lib};
   util::Rng rng{777};

@@ -248,20 +248,38 @@ FlowSearchResult FlowTreeSearch::run(const TrajectoryOracle& oracle, util::Rng& 
           futures.push_back(options_.executor->submit(label, seeds[i], std::move(body)));
         }
       }
-      for (std::size_t i = 0; i < population.size(); ++i) results[i] = futures[i].get();
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        try {
+          results[i] = futures[i].get();
+        } catch (const std::exception& e) {
+          // Dead branch: the run crashed (past any retry budget). Keep the
+          // thread alive with an incomplete result — qor_cost charges the
+          // incomplete penalty, so GWTW resampling clones winners over it
+          // and multistart simply re-rolls it next round.
+          obs::Registry::global().counter("sched.search_dead_branches").add();
+          results[i] = flow::FlowResult{};
+          results[i].failed_step = std::string("crashed: ") + e.what();
+        }
+      }
     } else {
       for (std::size_t i = 0; i < population.size(); ++i) {
-        if (options_.cache) {
-          const store::RunKey key = key_for(population[i].trajectory, seeds[i]);
-          const std::uint64_t fp = key.fingerprint();
-          if (auto hit = options_.cache->lookup(fp)) {
-            results[i] = std::move(*hit);
-            continue;
+        try {
+          if (options_.cache) {
+            const store::RunKey key = key_for(population[i].trajectory, seeds[i]);
+            const std::uint64_t fp = key.fingerprint();
+            if (auto hit = options_.cache->lookup(fp)) {
+              results[i] = std::move(*hit);
+              continue;
+            }
+            results[i] = oracle(population[i].trajectory, seeds[i]);
+            options_.cache->insert(fp, key, results[i]);
+          } else {
+            results[i] = oracle(population[i].trajectory, seeds[i]);
           }
-          results[i] = oracle(population[i].trajectory, seeds[i]);
-          options_.cache->insert(fp, key, results[i]);
-        } else {
-          results[i] = oracle(population[i].trajectory, seeds[i]);
+        } catch (const std::exception& e) {
+          obs::Registry::global().counter("sched.search_dead_branches").add();
+          results[i] = flow::FlowResult{};
+          results[i].failed_step = std::string("crashed: ") + e.what();
         }
       }
     }

@@ -62,6 +62,7 @@ util::Json mab_state_json(const MabCampaignState& st, const MabOptions& opt) {
     so["ghz"] = util::Json{s.frequency_ghz};
     so["ok"] = util::Json{s.success};
     so["r"] = util::Json{s.reward};
+    so["cen"] = util::Json{s.censored};
     samples.push_back(util::Json{std::move(so)});
   }
   o["samples"] = util::Json{std::move(samples)};
@@ -114,6 +115,8 @@ std::optional<MabCampaignState> mab_state_from_json(const util::Json& j,
     sample.frequency_ghz = s.at("ghz").as_number();
     sample.success = s.at("ok").as_bool();
     sample.reward = s.at("r").as_number();
+    // Absent in pre-resilience checkpoints: default to "observed".
+    sample.censored = s.at("cen").as_bool(false);
     st.samples.push_back(sample);
   }
   for (const auto& b : j.at("best_per_iteration").as_array()) {
@@ -159,6 +162,27 @@ FlowOracle make_flow_oracle(const flow::FlowManager& manager, const flow::Design
     recipe.target_ghz = target_ghz;
     recipe.knobs = knobs;
     recipe.seed = seed;
+    return manager.run(recipe, constraints);
+  };
+}
+
+ResilientOracle make_resilient_flow_oracle(const flow::FlowManager& manager,
+                                           const flow::DesignSpec& design,
+                                           const flow::FlowTrajectory& knobs,
+                                           const flow::FlowConstraints& constraints) {
+  return [&manager, design, knobs, constraints](double target_ghz, std::uint64_t seed,
+                                                exec::RunContext& ctx) {
+    flow::FlowRecipe recipe;
+    recipe.design = design;
+    recipe.target_ghz = target_ghz;
+    recipe.knobs = knobs;
+    // The attempt seed, not the submission seed: a retried pull re-rolls its
+    // tool noise (and its fault-site deviates) instead of replaying the
+    // crash deterministically.
+    recipe.seed = seed;
+    // The executor's token, so deadline watchdogs and hedged-twin losses
+    // cancel the flow mid-step (injected hangs poll this token).
+    recipe.cancel = ctx.cancel;
     return manager.run(recipe, constraints);
   };
 }
@@ -231,6 +255,7 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
         for (const auto& s : res.samples) {
           ++res.total_runs;
           if (s.success) ++res.successful_runs;
+          if (s.censored) ++res.censored_runs;
         }
         agg = std::move(st->agg);
         policy->restore_stats(st->policy);
@@ -301,7 +326,28 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
     for (std::size_t b = 0; b < chosen.size(); ++b) {
       const std::size_t arm = chosen[b];
       const double freq = arms[arm];
-      const flow::FlowResult fr = futures[b].get();
+      flow::FlowResult fr;
+      bool observed = true;
+      try {
+        fr = futures[b].get();
+      } catch (const std::exception&) {
+        // The run died (injected crash, timeout, ...) and produced no
+        // observation. Censor the pull: no posterior or aggregate update —
+        // updating with reward 0 would conflate "crashed" with "infeasible"
+        // and poison the policy — just record the gap in the trajectory.
+        observed = false;
+      }
+      if (!observed) {
+        obs::Registry::global().counter("sched.censored_runs").add();
+        MabSample s;
+        s.iteration = it;
+        s.frequency_ghz = freq;
+        s.censored = true;
+        res.samples.push_back(s);
+        ++res.total_runs;
+        ++res.censored_runs;
+        continue;
+      }
       // Reward: achieved (target) frequency when the run succeeds under its
       // constraints, else zero. Bounded, scale-free in GHz.
       const double reward = fr.success() ? freq : 0.0;
@@ -345,7 +391,141 @@ MabRunResult MabScheduler::run(const FlowOracle& oracle, util::Rng& rng,
     }
   }
   double regret = 0.0;
-  for (const auto& s : res.samples) regret += best_feasible_mean - s.reward;
+  for (const auto& s : res.samples) {
+    if (!s.censored) regret += best_feasible_mean - s.reward;
+  }
+  res.total_regret = std::max(regret, 0.0);
+  return res;
+}
+
+MabRunResult MabScheduler::run_resilient(const ResilientOracle& oracle, util::Rng& rng) const {
+  exec::RunExecutor pool;
+  return run_resilient(oracle, rng, pool);
+}
+
+MabRunResult MabScheduler::run_resilient(const ResilientOracle& oracle, util::Rng& rng,
+                                         exec::RunExecutor& pool) const {
+  MabRunResult res;
+  auto policy = make_policy();
+  const auto& arms = options_.frequency_arms_ghz;
+
+  obs::Span run_span("mab_run_resilient", "sched");
+  run_span.arg("algorithm", to_string(options_.algorithm))
+      .arg("arms", static_cast<double>(arms.size()))
+      .arg("iterations", static_cast<double>(options_.iterations));
+
+  std::vector<ArmAgg> agg(arms.size());
+  resil::CircuitBreaker breaker(arms.size(), options_.breaker);
+
+  double best = 0.0;
+  const std::uint64_t base_seed = rng.next();
+  std::uint64_t run_index = 0;
+
+  for (std::size_t it = 0; it < options_.iterations; ++it) {
+    obs::Span it_span("mab_iter", "sched");
+    it_span.arg("iteration", static_cast<double>(it));
+
+    // Serial: arm selection consumes the shared Rng in a fixed order; open
+    // (cooling-down) arms are redirected to the nearest closed one so the
+    // batch width and seed indices stay schedule-independent.
+    std::vector<std::size_t> chosen;
+    chosen.reserve(options_.concurrency);
+    for (std::size_t b = 0; b < options_.concurrency; ++b) {
+      std::size_t arm = policy->select(rng);
+      if (breaker.open(arm)) {
+        const std::size_t redirect = breaker.nearest_closed(arm);
+        if (redirect != arm) {
+          obs::Registry::global().counter("sched.arm_cooldown_redirects").add();
+          arm = redirect;
+        }
+      }
+      chosen.push_back(arm);
+    }
+    obs::Registry::global().counter("sched.mab_pulls").add(chosen.size());
+
+    // Parallel: every pull goes through submit_resilient — retries with
+    // perturbed seeds, optional hedging, per-run deadline. Submission seeds
+    // still derive from (base_seed, run_index), and hedge twins share their
+    // attempt's seed, so the trajectory stays bitwise identical at any pool
+    // size even under injected faults.
+    std::vector<std::future<flow::FlowResult>> futures;
+    futures.reserve(chosen.size());
+    for (std::size_t b = 0; b < chosen.size(); ++b) {
+      const double freq = arms[chosen[b]];
+      const std::uint64_t seed = exec::derive_run_seed(base_seed, run_index + b);
+      const std::string label = "mab#" + std::to_string(run_index + b);
+      futures.push_back(pool.submit_resilient(
+          label, seed,
+          [&oracle, freq](exec::RunContext& ctx) { return oracle(freq, ctx.seed, ctx); },
+          options_.resilience));
+    }
+    run_index += chosen.size();
+
+    // Barrier, then serial: observe in submission order. A pull that died
+    // after exhausting its retry budget is censored — the posterior is left
+    // untouched and the breaker records the hard failure.
+    for (std::size_t b = 0; b < chosen.size(); ++b) {
+      const std::size_t arm = chosen[b];
+      const double freq = arms[arm];
+      flow::FlowResult fr;
+      bool observed = true;
+      try {
+        fr = futures[b].get();
+      } catch (const std::exception&) {
+        observed = false;
+      }
+      if (!observed) {
+        obs::Registry::global().counter("sched.censored_runs").add();
+        breaker.record_failure(arm);
+        MabSample s;
+        s.iteration = it;
+        s.frequency_ghz = freq;
+        s.censored = true;
+        res.samples.push_back(s);
+        ++res.total_runs;
+        ++res.censored_runs;
+        continue;
+      }
+      breaker.record_success(arm);
+      const double reward = fr.success() ? freq : 0.0;
+      policy->update(arm, reward);
+      ArmAgg& a = agg[arm];
+      ++a.pulls;
+      a.reward_sum += reward;
+
+      MabSample s;
+      s.iteration = it;
+      s.frequency_ghz = freq;
+      s.success = fr.success();
+      s.reward = reward;
+      res.samples.push_back(s);
+      ++res.total_runs;
+      if (fr.success()) {
+        ++a.successes;
+        ++res.successful_runs;
+        best = std::max(best, freq);
+      }
+    }
+    breaker.advance_round();
+    res.best_per_iteration.push_back(best);
+    it_span.arg("best_feasible_ghz", best);
+  }
+  res.best_feasible_ghz = best;
+  run_span.arg("best_feasible_ghz", best)
+      .arg("total_runs", static_cast<double>(res.total_runs))
+      .arg("censored_runs", static_cast<double>(res.censored_runs));
+
+  double best_feasible_mean = 0.0;
+  for (const auto& a : agg) {
+    if (a.successes > 0) {
+      best_feasible_mean =
+          std::max(best_feasible_mean, a.reward_sum / static_cast<double>(a.pulls));
+    }
+  }
+  double regret = 0.0;
+  for (const auto& s : res.samples) {
+    if (!s.censored) regret += best_feasible_mean - s.reward;
+  }
   res.total_regret = std::max(regret, 0.0);
   return res;
 }

@@ -15,6 +15,8 @@
 #include "exec/executor.hpp"
 #include "flow/flow.hpp"
 #include "ml/bandit.hpp"
+#include "resil/circuit.hpp"
+#include "resil/retry.hpp"
 #include "store/run_cache.hpp"
 #include "store/run_store.hpp"
 
@@ -24,10 +26,25 @@ namespace maestro::core {
 /// scheduler can drive the real FlowManager or a fast synthetic oracle.
 using FlowOracle = std::function<flow::FlowResult(double target_ghz, std::uint64_t seed)>;
 
+/// Oracle for resilient campaigns: also receives the executor's RunContext
+/// so the flow can observe cooperative cancellation (deadline watchdog,
+/// hedged-twin loss) mid-run. `seed` is the attempt seed — a retried run
+/// sees a perturbed value, so flaky tool noise is re-rolled.
+using ResilientOracle =
+    std::function<flow::FlowResult(double target_ghz, std::uint64_t seed, exec::RunContext& ctx)>;
+
 /// Build an oracle over the real flow for a fixed design and knob set.
 FlowOracle make_flow_oracle(const flow::FlowManager& manager, const flow::DesignSpec& design,
                             const flow::FlowTrajectory& knobs,
                             const flow::FlowConstraints& constraints);
+
+/// Resilient variant: threads the RunContext's cancel token and the attempt
+/// seed into the recipe so injected hangs are cancellable and retries sample
+/// fresh tool noise.
+ResilientOracle make_resilient_flow_oracle(const flow::FlowManager& manager,
+                                           const flow::DesignSpec& design,
+                                           const flow::FlowTrajectory& knobs,
+                                           const flow::FlowConstraints& constraints);
 
 enum class MabAlgorithm { Thompson, Softmax, EpsilonGreedy, Ucb1 };
 const char* to_string(MabAlgorithm a);
@@ -56,6 +73,14 @@ struct MabOptions {
   /// instead of restarting; a finished campaign short-circuits entirely.
   store::RunStore* checkpoint = nullptr;
   std::string campaign_id = "mab";
+
+  /// Resilience for run_resilient(): retry budget, hedging and per-run
+  /// deadline applied to every dispatched arm pull.
+  resil::ResilOptions resilience;
+  /// Circuit breaker over arms: an arm whose pulls keep dying (crashes,
+  /// timeouts, exhausted retries) is cooled down for a few iterations and
+  /// its selections redirected to the nearest closed arm.
+  resil::CircuitBreaker::Options breaker;
 };
 
 /// One tool run in the sampling trajectory (one dot of Fig. 7).
@@ -64,6 +89,10 @@ struct MabSample {
   double frequency_ghz = 0.0;
   bool success = false;
   double reward = 0.0;
+  /// True when the run died (crash/timeout after exhausting its retry
+  /// budget) and produced no observation: the posterior is not updated and
+  /// the sample is excluded from regret — a censored pull, not a zero.
+  bool censored = false;
 };
 
 struct MabRunResult {
@@ -72,9 +101,11 @@ struct MabRunResult {
   double best_feasible_ghz = 0.0;
   std::size_t total_runs = 0;
   std::size_t successful_runs = 0;
+  std::size_t censored_runs = 0;  ///< pulls that died without an observation
   /// Regret vs. always playing the best *feasible* arm discovered over the
   /// whole corpus (highest empirical mean reward among arms with >= 1
   /// successful run), per footnote 3's regret-minimization formulation.
+  /// Censored pulls are excluded — they carry no reward observation.
   double total_regret = 0.0;
 };
 
@@ -90,6 +121,18 @@ class MabScheduler {
   /// Convenience: runs on a private pool sized by MAESTRO_THREADS /
   /// hardware concurrency.
   MabRunResult run(const FlowOracle& oracle, util::Rng& rng) const;
+
+  /// Failure-aware campaign: every pull goes through submit_resilient with
+  /// `options().resilience` (retries with perturbed seeds, optional hedging
+  /// and per-run deadline); a pull that still dies becomes a *censored*
+  /// sample — no posterior update, excluded from regret — and feeds the
+  /// per-arm circuit breaker, which cools repeatedly-dying arms down and
+  /// redirects their selections to the nearest closed arm. Deterministic at
+  /// any pool size. Checkpointing (options().checkpoint) is not supported on
+  /// this path and is ignored; use run() for resumable campaigns.
+  MabRunResult run_resilient(const ResilientOracle& oracle, util::Rng& rng,
+                             exec::RunExecutor& pool) const;
+  MabRunResult run_resilient(const ResilientOracle& oracle, util::Rng& rng) const;
 
   const MabOptions& options() const { return options_; }
 

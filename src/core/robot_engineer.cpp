@@ -141,7 +141,30 @@ std::vector<RobotOutcome> RobotEngineer::run_fleet(std::vector<FleetTask> tasks,
   }
   std::vector<RobotOutcome> outcomes;
   outcomes.reserve(futures.size());
-  for (auto& f : futures) outcomes.push_back(f.get());
+  std::size_t crashed = 0;
+  for (auto& f : futures) {
+    try {
+      outcomes.push_back(f.get());
+    } catch (const std::exception& e) {
+      // Partial fleet: one robot died (crash, cancellation, exhausted
+      // retries) but the rest of the fleet's outcomes are still delivered.
+      // The dead slot reports a failed outcome whose journal records the
+      // crash, so callers can distinguish "robot gave up" from "robot died".
+      ++crashed;
+      obs::Registry::global().counter("sched.robot_crashes").add();
+      RobotOutcome dead;
+      dead.succeeded = false;
+      RobotAction action;
+      action.attempt = 0;
+      action.diagnosis = std::string("crashed: ") + e.what();
+      action.remedy = "none (fleet reports partial results)";
+      dead.journal.push_back(std::move(action));
+      outcomes.push_back(std::move(dead));
+    }
+  }
+  if (crashed > 0) {
+    obs::Registry::global().counter("sched.fleet_partial").add();
+  }
   return outcomes;
 }
 

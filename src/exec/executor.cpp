@@ -17,7 +17,11 @@ void observe_run(const RunRecord& rec) {
   switch (rec.state) {
     case RunState::Completed: reg.counter("exec.runs_completed").add(); break;
     case RunState::Cancelled: reg.counter("exec.runs_cancelled").add(); break;
-    case RunState::Failed: reg.counter("exec.runs_failed").add(); break;
+    case RunState::Failed:
+      reg.counter("exec.runs_failed").add();
+      reg.counter("exec.failures").add();
+      break;
+    case RunState::TimedOut: reg.counter("exec.timeouts").add(); break;
     default: break;
   }
   reg.histogram("exec.queue_wait_ms").observe(rec.queue_wait_ms());
@@ -51,9 +55,55 @@ RunExecutor::~RunExecutor() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
+  // The timer goes first so no hedge/retry/watchdog action enqueues work
+  // after the workers start draining toward exit. Pending actions are
+  // dropped.
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
   queue_cv_.notify_all();
   license_cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void RunExecutor::schedule_at(std::chrono::steady_clock::time_point tp,
+                              std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    if (!timer_started_) {
+      timer_ = std::thread([this] { timer_loop(); });
+      timer_started_ = true;
+    }
+    timer_queue_.emplace(tp, std::move(fn));
+  }
+  timer_cv_.notify_one();
+}
+
+void RunExecutor::timer_loop() {
+  for (;;) {
+    std::vector<std::function<void()>> due;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_) return;
+      if (timer_queue_.empty()) {
+        timer_cv_.wait(lock, [this] { return stopping_ || !timer_queue_.empty(); });
+        continue;
+      }
+      const auto next = timer_queue_.begin()->first;
+      if (timer_cv_.wait_until(lock, next, [this] { return stopping_; })) return;
+      const auto now = std::chrono::steady_clock::now();
+      while (!timer_queue_.empty() && timer_queue_.begin()->first <= now) {
+        due.push_back(std::move(timer_queue_.begin()->second));
+        timer_queue_.erase(timer_queue_.begin());
+      }
+    }
+    for (auto& fn : due) fn();
+  }
+}
+
+void RunExecutor::memo_erase(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  memo_inflight_.erase(fingerprint);
 }
 
 std::size_t RunExecutor::licenses_in_use() const {
@@ -102,10 +152,10 @@ void RunExecutor::worker_loop() {
 
     // Cancelled (or timed out) while queued: skip without consuming a
     // license — the whole point of guard-driven cancellation is returning
-    // capacity to the pool early.
+    // capacity to the pool early. The body decides Cancelled vs TimedOut.
     if (ctx.should_stop()) {
-      task.body(ctx, /*run=*/false);
-      observe_run(journal_.on_finish(task.run_id, RunState::Cancelled));
+      Outcome skipped = task.body(ctx, /*run=*/false);
+      observe_run(journal_.on_finish(task.run_id, skipped.state, std::move(skipped.note)));
       task.deliver();
       continue;
     }
@@ -122,8 +172,8 @@ void RunExecutor::worker_loop() {
     // Re-check: cancellation may have landed while waiting for a license.
     if (ctx.should_stop()) {
       release_license();
-      task.body(ctx, /*run=*/false);
-      observe_run(journal_.on_finish(task.run_id, RunState::Cancelled));
+      Outcome skipped = task.body(ctx, /*run=*/false);
+      observe_run(journal_.on_finish(task.run_id, skipped.state, std::move(skipped.note)));
       task.deliver();
       continue;
     }

@@ -14,7 +14,9 @@
 // each run's RNG seed from (base seed, run index) via derive_run_seed and
 // never share an Rng across pooled work, so results are bitwise identical
 // no matter the thread count — MAESTRO_THREADS=1 and =8 produce the same
-// samples, in the same order.
+// samples, in the same order. Resilience preserves the contract: retry
+// seeds derive purely from (base seed, attempt) and a hedged twin shares
+// its attempt's seed, so the winning value is the same whichever twin wins.
 //
 // Cancellation: every run carries a CancelToken. Requesting cancellation
 // while the run is queued skips it entirely (the future throws
@@ -22,23 +24,37 @@
 // RunContext::should_stop() (e.g. the detailed-route iteration loop) and
 // returns early, which releases the license and journals the run as
 // Cancelled while still delivering the partial result through the future.
+//
+// Deadlines: a run past its Task::deadline is journaled TimedOut. Plain
+// submit() relies on the body polling should_stop(); submit_resilient()
+// additionally arms a watchdog on the executor's timer thread that
+// requests cancellation at the deadline, so even a body that only polls
+// its CancelToken is reeled in, its license released, and the caller's
+// future fails fast with resil::RunTimedOut.
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/cancel.hpp"
 #include "exec/journal.hpp"
 #include "obs/registry.hpp"
+#include "resil/fault.hpp"
+#include "resil/retry.hpp"
 
 namespace maestro::exec {
 
@@ -62,7 +78,9 @@ std::size_t default_thread_count();
 class RunExecutor {
  public:
   explicit RunExecutor(ExecOptions opt = {});
-  /// Joins after draining the queue: queued runs still execute.
+  /// Joins after draining the queue: queued runs still execute. Pending
+  /// timer actions (hedges, backoff retries, watchdogs) are dropped, so
+  /// destroy the executor only after resilient futures have resolved.
   ~RunExecutor();
 
   RunExecutor(const RunExecutor&) = delete;
@@ -103,6 +121,10 @@ class RunExecutor {
     task.deadline = deadline;
     task.body = [slot, fn = std::move(fn)](RunContext& ctx, bool run) mutable -> Outcome {
       if (!run) {
+        if (ctx.past_deadline()) {
+          slot->error = std::make_exception_ptr(resil::RunTimedOut{});
+          return {RunState::TimedOut, "deadline"};
+        }
         slot->error = std::make_exception_ptr(RunCancelled{});
         return {RunState::Cancelled, {}};
       }
@@ -115,6 +137,7 @@ class RunExecutor {
         slot->error = std::current_exception();
         return {RunState::Failed, "unknown error"};
       }
+      if (ctx.past_deadline()) return {RunState::TimedOut, "deadline"};
       return {ctx.cancel.cancelled() ? RunState::Cancelled : RunState::Completed, {}};
     };
     task.deliver = [slot, promise]() {
@@ -125,23 +148,208 @@ class RunExecutor {
     return fut;
   }
 
+  /// Submit one *logical* run with retry, hedging and deadline enforcement
+  /// (resil::ResilOptions). Each attempt is a normal pooled run whose seed
+  /// derives from (seed, attempt) via resil::retry_seed; a failed attempt
+  /// journals Failed and, while attempts remain, schedules a retry (after
+  /// the policy's backoff, on the timer thread). With hedging enabled a
+  /// duplicate of the newest attempt launches after the hedge delay
+  /// (default: journal wall p95) carrying the *same* seed — first
+  /// completion wins, every other in-flight attempt is cooperatively
+  /// cancelled. A deadline arms a watchdog that cancels all attempts and
+  /// fails the returned future with resil::RunTimedOut; the overdue run is
+  /// journaled TimedOut by the worker when it yields, releasing its
+  /// license. The result type must be copy-constructible. The attempt body
+  /// also consults the fault injector at site "exec.license" so injected
+  /// license drops exercise the retry path.
+  template <typename F>
+  auto submit_resilient(std::string label, std::uint64_t seed, F fn,
+                        resil::ResilOptions opt = {})
+      -> std::future<std::invoke_result_t<F&, RunContext&>> {
+    using R = std::invoke_result_t<F&, RunContext&>;
+    static_assert(std::is_copy_constructible_v<R>,
+                  "resilient runs copy the winning result into the promise");
+    using Clock = std::chrono::steady_clock;
+    struct State {
+      std::mutex mu;
+      std::promise<R> promise;
+      bool settled = false;
+      int reserved = 1;    ///< primary attempts reserved (incl. pending backoff)
+      int launched = 0;    ///< primary attempts handed to the pool
+      int dispatched = 0;  ///< attempts handed to the pool (incl. hedges)
+      int failed = 0;      ///< dispatched attempts that have thrown
+      bool hedged = false;
+      std::vector<CancelToken> tokens;  ///< every live attempt's token
+      resil::ResilOptions opt;
+      std::string label;
+      std::uint64_t base_seed = 0;
+      Clock::time_point deadline{};
+    };
+    auto st = std::make_shared<State>();
+    st->opt = opt;
+    st->label = std::move(label);
+    st->base_seed = seed;
+    if (opt.deadline_ms > 0.0) st->deadline = Clock::now() + to_duration(opt.deadline_ms);
+    std::future<R> fut = st->promise.get_future();
+
+    // Recursive launcher. It captures itself weakly — the strong refs live
+    // in the attempt bodies and pending timer actions, so the closure chain
+    // is released once the last attempt finishes (no shared_ptr cycle).
+    using Launch = std::function<void(int, bool)>;
+    auto launch = std::make_shared<Launch>();
+    *launch = [this, st, fn = std::move(fn),
+               wlaunch = std::weak_ptr<Launch>(launch)](int attempt, bool is_hedge) mutable {
+      auto self = wlaunch.lock();
+      if (!self) return;
+      CancelToken token;
+      {
+        std::lock_guard<std::mutex> lk(st->mu);
+        if (st->settled) return;
+        if (!is_hedge) st->launched = attempt + 1;
+        ++st->dispatched;
+        st->tokens.push_back(token);
+      }
+      std::string attempt_label = st->label;
+      if (is_hedge) attempt_label += "~hedge";
+      else if (attempt > 0) attempt_label += "~retry" + std::to_string(attempt);
+      const std::uint64_t attempt_seed =
+          resil::retry_seed(st->base_seed, attempt, st->opt.retry.perturb_seed);
+
+      auto body = [this, st, fn, self, attempt, is_hedge](RunContext& ctx) mutable -> R {
+        try {
+          if (resil::FaultInjector::decide("exec.license", ctx.seed) ==
+              resil::FaultKind::LicenseDrop) {
+            obs::Registry::global().counter("resil.fault_license_drop").add();
+            throw resil::LicenseDropped{"exec.license"};
+          }
+          R value = fn(ctx);
+          if (ctx.should_stop()) {
+            // Cancelled loser or overdue attempt: never settle from here —
+            // the winning twin or the deadline watchdog owns the promise.
+            // The worker journals this attempt Cancelled / TimedOut.
+            return value;
+          }
+          std::vector<CancelToken> losers;
+          bool won = false;
+          {
+            std::lock_guard<std::mutex> lk(st->mu);
+            if (!st->settled) {
+              st->settled = true;
+              won = true;
+              for (const auto& t : st->tokens) {
+                if (!t.same_as(ctx.cancel)) losers.push_back(t);
+              }
+            }
+          }
+          if (won) {
+            st->promise.set_value(value);
+            for (auto& t : losers) t.request_cancel();
+            if (is_hedge) obs::Registry::global().counter("exec.hedge_wins").add();
+          }
+          return value;
+        } catch (...) {
+          bool do_retry = false;
+          bool exhausted = false;
+          const int next = attempt + 1;
+          if (!ctx.past_deadline()) {  // past deadline: the watchdog settles
+            std::lock_guard<std::mutex> lk(st->mu);
+            if (!st->settled) {
+              ++st->failed;
+              if (next < st->opt.retry.max_attempts && st->reserved == next) {
+                st->reserved = next + 1;
+                do_retry = true;
+              } else if (st->reserved == st->launched &&
+                         st->failed == st->dispatched) {
+                // Every attempt handed to the pool has failed and no retry
+                // is pending anywhere: the logical run is out of options.
+                // (Counting failures, not live attempts, keeps this correct
+                // while an earlier failed attempt is still unwinding.)
+                st->settled = true;
+                exhausted = true;
+              }
+            }
+          }
+          if (do_retry) {
+            obs::Registry::global().counter("exec.retries").add();
+            const double backoff = st->opt.retry.backoff_for(next);
+            if (backoff <= 0.0) {
+              (*self)(next, /*is_hedge=*/false);
+            } else {
+              this->schedule_at(Clock::now() + to_duration(backoff),
+                                [self, next] { (*self)(next, /*is_hedge=*/false); });
+            }
+          }
+          if (exhausted) st->promise.set_exception(std::current_exception());
+          throw;  // journal this attempt as Failed
+        }
+      };
+      this->submit(std::move(attempt_label), attempt_seed, std::move(body), token,
+                   st->deadline);
+    };
+
+    (*launch)(0, /*is_hedge=*/false);
+    if (opt.hedge.enabled) {
+      double delay = opt.hedge.delay_ms;
+      if (delay < 0.0) delay = std::max(1.0, journal_.summarize().wall_p95_ms);
+      schedule_at(Clock::now() + to_duration(delay), [st, launch] {
+        int attempt = 0;
+        {
+          std::lock_guard<std::mutex> lk(st->mu);
+          if (st->settled || st->hedged) return;
+          st->hedged = true;
+          attempt = st->launched > 0 ? st->launched - 1 : 0;
+        }
+        obs::Registry::global().counter("exec.hedges").add();
+        (*launch)(attempt, /*is_hedge=*/true);
+      });
+    }
+    if (opt.deadline_ms > 0.0) {
+      schedule_at(st->deadline, [st] {
+        std::vector<CancelToken> live;
+        bool expired = false;
+        {
+          std::lock_guard<std::mutex> lk(st->mu);
+          if (!st->settled) {
+            st->settled = true;
+            expired = true;
+            live = st->tokens;
+          }
+        }
+        if (expired) {
+          st->promise.set_exception(std::make_exception_ptr(resil::RunTimedOut{}));
+          for (auto& t : live) t.request_cancel();
+        }
+      });
+    }
+    return fut;
+  }
+
   /// Cache-aware dispatch: consult a content-addressed result cache before
   /// queueing. On a hit the future resolves immediately with the memoized
   /// result — no license, no worker — and the journal records the run as
   /// Completed with note "cache_hit" (zero wall time). On a miss the run
-  /// dispatches normally and, unless it was cancelled mid-run (partial
-  /// results must not poison the cache), memoizes its result on completion.
+  /// dispatches normally (with `deadline`, and under `resilience` via
+  /// submit_resilient when any of its knobs are set) and, unless it was
+  /// cancelled mid-run (partial results must not poison the cache),
+  /// memoizes its result on completion.
+  ///
+  /// Duplicate fingerprints submitted while the first is still in flight
+  /// join the first run's shared future (journal note "inflight_join",
+  /// counter exec.inflight_joins) instead of burning a license on a
+  /// duplicate execution. All submissions of one fingerprint must share a
+  /// result type. A fingerprint whose resilient run exhausted its retries
+  /// keeps its in-flight entry, so later joiners observe the same error.
   ///
   /// `Cache` is any copyable handle with
   ///   std::optional<R> lookup(std::uint64_t) and
   ///   void insert(std::uint64_t, const R&)
   /// (e.g. store::KeyedRunCache). It is copied into the pooled task, so by-
-  /// value validity must outlast the run. Duplicate fingerprints submitted
-  /// concurrently both miss and both execute (last insert wins) — the cache
-  /// trades that rare double-execution for a lock-free fast path.
+  /// value validity must outlast the run.
   template <typename Cache, typename F>
   auto submit_memo(std::string label, std::uint64_t seed, std::uint64_t fingerprint,
-                   Cache cache, F fn, CancelToken cancel = {})
+                   Cache cache, F fn, CancelToken cancel = {},
+                   std::chrono::steady_clock::time_point deadline = {},
+                   resil::ResilOptions resilience = {})
       -> std::future<std::invoke_result_t<F&, RunContext&>> {
     using R = std::invoke_result_t<F&, RunContext&>;
     if (auto hit = cache.lookup(fingerprint)) {
@@ -152,14 +360,49 @@ class RunExecutor {
       ready.set_value(std::move(*hit));
       return ready.get_future();
     }
-    return submit(
-        std::move(label), seed,
-        [cache = std::move(cache), fingerprint, fn = std::move(fn)](RunContext& ctx) mutable {
-          R result = fn(ctx);
-          if (!ctx.should_stop()) cache.insert(fingerprint, result);
-          return result;
-        },
-        std::move(cancel));
+    std::unique_lock<std::mutex> memo_lock(memo_mu_);
+    if (auto it = memo_inflight_.find(fingerprint); it != memo_inflight_.end()) {
+      auto sf = std::static_pointer_cast<std::shared_future<R>>(it->second);
+      memo_lock.unlock();
+      const std::uint64_t run_id = journal_.on_enqueue(std::move(label), seed);
+      journal_.on_finish(run_id, RunState::Completed, "inflight_join");
+      obs::Registry::global().counter("exec.inflight_joins").add();
+      return std::async(std::launch::deferred, [sf] { return sf->get(); });
+    }
+    const bool single_shot = !resilience.enabled();
+    auto wrapped = [this, cache = std::move(cache), fingerprint, fn = std::move(fn),
+                    single_shot](RunContext& ctx) mutable -> R {
+      try {
+        R result = fn(ctx);
+        if (!ctx.should_stop()) {
+          cache.insert(fingerprint, result);
+          this->memo_erase(fingerprint);
+        } else if (single_shot) {
+          this->memo_erase(fingerprint);  // partial result: let later runs retry
+        }
+        return result;
+      } catch (...) {
+        if (single_shot) this->memo_erase(fingerprint);
+        throw;
+      }
+    };
+    std::future<R> fut;
+    if (resilience.enabled()) {
+      if (deadline != std::chrono::steady_clock::time_point{} &&
+          resilience.deadline_ms <= 0.0) {
+        const double remaining = std::chrono::duration<double, std::milli>(
+                                     deadline - std::chrono::steady_clock::now())
+                                     .count();
+        resilience.deadline_ms = remaining > 0.0 ? remaining : 0.001;
+      }
+      fut = submit_resilient(std::move(label), seed, std::move(wrapped), resilience);
+    } else {
+      fut = submit(std::move(label), seed, std::move(wrapped), std::move(cancel), deadline);
+    }
+    auto sf = std::make_shared<std::shared_future<R>>(fut.share());
+    memo_inflight_.emplace(fingerprint, sf);
+    memo_lock.unlock();
+    return std::async(std::launch::deferred, [sf] { return sf->get(); });
   }
 
   /// Fan out n runs whose seeds derive from (base_seed, index) and collect
@@ -181,6 +424,11 @@ class RunExecutor {
     return results;
   }
 
+  /// Run `fn` on the executor's timer thread at (or shortly after) `tp`.
+  /// Used by the resilience layer for deadline watchdogs, hedge launches
+  /// and backoff-delayed retries; dropped if the executor is stopping.
+  void schedule_at(std::chrono::steady_clock::time_point tp, std::function<void()> fn);
+
  private:
   /// Final state plus the journal note (error text for Failed runs).
   struct Outcome {
@@ -195,17 +443,24 @@ class RunExecutor {
     CancelToken cancel;
     std::chrono::steady_clock::time_point deadline{};
     /// Invoked with run=true to execute (returns the final outcome) or
-    /// run=false to park the cancelled-before-start exception.
+    /// run=false to park the cancelled/timed-out-before-start exception.
     std::function<Outcome(RunContext&, bool run)> body;
     /// Resolves the caller's future from the parked result; called after
     /// the journal records the terminal state.
     std::function<void()> deliver;
   };
 
+  static std::chrono::steady_clock::duration to_duration(double ms) {
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+
   void enqueue(Task task);
   void worker_loop();
+  void timer_loop();
   void acquire_license();
   void release_license();
+  void memo_erase(std::uint64_t fingerprint);
 
   ExecOptions opt_;
   RunJournal journal_;
@@ -213,12 +468,21 @@ class RunExecutor {
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;    ///< workers wait for tasks
   std::condition_variable license_cv_;  ///< workers wait for licenses
+  std::condition_variable timer_cv_;    ///< timer thread waits for deadlines
   std::deque<Task> queue_;
+  std::multimap<std::chrono::steady_clock::time_point, std::function<void()>>
+      timer_queue_;  ///< guarded by mu_
   std::size_t license_total_ = 0;
   std::size_t licenses_free_ = 0;
   bool stopping_ = false;
+  bool timer_started_ = false;
+
+  std::mutex memo_mu_;
+  /// fingerprint -> shared_ptr<std::shared_future<R>> of the in-flight run.
+  std::unordered_map<std::uint64_t, std::shared_ptr<void>> memo_inflight_;
 
   std::vector<std::thread> workers_;
+  std::thread timer_;
 };
 
 }  // namespace maestro::exec

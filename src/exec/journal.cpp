@@ -13,6 +13,7 @@ const char* to_string(RunState s) {
     case RunState::Completed: return "completed";
     case RunState::Cancelled: return "cancelled";
     case RunState::Failed: return "failed";
+    case RunState::TimedOut: return "timed_out";
   }
   return "?";
 }
@@ -90,6 +91,7 @@ double RunJournal::total_wall_ms() const {
 JournalSummary RunJournal::summarize() const {
   std::vector<double> queue_waits;
   std::vector<double> walls;
+  JournalSummary s;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_waits.reserve(records_.size());
@@ -97,9 +99,15 @@ JournalSummary RunJournal::summarize() const {
     for (const auto& r : records_) {
       queue_waits.push_back(r.queue_wait_ms());
       walls.push_back(r.wall_ms());
+      switch (r.state) {
+        case RunState::Completed: ++s.completed; break;
+        case RunState::Cancelled: ++s.cancelled; break;
+        case RunState::Failed: ++s.failed; break;
+        case RunState::TimedOut: ++s.timed_out; break;
+        default: break;
+      }
     }
   }
-  JournalSummary s;
   s.runs = queue_waits.size();
   if (s.runs == 0) return s;
   s.queue_wait_p50_ms = util::percentile(queue_waits, 50.0);

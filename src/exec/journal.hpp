@@ -20,7 +20,7 @@
 
 namespace maestro::exec {
 
-enum class RunState { Queued, Running, Completed, Cancelled, Failed };
+enum class RunState { Queued, Running, Completed, Cancelled, Failed, TimedOut };
 const char* to_string(RunState s);
 
 /// One run's lifecycle, timestamps in milliseconds since the journal epoch.
@@ -43,7 +43,8 @@ struct RunRecord {
 
 /// Percentile digest of a journal: p50/p95/max queue wait and wall time
 /// over every finished run (printed by perf_kernels, asserted monotone in
-/// tests).
+/// tests), plus per-terminal-state row counts so failed/timed-out runs are
+/// visible without scanning the full snapshot.
 struct JournalSummary {
   std::size_t runs = 0;
   double queue_wait_p50_ms = 0.0;
@@ -52,6 +53,10 @@ struct JournalSummary {
   double wall_p50_ms = 0.0;
   double wall_p95_ms = 0.0;
   double wall_max_ms = 0.0;
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
 };
 
 class RunJournal {
@@ -62,8 +67,9 @@ class RunJournal {
   std::uint64_t on_enqueue(std::string label, std::uint64_t seed);
   /// Mark a run started (license held, worker executing).
   void on_start(std::uint64_t run_id);
-  /// Mark a run finished in `state` (Completed, Cancelled or Failed) and
-  /// return a copy of its final record (empty record for unknown ids).
+  /// Mark a run finished in `state` (Completed, Cancelled, Failed or
+  /// TimedOut) and return a copy of its final record (empty record for
+  /// unknown ids).
   /// A run cancelled while still queued never gets on_start; its wall time
   /// is zero and its queue wait runs to the cancellation.
   RunRecord on_finish(std::uint64_t run_id, RunState state, std::string note = {});

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
+
+#include "obs/registry.hpp"
 
 #include "obs/trace.hpp"
+#include "resil/fault.hpp"
 #include "route/detail_router.hpp"
 #include "util/rng.hpp"
 
@@ -38,6 +42,44 @@ std::string knob_string(const KnobSetting& knobs, const std::string& name,
 double model_runtime(double base_min, double cells, double effort_factor, Rng& rng) {
   return base_min * std::pow(cells / 1000.0, 1.1) * effort_factor *
          std::exp(rng.gauss(0.0, 0.08));
+}
+
+/// Consult the global fault plan for this tool invocation (pure in
+/// (plan, tool, seed), so replays are exact). Crash and license-drop throw;
+/// a hang stalls cooperatively and fails the step only if cancellation
+/// lands during the stall; corrupt-result sets `corrupt` and lets the step
+/// run, leaving each tool to garble its own outputs.
+std::optional<StepOutcome> consult_faults(const char* tool, const ToolContext& ctx,
+                                          bool& corrupt) {
+  switch (resil::FaultInjector::decide(tool, ctx.seed)) {
+    case resil::FaultKind::Crash:
+      obs::Registry::global().counter("resil.fault_crash").add();
+      throw resil::InjectedCrash{tool};
+    case resil::FaultKind::LicenseDrop:
+      obs::Registry::global().counter("resil.fault_license_drop").add();
+      throw resil::LicenseDropped{tool};
+    case resil::FaultKind::Hang: {
+      obs::Registry::global().counter("resil.fault_hang").add();
+      const auto plan = resil::FaultInjector::plan();
+      const double ms = plan ? plan->hang_ms() : 25.0;
+      if (resil::injected_hang([&ctx] { return ctx.cancel.cancelled(); }, ms)) {
+        StepOutcome out;
+        out.ok = false;
+        out.error = std::string("fault:hang cancelled in ") + tool;
+        out.log.tool = tool;
+        out.log.seed = ctx.seed;
+        return out;
+      }
+      break;  // hang resolved quietly: the run proceeds, just late
+    }
+    case resil::FaultKind::CorruptResult:
+      obs::Registry::global().counter("resil.fault_corrupt").add();
+      corrupt = true;
+      break;
+    default:
+      break;
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -94,6 +136,8 @@ StepOutcome run_synthesis(DesignState& ds, const DesignSpec& spec, const ToolCon
   out.log.tool = "synthesis";
   out.log.design = spec.name;
   out.log.seed = ctx.seed;
+  bool corrupt = false;
+  if (auto faulted = consult_faults("synthesis", ctx, corrupt)) return *faulted;
   Rng rng{ctx.seed ^ 0x51f7a3c9u};
 
   // Elaborate the "RTL".
@@ -207,6 +251,11 @@ StepOutcome run_synthesis(DesignState& ds, const DesignSpec& spec, const ToolCon
   out.log.completed = true;
   out.runtime_min = model_runtime(3.0, static_cast<double>(nl.instance_count()),
                                   effort_factor * (1.0 + 0.15 * iters_used), rng);
+  if (corrupt) {
+    out.ok = false;
+    out.error = "fault:corrupt_result in synthesis";
+    out.log.metadata["fault"] = "corrupt_result";
+  }
   return out;
 }
 
@@ -220,6 +269,8 @@ StepOutcome run_floorplan(DesignState& ds, const ToolContext& ctx) {
     out.error = "floorplan requires a synthesized netlist";
     return out;
   }
+  bool corrupt = false;
+  if (auto faulted = consult_faults("floorplan", ctx, corrupt)) return *faulted;
   Rng rng{ctx.seed ^ 0x9a3cf01bu};
   const double util = std::clamp(knob_double(ctx.knobs, "utilization", 0.70), 0.3, 0.95);
   const double aspect = std::clamp(knob_double(ctx.knobs, "aspect", 1.0), 0.3, 3.0);
@@ -230,6 +281,11 @@ StepOutcome run_floorplan(DesignState& ds, const ToolContext& ctx) {
   out.log.metadata["core_h_dbu"] = std::to_string(ds.fp->core().height());
   out.log.completed = true;
   out.runtime_min = model_runtime(0.5, static_cast<double>(ds.nl->instance_count()), 1.0, rng);
+  if (corrupt) {
+    out.ok = false;
+    out.error = "fault:corrupt_result in floorplan";
+    out.log.metadata["fault"] = "corrupt_result";
+  }
   return out;
 }
 
@@ -243,6 +299,8 @@ StepOutcome run_place(DesignState& ds, const ToolContext& ctx) {
     out.error = "place requires netlist and floorplan";
     return out;
   }
+  bool corrupt = false;
+  if (auto faulted = consult_faults("place", ctx, corrupt)) return *faulted;
   Rng rng{ctx.seed ^ 0x3e2d11c7u};
   const std::string effort = knob_string(ctx.knobs, "effort", "medium");
   place::AnnealOptions ao;
@@ -262,6 +320,11 @@ StepOutcome run_place(DesignState& ds, const ToolContext& ctx) {
   const double effort_factor = effort == "high" ? 2.0 : (effort == "low" ? 0.6 : 1.0);
   out.runtime_min =
       model_runtime(8.0, static_cast<double>(ds.nl->instance_count()), effort_factor, rng);
+  if (corrupt) {
+    out.ok = false;
+    out.error = "fault:corrupt_result in place";
+    out.log.metadata["fault"] = "corrupt_result";
+  }
   return out;
 }
 
@@ -275,6 +338,8 @@ StepOutcome run_cts(DesignState& ds, const ToolContext& ctx) {
     out.error = "cts requires placement";
     return out;
   }
+  bool corrupt = false;
+  if (auto faulted = consult_faults("cts", ctx, corrupt)) return *faulted;
   Rng rng{ctx.seed ^ 0x77aa10f3u};
   timing::ClockTreeOptions co;
   co.leaf_fanout = static_cast<std::size_t>(knob_double(ctx.knobs, "leaf_fanout", 16));
@@ -284,6 +349,11 @@ StepOutcome run_cts(DesignState& ds, const ToolContext& ctx) {
   out.log.metadata["buffers"] = std::to_string(ds.clock.buffers);
   out.log.completed = true;
   out.runtime_min = model_runtime(2.0, static_cast<double>(ds.nl->instance_count()), 1.0, rng);
+  if (corrupt) {
+    out.ok = false;
+    out.error = "fault:corrupt_result in cts";
+    out.log.metadata["fault"] = "corrupt_result";
+  }
   return out;
 }
 
@@ -297,6 +367,8 @@ StepOutcome run_route(DesignState& ds, const ToolContext& ctx) {
     out.error = "route requires placement";
     return out;
   }
+  bool corrupt = false;
+  if (auto faulted = consult_faults("route", ctx, corrupt)) return *faulted;
   Rng rng{ctx.seed ^ 0xc4d5e6f7u};
 
   route::RouteOptions ro;
@@ -377,6 +449,13 @@ StepOutcome run_route(DesignState& ds, const ToolContext& ctx) {
   dr_span.arg("final_drvs", ds.droute.drvs.empty() ? 0.0 : ds.droute.drvs.back())
       .arg("iterations", static_cast<double>(iterations_run));
 
+  if (corrupt) {
+    // Corrupted route database: DRV count explodes and the run reads as
+    // unconverged, deterministically.
+    if (!ds.droute.drvs.empty()) ds.droute.drvs.back() += 1e6;
+    ds.droute.succeeded = false;
+    ds.droute.log.metadata["fault"] = "corrupt_result";
+  }
   out.log = ds.droute.log;
   out.log.tool = "route";
   out.log.metadata["groute_overflow"] = std::to_string(ds.groute.total_overflow);
@@ -399,6 +478,8 @@ StepOutcome run_signoff(DesignState& ds, const ToolContext& ctx) {
     out.error = "signoff requires placement";
     return out;
   }
+  bool corrupt = false;
+  if (auto faulted = consult_faults("signoff", ctx, corrupt)) return *faulted;
   Rng rng{ctx.seed ^ 0x0badcafeu};
   timing::StaOptions so;
   so.mode = timing::AnalysisMode::PathBased;
@@ -434,6 +515,15 @@ StepOutcome run_signoff(DesignState& ds, const ToolContext& ctx) {
   ds.pwr = power::estimate_power(*ds.pl, ctx.target_ghz, power::PowerOptions{});
   ds.ir = power::analyze_ir_drop(*ds.pl, ds.pwr, power::IrDropOptions{});
 
+  if (corrupt) {
+    // Corrupted signoff database: timing reads as catastrophically violated
+    // (a deterministic, *detectable* garbage value rather than a silent
+    // near-miss), so downstream success checks fail the run.
+    ds.signoff.wns_ps = -1e9;
+    ds.signoff.tns_ps = -1e9;
+    ds.signoff.failing_endpoints = ds.signoff.endpoints.size();
+    out.log.metadata["fault"] = "corrupt_result";
+  }
   out.log.metadata["wns_ps"] = std::to_string(ds.signoff.wns_ps);
   out.log.metadata["whs_ps"] = std::to_string(ds.signoff.whs_ps);
   out.log.metadata["tns_ps"] = std::to_string(ds.signoff.tns_ps);

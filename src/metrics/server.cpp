@@ -195,6 +195,7 @@ std::size_t Transmitter::transmit_journal(const exec::RunJournal& journal) {
     rec.values["queue_wait_ms"] = run.queue_wait_ms();
     rec.values["wall_ms"] = run.wall_ms();
     rec.values["cancelled"] = run.state == exec::RunState::Cancelled ? 1.0 : 0.0;
+    rec.values["timed_out"] = run.state == exec::RunState::TimedOut ? 1.0 : 0.0;
     rec.knobs["state"] = to_string(run.state);
     if (!run.note.empty()) rec.knobs["note"] = run.note;
     server_->submit(std::move(rec));

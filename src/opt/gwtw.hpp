@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "exec/executor.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace maestro::opt {
@@ -94,9 +95,26 @@ GwtwResult<State> go_with_the_winners(const GwtwProblem<State>& prob, const Gwtw
             "gwtw_r" + std::to_string(round) + "#" + std::to_string(i), 0,
             [&advance_one, i](exec::RunContext&) { return advance_one(i); }));
       }
-      for (std::size_t i = 0; i < population.size(); ++i) advanced[i] = futures[i].get();
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        try {
+          advanced[i] = futures[i].get();
+        } catch (const std::exception&) {
+          // Dead thread: the advance crashed. Keep the prior state at
+          // infinite cost — ranking puts it last and a winner is cloned
+          // over it, so the population width survives the fault.
+          obs::Registry::global().counter("opt.gwtw_dead_threads").add();
+          advanced[i] = {population[i], std::numeric_limits<double>::infinity()};
+        }
+      }
     } else {
-      for (std::size_t i = 0; i < population.size(); ++i) advanced[i] = advance_one(i);
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        try {
+          advanced[i] = advance_one(i);
+        } catch (const std::exception&) {
+          obs::Registry::global().counter("opt.gwtw_dead_threads").add();
+          advanced[i] = {population[i], std::numeric_limits<double>::infinity()};
+        }
+      }
     }
     for (std::size_t i = 0; i < population.size(); ++i) {
       population[i] = std::move(advanced[i].first);

@@ -1,0 +1,46 @@
+#include "resil/circuit.hpp"
+
+namespace maestro::resil {
+
+void CircuitBreaker::record_failure(std::size_t arm) {
+  if (arm >= arms_.size()) return;
+  ArmState& st = arms_[arm];
+  if (++st.consecutive_failures >= opt_.failure_threshold) {
+    st.cooldown_left = opt_.cooldown_rounds;
+    st.consecutive_failures = 0;  // half-open after cooldown: one fresh streak
+  }
+}
+
+void CircuitBreaker::record_success(std::size_t arm) {
+  if (arm >= arms_.size()) return;
+  arms_[arm].consecutive_failures = 0;
+}
+
+void CircuitBreaker::advance_round() {
+  for (ArmState& st : arms_) {
+    if (st.cooldown_left > 0) --st.cooldown_left;
+  }
+}
+
+bool CircuitBreaker::open(std::size_t arm) const {
+  return arm < arms_.size() && arms_[arm].cooldown_left > 0;
+}
+
+std::size_t CircuitBreaker::open_count() const {
+  std::size_t n = 0;
+  for (const ArmState& st : arms_) {
+    if (st.cooldown_left > 0) ++n;
+  }
+  return n;
+}
+
+std::size_t CircuitBreaker::nearest_closed(std::size_t arm) const {
+  if (!open(arm)) return arm;
+  for (std::size_t d = 1; d < arms_.size(); ++d) {
+    if (arm >= d && !open(arm - d)) return arm - d;
+    if (arm + d < arms_.size() && !open(arm + d)) return arm + d;
+  }
+  return arm;
+}
+
+}  // namespace maestro::resil

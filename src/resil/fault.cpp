@@ -1,0 +1,148 @@
+#include "resil/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace maestro::resil {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Hang: return "hang";
+    case FaultKind::LicenseDrop: return "license_drop";
+    case FaultKind::CorruptResult: return "corrupt_result";
+  }
+  return "?";
+}
+
+FaultKind FaultPlan::decide(std::string_view site, std::uint64_t run_seed) const {
+  if (!rates_.any()) return FaultKind::None;
+  // FNV-1a over the site name, then two splitmix64 rounds folding in the
+  // plan seed and the run seed. Purely value-derived: no global state, no
+  // ordering dependence.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t s = seed_ ^ h;
+  (void)util::splitmix64(s);
+  s ^= run_seed * 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t x = util::splitmix64(s);
+  double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+  if (u < rates_.crash) return FaultKind::Crash;
+  u -= rates_.crash;
+  if (u < rates_.hang) return FaultKind::Hang;
+  u -= rates_.hang;
+  if (u < rates_.license_drop) return FaultKind::LicenseDrop;
+  u -= rates_.license_drop;
+  if (u < rates_.corrupt_result) return FaultKind::CorruptResult;
+  return FaultKind::None;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  if (spec.empty()) return std::nullopt;
+  FaultRates rates;
+  std::uint64_t seed = 1;
+  double hang_ms = 25.0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string field = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double num = std::strtod(val.c_str(), &parse_end);
+    if (parse_end == val.c_str() || *parse_end != '\0') return std::nullopt;
+    if (key == "crash") rates.crash = num;
+    else if (key == "hang") rates.hang = num;
+    else if (key == "license" || key == "license_drop") rates.license_drop = num;
+    else if (key == "corrupt" || key == "corrupt_result") rates.corrupt_result = num;
+    else if (key == "seed") seed = static_cast<std::uint64_t>(num);
+    else if (key == "hang_ms") hang_ms = num;
+    else return std::nullopt;
+  }
+  if (rates.crash < 0.0 || rates.hang < 0.0 || rates.license_drop < 0.0 ||
+      rates.corrupt_result < 0.0 || hang_ms < 0.0) {
+    return std::nullopt;
+  }
+  FaultPlan plan(rates, seed);
+  plan.set_hang_ms(hang_ms);
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* env = std::getenv("MAESTRO_FAULTS");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return parse(env);
+}
+
+namespace {
+
+std::atomic<bool> g_active{false};
+std::mutex g_plan_mu;
+std::shared_ptr<const FaultPlan>& global_plan() {
+  static std::shared_ptr<const FaultPlan> plan;
+  return plan;
+}
+
+}  // namespace
+
+void FaultInjector::install(FaultPlan plan) {
+  auto p = std::make_shared<const FaultPlan>(std::move(plan));
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mu);
+    global_plan() = std::move(p);
+  }
+  g_active.store(true, std::memory_order_release);
+}
+
+bool FaultInjector::install_from_env() {
+  if (auto plan = FaultPlan::from_env()) {
+    install(std::move(*plan));
+  }
+  return active();
+}
+
+void FaultInjector::clear() {
+  g_active.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  global_plan().reset();
+}
+
+bool FaultInjector::active() { return g_active.load(std::memory_order_acquire); }
+
+std::shared_ptr<const FaultPlan> FaultInjector::plan() {
+  if (!active()) return nullptr;
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  return global_plan();
+}
+
+FaultKind FaultInjector::decide(std::string_view site, std::uint64_t run_seed) {
+  if (!g_active.load(std::memory_order_acquire)) return FaultKind::None;
+  const auto p = plan();
+  return p ? p->decide(site, run_seed) : FaultKind::None;
+}
+
+bool injected_hang(const std::function<bool()>& should_stop, double hang_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto end = Clock::now() + std::chrono::duration<double, std::milli>(hang_ms);
+  while (Clock::now() < end) {
+    if (should_stop && should_stop()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return should_stop && should_stop();
+}
+
+}  // namespace maestro::resil

@@ -1,0 +1,115 @@
+#pragma once
+// maestro::resil fault injection — deterministic, seed-derived failures.
+//
+// The paper's premise (Figs. 3, 9, 10) is that SP&R tool runs are noisy and
+// unreliable: they crash, hang, lose licenses, or emit garbage. To test the
+// orchestration stack against that reality without flaky tests, every
+// injected failure is a *pure function* of (plan seed, site name, run seed):
+// the same FaultPlan replays the same faults at the same runs regardless of
+// thread count or wall-clock, which keeps the executor's determinism
+// contract (serial == parallel, bitwise) intact even under chaos.
+//
+// Sites are short strings naming the injection point ("synthesis", "route",
+// "license", "store.wal", ...). Production code consults the process-global
+// FaultInjector, which is a no-op (branch on one relaxed atomic) unless a
+// plan was installed explicitly or via the MAESTRO_FAULTS environment
+// variable, e.g.:
+//
+//   MAESTRO_FAULTS="crash=0.2,hang=0.05,license=0.01,corrupt=0.02,seed=7"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace maestro::resil {
+
+enum class FaultKind { None, Crash, Hang, LicenseDrop, CorruptResult };
+const char* to_string(FaultKind k);
+
+/// Per-site injection probabilities. Each consultation of a site rolls one
+/// uniform deviate against the cumulative rates, so e.g. crash=0.2 means
+/// 20% of consultations of *each* site crash.
+struct FaultRates {
+  double crash = 0.0;
+  double hang = 0.0;
+  double license_drop = 0.0;
+  double corrupt_result = 0.0;
+
+  double total() const { return crash + hang + license_drop + corrupt_result; }
+  bool any() const { return total() > 0.0; }
+};
+
+/// A deterministic fault schedule. decide() is pure: it hashes (plan seed,
+/// site, run seed) into a uniform deviate and compares against the
+/// cumulative rates. No internal state, so concurrent consultation is free
+/// and replay is exact.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(FaultRates rates, std::uint64_t seed) : rates_(rates), seed_(seed) {}
+
+  FaultKind decide(std::string_view site, std::uint64_t run_seed) const;
+
+  const FaultRates& rates() const { return rates_; }
+  std::uint64_t seed() const { return seed_; }
+  /// How long an injected hang stalls before resolving (cooperative;
+  /// see injected_hang). Defaults to 25 ms.
+  double hang_ms() const { return hang_ms_; }
+  void set_hang_ms(double ms) { hang_ms_ = ms; }
+
+  /// Parse a spec like "crash=0.2,hang=0.05,license=0.01,corrupt=0.02,
+  /// seed=7,hang_ms=40". Unknown keys or malformed values reject the whole
+  /// spec (nullopt) so a typo'd MAESTRO_FAULTS fails loudly, not silently.
+  static std::optional<FaultPlan> parse(const std::string& spec);
+  /// Plan from the MAESTRO_FAULTS environment variable, if set and valid.
+  static std::optional<FaultPlan> from_env();
+
+ private:
+  FaultRates rates_;
+  std::uint64_t seed_ = 1;
+  double hang_ms_ = 25.0;
+};
+
+/// Thrown by a tool step (or test oracle) selected for FaultKind::Crash.
+struct InjectedCrash : std::runtime_error {
+  explicit InjectedCrash(const std::string& site)
+      : std::runtime_error("injected crash at " + site) {}
+};
+
+/// Thrown through a run's future when the executor's license fault site
+/// drops the license mid-acquisition.
+struct LicenseDropped : std::runtime_error {
+  explicit LicenseDropped(const std::string& site)
+      : std::runtime_error("tool license dropped at " + site) {}
+};
+
+/// Process-global fault switchboard. Fast path when inactive is a single
+/// relaxed atomic load; the plan itself is immutable once installed (swap
+/// under a mutex, shared_ptr<const> handed to readers).
+class FaultInjector {
+ public:
+  static void install(FaultPlan plan);
+  /// Install from MAESTRO_FAULTS if set and parseable; returns whether a
+  /// plan is now active.
+  static bool install_from_env();
+  static void clear();
+
+  static bool active();
+  /// The installed plan, or nullptr when inactive.
+  static std::shared_ptr<const FaultPlan> plan();
+  /// FaultKind::None when no plan is installed (the common fast path).
+  static FaultKind decide(std::string_view site, std::uint64_t run_seed);
+};
+
+/// Cooperative injected hang: sleeps in 1 ms slices for up to hang_ms,
+/// polling should_stop (cancellation / deadline). Returns true if the hang
+/// was interrupted by should_stop — the caller should then fail the step —
+/// and false if it timed out quietly (the run proceeds, just late, so
+/// campaigns without watchdogs still finish).
+bool injected_hang(const std::function<bool()>& should_stop, double hang_ms);
+
+}  // namespace maestro::resil

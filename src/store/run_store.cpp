@@ -1,10 +1,12 @@
 #include "store/run_store.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "resil/fault.hpp"
 
 namespace maestro::store {
 
@@ -213,9 +215,45 @@ bool RunStore::ingest_locked(const util::Json& entry) {
   return false;
 }
 
+void RunStore::degrade_locked(const char* why) {
+  if (!degraded_) {
+    std::fprintf(stderr,
+                 "[maestro::store] WARNING: WAL append failed (%s) in %s; "
+                 "degrading to in-memory operation — results are served from "
+                 "memory but will not survive this process until compact() "
+                 "succeeds\n",
+                 why, dir_.c_str());
+  }
+  degraded_ = true;
+  obs::Registry::global().counter("store.wal_errors").add();
+  obs::Registry::global().gauge("store.degraded").set(1.0);
+}
+
 void RunStore::append_line_locked(const util::Json& entry) {
-  wal_ << entry.dump() << '\n';
+  // The fault site is seeded by the append sequence number, so a chaos test
+  // kills the writer at a deterministic entry regardless of thread count.
+  const auto fault = resil::FaultInjector::decide("store.wal", wal_seq_++);
+  if (degraded_) return;  // in-memory only until compact() recovers the WAL
+  if (fault == resil::FaultKind::Crash) {
+    // Injected EIO: the write never reaches the disk.
+    degrade_locked("injected EIO");
+    return;
+  }
+  const std::string line = entry.dump();
+  if (fault == resil::FaultKind::CorruptResult) {
+    // Injected short write: half a record lands, then the device dies. The
+    // torn tail is exactly what the recovery path truncates on next open.
+    wal_ << line.substr(0, line.size() / 2);
+    wal_.flush();
+    degrade_locked("injected short write");
+    return;
+  }
+  wal_ << line << '\n';
   wal_.flush();
+  if (!wal_.good()) {
+    degrade_locked("stream error");
+    return;
+  }
   ++wal_entries_;
   obs::Registry::global().counter("store.wal_appends").add();
 }
@@ -281,6 +319,11 @@ std::size_t RunStore::dropped_tail_bytes() const {
   return dropped_tail_bytes_;
 }
 
+bool RunStore::degraded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
 bool RunStore::compact() {
   obs::Span span("store_compact", "store");
   const std::lock_guard<std::mutex> lock(mu_);
@@ -303,6 +346,13 @@ bool RunStore::compact() {
   span.arg("entries",
            static_cast<double>(runs_.size() + metrics_.size() + state_.size()));
   obs::Registry::global().counter("store.compactions").add();
+  if (wal_ && degraded_) {
+    // The snapshot just persisted the full mirror and the WAL is fresh:
+    // the degradation is healed.
+    degraded_ = false;
+    obs::Registry::global().gauge("store.degraded").set(0.0);
+    std::fprintf(stderr, "[maestro::store] WAL recovered by compaction in %s\n", dir_.c_str());
+  }
   return static_cast<bool>(wal_);
 }
 

@@ -95,10 +95,20 @@ class RunStore {
   std::size_t dropped_tail_bytes() const;
 
   /// Fold everything into snapshot.jsonl (write-temp + atomic rename), then
-  /// truncate the WAL. False on I/O failure (store stays usable).
+  /// truncate the WAL. False on I/O failure (store stays usable). A
+  /// successful compaction also recovers a degraded store: the snapshot
+  /// persists the full in-memory mirror and the WAL reopens fresh.
   bool compact();
 
+  /// True once a WAL write failed (real stream error or injected EIO /
+  /// short write at fault site "store.wal"). A degraded store keeps full
+  /// in-memory service — lookups, caches and campaigns continue — but stops
+  /// appending to disk until compact() succeeds; the first failure logs a
+  /// warning to stderr.
+  bool degraded() const;
+
  private:
+  void degrade_locked(const char* why);
   void append_line_locked(const util::Json& entry);
   bool ingest_locked(const util::Json& entry);
   std::size_t replay_file(const std::string& path, bool tolerate_torn_tail);
@@ -115,6 +125,8 @@ class RunStore {
   std::size_t wal_entries_ = 0;
   std::size_t recovered_entries_ = 0;
   std::size_t dropped_tail_bytes_ = 0;
+  std::size_t wal_seq_ = 0;  ///< append attempts; seeds the WAL fault site
+  bool degraded_ = false;
 };
 
 /// Bridge the in-memory METRICS server into a durable store: every record
