@@ -89,8 +89,16 @@ void RunExecutor::timer_loop() {
         timer_cv_.wait(lock, [this] { return stopping_ || !timer_queue_.empty(); });
         continue;
       }
+      // Wake early when stopping or when schedule_at() inserts an action
+      // due *before* the one this wait was armed for (a short deadline
+      // watchdog, hedge launch or backoff retry landing ahead of a long
+      // watchdog); loop to recompute the wait target instead of sleeping
+      // toward a stale front.
       const auto next = timer_queue_.begin()->first;
-      if (timer_cv_.wait_until(lock, next, [this] { return stopping_; })) return;
+      timer_cv_.wait_until(lock, next, [this, next] {
+        return stopping_ || timer_queue_.empty() || timer_queue_.begin()->first < next;
+      });
+      if (stopping_) return;
       const auto now = std::chrono::steady_clock::now();
       while (!timer_queue_.empty() && timer_queue_.begin()->first <= now) {
         due.push_back(std::move(timer_queue_.begin()->second));

@@ -47,6 +47,7 @@
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <typeindex>
 #include <unordered_map>
 #include <vector>
 
@@ -96,9 +97,14 @@ class RunExecutor {
 
   /// Submit one run. `fn` is invoked as fn(RunContext&) on a worker thread
   /// once a license is available; the returned future carries its result.
+  /// `on_abort`, if set, fires when the run is skipped without ever invoking
+  /// `fn` (cancelled or past its deadline while still queued) with the
+  /// terminal state and the exception the future will deliver — submit_memo
+  /// uses it to settle in-flight joiners that never see the body run.
   template <typename F>
   auto submit(std::string label, std::uint64_t seed, F fn, CancelToken cancel = {},
-              std::chrono::steady_clock::time_point deadline = {})
+              std::chrono::steady_clock::time_point deadline = {},
+              std::function<void(RunState, std::exception_ptr)> on_abort = {})
       -> std::future<std::invoke_result_t<F&, RunContext&>> {
     using R = std::invoke_result_t<F&, RunContext&>;
     static_assert(!std::is_void_v<R>, "pooled runs must return a result");
@@ -119,13 +125,16 @@ class RunExecutor {
     task.seed = seed;
     task.cancel = cancel;
     task.deadline = deadline;
-    task.body = [slot, fn = std::move(fn)](RunContext& ctx, bool run) mutable -> Outcome {
+    task.body = [slot, fn = std::move(fn),
+                 on_abort = std::move(on_abort)](RunContext& ctx, bool run) mutable -> Outcome {
       if (!run) {
         if (ctx.past_deadline()) {
           slot->error = std::make_exception_ptr(resil::RunTimedOut{});
+          if (on_abort) on_abort(RunState::TimedOut, slot->error);
           return {RunState::TimedOut, "deadline"};
         }
         slot->error = std::make_exception_ptr(RunCancelled{});
+        if (on_abort) on_abort(RunState::Cancelled, slot->error);
         return {RunState::Cancelled, {}};
       }
       try {
@@ -162,9 +171,25 @@ class RunExecutor {
   /// license. The result type must be copy-constructible. The attempt body
   /// also consults the fault injector at site "exec.license" so injected
   /// license drops exercise the retry path.
+  ///
+  /// `cancel`, when provided, is the *caller's* token for the logical run:
+  /// requesting cancellation on it cancels every in-flight attempt, stops
+  /// further retries/hedges, and fails the returned future with
+  /// RunCancelled. CancelToken is a plain flag with no callback hook, so
+  /// the token is polled on the timer thread (~5 ms cadence) until the run
+  /// settles.
+  ///
+  /// `on_fail`, if set, fires exactly once if the logical run settles with
+  /// an exception — (Failed, exhausted retries' error), (TimedOut,
+  /// RunTimedOut) or (Cancelled, RunCancelled) — *before* the returned
+  /// future observes it, so any bookkeeping it does (submit_memo settles
+  /// in-flight joiners and releases cancelled fingerprints) is consistent
+  /// by the time the caller unblocks.
   template <typename F>
   auto submit_resilient(std::string label, std::uint64_t seed, F fn,
-                        resil::ResilOptions opt = {})
+                        resil::ResilOptions opt = {},
+                        std::optional<CancelToken> cancel = std::nullopt,
+                        std::function<void(RunState, std::exception_ptr)> on_fail = {})
       -> std::future<std::invoke_result_t<F&, RunContext&>> {
     using R = std::invoke_result_t<F&, RunContext&>;
     static_assert(std::is_copy_constructible_v<R>,
@@ -184,11 +209,14 @@ class RunExecutor {
       std::string label;
       std::uint64_t base_seed = 0;
       Clock::time_point deadline{};
+      /// Invoked once, after the promise settles with an exception.
+      std::function<void(RunState, std::exception_ptr)> on_fail;
     };
     auto st = std::make_shared<State>();
     st->opt = opt;
     st->label = std::move(label);
     st->base_seed = seed;
+    st->on_fail = std::move(on_fail);
     if (opt.deadline_ms > 0.0) st->deadline = Clock::now() + to_duration(opt.deadline_ms);
     std::future<R> fut = st->promise.get_future();
 
@@ -279,7 +307,11 @@ class RunExecutor {
                                 [self, next] { (*self)(next, /*is_hedge=*/false); });
             }
           }
-          if (exhausted) st->promise.set_exception(std::current_exception());
+          if (exhausted) {
+            const std::exception_ptr err = std::current_exception();
+            if (st->on_fail) st->on_fail(RunState::Failed, err);
+            st->promise.set_exception(err);
+          }
           throw;  // journal this attempt as Failed
         }
       };
@@ -316,10 +348,45 @@ class RunExecutor {
           }
         }
         if (expired) {
-          st->promise.set_exception(std::make_exception_ptr(resil::RunTimedOut{}));
+          const auto err = std::make_exception_ptr(resil::RunTimedOut{});
           for (auto& t : live) t.request_cancel();
+          if (st->on_fail) st->on_fail(RunState::TimedOut, err);
+          st->promise.set_exception(err);
         }
       });
+    }
+    if (cancel) {
+      // The caller's token has no callback hook, so a lightweight poll on
+      // the timer thread watches it: on cancellation every live attempt is
+      // cancelled, the promise fails with RunCancelled, and polling stops.
+      // The chain also stops (and is released) once the run settles any
+      // other way.
+      const CancelToken parent = *cancel;
+      auto poll = std::make_shared<std::function<void()>>();
+      *poll = [this, st, parent, wpoll = std::weak_ptr<std::function<void()>>(poll)] {
+        auto self = wpoll.lock();
+        if (!self) return;
+        std::vector<CancelToken> live;
+        bool fire = false;
+        {
+          std::lock_guard<std::mutex> lk(st->mu);
+          if (st->settled) return;
+          if (parent.cancelled()) {
+            st->settled = true;
+            fire = true;
+            live = st->tokens;
+          }
+        }
+        if (fire) {
+          const auto err = std::make_exception_ptr(RunCancelled{});
+          for (auto& t : live) t.request_cancel();
+          if (st->on_fail) st->on_fail(RunState::Cancelled, err);
+          st->promise.set_exception(err);
+          return;
+        }
+        this->schedule_at(Clock::now() + to_duration(5.0), [self] { (*self)(); });
+      };
+      (*poll)();
     }
     return fut;
   }
@@ -334,11 +401,18 @@ class RunExecutor {
   /// memoizes its result on completion.
   ///
   /// Duplicate fingerprints submitted while the first is still in flight
-  /// join the first run's shared future (journal note "inflight_join",
-  /// counter exec.inflight_joins) instead of burning a license on a
-  /// duplicate execution. All submissions of one fingerprint must share a
-  /// result type. A fingerprint whose resilient run exhausted its retries
-  /// keeps its in-flight entry, so later joiners observe the same error.
+  /// join the first run (counter exec.inflight_joins) instead of burning a
+  /// license on a duplicate execution. A join returns a promise-backed
+  /// future (wait_for/wait_until behave normally) settled when the
+  /// underlying run resolves, and is journaled at that point with the run's
+  /// *terminal* state — Completed, Failed, TimedOut or Cancelled — under
+  /// note "inflight_join". The caller's token and the first run's
+  /// resilience policy both stay live: cancelling the first submission's
+  /// token settles joiners too. All submissions of one fingerprint must
+  /// share a result type (enforced: a mismatch throws std::logic_error). A
+  /// fingerprint whose resilient run exhausted its retries or timed out
+  /// keeps its settled entry, so later joiners observe the same error;
+  /// cancelled runs release the fingerprint for a later re-run.
   ///
   /// `Cache` is any copyable handle with
   ///   std::optional<R> lookup(std::uint64_t) and
@@ -362,32 +436,49 @@ class RunExecutor {
     }
     std::unique_lock<std::mutex> memo_lock(memo_mu_);
     if (auto it = memo_inflight_.find(fingerprint); it != memo_inflight_.end()) {
-      auto sf = std::static_pointer_cast<std::shared_future<R>>(it->second);
+      if (it->second.type != std::type_index(typeid(R))) {
+        throw std::logic_error(
+            "submit_memo: fingerprint resubmitted with a different result type");
+      }
+      auto entry = std::static_pointer_cast<MemoEntry<R>>(it->second.entry);
       memo_lock.unlock();
       const std::uint64_t run_id = journal_.on_enqueue(std::move(label), seed);
-      journal_.on_finish(run_id, RunState::Completed, "inflight_join");
       obs::Registry::global().counter("exec.inflight_joins").add();
-      return std::async(std::launch::deferred, [sf] { return sf->get(); });
+      return entry->join(run_id, journal_);
     }
+    auto entry = std::make_shared<MemoEntry<R>>();
+    memo_inflight_.emplace(fingerprint,
+                           MemoSlot{entry, std::type_index(typeid(R))});
+    memo_lock.unlock();
+
     const bool single_shot = !resilience.enabled();
     auto wrapped = [this, cache = std::move(cache), fingerprint, fn = std::move(fn),
-                    single_shot](RunContext& ctx) mutable -> R {
+                    single_shot, entry](RunContext& ctx) mutable -> R {
       try {
         R result = fn(ctx);
         if (!ctx.should_stop()) {
           cache.insert(fingerprint, result);
+          entry->settle_value(RunState::Completed, result, this->journal_);
           this->memo_erase(fingerprint);
         } else if (single_shot) {
-          this->memo_erase(fingerprint);  // partial result: let later runs retry
+          // Partial result: joiners receive it (same as the submitter) but
+          // the fingerprint is released so a later submission re-runs.
+          entry->settle_value(
+              ctx.past_deadline() ? RunState::TimedOut : RunState::Cancelled, result,
+              this->journal_);
+          this->memo_erase(fingerprint);
         }
         return result;
       } catch (...) {
-        if (single_shot) this->memo_erase(fingerprint);
+        if (single_shot) {
+          entry->settle_error(RunState::Failed, std::current_exception(),
+                              this->journal_);
+          this->memo_erase(fingerprint);
+        }
         throw;
       }
     };
-    std::future<R> fut;
-    if (resilience.enabled()) {
+    if (!single_shot) {
       if (deadline != std::chrono::steady_clock::time_point{} &&
           resilience.deadline_ms <= 0.0) {
         const double remaining = std::chrono::duration<double, std::milli>(
@@ -395,14 +486,25 @@ class RunExecutor {
                                      .count();
         resilience.deadline_ms = remaining > 0.0 ? remaining : 0.001;
       }
-      fut = submit_resilient(std::move(label), seed, std::move(wrapped), resilience);
-    } else {
-      fut = submit(std::move(label), seed, std::move(wrapped), std::move(cancel), deadline);
+      // Terminal resilient failures (exhausted retries, deadline expiry,
+      // caller cancellation) settle joiners with the same exception. Only
+      // cancellation frees the fingerprint — Failed/TimedOut entries stay
+      // so later joiners share the error instead of re-crashing.
+      auto on_fail = [this, entry, fingerprint](RunState s, std::exception_ptr e) {
+        entry->settle_error(s, e, this->journal_);
+        if (s == RunState::Cancelled) this->memo_erase(fingerprint);
+      };
+      return submit_resilient(std::move(label), seed, std::move(wrapped), resilience,
+                              cancel, std::move(on_fail));
     }
-    auto sf = std::make_shared<std::shared_future<R>>(fut.share());
-    memo_inflight_.emplace(fingerprint, sf);
-    memo_lock.unlock();
-    return std::async(std::launch::deferred, [sf] { return sf->get(); });
+    // Skipped-while-queued runs (cancel or deadline) never invoke `wrapped`,
+    // so the abort hook settles joiners and releases the fingerprint.
+    auto on_abort = [this, entry, fingerprint](RunState s, std::exception_ptr e) {
+      entry->settle_error(s, e, this->journal_);
+      this->memo_erase(fingerprint);
+    };
+    return submit(std::move(label), seed, std::move(wrapped), std::move(cancel), deadline,
+                  std::move(on_abort));
   }
 
   /// Fan out n runs whose seeds derive from (base_seed, index) and collect
@@ -450,6 +552,88 @@ class RunExecutor {
     std::function<void()> deliver;
   };
 
+  /// One in-flight memoized run. Joiners park a promise here; whichever
+  /// settle path resolves the run first (worker success, failure, skip
+  /// abort, resilient on_fail) fulfils every parked promise with the
+  /// terminal value/error and journals each joiner's row with the run's
+  /// real terminal state, note "inflight_join". Settling is idempotent —
+  /// the first settle wins, later calls are no-ops — and after `done` the
+  /// value/error/state fields are immutable, so post-settle joins read them
+  /// without re-locking hazards.
+  template <typename R>
+  struct MemoEntry {
+    struct Waiter {
+      std::promise<R> promise;
+      std::uint64_t run_id = 0;
+    };
+
+    std::mutex mu;
+    bool done = false;
+    RunState state = RunState::Completed;
+    std::optional<R> value;
+    std::exception_ptr error;
+    std::vector<Waiter> waiters;
+
+    void settle_value(RunState s, const R& v, RunJournal& journal) {
+      std::vector<Waiter> pending;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (done) return;
+        done = true;
+        state = s;
+        value = v;
+        pending.swap(waiters);
+      }
+      for (auto& w : pending) {
+        journal.on_finish(w.run_id, s, "inflight_join");
+        w.promise.set_value(*value);
+      }
+    }
+
+    void settle_error(RunState s, std::exception_ptr e, RunJournal& journal) {
+      std::vector<Waiter> pending;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (done) return;
+        done = true;
+        state = s;
+        error = e;
+        pending.swap(waiters);
+      }
+      for (auto& w : pending) {
+        journal.on_finish(w.run_id, s, "inflight_join");
+        w.promise.set_exception(error);
+      }
+    }
+
+    /// Promise-backed join: ready immediately when already settled, else
+    /// parked until a settle path fires.
+    std::future<R> join(std::uint64_t run_id, RunJournal& journal) {
+      std::unique_lock<std::mutex> lk(mu);
+      if (done) {
+        lk.unlock();
+        journal.on_finish(run_id, state, "inflight_join");
+        std::promise<R> ready;
+        if (error) ready.set_exception(error);
+        else ready.set_value(*value);
+        return ready.get_future();
+      }
+      Waiter w;
+      w.run_id = run_id;
+      std::future<R> fut = w.promise.get_future();
+      waiters.push_back(std::move(w));
+      return fut;
+    }
+  };
+
+  /// Type-erased MemoEntry<R> plus the R it was erased from, so a
+  /// fingerprint resubmitted with a different result type is detected
+  /// instead of being static-cast into undefined behavior.
+  struct MemoSlot {
+    std::shared_ptr<void> entry;
+    std::type_index type;
+  };
+
   static std::chrono::steady_clock::duration to_duration(double ms) {
     return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
         std::chrono::duration<double, std::milli>(ms));
@@ -478,8 +662,9 @@ class RunExecutor {
   bool timer_started_ = false;
 
   std::mutex memo_mu_;
-  /// fingerprint -> shared_ptr<std::shared_future<R>> of the in-flight run.
-  std::unordered_map<std::uint64_t, std::shared_ptr<void>> memo_inflight_;
+  /// fingerprint -> typed MemoEntry<R> of the in-flight (or terminally
+  /// failed resilient) run.
+  std::unordered_map<std::uint64_t, MemoSlot> memo_inflight_;
 
   std::vector<std::thread> workers_;
   std::thread timer_;

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -254,6 +255,44 @@ TEST(SubmitResilient, HedgedLoserIsCancelledExactlyOnce) {
   EXPECT_EQ(pool.journal().summarize().completed, 1u);
 }
 
+TEST(TimerThread, EarlierActionPreemptsArmedLongWait) {
+  exec::RunExecutor pool{{.threads = 1}};
+  // Arm the timer with a far deadline, then insert a near action: the timer
+  // must re-arm for the new front instead of sleeping toward the stale one
+  // (a short deadline watchdog submitted while a long one is queued).
+  pool.schedule_at(std::chrono::steady_clock::now() + 60s, [] {});
+  std::this_thread::sleep_for(20ms);  // let the timer thread arm the long wait
+  std::promise<void> fired;
+  auto fired_fut = fired.get_future();
+  pool.schedule_at(std::chrono::steady_clock::now() + 20ms,
+                   [&fired] { fired.set_value(); });
+  ASSERT_EQ(fired_fut.wait_for(5s), std::future_status::ready);
+}
+
+TEST(SubmitResilient, CallerTokenCancelsTheLogicalRun) {
+  exec::RunExecutor pool{{.threads = 2, .licenses = 1}};
+  resil::ResilOptions opt;
+  opt.retry.max_attempts = 3;
+  exec::CancelToken cancel;
+  auto fut = pool.submit_resilient(
+      "cancellable", 5,
+      [](exec::RunContext& ctx) -> int {
+        for (int i = 0; i < 10000 && !ctx.should_stop(); ++i) {
+          std::this_thread::sleep_for(1ms);
+        }
+        return 1;
+      },
+      opt, cancel);
+  std::this_thread::sleep_for(20ms);
+  cancel.request_cancel();
+  EXPECT_THROW(fut.get(), exec::RunCancelled);
+  // The cancelled attempt released its (only) license and no retry of the
+  // cancelled logical run stole it.
+  auto after = pool.submit("after", 6, [](exec::RunContext&) { return 2; });
+  ASSERT_EQ(after.wait_for(10s), std::future_status::ready);
+  EXPECT_EQ(after.get(), 2);
+}
+
 TEST(SubmitResilient, InjectedLicenseDropExercisesRetries) {
   FaultGuard guard;
   resil::FaultRates rates;
@@ -275,22 +314,24 @@ TEST(SubmitResilient, InjectedLicenseDropExercisesRetries) {
 // submit_memo: in-flight dedup and threaded deadlines
 
 /// Minimal copyable cache handle for submit_memo.
-struct MapCache {
+template <typename V>
+struct MapCacheT {
   std::shared_ptr<std::mutex> mu = std::make_shared<std::mutex>();
-  std::shared_ptr<std::map<std::uint64_t, int>> m =
-      std::make_shared<std::map<std::uint64_t, int>>();
+  std::shared_ptr<std::map<std::uint64_t, V>> m =
+      std::make_shared<std::map<std::uint64_t, V>>();
 
-  std::optional<int> lookup(std::uint64_t fp) {
+  std::optional<V> lookup(std::uint64_t fp) {
     const std::lock_guard<std::mutex> lock(*mu);
     const auto it = m->find(fp);
     if (it == m->end()) return std::nullopt;
     return it->second;
   }
-  void insert(std::uint64_t fp, const int& v) {
+  void insert(std::uint64_t fp, const V& v) {
     const std::lock_guard<std::mutex> lock(*mu);
     (*m)[fp] = v;
   }
 };
+using MapCache = MapCacheT<int>;
 
 TEST(SubmitMemo, DuplicateInflightFingerprintsExecuteOnce) {
   exec::RunExecutor pool{{.threads = 4}};
@@ -315,6 +356,79 @@ TEST(SubmitMemo, DuplicateInflightFingerprintsExecuteOnce) {
   EXPECT_EQ(third.get(), 5);
   EXPECT_EQ(executions.load(), 1);
   EXPECT_EQ(counter_value("exec.cache_hits") - hits_before, 1u);
+}
+
+TEST(SubmitMemo, JoinerFutureIsPromiseBackedAndSeesTheRunsError) {
+  exec::RunExecutor pool{{.threads = 2}};
+  MapCache cache;
+  std::atomic<bool> release{false};
+  const auto body = [&](exec::RunContext&) -> int {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    throw std::runtime_error("boom");
+  };
+  auto first = pool.submit_memo("err#0", 1, /*fingerprint=*/7, cache, body);
+  auto second = pool.submit_memo("err#1", 2, /*fingerprint=*/7, cache, body);
+  // The join is promise-backed: polling reports timeout, never deferred.
+  EXPECT_EQ(second.wait_for(0ms), std::future_status::timeout);
+  release.store(true);
+  EXPECT_THROW(first.get(), std::runtime_error);
+  ASSERT_EQ(second.wait_for(10s), std::future_status::ready);
+  EXPECT_THROW(second.get(), std::runtime_error);
+  // The join row is journaled with the run's *terminal* state, not a
+  // premature Completed: both rows count as Failed.
+  EXPECT_TRUE(eventually([&] { return pool.journal().summarize().failed == 2; }));
+  bool saw_join = false;
+  for (const auto& rec : pool.journal().snapshot()) {
+    if (rec.note == "inflight_join") {
+      saw_join = true;
+      EXPECT_EQ(rec.state, exec::RunState::Failed);
+    }
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+TEST(SubmitMemo, MismatchedResultTypeForOneFingerprintThrows) {
+  exec::RunExecutor pool{{.threads = 2}};
+  MapCache int_cache;
+  MapCacheT<double> double_cache;
+  std::atomic<bool> release{false};
+  auto first = pool.submit_memo("typed#0", 1, /*fingerprint=*/55, int_cache,
+                                [&](exec::RunContext&) {
+                                  while (!release.load()) std::this_thread::sleep_for(1ms);
+                                  return 1;
+                                });
+  // Same fingerprint, different result type: detected, not undefined behavior.
+  EXPECT_THROW(pool.submit_memo("typed#1", 2, /*fingerprint=*/55, double_cache,
+                                [](exec::RunContext&) { return 2.5; }),
+               std::logic_error);
+  release.store(true);
+  EXPECT_EQ(first.get(), 1);
+}
+
+TEST(SubmitMemo, CallerTokenCancelsResilientMemoRun) {
+  exec::RunExecutor pool{{.threads = 2}};
+  MapCache cache;
+  resil::ResilOptions resilience;
+  resilience.retry.max_attempts = 2;
+  exec::CancelToken cancel;
+  auto fut = pool.submit_memo(
+      "memo_cancellable", 4, /*fingerprint=*/77, cache,
+      [](exec::RunContext& ctx) {
+        for (int i = 0; i < 10000 && !ctx.should_stop(); ++i) {
+          std::this_thread::sleep_for(1ms);
+        }
+        return 9;
+      },
+      cancel, std::chrono::steady_clock::time_point{}, resilience);
+  std::this_thread::sleep_for(20ms);
+  cancel.request_cancel();
+  EXPECT_THROW(fut.get(), exec::RunCancelled);
+  // The partial result never reached the cache and the fingerprint was
+  // released, so a fresh submission re-runs instead of joining a corpse.
+  EXPECT_FALSE(cache.lookup(77).has_value());
+  auto again = pool.submit_memo("memo_again", 5, /*fingerprint=*/77, cache,
+                                [](exec::RunContext&) { return 3; });
+  EXPECT_EQ(again.get(), 3);
 }
 
 TEST(SubmitMemo, ThreadsDeadlineThroughToResilientDispatch) {
