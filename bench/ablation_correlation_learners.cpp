@@ -9,6 +9,7 @@
 
 #include "core/correlation.hpp"
 #include "flow/flow.hpp"
+#include "timing/timing_graph.hpp"
 #include "util/csv.hpp"
 
 int main() {
@@ -30,15 +31,17 @@ int main() {
     flow::DesignState state;
     fm.run_keep_state(recipe, flow::FlowConstraints{}, state);
 
+    // Both engines share one levelized graph (built once per design).
+    timing::TimingGraph graph(*state.pl, state.clock);
     timing::StaOptions gba;
     gba.mode = timing::AnalysisMode::GraphBased;
     gba.clock_period_ps = 1000.0 / 1.2;
-    const auto rep_gba = timing::run_sta(*state.pl, state.clock, gba);
+    const auto rep_gba = graph.analyze(gba);
     timing::StaOptions so;
     so.mode = timing::AnalysisMode::PathBased;
     so.with_si = true;
     so.clock_period_ps = 1000.0 / 1.2;
-    const auto rep_so = timing::run_sta(*state.pl, state.clock, so, &state.routed);
+    const auto rep_so = graph.analyze(so, &state.routed);
 
     const auto pairs = core::pair_endpoints(rep_gba, rep_so);
     auto& dst = seed <= 4 ? train : test;

@@ -19,6 +19,7 @@
 
 #include "core/correlation.hpp"
 #include "flow/flow.hpp"
+#include "timing/timing_graph.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -49,17 +50,20 @@ int main() {
     recipe.seed = seed;
     fm.run_keep_state(recipe, flow::FlowConstraints{}, run->state);
 
+    // One graph answers all three queries — the levelized structure, loads
+    // and geometry are built once and shared across gba/pba/signoff.
+    timing::TimingGraph graph(*run->state.pl, run->state.clock);
     timing::StaOptions gba;
     gba.mode = timing::AnalysisMode::GraphBased;
     gba.clock_period_ps = period_ps;
-    run->gba = timing::run_sta(*run->state.pl, run->state.clock, gba);
+    run->gba = graph.analyze(gba);
     timing::StaOptions pba;
     pba.mode = timing::AnalysisMode::PathBased;
     pba.clock_period_ps = period_ps;
-    run->pba = timing::run_sta(*run->state.pl, run->state.clock, pba);
+    run->pba = graph.analyze(pba);
     timing::StaOptions so = pba;
     so.with_si = true;
-    run->signoff = timing::run_sta(*run->state.pl, run->state.clock, so, &run->state.routed);
+    run->signoff = graph.analyze(so, &run->state.routed);
     runs.push_back(std::move(run));
   }
 

@@ -23,6 +23,7 @@
 #include "store/run_cache.hpp"
 #include "store/run_store.hpp"
 #include "timing/sta.hpp"
+#include "timing/timing_graph.hpp"
 
 using namespace maestro;
 
@@ -129,6 +130,66 @@ static void BM_StaPba(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StaPba);
+
+static void BM_StaCachedGraph(benchmark::State& state) {
+  // Query cost with the levelized graph amortized across calls (the
+  // long-lived-caller pattern); contrast with BM_StaPba's build-per-call.
+  const auto& f = fixture(1000);
+  timing::TimingGraph graph(*f.pl, f.clock);
+  timing::StaOptions opt;
+  opt.mode = timing::AnalysisMode::PathBased;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.analyze(opt));
+  }
+}
+BENCHMARK(BM_StaCachedGraph);
+
+static void BM_StaIncremental(benchmark::State& state) {
+  // Re-propagation cost after a single-gate resize (the sizing/ECO pattern).
+  const auto& f = fixture(1000);
+  timing::TimingGraph graph(*f.pl, f.clock);
+  timing::StaOptions opt;
+  opt.mode = timing::AnalysisMode::PathBased;
+  graph.analyze(opt);
+  // Flip one mid-netlist gate between two drive variants each iteration.
+  netlist::Netlist& nl = *f.nl;
+  netlist::InstanceId victim = netlist::kNoInstance;
+  std::size_t other = 0;
+  for (std::size_t i = nl.instance_count() / 2; i < nl.instance_count(); ++i) {
+    const auto id = static_cast<netlist::InstanceId>(i);
+    const auto fn = nl.master_of(id).function;
+    if (fn == netlist::CellFunction::Input || fn == netlist::CellFunction::Output ||
+        fn == netlist::CellFunction::Dff) {
+      continue;
+    }
+    const auto vars = lib().variants(fn);
+    if (vars.size() < 2) continue;
+    victim = id;
+    other = nl.instance(id).master == vars[0] ? vars[1] : vars[0];
+    break;
+  }
+  const std::size_t original = nl.instance(victim).master;
+  bool flipped = false;
+  for (auto _ : state) {
+    nl.resize_instance(victim, flipped ? original : other);
+    flipped = !flipped;
+    benchmark::DoNotOptimize(graph.reanalyze({victim}, opt));
+  }
+  nl.resize_instance(victim, original);
+}
+BENCHMARK(BM_StaIncremental);
+
+static void BM_StaBatchedCorners(benchmark::State& state) {
+  // All three standard corners in one sweep vs. three sequential analyses.
+  const auto& f = fixture(1000);
+  timing::TimingGraph graph(*f.pl, f.clock);
+  timing::StaOptions opt;
+  opt.mode = timing::AnalysisMode::PathBased;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.analyze_corners(opt, timing::standard_corners()));
+  }
+}
+BENCHMARK(BM_StaBatchedCorners);
 
 static void BM_IrDrop(benchmark::State& state) {
   const auto& f = fixture(1000);

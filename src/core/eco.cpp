@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "timing/timing_graph.hpp"
+
 namespace maestro::core {
 
 using netlist::CellFunction;
@@ -20,7 +22,11 @@ HoldFixResult fix_hold(flow::DesignState& state, timing::StaOptions sta,
   // BUF_X1 has the largest delay per unit area — the natural hold buffer.
   const std::size_t buf_master = lib.smallest(CellFunction::Buf);
 
-  timing::StaReport before = timing::run_sta(pl, state.clock, sta);
+  // One timing graph for the whole ECO session: each buffer insertion syncs
+  // the structure and re-propagates only the touched cone instead of paying
+  // a full STA per probe (the seed ran 2 full analyses per inserted buffer).
+  timing::TimingGraph tg(pl, state.clock);
+  timing::StaReport before = tg.analyze(sta);
   res.whs_before_ps = before.whs_ps;
   res.wns_before_ps = before.wns_ps;
   if (before.hold_violations == 0) {
@@ -44,8 +50,8 @@ HoldFixResult fix_hold(flow::DesignState& state, timing::StaOptions sta,
     bool fixed = false;
     for (int b = 0; b < opt.max_buffers_per_endpoint; ++b) {
       if (res.buffers_added >= static_cast<std::size_t>(opt.max_total_buffers)) break;
-      // Current hold slack at this endpoint.
-      const timing::StaReport now = timing::run_sta(pl, state.clock, sta);
+      // Current hold slack at this endpoint (cached state; empty dirty set).
+      const timing::StaReport now = tg.reanalyze({}, sta);
       const auto* ep = now.endpoint_of(flop);
       if (ep == nullptr) break;
       if (ep->hold_slack_ps >= opt.target_slack_ps) {
@@ -68,7 +74,8 @@ HoldFixResult fix_hold(flow::DesignState& state, timing::StaOptions sta,
 
       // If setup at this endpoint went negative, undo is impossible in this
       // simple editor; stop adding here (the check below reports it).
-      const timing::StaReport check = timing::run_sta(pl, state.clock, sta);
+      tg.sync();
+      const timing::StaReport check = tg.reanalyze({buf}, sta);
       const auto* ep2 = check.endpoint_of(flop);
       if (ep2 != nullptr && ep2->slack_ps < 0.0) break;
     }
@@ -76,7 +83,7 @@ HoldFixResult fix_hold(flow::DesignState& state, timing::StaOptions sta,
     else ++res.endpoints_unfixed;
   }
 
-  const timing::StaReport after = timing::run_sta(pl, state.clock, sta);
+  const timing::StaReport after = tg.reanalyze({}, sta);
   res.whs_after_ps = after.whs_ps;
   res.wns_after_ps = after.wns_ps;
   // Count any endpoints that ended clean without consuming their budget as

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "timing/timing_graph.hpp"
+
 namespace maestro::core {
 
 using netlist::CellFunction;
@@ -12,14 +14,18 @@ using netlist::InstanceId;
 SizerResult size_greedy(netlist::Netlist& nl, const SizerOptions& opt) {
   SizerResult res;
   const auto& lib = nl.library();
-  res.initial_delay_ps = flow::wireload_timing(nl, opt.wireload_factor).critical_path_ps;
+  // One timing graph for the whole sizing session. The structure never
+  // changes (only masters do), so every trial/undo/commit below re-times
+  // just the resized gate's forward cone instead of the full netlist — the
+  // inner loop this kernel was built for.
+  timing::TimingGraph tg(nl);
+  res.initial_delay_ps = tg.wireload_propagate(opt.wireload_factor);
   res.initial_area_um2 = nl.total_area_um2();
   double current = res.initial_delay_ps;
 
   for (int move = 0; move < opt.max_moves; ++move) {
     if (opt.target_delay_ps > 0.0 && current <= opt.target_delay_ps) break;
-    const flow::WireloadTiming wt = flow::wireload_timing(nl, opt.wireload_factor);
-    current = wt.critical_path_ps;
+    const std::vector<double>& arrival_ps = tg.wireload_arrivals();
 
     // Candidates: gates whose output arrival is near-critical.
     std::vector<InstanceId> candidates;
@@ -30,7 +36,7 @@ SizerResult size_greedy(netlist::Netlist& nl, const SizerOptions& opt) {
           m.function == CellFunction::Dff) {
         continue;
       }
-      if (wt.arrival_ps[i] >= 0.95 * current) candidates.push_back(id);
+      if (arrival_ps[i] >= 0.95 * current) candidates.push_back(id);
     }
     // Also consider drivers of the critical endpoints' immediate fanin (the
     // last stage often binds through the endpoint, not its own arrival).
@@ -49,8 +55,9 @@ SizerResult size_greedy(netlist::Netlist& nl, const SizerOptions& opt) {
         const std::size_t old_master = nl.instance(id).master;
         const double old_area = m.area_um2;
         nl.resize_instance(id, up);
-        const double after = flow::wireload_timing(nl, opt.wireload_factor).critical_path_ps;
+        const double after = tg.wireload_repropagate({id}, opt.wireload_factor);
         nl.resize_instance(id, old_master);
+        tg.wireload_repropagate({id}, opt.wireload_factor);  // undo the trial
         const double gain = current - after;
         const double darea = lib.master(up).area_um2 - old_area;
         const double score = gain / std::max(darea, 1e-6);
@@ -65,7 +72,7 @@ SizerResult size_greedy(netlist::Netlist& nl, const SizerOptions& opt) {
     if (best == netlist::kNoInstance) break;  // no improving move
     nl.resize_instance(best, best_master);
     ++res.moves;
-    current = flow::wireload_timing(nl, opt.wireload_factor).critical_path_ps;
+    current = tg.wireload_repropagate({best}, opt.wireload_factor);
   }
   res.final_delay_ps = current;
   res.final_area_um2 = nl.total_area_um2();

@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "resil/fault.hpp"
 #include "route/detail_router.hpp"
+#include "timing/timing_graph.hpp"
 #include "util/rng.hpp"
 
 namespace maestro::flow {
@@ -86,47 +87,14 @@ std::optional<StepOutcome> consult_faults(const char* tool, const ToolContext& c
 
 WireloadTiming wireload_timing(const netlist::Netlist& nl, double wireload_factor,
                                double clk_to_q_margin_ps) {
+  // Thin wrapper over the levelized kernel's wireload mode; results are
+  // bit-identical to the original per-call sweep. Loops that re-time after
+  // local edits (sizing, TILOS trials) should hold a TimingGraph and use
+  // wireload_repropagate() instead.
+  timing::TimingGraph graph(nl);
   WireloadTiming wt;
-  wt.arrival_ps.assign(nl.instance_count(), 0.0);
-  const auto order = nl.topo_order();
-  for (const InstanceId u : order) {
-    const auto& m = nl.master_of(u);
-    double arr = 0.0;
-    if (m.function == CellFunction::Input) {
-      arr = 0.0;
-    } else if (m.function == CellFunction::Dff) {
-      arr = m.clk_to_q_ps + clk_to_q_margin_ps;
-    } else if (m.function == CellFunction::Output) {
-      continue;
-    } else {
-      double worst = 0.0;
-      for (const NetId in : nl.instance(u).input_nets) {
-        if (in == netlist::kNoNet) continue;
-        worst = std::max(worst, wt.arrival_ps[nl.net(in).driver]);
-      }
-      const NetId out = nl.instance(u).output_net;
-      double load = 0.0;
-      if (out != netlist::kNoNet) {
-        for (const auto& sink : nl.net(out).sinks) {
-          load += nl.master_of(sink.instance).input_cap_ff;
-        }
-      }
-      arr = worst + m.delay_ps(load * wireload_factor);
-    }
-    wt.arrival_ps[u] = arr;
-  }
-  // Critical path = worst arrival at any endpoint (flop D or PO input).
-  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
-    const auto id = static_cast<InstanceId>(i);
-    const auto& m = nl.master_of(id);
-    if (m.function != CellFunction::Dff && m.function != CellFunction::Output) continue;
-    for (const NetId in : nl.instance(id).input_nets) {
-      if (in == netlist::kNoNet) continue;
-      const double arr = wt.arrival_ps[nl.net(in).driver];
-      const double setup = m.function == CellFunction::Dff ? m.setup_ps : 0.0;
-      wt.critical_path_ps = std::max(wt.critical_path_ps, arr + setup);
-    }
-  }
+  wt.critical_path_ps = graph.wireload_propagate(wireload_factor, clk_to_q_margin_ps);
+  wt.arrival_ps = graph.wireload_arrivals();
   return wt;
 }
 
@@ -211,9 +179,16 @@ StepOutcome run_synthesis(DesignState& ds, const DesignSpec& spec, const ToolCon
   const double period_ps = 1000.0 / std::max(ctx.target_ghz, 1e-3);
   double achieved_ps = 0.0;
   int iters_used = 0;
+  // One timing graph for the whole sizing loop: the netlist structure is
+  // fixed here (buffering happened above), so each iteration re-propagates
+  // only the forward cone of the instances the previous iteration resized.
+  timing::TimingGraph tg(nl);
+  std::vector<InstanceId> resized;
   for (int it = 0; it < sizing_iters; ++it) {
-    const WireloadTiming wt = wireload_timing(nl, wl_factor);
-    achieved_ps = wt.critical_path_ps;
+    achieved_ps = it == 0 ? tg.wireload_propagate(wl_factor)
+                          : tg.wireload_repropagate(resized, wl_factor);
+    resized.clear();
+    const std::vector<double>& arrival_ps = tg.wireload_arrivals();
     util::LogIteration li;
     li.iteration = it;
     li.values["critical_path_ps"] = achieved_ps;
@@ -231,13 +206,16 @@ StepOutcome run_synthesis(DesignState& ds, const DesignSpec& spec, const ToolCon
       const auto id = static_cast<InstanceId>(i);
       const auto& m = nl.master_of(id);
       if (m.function == CellFunction::Input || m.function == CellFunction::Output) continue;
-      const double noisy_arrival = wt.arrival_ps[i] * (1.0 + rng.gauss(0.0, 0.02));
+      const double noisy_arrival = arrival_ps[i] * (1.0 + rng.gauss(0.0, 0.02));
       if (noisy_arrival < cut) continue;
       const auto variants = ds.lib->variants(m.function);
       // Find current variant position; upsize one step if possible.
       for (std::size_t v = 0; v + 1 < variants.size(); ++v) {
         if (ds.lib->master(variants[v]).drive == m.drive) {
-          if (rng.chance(0.85)) nl.resize_instance(id, variants[v + 1]);
+          if (rng.chance(0.85)) {
+            nl.resize_instance(id, variants[v + 1]);
+            resized.push_back(id);
+          }
           break;
         }
       }

@@ -50,8 +50,19 @@ class GridGraph {
 
   double capacity(std::size_t edge) const { return capacity_[edge]; }
   double usage(std::size_t edge) const { return usage_[edge]; }
-  void add_usage(std::size_t edge, double amount) { usage_[edge] += amount; }
-  void reset_usage() { std::fill(usage_.begin(), usage_.end(), 0.0); }
+  void add_usage(std::size_t edge, double amount) {
+    usage_[edge] += amount;
+    ++revision_;
+  }
+  void reset_usage() {
+    std::fill(usage_.begin(), usage_.end(), 0.0);
+    ++revision_;
+  }
+
+  /// Monotonic counter bumped on every usage mutation. Consumers caching
+  /// usage-derived state (e.g. the STA SI congestion map) compare revisions
+  /// instead of rescanning the grid to detect staleness.
+  std::uint64_t revision() const { return revision_; }
 
   double overflow(std::size_t edge) const {
     const double o = usage_[edge] - capacity_[edge];
@@ -72,6 +83,7 @@ class GridGraph {
   std::vector<double> capacity_;
   std::vector<double> usage_;
   std::vector<double> history_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace maestro::route

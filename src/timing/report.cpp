@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "timing/timing_graph.hpp"
+
 namespace maestro::timing {
 
 using netlist::CellFunction;
@@ -13,21 +15,21 @@ std::vector<TimingPath> report_timing(const place::Placement& pl, const ClockTre
                                       const StaOptions& opt, std::size_t n_paths,
                                       const route::GridGraph* routed) {
   const auto& nl = pl.netlist();
-  const StaReport rep = run_sta(pl, clock, opt, routed);
 
-  // Rebuild per-instance arrivals for backtracking. run_sta's NodeState is
-  // internal, so recompute arrivals with the same model (arrival values
-  // match run_sta bit-for-bit because the computation is identical).
+  // One kernel propagation supplies both the endpoint report and the
+  // per-instance arrivals the backtracker walks — the seed engine's local
+  // arrival recompute (a second full sweep) is gone.
+  TimingGraph graph(pl, clock);
+  const StaReport rep = graph.analyze(opt, routed);
+
   const bool pba = opt.mode == AnalysisMode::PathBased;
   const double derate = pba ? 1.0 : opt.gba_derate;
+  const bool with_si = opt.with_si && routed != nullptr;
+  SiMap si_map;
+  if (with_si) si_map = build_si_map(*routed);
 
-  std::vector<double> net_load(nl.net_count(), 0.0);
-  for (std::size_t n = 0; n < nl.net_count(); ++n) {
-    const auto& net = nl.net(static_cast<NetId>(n));
-    double load = opt.wire.cap_per_nm_ff * static_cast<double>(pl.net_hpwl(static_cast<NetId>(n)));
-    for (const auto& sink : net.sinks) load += nl.master_of(sink.instance).input_cap_ff;
-    net_load[n] = load;
-  }
+  // Stage wire delay for backtracking; mirrors the kernel model (including
+  // the SI coupling term, which the seed recompute omitted).
   auto wire_delay = [&](NetId n, InstanceId sink_inst) {
     const auto& net = nl.net(n);
     const geom::Point a = pl.pin_of(net.driver);
@@ -36,30 +38,18 @@ std::vector<TimingPath> report_timing(const place::Placement& pl, const ClockTre
                            : static_cast<double>(pl.net_hpwl(n));
     const double rw = opt.wire.res_per_nm_kohm * len;
     const double cw = opt.wire.cap_per_nm_ff * len;
-    return rw * (0.5 * cw + nl.master_of(sink_inst).input_cap_ff) * opt.corner.wire_factor;
+    double d = rw * (0.5 * cw + nl.master_of(sink_inst).input_cap_ff) * opt.corner.wire_factor;
+    if (with_si) {
+      const auto [c0, r0] = routed->indexer().cell_of(a);
+      const auto [c1, r1] = routed->indexer().cell_of(b);
+      d *= 1.0 + opt.si_coupling_factor *
+                     si_map.max_in_window(std::min(c0, c1), std::min(r0, r1),
+                                          std::max(c0, c1), std::max(r0, r1));
+    }
+    return d;
   };
 
-  std::vector<double> arrival(nl.instance_count(), 0.0);
-  const auto order = nl.topo_order();
-  for (const InstanceId u : order) {
-    const auto& m = nl.master_of(u);
-    if (m.function == CellFunction::Input) {
-      arrival[u] = opt.io_input_delay_ps;
-    } else if (m.function == CellFunction::Dff) {
-      arrival[u] = clock.insertion_of(u) + m.clk_to_q_ps * opt.corner.gate_factor;
-    } else if (m.function == CellFunction::Output) {
-      continue;
-    } else {
-      double worst = 0.0;
-      for (const NetId in : nl.instance(u).input_nets) {
-        if (in == netlist::kNoNet) continue;
-        worst = std::max(worst, arrival[nl.net(in).driver] + wire_delay(in, u) * derate);
-      }
-      const NetId out = nl.instance(u).output_net;
-      const double load = out != netlist::kNoNet ? net_load[out] : 0.0;
-      arrival[u] = worst + m.delay_ps(load) * derate * opt.corner.gate_factor;
-    }
-  }
+  auto arrival = [&](InstanceId id) { return graph.arrival_of(id); };
 
   // Pick the N worst endpoints.
   std::vector<const EndpointTiming*> sorted;
@@ -99,14 +89,14 @@ std::vector<TimingPath> report_timing(const place::Placement& pl, const ClockTre
       for (const NetId in : nl.instance(cur).input_nets) {
         if (in == netlist::kNoNet) continue;
         const InstanceId drv = nl.net(in).driver;
-        const double a = arrival[drv] + wire_delay(in, cur) * derate;
+        const double a = arrival(drv) + wire_delay(in, cur) * derate;
         if (a > best_arr) {
           best_arr = a;
           best = drv;
         }
       }
       if (best == netlist::kNoInstance) break;
-      cum = arrival[best];
+      cum = arrival(best);
       cur = best;
       if (reversed.size() > nl.instance_count()) break;  // safety
     }

@@ -3,45 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <limits>
+
+#include "timing/timing_graph.hpp"
 
 namespace maestro::timing {
-
-using netlist::CellFunction;
-using netlist::InstanceId;
-using netlist::NetId;
-
-namespace {
-
-/// Per-instance propagated timing state.
-struct NodeState {
-  double arrival = 0.0;          ///< at the instance's output pin
-  std::size_t stages = 0;
-  double wire_delay = 0.0;       ///< accumulated on the worst path
-  double gate_delay = 0.0;
-  std::size_t max_fanout = 0;
-};
-
-/// SI coupling penalty for a net: proportional to wire delay scaled by the
-/// utilization of the grid cells its bounding box crosses.
-double si_utilization(const route::GridGraph& g, const geom::Point& a, const geom::Point& b) {
-  const auto [c0, r0] = g.indexer().cell_of(a);
-  const auto [c1, r1] = g.indexer().cell_of(b);
-  const std::size_t clo = std::min(c0, c1);
-  const std::size_t chi = std::max(c0, c1);
-  const std::size_t rlo = std::min(r0, r1);
-  const std::size_t rhi = std::max(r0, r1);
-  double worst = 0.0;
-  for (std::size_t c = clo; c <= chi; ++c) {
-    for (std::size_t r = rlo; r <= rhi; ++r) {
-      const GCellStats s = gcell_stats(g, c, r);
-      worst = std::max(worst, s.utilization);
-    }
-  }
-  return worst;
-}
-
-}  // namespace
 
 /// Aggregate usage/capacity of the (up to 4) edges at a GCell.
 GCellStats gcell_stats(const route::GridGraph& g, std::size_t c, std::size_t r) {
@@ -63,24 +28,48 @@ GCellStats gcell_stats(const route::GridGraph& g, std::size_t c, std::size_t r) 
   return s;
 }
 
-std::vector<Corner> standard_corners() {
+SiMap build_si_map(const route::GridGraph& g) {
+  SiMap m;
+  m.cols = g.cols();
+  m.rows = g.rows();
+  m.source = &g;
+  m.revision = g.revision();
+  m.utilization.resize(m.cols * m.rows);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    for (std::size_t c = 0; c < m.cols; ++c) {
+      m.utilization[r * m.cols + c] = gcell_stats(g, c, r).utilization;
+    }
+  }
+  return m;
+}
+
+const std::vector<Corner>& standard_corners() {
   // Slow silicon is disproportionately slow on gates (device-dominated);
   // wire RC varies less; setup requirements grow at the slow corner. The
   // fast corner compresses gate delay more than wire delay. These cross-term
   // differences are deliberately not a single scalar of TT.
-  return {
+  static const std::vector<Corner> corners = {
       {"ss", 1.18, 1.08, 1.15},
       {"tt", 1.00, 1.00, 1.00},
       {"ff", 0.86, 0.95, 0.92},
   };
+  return corners;
 }
 
-Corner corner_by_name(const std::string& name) {
-  for (const auto& c : standard_corners()) {
-    if (c.name == name) return c;
+const Corner& corner_by_name(const std::string& name) {
+  // The set is tiny and fixed, so "O(1)" is a two-character dispatch rather
+  // than a hash map: no vector rebuild, no full string compares per lookup.
+  const auto& corners = standard_corners();
+  if (!name.empty()) {
+    switch (name[0]) {
+      case 's': if (name == "ss") return corners[0]; break;
+      case 't': if (name == "tt") return corners[1]; break;
+      case 'f': if (name == "ff") return corners[2]; break;
+      default: break;
+    }
   }
   assert(false && "unknown corner name");
-  return {};
+  return corners[1];
 }
 
 const EndpointTiming* StaReport::endpoint_of(netlist::InstanceId id) const {
@@ -92,199 +81,12 @@ const EndpointTiming* StaReport::endpoint_of(netlist::InstanceId id) const {
 
 StaReport run_sta(const place::Placement& pl, const ClockTree& clock, const StaOptions& opt,
                   const route::GridGraph* routed) {
-  const auto& nl = pl.netlist();
-  StaReport report;
-  const auto order = nl.topo_order();
-  assert(!order.empty() || nl.instance_count() == 0);
-
-  std::vector<NodeState> state(nl.instance_count());
-  const bool pba = opt.mode == AnalysisMode::PathBased;
-  const double derate = pba ? 1.0 : opt.gba_derate;
-  double cost = 0.0;
-
-  // Net loads: total capacitance seen by each driver.
-  std::vector<double> net_load(nl.net_count(), 0.0);
-  for (std::size_t n = 0; n < nl.net_count(); ++n) {
-    const auto& net = nl.net(static_cast<NetId>(n));
-    const double wire_len = static_cast<double>(pl.net_hpwl(static_cast<NetId>(n)));
-    double load = opt.wire.cap_per_nm_ff * wire_len;
-    for (const auto& sink : net.sinks) load += nl.master_of(sink.instance).input_cap_ff;
-    net_load[n] = load;
-  }
-
-  // Wire delay from a net's driver to one sink. GBA uses the full net HPWL
-  // for every sink (bbox pessimism); PBA uses the true driver->sink length.
-  auto wire_delay = [&](NetId n, InstanceId sink_inst) {
-    const auto& net = nl.net(n);
-    const geom::Point a = pl.pin_of(net.driver);
-    const geom::Point b = pl.pin_of(sink_inst);
-    const double len = pba ? static_cast<double>(geom::manhattan(a, b))
-                           : static_cast<double>(pl.net_hpwl(n));
-    const double rw = opt.wire.res_per_nm_kohm * len;
-    const double cw = opt.wire.cap_per_nm_ff * len;
-    const double sink_cap = nl.master_of(sink_inst).input_cap_ff;
-    double d = rw * (0.5 * cw + sink_cap) * opt.corner.wire_factor;
-    if (opt.with_si && routed != nullptr) {
-      d *= 1.0 + opt.si_coupling_factor * si_utilization(*routed, a, b);
-      cost += 4.0;  // SI analysis visits the congestion map per sink
-    }
-    cost += pba ? 2.0 : 1.0;  // PBA computes per-sink geometry
-    return d;
-  };
-
-  // Early (hold) wire delay: both engines use the direct driver->sink
-  // distance — a route can never be shorter than that, so it is the safe
-  // (pessimistic) bound for min-delay analysis.
-  auto wire_delay_early = [&](NetId n, InstanceId sink_inst) {
-    const auto& net = nl.net(n);
-    const geom::Point a = pl.pin_of(net.driver);
-    const geom::Point b = pl.pin_of(sink_inst);
-    const double len = static_cast<double>(geom::manhattan(a, b));
-    const double rw = opt.wire.res_per_nm_kohm * len;
-    const double cw = opt.wire.cap_per_nm_ff * len;
-    const double sink_cap = nl.master_of(sink_inst).input_cap_ff;
-    cost += 1.0;
-    return rw * (0.5 * cw + sink_cap) * opt.corner.wire_factor;
-  };
-
-  // Forward propagation in topological order.
-  for (const InstanceId u : order) {
-    const auto& m = nl.master_of(u);
-    NodeState& su = state[u] = NodeState{};
-    cost += 1.0;
-
-    if (m.function == CellFunction::Input) {
-      su.arrival = opt.io_input_delay_ps;
-    } else if (m.function == CellFunction::Dff) {
-      su.arrival = clock.insertion_of(u) + m.clk_to_q_ps * opt.corner.gate_factor;
-    } else if (m.function == CellFunction::Output) {
-      // Terminal; handled at endpoint collection below.
-    } else {
-      // Combinational: worst input arrival + own gate delay.
-      double worst_in = 0.0;
-      NodeState best_src{};
-      for (const NetId in : nl.instance(u).input_nets) {
-        if (in == netlist::kNoNet) continue;
-        const auto& net = nl.net(in);
-        const double wd = wire_delay(in, u);
-        const double cand = state[net.driver].arrival + wd * derate;
-        if (cand >= worst_in) {
-          worst_in = cand;
-          best_src = state[net.driver];
-          best_src.wire_delay += wd;
-          best_src.max_fanout = std::max(best_src.max_fanout, net.sinks.size());
-        }
-      }
-      const NetId out = nl.instance(u).output_net;
-      const double load = out != netlist::kNoNet ? net_load[out] : 0.0;
-      const double gd = m.delay_ps(load) * derate * opt.corner.gate_factor;
-      su = best_src;
-      su.arrival = worst_in + gd;
-      su.stages += 1;
-      su.gate_delay += gd;
-    }
-  }
-
-  // Endpoint collection: flop D pins and primary outputs.
-  auto arrival_at_pin = [&](InstanceId inst, NetId in) {
-    const auto& net = nl.net(in);
-    const double wd = wire_delay(in, inst);
-    NodeState s = state[net.driver];
-    s.arrival += wd * derate;
-    s.wire_delay += wd;
-    s.max_fanout = std::max(s.max_fanout, net.sinks.size());
-    return s;
-  };
-
-  // Optional min-delay (early) propagation for hold analysis. Early arrivals
-  // use the min over inputs and the early derate; clock insertion delays are
-  // shared with the late pass (a single-clock, same-edge hold check).
-  std::vector<double> early(nl.instance_count(), 0.0);
-  if (opt.with_hold) {
-    const double early_derate = pba ? 1.0 : opt.gba_early_derate;
-    for (const InstanceId u : order) {
-      const auto& m = nl.master_of(u);
-      cost += 1.0;
-      if (m.function == CellFunction::Input) {
-        // Input timing is referenced to the propagated clock: the upstream
-        // logic launching this input sees (at least) the tree's minimum
-        // insertion delay. Without this, every PI path would report a bogus
-        // hold race against the capture tree.
-        early[u] = opt.io_input_delay_ps + clock.min_insertion_ps;
-      } else if (m.function == CellFunction::Dff) {
-        early[u] = clock.insertion_of(u) + m.clk_to_q_ps * opt.corner.gate_factor;
-      } else if (m.function == CellFunction::Output) {
-        // terminal
-      } else {
-        double best_in = std::numeric_limits<double>::infinity();
-        for (const NetId in : nl.instance(u).input_nets) {
-          if (in == netlist::kNoNet) continue;
-          const double wd = wire_delay_early(in, u);
-          best_in = std::min(best_in, early[nl.net(in).driver] + wd * early_derate);
-        }
-        if (!std::isfinite(best_in)) best_in = 0.0;
-        const NetId out_net = nl.instance(u).output_net;
-        const double load = out_net != netlist::kNoNet ? net_load[out_net] : 0.0;
-        early[u] = best_in + m.delay_ps(load) * early_derate * opt.corner.gate_factor;
-      }
-    }
-  }
-
-  double wns = std::numeric_limits<double>::infinity();
-  double whs = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
-    const auto id = static_cast<InstanceId>(i);
-    const auto& m = nl.master_of(id);
-    EndpointTiming ep;
-    if (m.function == CellFunction::Dff) {
-      const NetId in = nl.instance(id).input_nets[0];
-      if (in == netlist::kNoNet) continue;
-      const NodeState s = arrival_at_pin(id, in);
-      ep.endpoint = id;
-      ep.is_flop = true;
-      ep.arrival_ps = s.arrival;
-      ep.required_ps =
-          opt.clock_period_ps + clock.insertion_of(id) - m.setup_ps * opt.corner.setup_factor;
-      ep.path_stages = s.stages;
-      ep.path_wire_delay_ps = s.wire_delay;
-      ep.path_gate_delay_ps = s.gate_delay;
-      ep.max_fanout_on_path = s.max_fanout;
-      if (opt.with_hold) {
-        const double early_derate = pba ? 1.0 : opt.gba_early_derate;
-        const double wd = wire_delay_early(in, id);
-        const double early_at_d = early[nl.net(in).driver] + wd * early_derate;
-        ep.hold_slack_ps = early_at_d -
-                           (clock.insertion_of(id) + m.hold_ps * opt.corner.setup_factor);
-        whs = std::min(whs, ep.hold_slack_ps);
-        if (ep.hold_slack_ps < 0.0) ++report.hold_violations;
-      }
-    } else if (m.function == CellFunction::Output) {
-      const NetId in = nl.instance(id).input_nets[0];
-      if (in == netlist::kNoNet) continue;
-      const NodeState s = arrival_at_pin(id, in);
-      ep.endpoint = id;
-      ep.is_flop = false;
-      ep.arrival_ps = s.arrival;
-      ep.required_ps = opt.clock_period_ps - opt.io_output_margin_ps;
-      ep.path_stages = s.stages;
-      ep.path_wire_delay_ps = s.wire_delay;
-      ep.path_gate_delay_ps = s.gate_delay;
-      ep.max_fanout_on_path = s.max_fanout;
-    } else {
-      continue;
-    }
-    ep.slack_ps = ep.required_ps - ep.arrival_ps;
-    if (ep.slack_ps < 0.0) {
-      report.tns_ps += ep.slack_ps;
-      ++report.failing_endpoints;
-    }
-    wns = std::min(wns, ep.slack_ps);
-    report.endpoints.push_back(ep);
-  }
-  report.wns_ps = report.endpoints.empty() ? 0.0 : wns;
-  report.whs_ps = std::isfinite(whs) ? whs : 0.0;
-  report.analysis_cost = cost;
-  return report;
+  // Thin wrapper over the levelized kernel; reports are bit-identical to the
+  // original per-call engine. Long-lived callers (sizing loops, ECO, corner
+  // sweeps) should hold a TimingGraph instead and use reanalyze()/
+  // analyze_corners() to amortize the build.
+  TimingGraph graph(pl, clock);
+  return graph.analyze(opt, routed);
 }
 
 }  // namespace maestro::timing

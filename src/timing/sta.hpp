@@ -17,6 +17,7 @@
 // The CorrelationModel in maestro::core learns the GBA->PBA+SI divergence and
 // shifts the accuracy-cost curve (Fig. 8).
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -46,9 +47,10 @@ struct Corner {
 };
 
 /// The standard three-corner set: slow (ss), typical (tt), fast (ff).
-std::vector<Corner> standard_corners();
-/// Lookup by name; asserts the name exists in standard_corners().
-Corner corner_by_name(const std::string& name);
+/// Built once; the reference stays valid for the process lifetime.
+const std::vector<Corner>& standard_corners();
+/// O(1) lookup by name; asserts the name exists in standard_corners().
+const Corner& corner_by_name(const std::string& name);
 
 struct WireModel {
   double cap_per_nm_ff = 2.0e-4;   ///< 0.2 fF/um
@@ -109,5 +111,32 @@ struct GCellStats {
   double utilization = 0.0;
 };
 GCellStats gcell_stats(const route::GridGraph& g, std::size_t c, std::size_t r);
+
+/// Precomputed per-GCell utilization of one routed graph snapshot. SI
+/// analysis takes the max over the GCell window a net's bounding box
+/// crosses; building this map once per routed graph replaces the seed
+/// engine's O(window) gcell_stats() re-scan per sink. Validity is tied to
+/// GridGraph::revision(): any usage change invalidates the snapshot.
+struct SiMap {
+  std::size_t cols = 0;
+  std::size_t rows = 0;
+  std::vector<double> utilization;  ///< row-major [r * cols + c]
+  const route::GridGraph* source = nullptr;
+  std::uint64_t revision = 0;
+
+  double at(std::size_t c, std::size_t r) const { return utilization[r * cols + c]; }
+  /// Max utilization over the closed window [c0, c1] x [r0, r1]; identical
+  /// value (max is order-independent) to the seed's nested gcell_stats scan.
+  double max_in_window(std::size_t c0, std::size_t r0, std::size_t c1, std::size_t r1) const {
+    double worst = 0.0;
+    for (std::size_t c = c0; c <= c1; ++c) {
+      for (std::size_t r = r0; r <= r1; ++r) worst = std::max(worst, at(c, r));
+    }
+    return worst;
+  }
+};
+
+/// Snapshot the per-GCell utilization of a routed graph.
+SiMap build_si_map(const route::GridGraph& g);
 
 }  // namespace maestro::timing
