@@ -14,10 +14,12 @@
 
 #include "exec/executor.hpp"
 #include "ml/bandit.hpp"
+#include "netlist/design_view.hpp"
 #include "ml/mdp.hpp"
 #include "netlist/generators.hpp"
 #include "place/placer.hpp"
 #include "power/ir_drop.hpp"
+#include "route/drv_sim.hpp"
 #include "route/global_router.hpp"
 #include "store/fingerprint.hpp"
 #include "store/run_cache.hpp"
@@ -87,6 +89,34 @@ static void BM_AnnealPlacement(benchmark::State& state) {
 }
 BENCHMARK(BM_AnnealPlacement)->Arg(1000);
 
+static void BM_PlaceIncrMove(benchmark::State& state) {
+  // Incremental move-delta evaluation against the shared design view: the
+  // inner kernel of place::sa_place (trial + discard, cached bboxes).
+  const auto& f = fixture(static_cast<std::size_t>(state.range(0)));
+  netlist::DesignView view{*f.nl};
+  view.sync(f.pl->locs(), f.pl->revision());
+  std::vector<netlist::InstanceId> movable;
+  for (std::size_t i = 0; i < f.nl->instance_count(); ++i) {
+    const auto id = static_cast<netlist::InstanceId>(i);
+    const auto fn = f.nl->master_of(id).function;
+    if (fn != netlist::CellFunction::Input && fn != netlist::CellFunction::Output) {
+      movable.push_back(id);
+    }
+  }
+  util::Rng rng{8};
+  const auto& core = f.fp->core();
+  for (auto _ : state) {
+    const auto a = movable[rng.below(movable.size())];
+    const geom::Point cand{
+        core.lo.x + static_cast<geom::Dbu>(rng.below(static_cast<std::uint64_t>(core.width()))),
+        core.lo.y + static_cast<geom::Dbu>(rng.below(static_cast<std::uint64_t>(core.height())))};
+    benchmark::DoNotOptimize(view.trial_move(a, f.fp->snap(cand)));
+    view.discard();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlaceIncrMove)->Arg(1000)->Arg(5000);
+
 static void BM_Legalize(benchmark::State& state) {
   const auto& f = fixture(1000);
   util::Rng rng{3};
@@ -109,6 +139,23 @@ static void BM_GlobalRoute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GlobalRoute);
+
+static void BM_DrvBatched(benchmark::State& state) {
+  // One batched multi-seed DRV advance (a GWTW round) at N seeds per pass.
+  const auto runs = static_cast<std::size_t>(state.range(0));
+  std::vector<route::RouteDifficulty> diffs;
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < runs; ++i) {
+    diffs.push_back({0.1 + 0.8 * static_cast<double>(i) / static_cast<double>(runs)});
+    seeds.push_back(0x5100 + i);
+  }
+  route::DrvBatchOptions bo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route::simulate_drv_batch(diffs, seeds, bo));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DrvBatched)->Arg(8)->Arg(64);
 
 static void BM_StaGba(benchmark::State& state) {
   const auto& f = fixture(static_cast<std::size_t>(state.range(0)));

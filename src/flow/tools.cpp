@@ -288,7 +288,12 @@ StepOutcome run_place(DesignState& ds, const ToolContext& ctx) {
   ao.swap_fraction = knob_double(ctx.knobs, "swap_fraction", 0.35);
 
   ds.pl = std::make_unique<place::Placement>(place::random_placement(*ds.nl, *ds.fp, rng));
-  const auto ar = place::anneal_placement(*ds.pl, ao, rng);
+  // One DesignView per netlist, shared with the router and signoff timing;
+  // sa_place is bit-identical to the seed annealer on the same RNG stream.
+  if (!ds.view || &ds.view->netlist() != ds.nl.get()) {
+    ds.view = std::make_unique<netlist::DesignView>(*ds.nl);
+  }
+  const auto ar = place::sa_place(*ds.pl, *ds.view, ao, rng);
   place::legalize(*ds.pl);
 
   out.log.metadata["initial_hpwl"] = std::to_string(ar.initial_hpwl);
@@ -367,7 +372,11 @@ StepOutcome run_route(DesignState& ds, const ToolContext& ctx) {
   ro.keep_segments = engine == "track";
   {
     obs::Span gr_span("global_route", "route");
-    ds.groute = route::global_route(*ds.pl, ro, ds.routed, rng);
+    if (ds.view) {
+      ds.groute = route::global_route(*ds.pl, *ds.view, ro, ds.routed, rng);
+    } else {
+      ds.groute = route::global_route(*ds.pl, ro, ds.routed, rng);
+    }
     gr_span.arg("overflow", ds.groute.total_overflow)
         .arg("wirelength_gcells", ds.groute.wirelength_gcells);
   }
@@ -466,8 +475,16 @@ StepOutcome run_signoff(DesignState& ds, const ToolContext& ctx) {
   so.clock_period_ps = 1000.0 / std::max(ctx.target_ghz, 1e-3);
   so.gba_derate = 1.0;  // PBA signoff applies the explicit derate knob instead
   const double derate = knob_double(ctx.knobs, "derate", 1.0);
-  ds.signoff = timing::run_sta(*ds.pl, ds.clock, so,
-                               so.with_si ? &ds.routed : nullptr);
+  if (ds.view) {
+    // Build the timing graph over the shared view's cached geometry
+    // (bit-identical to run_sta; see TimingGraph::attach_view).
+    ds.view->sync(ds.pl->locs(), ds.pl->revision());
+    timing::TimingGraph graph(*ds.pl, ds.clock, ds.view.get());
+    ds.signoff = graph.analyze(so, so.with_si ? &ds.routed : nullptr);
+  } else {
+    ds.signoff = timing::run_sta(*ds.pl, ds.clock, so,
+                                 so.with_si ? &ds.routed : nullptr);
+  }
   if (derate != 1.0) {
     // Apply a signoff derate: scale arrivals, recompute slacks.
     for (auto& ep : ds.signoff.endpoints) {

@@ -42,6 +42,10 @@ struct DesignState {
   std::unique_ptr<netlist::Netlist> nl;
   std::unique_ptr<place::Floorplan> fp;
   std::unique_ptr<place::Placement> pl;
+  /// Shared SoA substrate over `nl`: built by run_place, then reused by the
+  /// placer (incremental SA), router and signoff timing build. Revision
+  /// counters keep it honest across later mutations.
+  std::unique_ptr<netlist::DesignView> view;
   timing::ClockTree clock;
   route::GridGraph routed;
   route::RouteResult groute;

@@ -1,0 +1,671 @@
+#include "netlist/design_view.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MAESTRO_PREFETCH(p) __builtin_prefetch((p))
+#else
+#define MAESTRO_PREFETCH(p) ((void)0)
+#endif
+
+namespace maestro::netlist {
+
+namespace {
+
+constexpr std::int32_t kLoSentinel = std::numeric_limits<std::int32_t>::max();
+constexpr std::int32_t kHiSentinel = std::numeric_limits<std::int32_t>::min();
+
+[[maybe_unused]] inline bool fits_i32(geom::Dbu v) {
+  return v >= std::numeric_limits<std::int32_t>::min() &&
+         v <= std::numeric_limits<std::int32_t>::max();
+}
+
+}  // namespace
+
+DesignView::DesignView(const Netlist& nl) : nl_(&nl) { build_structure(); }
+
+// ---------------------------------------------------------------------------
+// Structure
+// ---------------------------------------------------------------------------
+
+void DesignView::build_structure() {
+  const Netlist& nl = *nl_;
+  n_cells_ = nl.instance_count();
+  n_nets_ = nl.net_count();
+
+  // Net -> pin-slot CSR, driver first then sinks in declaration order (the
+  // iteration order every seed engine uses).
+  net_pin_begin_.assign(n_nets_ + 1, 0);
+  net_fanout_.assign(n_nets_, 0);
+  for (std::size_t n = 0; n < n_nets_; ++n) {
+    const Net& net = nl.net(static_cast<NetId>(n));
+    net_pin_begin_[n + 1] = 1 + net.sinks.size();
+    net_fanout_[n] = net.sinks.size();
+    assert(net.sinks.size() + 1 <= 0xffffu && "net pin count exceeds 16-bit slot counts");
+  }
+  for (std::size_t n = 0; n < n_nets_; ++n) net_pin_begin_[n + 1] += net_pin_begin_[n];
+  net_pin_inst_.resize(net_pin_begin_[n_nets_]);
+  for (std::size_t n = 0; n < n_nets_; ++n) {
+    const Net& net = nl.net(static_cast<NetId>(n));
+    std::size_t s = net_pin_begin_[n];
+    net_pin_inst_[s++] = net.driver;
+    for (const Sink& sink : net.sinks) net_pin_inst_[s++] = sink.instance;
+  }
+
+  // Per-cell touched-net lists, dedup'd once here (ascending because nets
+  // are visited in id order and a cell's repeats within one net are
+  // collapsed) — the seed placer rebuilt and sort+unique'd these per move.
+  std::vector<NetId> last_net(n_cells_, kNoNet);
+  cell_net_begin_.assign(n_cells_ + 1, 0);
+  for (std::size_t n = 0; n < n_nets_; ++n) {
+    const auto id = static_cast<NetId>(n);
+    for (std::size_t s = net_pin_begin_[n]; s < net_pin_begin_[n + 1]; ++s) {
+      const InstanceId c = net_pin_inst_[s];
+      if (last_net[c] != id) {
+        last_net[c] = id;
+        ++cell_net_begin_[c + 1];
+      }
+    }
+  }
+  for (std::size_t c = 0; c < n_cells_; ++c) cell_net_begin_[c + 1] += cell_net_begin_[c];
+  cell_net_.resize(cell_net_begin_[n_cells_]);
+  std::vector<std::uint16_t> cell_net_mult(cell_net_begin_[n_cells_], 0);
+  std::fill(last_net.begin(), last_net.end(), kNoNet);
+  {
+    std::vector<std::size_t> cursor(cell_net_begin_.begin(), cell_net_begin_.end() - 1);
+    for (std::size_t n = 0; n < n_nets_; ++n) {
+      const auto id = static_cast<NetId>(n);
+      for (std::size_t s = net_pin_begin_[n]; s < net_pin_begin_[n + 1]; ++s) {
+        const InstanceId c = net_pin_inst_[s];
+        if (last_net[c] != id) {
+          last_net[c] = id;
+          cell_net_[cursor[c]] = id;
+          cell_net_mult[cursor[c]] = 1;
+          ++cursor[c];
+        } else {
+          ++cell_net_mult[cursor[c] - 1];
+        }
+      }
+    }
+  }
+
+  // Per-net cell census: record the first two distinct cells and their slot
+  // multiplicities. Nets spanning at most two cells — the dominant case —
+  // get a direct O(1) trial from the two pin locations alone.
+  struct Census {
+    InstanceId c1 = kManyCells;
+    InstanceId c2 = kManyCells;
+    std::uint16_t m1 = 0;
+    std::uint16_t m2 = 0;
+    bool many = false;
+  };
+  std::vector<Census> census(n_nets_);
+  for (std::size_t n = 0; n < n_nets_; ++n) {
+    Census& t = census[n];
+    for (std::size_t s = net_pin_begin_[n]; s < net_pin_begin_[n + 1]; ++s) {
+      const InstanceId c = net_pin_inst_[s];
+      if (t.c1 == kManyCells || t.c1 == c) {
+        t.c1 = c;
+        ++t.m1;
+      } else if (t.c2 == kManyCells || t.c2 == c) {
+        t.c2 = c;
+        ++t.m2;
+      } else {
+        t.many = true;
+        break;
+      }
+    }
+  }
+  cell_net_info_.resize(cell_net_.size());
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    const auto self = static_cast<InstanceId>(c);
+    for (std::size_t k = cell_net_begin_[c]; k < cell_net_begin_[c + 1]; ++k) {
+      const NetId net = cell_net_[k];
+      const Census& t = census[net];
+      CellNet cn{net, kManyCells, cell_net_mult[k], 0};
+      if (!t.many) {
+        if (t.c2 == kManyCells) {
+          cn.other = self;  // the cell holds every slot
+        } else {
+          cn.other = t.c1 == self ? t.c2 : t.c1;
+          cn.other_mult = t.c1 == self ? t.m2 : t.m1;
+        }
+      }
+      cell_net_info_[k] = cn;
+    }
+  }
+
+  // Per-cell pin-slot lists (every slot, including repeats), so a move
+  // writes exactly its own coordinate slots.
+  cell_slot_begin_.assign(n_cells_ + 1, 0);
+  for (const InstanceId c : net_pin_inst_) ++cell_slot_begin_[c + 1];
+  for (std::size_t c = 0; c < n_cells_; ++c) cell_slot_begin_[c + 1] += cell_slot_begin_[c];
+  cell_slot_.resize(net_pin_inst_.size());
+  {
+    std::vector<std::size_t> cursor(cell_slot_begin_.begin(), cell_slot_begin_.end() - 1);
+    for (std::size_t s = 0; s < net_pin_inst_.size(); ++s) {
+      cell_slot_[cursor[net_pin_inst_[s]]++] = s;
+    }
+  }
+
+  // Per-cell hot lines: the origin -> pin-center offset (Placement::pin_of's
+  // master half-width and half row height, cached so geometry sync never
+  // touches the library) plus the cell's net membership, inline when it
+  // fits. The pin field is geometry state, filled by build_geometry.
+  cell_hot_.assign(n_cells_, CellHot{});
+  const geom::Dbu half_row = nl.library().row_height_dbu() / 2;
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    CellHot& hot = cell_hot_[c];
+    const geom::Dbu half_w = nl.master_of(static_cast<InstanceId>(c)).width_dbu / 2;
+    assert(fits_i32(half_w) && fits_i32(half_row) && "pin offset exceeds 32-bit dbu range");
+    hot.off = {static_cast<std::int32_t>(half_w), static_cast<std::int32_t>(half_row)};
+    hot.begin = static_cast<std::uint32_t>(cell_net_begin_[c]);
+    hot.nets = static_cast<std::uint32_t>(cell_net_begin_[c + 1] - cell_net_begin_[c]);
+    for (std::uint32_t k = 0; k < hot.nets && k < kInlineNets; ++k) {
+      hot.inl[k] = cell_net_info_[cell_net_begin_[c] + k];
+    }
+  }
+
+  structure_rev_ = nl.revision();
+  structure_valid_ = true;
+  geometry_valid_ = false;
+  staged_count_ = 0;
+  ++structure_rebuilds_;
+}
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One ordered level tracker: first/second distinct values with counts.
+/// `Less` orders toward the tracked bound (std::less for lo, greater for hi).
+template <typename Less>
+struct LevelTracker {
+  std::int32_t v1, v2;
+  std::uint32_t c1 = 1, c2 = 0;
+  explicit LevelTracker(std::int32_t first, std::int32_t sentinel) : v1(first), v2(sentinel) {}
+  void add(std::int32_t p) {
+    const Less less;
+    if (less(p, v1)) {
+      v2 = v1;
+      c2 = c1;
+      v1 = p;
+      c1 = 1;
+    } else if (p == v1) {
+      ++c1;
+    } else if (less(p, v2)) {
+      v2 = p;
+      c2 = 1;
+    } else if (p == v2) {
+      ++c2;
+    }
+  }
+};
+
+}  // namespace
+
+DesignView::NetGeom DesignView::scan_net_geom(NetId net) const {
+  const std::size_t begin = net_pin_begin_[net];
+  const std::size_t end = net_pin_begin_[net + 1];
+  LevelTracker<std::less<std::int32_t>> lx(pin_xy_[begin].x, kLoSentinel);
+  LevelTracker<std::greater<std::int32_t>> hx(pin_xy_[begin].x, kHiSentinel);
+  LevelTracker<std::less<std::int32_t>> ly(pin_xy_[begin].y, kLoSentinel);
+  LevelTracker<std::greater<std::int32_t>> hy(pin_xy_[begin].y, kHiSentinel);
+  for (std::size_t s = begin + 1; s < end; ++s) {
+    lx.add(pin_xy_[s].x);
+    hx.add(pin_xy_[s].x);
+    ly.add(pin_xy_[s].y);
+    hy.add(pin_xy_[s].y);
+  }
+  NetGeom g;
+  g.box = {lx.v1, ly.v1, hx.v1, hy.v1};
+  g.ext = {static_cast<std::uint16_t>(lx.c1), static_cast<std::uint16_t>(ly.c1),
+           static_cast<std::uint16_t>(hx.c1), static_cast<std::uint16_t>(hy.c1)};
+  g.box2 = {lx.v2, ly.v2, hx.v2, hy.v2};
+  g.ext2 = {static_cast<std::uint16_t>(lx.c2), static_cast<std::uint16_t>(ly.c2),
+            static_cast<std::uint16_t>(hx.c2), static_cast<std::uint16_t>(hy.c2)};
+  return g;
+}
+
+void DesignView::build_geometry(std::span<const geom::Point> origins) {
+  assert(origins.size() >= n_cells_ && "origin table smaller than netlist");
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    CellHot& hot = cell_hot_[c];
+    const geom::Dbu px = origins[c].x + hot.off.x;
+    const geom::Dbu py = origins[c].y + hot.off.y;
+    assert(fits_i32(px) && fits_i32(py) && "pin coordinate exceeds 32-bit dbu range");
+    hot.pin = {static_cast<std::int32_t>(px), static_cast<std::int32_t>(py)};
+  }
+  pin_xy_.resize(net_pin_inst_.size());
+  for (std::size_t s = 0; s < net_pin_inst_.size(); ++s) {
+    pin_xy_[s] = cell_hot_[net_pin_inst_[s]].pin;
+  }
+  net_geom_.resize(n_nets_);
+  total_hpwl_ = 0;
+  for (std::size_t n = 0; n < n_nets_; ++n) {
+    const NetGeom g = scan_net_geom(static_cast<NetId>(n));
+    net_geom_[n] = g;
+    total_hpwl_ += (static_cast<std::int64_t>(g.box.hi_x) - g.box.lo_x) +
+                   (static_cast<std::int64_t>(g.box.hi_y) - g.box.lo_y);
+  }
+  geometry_valid_ = true;
+  staged_count_ = 0;
+  ++geometry_rebuilds_;
+}
+
+bool DesignView::sync(std::span<const geom::Point> origins, std::uint64_t placement_rev) {
+  bool rebuilt = false;
+  if (!structure_valid_ || nl_->revision() != structure_rev_) {
+    build_structure();
+    rebuilt = true;
+  }
+  if (!geometry_valid_ || placement_rev != placement_rev_) {
+    build_geometry(origins);
+    placement_rev_ = placement_rev;
+    rebuilt = true;
+  }
+  return rebuilt;
+}
+
+// ---------------------------------------------------------------------------
+// Trial / commit
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Trial side of one bound: the new extreme value alone. Exact in every
+/// case. State: extreme `v1` held by `c1` slots, second-distinct level `v2`
+/// (real whenever the vacated branch can be reached — a many-cell net always
+/// has pins beyond the moved cell's); the moved cell holds `mult` slots at
+/// `o` and lands on `n`. `Less` orders toward the bound.
+template <typename Less>
+inline std::int32_t moved_bound(std::int32_t v1, std::uint16_t c1, std::int32_t v2,
+                                std::uint16_t mult, std::int32_t o, std::int32_t n) {
+  const Less less;
+  if (less(n, v1)) return n;            // lands at-or-beyond the old extreme
+  if (n == v1) return v1;
+  if (o != v1 || c1 > mult) return v1;  // the extreme survives the departure
+  return less(n, v2) ? n : v2;          // sole extreme retreats: second level takes over
+}
+
+/// Commit side of one bound: full O(1) update. The new extreme/count is
+/// always exact; the new second level is exact except when it would come
+/// from beyond `v2` (unknown territory), in which case `ok` is cleared and
+/// the caller schedules a post-move rescan.
+template <typename Less>
+inline void update_bound(std::int32_t v1, std::uint16_t c1, std::int32_t v2, std::uint16_t c2,
+                         std::uint16_t mult, std::int32_t o, std::int32_t n, std::int32_t sentinel,
+                         std::int32_t& ov1, std::uint16_t& oc1, std::int32_t& ov2,
+                         std::uint16_t& oc2, bool& ok) {
+  const Less less;
+  const std::uint16_t r1 = o == v1 ? static_cast<std::uint16_t>(c1 - mult) : c1;
+  const std::uint16_t r2 = o == v2 ? static_cast<std::uint16_t>(c2 - mult) : c2;
+  if (less(n, v1)) {
+    ov1 = n;
+    oc1 = mult;
+    if (r1 > 0) {
+      ov2 = v1;
+      oc2 = r1;
+    } else if (r2 > 0) {
+      ov2 = v2;
+      oc2 = r2;
+    } else if (c2 == 0) {
+      ov2 = sentinel;
+      oc2 = 0;
+    } else {
+      ok = false;
+    }
+  } else if (n == v1) {
+    ov1 = v1;
+    oc1 = static_cast<std::uint16_t>(r1 + mult);
+    if (r2 > 0) {
+      ov2 = v2;
+      oc2 = r2;
+    } else if (c2 == 0) {
+      ov2 = sentinel;
+      oc2 = 0;
+    } else {
+      ok = false;
+    }
+  } else if (r1 > 0) {
+    ov1 = v1;
+    oc1 = r1;
+    if (less(n, v2)) {
+      ov2 = n;
+      oc2 = mult;
+    } else if (n == v2) {
+      ov2 = v2;
+      oc2 = static_cast<std::uint16_t>(r2 + mult);
+    } else if (r2 > 0) {
+      ov2 = v2;
+      oc2 = r2;
+    } else {
+      ok = false;
+    }
+  } else {
+    // The sole holder of the bound retreats: the cached second level takes
+    // over (r2 == c2 here because o == v1 != v2).
+    if (less(n, v2)) {
+      ov1 = n;
+      oc1 = mult;
+      ov2 = v2;
+      oc2 = c2;
+    } else if (n == v2) {
+      ov1 = v2;
+      oc1 = static_cast<std::uint16_t>(c2 + mult);
+      ok = false;
+    } else {
+      ov1 = v2;
+      oc1 = c2;
+      ok = false;
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t DesignView::trial_net_single(const CellNet& cn, const StagedCell& sc) {
+  const NetGeom& g = net_geom_[cn.net];
+  const PinXY np = sc.pin;
+  ++fastpath_nets_;
+  std::int32_t lo_x, lo_y, hi_x, hi_y;
+
+  if (cn.other != kManyCells) {
+    // Two-cell net: the new box is spanned by the staged pin and the other
+    // cell's pin — no slot arrays touched (degenerates to a point when the
+    // cell holds every slot).
+    if (cn.other == sc.id) {
+      lo_x = hi_x = np.x;
+      lo_y = hi_y = np.y;
+    } else {
+      const PinXY q = cell_hot_[cn.other].pin;
+      lo_x = std::min(np.x, q.x);
+      hi_x = std::max(np.x, q.x);
+      lo_y = std::min(np.y, q.y);
+      hi_y = std::max(np.y, q.y);
+    }
+  } else {
+    // Many-cell net: every bound resolves in O(1) from the cached extreme
+    // count and second extreme — all within this net's single geometry
+    // line. All pin slots of one cell share a coordinate (pins are cell
+    // centers), so the departure removes exactly `mult` slots per level.
+    const PinXY op = cell_hot_[sc.id].pin;
+    lo_x = moved_bound<std::less<std::int32_t>>(g.box.lo_x, g.ext.lo_x, g.box2.lo_x, cn.mult, op.x,
+                                                np.x);
+    hi_x = moved_bound<std::greater<std::int32_t>>(g.box.hi_x, g.ext.hi_x, g.box2.hi_x, cn.mult,
+                                                   op.x, np.x);
+    lo_y = moved_bound<std::less<std::int32_t>>(g.box.lo_y, g.ext.lo_y, g.box2.lo_y, cn.mult, op.y,
+                                                np.y);
+    hi_y = moved_bound<std::greater<std::int32_t>>(g.box.hi_y, g.ext.hi_y, g.box2.hi_y, cn.mult,
+                                                   op.y, np.y);
+  }
+
+  return (static_cast<std::int64_t>(hi_x) - lo_x) + (static_cast<std::int64_t>(hi_y) - lo_y) -
+         ((static_cast<std::int64_t>(g.box.hi_x) - g.box.lo_x) +
+          (static_cast<std::int64_t>(g.box.hi_y) - g.box.lo_y));
+}
+
+std::int64_t DesignView::trial_net_scan(NetId net) {
+  // General path: one contiguous sweep over the net's pin-coordinate slots
+  // with the staged cells' coordinates substituted in. Read-only — the new
+  // geometry record is re-derived at commit.
+  ++rescanned_nets_;
+  const NetBox& box = net_geom_[net].box;
+  const std::int64_t old_hp = (static_cast<std::int64_t>(box.hi_x) - box.lo_x) +
+                              (static_cast<std::int64_t>(box.hi_y) - box.lo_y);
+  const std::size_t begin = net_pin_begin_[net];
+  const std::size_t end = net_pin_begin_[net + 1];
+  std::int32_t lo_x = 0, lo_y = 0, hi_x = 0, hi_y = 0;
+  bool first = true;
+  for (std::size_t s = begin; s < end; ++s) {
+    const InstanceId inst = net_pin_inst_[s];
+    PinXY p = pin_xy_[s];
+    if (inst == staged_[0].id) {
+      p = staged_[0].pin;
+    } else if (staged_count_ == 2 && inst == staged_[1].id) {
+      p = staged_[1].pin;
+    }
+    if (first) {
+      lo_x = hi_x = p.x;
+      lo_y = hi_y = p.y;
+      first = false;
+    } else {
+      lo_x = std::min(lo_x, p.x);
+      hi_x = std::max(hi_x, p.x);
+      lo_y = std::min(lo_y, p.y);
+      hi_y = std::max(hi_y, p.y);
+    }
+  }
+  return (static_cast<std::int64_t>(hi_x) - lo_x) + (static_cast<std::int64_t>(hi_y) - lo_y) -
+         old_hp;
+}
+
+std::int64_t DesignView::trial_move(InstanceId id, const geom::Point& new_origin) {
+  assert(structure_valid_ && geometry_valid_ && "sync() the view before trials");
+  const CellHot& hot = cell_hot_[id];
+  const geom::Dbu px = new_origin.x + hot.off.x;
+  const geom::Dbu py = new_origin.y + hot.off.y;
+  assert(fits_i32(px) && fits_i32(py) && "pin coordinate exceeds 32-bit dbu range");
+  staged_[0] = {id, {static_cast<std::int32_t>(px), static_cast<std::int32_t>(py)}};
+  staged_count_ = 1;
+  const std::uint32_t n = hot.nets;
+  const CellNet* ents = cell_nets_ptr(hot);
+  // Issue all the geometry-line loads up front so the misses overlap instead
+  // of serializing net by net — with the net list inline in the hot record,
+  // the whole trial is a two-deep dependence chain.
+  for (std::uint32_t k = 0; k < n; ++k) {
+    MAESTRO_PREFETCH(&net_geom_[ents[k].net]);
+    if (ents[k].other != kManyCells) MAESTRO_PREFETCH(&cell_hot_[ents[k].other]);
+  }
+  std::int64_t delta = 0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    delta += trial_net_single(ents[k], staged_[0]);
+  }
+  staged_delta_ = delta;
+  return delta;
+}
+
+std::int64_t DesignView::trial_swap(InstanceId a, const geom::Point& a_origin, InstanceId b,
+                                    const geom::Point& b_origin) {
+  assert(structure_valid_ && geometry_valid_ && "sync() the view before trials");
+  assert(a != b && "swap requires two distinct cells");
+  const CellHot& ha = cell_hot_[a];
+  const CellHot& hb = cell_hot_[b];
+  const geom::Dbu pax = a_origin.x + ha.off.x, pay = a_origin.y + ha.off.y;
+  const geom::Dbu pbx = b_origin.x + hb.off.x, pby = b_origin.y + hb.off.y;
+  assert(fits_i32(pax) && fits_i32(pay) && fits_i32(pbx) && fits_i32(pby) &&
+         "pin coordinate exceeds 32-bit dbu range");
+  staged_[0] = {a, {static_cast<std::int32_t>(pax), static_cast<std::int32_t>(pay)}};
+  staged_[1] = {b, {static_cast<std::int32_t>(pbx), static_cast<std::int32_t>(pby)}};
+  staged_count_ = 2;
+  return trial_swap_staged(ha, hb);
+}
+
+std::int64_t DesignView::trial_swap(InstanceId a, InstanceId b) {
+  assert(structure_valid_ && geometry_valid_ && "sync() the view before trials");
+  assert(a != b && "swap requires two distinct cells");
+  const CellHot& ha = cell_hot_[a];
+  const CellHot& hb = cell_hot_[b];
+  // a lands on b's origin: new pin_a = (pin_b - off_b) + off_a, and vice
+  // versa. Exact integer math on the cached state — no placement reads.
+  const geom::Dbu pax = static_cast<geom::Dbu>(hb.pin.x) - hb.off.x + ha.off.x;
+  const geom::Dbu pay = static_cast<geom::Dbu>(hb.pin.y) - hb.off.y + ha.off.y;
+  const geom::Dbu pbx = static_cast<geom::Dbu>(ha.pin.x) - ha.off.x + hb.off.x;
+  const geom::Dbu pby = static_cast<geom::Dbu>(ha.pin.y) - ha.off.y + hb.off.y;
+  assert(fits_i32(pax) && fits_i32(pay) && fits_i32(pbx) && fits_i32(pby) &&
+         "pin coordinate exceeds 32-bit dbu range");
+  staged_[0] = {a, {static_cast<std::int32_t>(pax), static_cast<std::int32_t>(pay)}};
+  staged_[1] = {b, {static_cast<std::int32_t>(pbx), static_cast<std::int32_t>(pby)}};
+  staged_count_ = 2;
+  return trial_swap_staged(ha, hb);
+}
+
+std::int64_t DesignView::trial_swap_staged(const CellHot& ha, const CellHot& hb) {
+  const CellNet* ea = cell_nets_ptr(ha);
+  const CellNet* eb = cell_nets_ptr(hb);
+  const std::uint32_t na = ha.nets, nb = hb.nets;
+  for (std::uint32_t k = 0; k < na; ++k) {
+    MAESTRO_PREFETCH(&net_geom_[ea[k].net]);
+    if (ea[k].other != kManyCells) MAESTRO_PREFETCH(&cell_hot_[ea[k].other]);
+  }
+  for (std::uint32_t k = 0; k < nb; ++k) {
+    MAESTRO_PREFETCH(&net_geom_[eb[k].net]);
+    if (eb[k].other != kManyCells) MAESTRO_PREFETCH(&cell_hot_[eb[k].other]);
+  }
+  // Merge the two sorted, dedup'd per-cell lists — the union the seed placer
+  // sort+unique'd per move falls out of the precomputed structure. A net
+  // touched by only one of the two cells keeps the O(1) single-cell path;
+  // nets shared by both get the substitution sweep.
+  std::int64_t delta = 0;
+  std::uint32_t i = 0, j = 0;
+  while (i < na || j < nb) {
+    if (j >= nb || (i < na && ea[i].net < eb[j].net)) {
+      delta += trial_net_single(ea[i], staged_[0]);
+      ++i;
+    } else if (i >= na || eb[j].net < ea[i].net) {
+      delta += trial_net_single(eb[j], staged_[1]);
+      ++j;
+    } else {
+      delta += trial_net_scan(ea[i].net);
+      ++i;
+      ++j;
+    }
+  }
+  staged_delta_ = delta;
+  return delta;
+}
+
+void DesignView::commit_net_single(const CellNet& cn, const StagedCell& sc) {
+  const NetGeom& g = net_geom_[cn.net];
+  const PinXY np = sc.pin;
+  NetGeom ng;
+  bool ok = true;
+
+  if (cn.other != kManyCells) {
+    if (cn.other == sc.id) {
+      ng.box = {np.x, np.y, np.x, np.y};
+      ng.ext = {cn.mult, cn.mult, cn.mult, cn.mult};
+      ng.box2 = {kLoSentinel, kLoSentinel, kHiSentinel, kHiSentinel};
+      ng.ext2 = {0, 0, 0, 0};
+    } else {
+      const PinXY q = cell_hot_[cn.other].pin;
+      if (np.x == q.x) {
+        ng.box.lo_x = ng.box.hi_x = np.x;
+        ng.ext.lo_x = ng.ext.hi_x = static_cast<std::uint16_t>(cn.mult + cn.other_mult);
+        ng.box2.lo_x = kLoSentinel;
+        ng.box2.hi_x = kHiSentinel;
+        ng.ext2.lo_x = ng.ext2.hi_x = 0;
+      } else {
+        const bool np_lo = np.x < q.x;
+        ng.box.lo_x = np_lo ? np.x : q.x;
+        ng.box.hi_x = np_lo ? q.x : np.x;
+        ng.ext.lo_x = np_lo ? cn.mult : cn.other_mult;
+        ng.ext.hi_x = np_lo ? cn.other_mult : cn.mult;
+        ng.box2.lo_x = ng.box.hi_x;
+        ng.box2.hi_x = ng.box.lo_x;
+        ng.ext2.lo_x = ng.ext.hi_x;
+        ng.ext2.hi_x = ng.ext.lo_x;
+      }
+      if (np.y == q.y) {
+        ng.box.lo_y = ng.box.hi_y = np.y;
+        ng.ext.lo_y = ng.ext.hi_y = static_cast<std::uint16_t>(cn.mult + cn.other_mult);
+        ng.box2.lo_y = kLoSentinel;
+        ng.box2.hi_y = kHiSentinel;
+        ng.ext2.lo_y = ng.ext2.hi_y = 0;
+      } else {
+        const bool np_lo = np.y < q.y;
+        ng.box.lo_y = np_lo ? np.y : q.y;
+        ng.box.hi_y = np_lo ? q.y : np.y;
+        ng.ext.lo_y = np_lo ? cn.mult : cn.other_mult;
+        ng.ext.hi_y = np_lo ? cn.other_mult : cn.mult;
+        ng.box2.lo_y = ng.box.hi_y;
+        ng.box2.hi_y = ng.box.lo_y;
+        ng.ext2.lo_y = ng.ext.hi_y;
+        ng.ext2.hi_y = ng.ext.lo_y;
+      }
+    }
+  } else {
+    const PinXY op = cell_hot_[sc.id].pin;
+    update_bound<std::less<std::int32_t>>(g.box.lo_x, g.ext.lo_x, g.box2.lo_x, g.ext2.lo_x,
+                                          cn.mult, op.x, np.x, kLoSentinel, ng.box.lo_x,
+                                          ng.ext.lo_x, ng.box2.lo_x, ng.ext2.lo_x, ok);
+    update_bound<std::greater<std::int32_t>>(g.box.hi_x, g.ext.hi_x, g.box2.hi_x, g.ext2.hi_x,
+                                             cn.mult, op.x, np.x, kHiSentinel, ng.box.hi_x,
+                                             ng.ext.hi_x, ng.box2.hi_x, ng.ext2.hi_x, ok);
+    update_bound<std::less<std::int32_t>>(g.box.lo_y, g.ext.lo_y, g.box2.lo_y, g.ext2.lo_y,
+                                          cn.mult, op.y, np.y, kLoSentinel, ng.box.lo_y,
+                                          ng.ext.lo_y, ng.box2.lo_y, ng.ext2.lo_y, ok);
+    update_bound<std::greater<std::int32_t>>(g.box.hi_y, g.ext.hi_y, g.box2.hi_y, g.ext2.hi_y,
+                                             cn.mult, op.y, np.y, kHiSentinel, ng.box.hi_y,
+                                             ng.ext.hi_y, ng.box2.hi_y, ng.ext2.hi_y, ok);
+  }
+
+  if (ok) {
+    net_geom_[cn.net] = ng;
+  } else {
+    repair_.push_back(cn.net);
+  }
+}
+
+void DesignView::commit(std::uint64_t new_placement_rev) {
+  assert(staged_count_ > 0 && "commit without a staged trial");
+  // Recompute the touched nets' geometry from the pre-move caches (the same
+  // exact math the trial used, now carrying the extreme state too), then
+  // write the moved pins, then rescan the nets the O(1) update could not
+  // finish: second extremes from unknown territory, and swap nets touched
+  // by both cells.
+  repair_.clear();
+  if (staged_count_ == 1) {
+    const CellHot& hot = cell_hot_[staged_[0].id];
+    const CellNet* ents = cell_nets_ptr(hot);
+    for (std::uint32_t k = 0; k < hot.nets; ++k) {
+      commit_net_single(ents[k], staged_[0]);
+    }
+  } else {
+    const CellHot& ha = cell_hot_[staged_[0].id];
+    const CellHot& hb = cell_hot_[staged_[1].id];
+    const CellNet* ea = cell_nets_ptr(ha);
+    const CellNet* eb = cell_nets_ptr(hb);
+    const std::uint32_t na = ha.nets, nb = hb.nets;
+    std::uint32_t i = 0, j = 0;
+    while (i < na || j < nb) {
+      if (j >= nb || (i < na && ea[i].net < eb[j].net)) {
+        commit_net_single(ea[i], staged_[0]);
+        ++i;
+      } else if (i >= na || eb[j].net < ea[i].net) {
+        commit_net_single(eb[j], staged_[1]);
+        ++j;
+      } else {
+        repair_.push_back(ea[i].net);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < staged_count_; ++k) {
+    const StagedCell& sc = staged_[k];
+    cell_hot_[sc.id].pin = sc.pin;
+    for (std::size_t i = cell_slot_begin_[sc.id]; i < cell_slot_begin_[sc.id + 1]; ++i) {
+      pin_xy_[cell_slot_[i]] = sc.pin;
+    }
+  }
+  for (const NetId net : repair_) {
+    net_geom_[net] = scan_net_geom(net);
+  }
+  total_hpwl_ += staged_delta_;
+  placement_rev_ = new_placement_rev;
+  staged_count_ = 0;
+  staged_delta_ = 0;
+}
+
+void DesignView::discard() {
+  staged_count_ = 0;
+  staged_delta_ = 0;
+}
+
+}  // namespace maestro::netlist

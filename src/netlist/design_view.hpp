@@ -1,0 +1,272 @@
+#pragma once
+// netlist::DesignView — the shared revision-counted SoA substrate under the
+// physical stack ("one refactor, three wins", ROADMAP item 3).
+//
+// Every inner loop of the implementation flow re-derives the same facts from
+// the pointer-chasing Netlist graph: the SA placer re-evaluates net HPWL from
+// raw pins on every move, the congestion estimator rescans every net's pins,
+// the global router re-collects pin GCells per net, and the timing graph
+// recomputes pin positions and net HPWL during build. DesignView computes
+// those facts once per (netlist revision, placement revision) pair and shares
+// them:
+//
+//  * net -> pin CSR (driver first, then sinks in declaration order) with the
+//    pin coordinates stored contiguously per net, so a net rescan is a
+//    branch-free min/max sweep over a flat array;
+//  * per-cell touched-net lists, dedup'd ONCE at build (the seed placer
+//    sort+unique'd the union on every swap move);
+//  * per-cell pin-slot lists, so moving one cell updates exactly its slots;
+//  * per-net cached bounding boxes and fanout — HPWL is an O(1) lookup and
+//    the running total is maintained incrementally.
+//
+// Revision contract: sync(origins, placement_rev) rebuilds structure when
+// Netlist::revision() moved and geometry when the placement revision moved;
+// both are no-ops when nothing changed. in_sync() reports staleness without
+// repairing it. Consumers that mutate the placement themselves (the SA
+// placer) go through the trial/commit protocol below, which keeps the cached
+// geometry and the placement revision in lock-step.
+//
+// Trial/commit move protocol (the incremental SA engine):
+//   trial_move / trial_swap stage new origins and return the exact integer
+//   HPWL delta over the touched nets — bitwise identical to recomputing the
+//   touched nets from raw pins, because all bbox math is exact integer
+//   arithmetic. Trials are pure reads: per-net slot counts at each bbox
+//   extreme plus a cached second-distinct extreme per bound resolve every
+//   single-cell net in O(1) (one cache line per net), and only nets touched
+//   by both cells of a swap take a contiguous substitution sweep. Nothing is
+//   written on a trial beyond the staged move itself, so rejected moves —
+//   the vast majority under SA — never dirty a cache line.
+//   commit(new_rev) re-derives the touched nets' geometry with the same
+//   exact math (now maintaining the extreme state too) and applies it; the
+//   caller writes the same origins into its Placement and passes the
+//   resulting revision. discard() drops the stage.
+//
+// DesignView deliberately depends only on netlist + geom: geometry enters as
+// a raw origin span plus a revision, so place, route and timing can all
+// consume one view without a dependency cycle (Placement already layers on
+// Netlist).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace maestro::netlist {
+
+class DesignView {
+ public:
+  /// Binds to a netlist and builds the structural arrays. Geometry is not
+  /// valid until the first sync().
+  explicit DesignView(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Bring the view up to date: rebuilds structure if the netlist revision
+  /// moved, then rebuilds pin coordinates and net bboxes if `placement_rev`
+  /// differs from the cached one (or the structure was rebuilt). `origins`
+  /// is the per-instance cell-origin table (Placement::locs()). Returns true
+  /// if anything was rebuilt.
+  bool sync(std::span<const geom::Point> origins, std::uint64_t placement_rev);
+
+  /// True when both the structural and geometry caches match the given
+  /// revisions — i.e. queries below are valid without a sync().
+  bool in_sync(std::uint64_t netlist_rev, std::uint64_t placement_rev) const {
+    return structure_valid_ && geometry_valid_ && structure_rev_ == netlist_rev &&
+           placement_rev_ == placement_rev;
+  }
+  std::uint64_t structure_revision() const { return structure_rev_; }
+  std::uint64_t placement_revision() const { return placement_rev_; }
+  bool geometry_valid() const { return geometry_valid_; }
+
+  // ---- structural queries (valid per netlist revision) ---------------------
+  std::size_t cell_count() const { return n_cells_; }
+  std::size_t net_count() const { return n_nets_; }
+  std::size_t pin_count() const { return net_pin_inst_.size(); }
+
+  /// Nets touching a cell, dedup'd and ascending (the seed placer's nets_of).
+  std::span<const NetId> nets_of(InstanceId id) const {
+    return {cell_net_.data() + cell_net_begin_[id], cell_net_begin_[id + 1] - cell_net_begin_[id]};
+  }
+  /// Pin slots of a net: driver first, then sinks in declaration order.
+  /// Element i of the span is the instance occupying slot net_pin_begin(n)+i.
+  std::span<const InstanceId> pins_of(NetId net) const {
+    return {net_pin_inst_.data() + net_pin_begin_[net],
+            net_pin_begin_[net + 1] - net_pin_begin_[net]};
+  }
+  std::size_t net_fanout(NetId net) const { return net_fanout_[net]; }
+  InstanceId net_driver(NetId net) const { return net_pin_inst_[net_pin_begin_[net]]; }
+
+  // ---- geometry queries (valid per placement revision) ---------------------
+  /// Pin location of an instance (cell center; identical to
+  /// Placement::pin_of).
+  geom::Point pin(InstanceId id) const {
+    const PinXY& p = cell_hot_[id].pin;
+    return {p.x, p.y};
+  }
+  /// Cached bounding box over a net's pins.
+  geom::Rect net_bbox(NetId net) const {
+    const NetBox& b = net_geom_[net].box;
+    return {{b.lo_x, b.lo_y}, {b.hi_x, b.hi_y}};
+  }
+  /// Cached HPWL of one net in dbu (identical to Placement::net_hpwl).
+  geom::Dbu net_hpwl(NetId net) const {
+    const NetBox& b = net_geom_[net].box;
+    return (static_cast<geom::Dbu>(b.hi_x) - b.lo_x) + (static_cast<geom::Dbu>(b.hi_y) - b.lo_y);
+  }
+  /// Running total HPWL over all nets; maintained exactly across commits
+  /// (identical to Placement::total_hpwl after every commit).
+  std::int64_t total_hpwl() const { return total_hpwl_; }
+
+  // ---- trial/commit move protocol ------------------------------------------
+  /// Stage moving `id`'s origin to `new_origin`; returns the exact HPWL
+  /// delta over the nets touching `id`. No caches change until commit().
+  std::int64_t trial_move(InstanceId id, const geom::Point& new_origin);
+  /// Stage swapping two cells onto each other's origins; the delta covers
+  /// the dedup'd union of both touched-net lists.
+  std::int64_t trial_swap(InstanceId a, const geom::Point& a_origin, InstanceId b,
+                          const geom::Point& b_origin);
+  /// Same swap, with both origins derived from the view's cached pins
+  /// (origin = pin - offset) — the caller skips its own two placement
+  /// lookups on the trial path. Bitwise identical to the overload above
+  /// called with the current origins.
+  std::int64_t trial_swap(InstanceId a, InstanceId b);
+  /// Apply the staged move. The caller must have written the same origins
+  /// into its Placement and pass the placement's new revision, which keeps
+  /// the view in_sync without a rescan.
+  void commit(std::uint64_t new_placement_rev);
+  /// Drop the staged move (rejected SA move); caches are untouched.
+  void discard();
+
+  // ---- introspection -------------------------------------------------------
+  std::size_t structure_rebuilds() const { return structure_rebuilds_; }
+  std::size_t geometry_rebuilds() const { return geometry_rebuilds_; }
+  /// Nets whose bbox was resolved in O(1) (interior fast path) vs rescanned
+  /// across all trials, for the obs counters and bench introspection.
+  std::size_t fastpath_nets() const { return fastpath_nets_; }
+  std::size_t rescanned_nets() const { return rescanned_nets_; }
+
+ private:
+  /// Cached bbox of a net, in 32-bit dbu. The view narrows all pin
+  /// coordinates to int32 (asserted at geometry build; a dbu grid would need
+  /// a ~2 m die to overflow) so one net's full geometry record fits a single
+  /// cache line.
+  struct NetBox {
+    std::int32_t lo_x, lo_y, hi_x, hi_y;
+  };
+  /// Slot counts at each bbox extreme. A moved pin that is not the sole
+  /// holder of an extreme cannot shrink the box by leaving, which makes the
+  /// common single-cell trial O(1) instead of a rescan.
+  struct NetExt {
+    std::uint16_t lo_x, lo_y, hi_x, hi_y;
+  };
+  /// Bbox + extreme counts + second-distinct extremes, packed into one
+  /// 64-byte line so a trial touches exactly one line per net. box2 holds,
+  /// per bound, the nearest pin coordinate strictly inside that bound
+  /// (sentinel ±int32-max when no second level exists), which lets a trial
+  /// resolve a shrinking bbox without rescanning the net's pins.
+  struct alignas(64) NetGeom {
+    NetBox box;
+    NetExt ext;
+    NetBox box2;
+    NetExt ext2;
+  };
+  /// Interleaved 32-bit pin coordinate (one 8-byte load per pin).
+  struct PinXY {
+    std::int32_t x, y;
+  };
+  /// Per (cell, net) trial record. `other` identifies the net's only other
+  /// cell when the net spans exactly two cells (the dominant case in real
+  /// netlists), the cell itself when it holds every slot, or kManyCells.
+  /// Two-cell nets get a direct O(1) bbox from the two pin locations.
+  struct CellNet {
+    NetId net;
+    InstanceId other;
+    std::uint16_t mult;        ///< slots this cell holds on the net
+    std::uint16_t other_mult;  ///< slots `other` holds (two-cell nets only)
+  };
+  static constexpr InstanceId kManyCells = ~InstanceId{0};
+  static constexpr std::uint32_t kInlineNets = 3;
+  /// One-line per-cell hot record: pin location, origin->pin offset, and the
+  /// cell's net membership, inline when it fits (most standard cells touch
+  /// at most kInlineNets nets; bigger cells point into cell_net_info_). A
+  /// trial loads exactly this line, then one geometry line per net — a
+  /// two-deep dependence chain, so the per-net misses all overlap.
+  struct alignas(64) CellHot {
+    PinXY pin;            ///< cached pin center (geometry state)
+    PinXY off;            ///< origin -> pin-center offset (structure state)
+    std::uint32_t nets;   ///< dedup'd net count
+    std::uint32_t begin;  ///< cell_net_info_ index when nets > kInlineNets
+    CellNet inl[kInlineNets];
+  };
+  struct StagedCell {
+    InstanceId id;
+    PinXY pin;
+  };
+
+  const CellNet* cell_nets_ptr(const CellHot& hot) const {
+    return hot.nets <= kInlineNets ? hot.inl : cell_net_info_.data() + hot.begin;
+  }
+
+  void build_structure();
+  void build_geometry(std::span<const geom::Point> origins);
+  /// Full geometry record for one net from the (already filled) pin
+  /// coordinate slots — used by build_geometry and the commit-time repair
+  /// of nets whose extreme state the O(1) update could not carry forward.
+  NetGeom scan_net_geom(NetId net) const;
+  /// Delta for one net touched by exactly one staged cell: always O(1) and
+  /// read-only. Two-cell nets re-derive the box from the two pin locations;
+  /// many-cell nets resolve each bound from its extreme count and, when the
+  /// sole extreme holder retreats, the cached second extreme.
+  std::int64_t trial_net_single(const CellNet& cn, const StagedCell& sc);
+  /// General substitution sweep over the net's pin slots (only swap nets
+  /// touching both staged cells need it). Read-only, bbox delta only.
+  std::int64_t trial_net_scan(NetId net);
+  /// Shared tail of both trial_swap overloads: staged_[0/1] are set; merge
+  /// the two net lists and accumulate the delta.
+  std::int64_t trial_swap_staged(const CellHot& ha, const CellHot& hb);
+  /// Commit-side twin of trial_net_single: recomputes the full geometry
+  /// record (extreme state included) from the pre-move caches and writes it,
+  /// or defers the net to repair_ when the new second extremes would come
+  /// from beyond the cached ones.
+  void commit_net_single(const CellNet& cn, const StagedCell& sc);
+
+  const Netlist* nl_ = nullptr;
+
+  // ---- structure (valid per netlist revision) ----
+  std::size_t n_cells_ = 0;
+  std::size_t n_nets_ = 0;
+  std::vector<std::size_t> net_pin_begin_;   ///< CSR over pin slots, per net
+  std::vector<InstanceId> net_pin_inst_;     ///< slot -> occupying instance
+  std::vector<std::size_t> net_fanout_;      ///< sinks.size()
+  std::vector<std::size_t> cell_net_begin_;  ///< CSR: dedup'd nets per cell
+  std::vector<NetId> cell_net_;
+  std::vector<CellNet> cell_net_info_;  ///< trial records, parallel to cell_net_
+  std::vector<std::size_t> cell_slot_begin_;  ///< CSR: pin slots per cell
+  std::vector<std::size_t> cell_slot_;
+  std::vector<CellHot> cell_hot_;  ///< per-cell hot line (pin filled by geometry)
+  std::uint64_t structure_rev_ = 0;
+  bool structure_valid_ = false;
+
+  // ---- geometry (valid per placement revision) ----
+  std::vector<PinXY> pin_xy_;  ///< per pin slot, net-contiguous
+  std::vector<NetGeom> net_geom_;
+  std::int64_t total_hpwl_ = 0;
+  std::uint64_t placement_rev_ = 0;
+  bool geometry_valid_ = false;
+
+  // ---- staged trial state ----
+  StagedCell staged_[2];
+  std::size_t staged_count_ = 0;
+  std::int64_t staged_delta_ = 0;
+  std::vector<NetId> repair_;  ///< commit scratch: nets rescanned post-move
+
+  // ---- introspection ----
+  std::size_t structure_rebuilds_ = 0;
+  std::size_t geometry_rebuilds_ = 0;
+  std::size_t fastpath_nets_ = 0;
+  std::size_t rescanned_nets_ = 0;
+};
+
+}  // namespace maestro::netlist

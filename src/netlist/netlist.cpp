@@ -13,6 +13,7 @@ InstanceId Netlist::add_instance(const std::string& name, std::size_t master) {
   inst.input_nets.assign(static_cast<std::size_t>(input_count(lib_->master(master).function)),
                          kNoNet);
   instances_.push_back(std::move(inst));
+  ++revision_;
   return static_cast<InstanceId>(instances_.size() - 1);
 }
 
@@ -22,6 +23,7 @@ void Netlist::resize_instance(InstanceId id, std::size_t new_master) {
   assert(lib_->master(new_master).function == lib_->master(instances_[id].master).function &&
          "resize must preserve logic function");
   instances_[id].master = new_master;
+  ++revision_;
 }
 
 NetId Netlist::add_net(const std::string& name, InstanceId driver) {
@@ -33,6 +35,7 @@ NetId Netlist::add_net(const std::string& name, InstanceId driver) {
   nets_.push_back(std::move(net));
   const auto id = static_cast<NetId>(nets_.size() - 1);
   instances_[driver].output_net = id;
+  ++revision_;
   return id;
 }
 
@@ -44,6 +47,7 @@ void Netlist::connect(NetId net, InstanceId sink, int pin) {
   assert(pins[static_cast<std::size_t>(pin)] == kNoNet && "pin already connected");
   pins[static_cast<std::size_t>(pin)] = net;
   nets_[net].sinks.push_back({sink, pin});
+  ++revision_;
 }
 
 void Netlist::reconnect(NetId new_net, InstanceId sink, int pin) {
@@ -62,6 +66,7 @@ void Netlist::reconnect(NetId new_net, InstanceId sink, int pin) {
   }
   pins[static_cast<std::size_t>(pin)] = new_net;
   nets_[new_net].sinks.push_back({sink, pin});
+  ++revision_;
 }
 
 namespace {

@@ -100,11 +100,18 @@ class Netlist {
   /// Total leakage of all instances.
   double total_leakage_nw() const;
 
+  /// Monotonic mutation counter: bumped by every structural or master change
+  /// (add_instance, resize_instance, add_net, connect, reconnect). Derived
+  /// caches (netlist::DesignView, timing::TimingGraph) compare revisions to
+  /// decide when to rebuild instead of rebuilding per query.
+  std::uint64_t revision() const { return revision_; }
+
  private:
   const CellLibrary* lib_;
   std::string name_;
   std::vector<Instance> instances_;
   std::vector<Net> nets_;
+  std::uint64_t revision_ = 0;
 };
 
 /// Structural statistics used by METRICS records and generator validation.

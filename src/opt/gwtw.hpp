@@ -19,9 +19,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <limits>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -40,6 +42,15 @@ struct GwtwProblem {
   std::function<State(const State&, util::Rng&)> advance;
   /// Cost to minimize.
   std::function<double(const State&)> cost;
+  /// Optional batched advance: move the whole population one round in a
+  /// single call (e.g. route::simulate_drv_batch amortizing N seeds over
+  /// one pass). seeds[i] is exactly the per-thread seed the scalar path
+  /// would use, so an implementation must return states bit-identical to
+  /// advance(states[i], util::Rng{seeds[i]}) for every i. When set it
+  /// replaces the per-thread advance (including the executor fan-out);
+  /// costs are still evaluated per state via `cost`.
+  std::function<std::vector<State>(const std::vector<State>&, std::span<const std::uint64_t>)>
+      advance_batch;
 };
 
 struct GwtwOptions {
@@ -87,7 +98,22 @@ GwtwResult<State> go_with_the_winners(const GwtwProblem<State>& prob, const Gwtw
       return std::make_pair(std::move(next), cost);
     };
     std::vector<std::pair<State, double>> advanced(population.size());
-    if (opt.executor) {
+    if (prob.advance_batch) {
+      // Batched advance: same per-thread seeds as the scalar path, one call
+      // for the whole population, costs evaluated per resulting state — so
+      // the round is bit-identical to the per-thread advance.
+      std::vector<std::uint64_t> seeds(population.size());
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        seeds[i] = exec::derive_run_seed(
+            advance_base, static_cast<std::uint64_t>(round) * opt.population + i);
+      }
+      std::vector<State> next = prob.advance_batch(population, seeds);
+      assert(next.size() == population.size());
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        double cost = prob.cost(next[i]);
+        advanced[i] = {std::move(next[i]), cost};
+      }
+    } else if (opt.executor) {
       std::vector<std::future<std::pair<State, double>>> futures;
       futures.reserve(population.size());
       for (std::size_t i = 0; i < population.size(); ++i) {

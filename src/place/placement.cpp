@@ -79,6 +79,51 @@ CongestionMap estimate_congestion(const Placement& pl, std::size_t bins_x, std::
   return cm;
 }
 
+CongestionMap estimate_congestion(const Placement& pl, netlist::DesignView& view,
+                                  std::size_t bins_x, std::size_t bins_y, double tracks_per_um) {
+  view.sync(pl.locs(), pl.revision());
+  CongestionMap cm;
+  cm.grid = geom::GridIndexer{pl.floorplan().core(), bins_x, bins_y};
+  cm.demand = geom::GridMap<double>{bins_x, bins_y, 0.0};
+  const double bin_edge_um =
+      static_cast<double>(pl.floorplan().core().width()) / static_cast<double>(bins_x) / 1000.0;
+  cm.capacity = geom::GridMap<double>{bins_x, bins_y, tracks_per_um * bin_edge_um};
+
+  for (std::size_t i = 0; i < view.net_count(); ++i) {
+    const auto n = static_cast<netlist::NetId>(i);
+    const geom::Rect box = view.net_bbox(n);
+    const auto [c0, r0] = cm.grid.cell_of(box.lo);
+    const auto [c1, r1] = cm.grid.cell_of(box.hi);
+    const double n_bins = static_cast<double>((c1 - c0 + 1) * (r1 - r0 + 1));
+    const double fan = static_cast<double>(view.net_fanout(n));
+    const double weight = 1.0 + 0.25 * std::max(fan - 1.0, 0.0);
+    const double per_bin = weight / n_bins;
+    for (std::size_t c = c0; c <= c1; ++c) {
+      for (std::size_t r = r0; r <= r1; ++r) {
+        cm.demand.at(c, r) += per_bin;
+      }
+    }
+  }
+
+  double util_sum = 0.0;
+  std::size_t overflow_bins = 0;
+  for (std::size_t c = 0; c < bins_x; ++c) {
+    for (std::size_t r = 0; r < bins_y; ++r) {
+      const double d = cm.demand.at(c, r);
+      const double cap = cm.capacity.at(c, r);
+      const double over = std::max(d - cap, 0.0);
+      cm.max_overflow = std::max(cm.max_overflow, over);
+      cm.total_overflow += over;
+      util_sum += cap > 0.0 ? d / cap : 0.0;
+      if (over > 0.0) ++overflow_bins;
+    }
+  }
+  const double n_bins = static_cast<double>(bins_x * bins_y);
+  cm.avg_utilization = n_bins > 0 ? util_sum / n_bins : 0.0;
+  cm.overflow_fraction = n_bins > 0 ? static_cast<double>(overflow_bins) / n_bins : 0.0;
+  return cm;
+}
+
 OverlapReport check_overlaps(const Placement& pl) {
   OverlapReport rep;
   const auto& nl = pl.netlist();

@@ -3,9 +3,12 @@
 // congestion, and row-overlap checks. These metrics feed STA wire delays,
 // the global router's demand model, and METRICS records.
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geom/geometry.hpp"
+#include "netlist/design_view.hpp"
 #include "netlist/netlist.hpp"
 #include "place/floorplan.hpp"
 
@@ -22,12 +25,27 @@ class Placement {
   const Floorplan& floorplan() const { return *fp_; }
 
   const geom::Point& loc(netlist::InstanceId id) const { return locs_[id]; }
-  void set_loc(netlist::InstanceId id, const geom::Point& p) { locs_[id] = p; }
+  void set_loc(netlist::InstanceId id, const geom::Point& p) {
+    locs_[id] = p;
+    ++revision_;
+  }
   std::size_t size() const { return locs_.size(); }
+
+  /// Raw per-instance origin table (index = InstanceId). This is the geometry
+  /// feed of netlist::DesignView::sync().
+  std::span<const geom::Point> locs() const { return locs_; }
+
+  /// Monotonic mutation counter: bumped by set_loc and sync_with_netlist.
+  /// Geometry caches keyed on a placement (DesignView bboxes, TimingGraph pin
+  /// positions) compare revisions instead of rescanning per query.
+  std::uint64_t revision() const { return revision_; }
 
   /// Resize the location table after ECO transforms added instances to the
   /// netlist; new instances start at (0,0) until placed.
-  void sync_with_netlist() { locs_.resize(nl_->instance_count()); }
+  void sync_with_netlist() {
+    locs_.resize(nl_->instance_count());
+    ++revision_;
+  }
 
   /// Pin location of an instance: cell center (one-pin abstraction).
   geom::Point pin_of(netlist::InstanceId id) const;
@@ -41,6 +59,7 @@ class Placement {
   const netlist::Netlist* nl_ = nullptr;
   const Floorplan* fp_ = nullptr;
   std::vector<geom::Point> locs_;
+  std::uint64_t revision_ = 0;
 };
 
 /// Bin-level congestion snapshot over the core.
@@ -61,6 +80,13 @@ struct CongestionMap {
 /// edge length — so tighter floorplans (smaller bins) have less capacity for
 /// the same wire demand.
 CongestionMap estimate_congestion(const Placement& pl, std::size_t bins_x, std::size_t bins_y,
+                                  double tracks_per_um = 20.0);
+
+/// View-based variant: reads the net bboxes and fanouts cached in `view`
+/// (sync()'d here against `pl`) instead of rescanning every net's pins.
+/// Bit-identical to the pin-scanning overload above.
+CongestionMap estimate_congestion(const Placement& pl, netlist::DesignView& view,
+                                  std::size_t bins_x, std::size_t bins_y,
                                   double tracks_per_um = 20.0);
 
 /// Count pairs of overlapping cells on the same row (0 for a legal placement)

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace maestro::place {
 
 using netlist::CellFunction;
@@ -43,7 +46,7 @@ Placement random_placement(const netlist::Netlist& nl, const Floorplan& fp, util
   return pl;
 }
 
-AnnealResult anneal_placement(Placement& pl, const AnnealOptions& opt, util::Rng& rng) {
+AnnealResult anneal_placement_reference(Placement& pl, const AnnealOptions& opt, util::Rng& rng) {
   const auto& nl = pl.netlist();
   const auto& fp = pl.floorplan();
   AnnealResult res;
@@ -139,6 +142,101 @@ AnnealResult anneal_placement(Placement& pl, const AnnealOptions& opt, util::Rng
   }
   res.final_hpwl = pl.total_hpwl();
   return res;
+}
+
+AnnealResult sa_place(Placement& pl, netlist::DesignView& view, const AnnealOptions& opt,
+                      util::Rng& rng) {
+  obs::Span span("sa_place", "place");
+  const auto& nl = pl.netlist();
+  const auto& fp = pl.floorplan();
+  AnnealResult res;
+
+  view.sync(pl.locs(), pl.revision());
+
+  std::vector<InstanceId> movable;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    const auto id = static_cast<InstanceId>(i);
+    if (!is_pad(nl, id)) movable.push_back(id);
+  }
+  if (movable.empty()) return res;
+
+  // Same schedule math as the reference engine: initial_hpwl is the view's
+  // maintained total, which equals Placement::total_hpwl exactly.
+  res.initial_hpwl = view.total_hpwl();
+  const double hpwl_per_net =
+      nl.net_count() > 0 ? static_cast<double>(res.initial_hpwl) / static_cast<double>(nl.net_count())
+                         : 1.0;
+  double t = std::max(opt.t_initial_frac * hpwl_per_net * 20.0, 1.0);
+  const double t_final = std::max(opt.t_final_frac * hpwl_per_net * 20.0, 0.01);
+
+  const auto total_moves = static_cast<std::size_t>(
+      std::max(opt.moves_per_cell * static_cast<double>(movable.size()), 1.0));
+  const double cooling = std::pow(t_final / t, 1.0 / static_cast<double>(total_moves));
+
+  const double full_range = static_cast<double>(std::max(fp.core().width(), fp.core().height()));
+  const double final_range =
+      opt.final_range_sites * static_cast<double>(fp.site_width());
+  const double range_decay = std::pow(std::max(final_range / full_range, 1e-6),
+                                      1.0 / static_cast<double>(total_moves));
+  double range = full_range;
+
+  std::size_t incr_deltas = 0;
+  for (std::size_t m = 0; m < total_moves; ++m, t *= cooling, range *= range_decay) {
+    ++res.moves_attempted;
+    const InstanceId a = movable[rng.below(movable.size())];
+    if (rng.uniform() < opt.swap_fraction && movable.size() > 1) {
+      InstanceId b = movable[rng.below(movable.size())];
+      if (a == b) continue;
+      // Exact integer delta over the precomputed dedup'd union of both
+      // cells' nets, with the swapped origins derived from the view's own
+      // cached pins; the placement is neither read nor written until the
+      // move is accepted.
+      const std::int64_t delta = view.trial_swap(a, b);
+      ++incr_deltas;
+      if (delta <= 0 || rng.uniform() < std::exp(-static_cast<double>(delta) / t)) {
+        ++res.moves_accepted;
+        const geom::Point pa = pl.loc(a);
+        const geom::Point pb = pl.loc(b);
+        pl.set_loc(a, pb);
+        pl.set_loc(b, pa);
+        view.commit(pl.revision());
+      } else {
+        view.discard();
+      }
+    } else {
+      const geom::Point pa = pl.loc(a);
+      const auto dx = static_cast<geom::Dbu>(rng.uniform(-range, range));
+      const auto dy = static_cast<geom::Dbu>(rng.uniform(-range, range));
+      geom::Point cand{pa.x + dx, pa.y + dy};
+      cand.x = std::clamp(cand.x, fp.core().lo.x, fp.core().hi.x - fp.site_width());
+      cand.y = std::clamp(cand.y, fp.core().lo.y, fp.core().hi.y - 1);
+      const geom::Point snapped = fp.snap(cand);
+      if (snapped == pa) continue;
+      const std::int64_t delta = view.trial_move(a, snapped);
+      ++incr_deltas;
+      if (delta <= 0 || rng.uniform() < std::exp(-static_cast<double>(delta) / t)) {
+        ++res.moves_accepted;
+        pl.set_loc(a, snapped);
+        view.commit(pl.revision());
+      } else {
+        view.discard();
+      }
+    }
+  }
+  res.final_hpwl = view.total_hpwl();
+
+  auto& reg = obs::Registry::global();
+  reg.counter("place.moves_accepted").add(res.moves_accepted);
+  reg.counter("place.incr_deltas").add(incr_deltas);
+  span.arg("moves", static_cast<double>(res.moves_attempted))
+      .arg("accepted", static_cast<double>(res.moves_accepted))
+      .arg("final_hpwl", static_cast<double>(res.final_hpwl));
+  return res;
+}
+
+AnnealResult anneal_placement(Placement& pl, const AnnealOptions& opt, util::Rng& rng) {
+  netlist::DesignView view{pl.netlist()};
+  return sa_place(pl, view, opt, rng);
 }
 
 geom::Dbu legalize(Placement& pl) {

@@ -145,28 +145,10 @@ Path maze_route(const GridGraph& g, const GCell& from, const GCell& to, double p
   return path;
 }
 
-}  // namespace
-
-RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, GridGraph& graph,
-                         util::Rng& rng) {
-  const auto& nl = pl.netlist();
-  graph = GridGraph{opt.gcells_x, opt.gcells_y, opt.h_capacity, opt.v_capacity,
-                    geom::GridIndexer{pl.floorplan().core(), opt.gcells_x, opt.gcells_y}};
-
-  // Collect per-net pin GCells and build segments.
-  std::vector<Segment> segments;
-  for (std::size_t n = 0; n < nl.net_count(); ++n) {
-    const auto& net = nl.net(static_cast<NetId>(n));
-    std::vector<GCell> pins;
-    auto add_pin = [&](InstanceId id) {
-      const auto [c, r] = graph.indexer().cell_of(pl.pin_of(id));
-      const GCell cell{static_cast<std::uint32_t>(c), static_cast<std::uint32_t>(r)};
-      if (std::find(pins.begin(), pins.end(), cell) == pins.end()) pins.push_back(cell);
-    };
-    add_pin(net.driver);
-    for (const auto& sink : net.sinks) add_pin(sink.instance);
-    for (auto& [a, b] : span_net(pins)) segments.push_back({a, b, {}});
-  }
+/// Shared rip-up-and-reroute loop over an already-collected segment list
+/// (both the pin-scanning and DesignView entry points land here).
+RouteResult route_collected(std::vector<Segment>& segments, const RouteOptions& opt,
+                            GridGraph& graph, util::Rng& rng) {
   // Route order: long segments first (they have fewest alternatives), with a
   // seeded shuffle among equals so different seeds explore different orders.
   rng.shuffle(segments);
@@ -224,6 +206,52 @@ RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, Gr
     }
   }
   return res;
+}
+
+}  // namespace
+
+RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, GridGraph& graph,
+                         util::Rng& rng) {
+  const auto& nl = pl.netlist();
+  graph = GridGraph{opt.gcells_x, opt.gcells_y, opt.h_capacity, opt.v_capacity,
+                    geom::GridIndexer{pl.floorplan().core(), opt.gcells_x, opt.gcells_y}};
+
+  // Collect per-net pin GCells and build segments.
+  std::vector<Segment> segments;
+  for (std::size_t n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(static_cast<NetId>(n));
+    std::vector<GCell> pins;
+    auto add_pin = [&](InstanceId id) {
+      const auto [c, r] = graph.indexer().cell_of(pl.pin_of(id));
+      const GCell cell{static_cast<std::uint32_t>(c), static_cast<std::uint32_t>(r)};
+      if (std::find(pins.begin(), pins.end(), cell) == pins.end()) pins.push_back(cell);
+    };
+    add_pin(net.driver);
+    for (const auto& sink : net.sinks) add_pin(sink.instance);
+    for (auto& [a, b] : span_net(pins)) segments.push_back({a, b, {}});
+  }
+  return route_collected(segments, opt, graph, rng);
+}
+
+RouteResult global_route(const place::Placement& pl, netlist::DesignView& view,
+                         const RouteOptions& opt, GridGraph& graph, util::Rng& rng) {
+  view.sync(pl.locs(), pl.revision());
+  graph = GridGraph{opt.gcells_x, opt.gcells_y, opt.h_capacity, opt.v_capacity,
+                    geom::GridIndexer{pl.floorplan().core(), opt.gcells_x, opt.gcells_y}};
+
+  // Same collection as above, but pin positions come from the view's cached
+  // coordinates and pins_of() already yields driver-first declaration order.
+  std::vector<Segment> segments;
+  for (std::size_t n = 0; n < view.net_count(); ++n) {
+    std::vector<GCell> pins;
+    for (const InstanceId id : view.pins_of(static_cast<NetId>(n))) {
+      const auto [c, r] = graph.indexer().cell_of(view.pin(id));
+      const GCell cell{static_cast<std::uint32_t>(c), static_cast<std::uint32_t>(r)};
+      if (std::find(pins.begin(), pins.end(), cell) == pins.end()) pins.push_back(cell);
+    }
+    for (auto& [a, b] : span_net(pins)) segments.push_back({a, b, {}});
+  }
+  return route_collected(segments, opt, graph, rng);
 }
 
 RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, util::Rng& rng) {

@@ -53,6 +53,13 @@ struct RouteResult {
 RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, GridGraph& graph,
                          util::Rng& rng);
 
+/// View-based variant: pin GCells come from the DesignView's cached pin
+/// coordinates (sync()'d here against `pl`) instead of per-pin
+/// master/library lookups. Consumes the same RNG stream and produces a
+/// bit-identical RouteResult.
+RouteResult global_route(const place::Placement& pl, netlist::DesignView& view,
+                         const RouteOptions& opt, GridGraph& graph, util::Rng& rng);
+
 /// Convenience: route and discard the grid.
 RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, util::Rng& rng);
 

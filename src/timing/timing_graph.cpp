@@ -54,8 +54,9 @@ KernelCounters& counters() {
 
 TimingGraph::TimingGraph(const netlist::Netlist& nl) : nl_(&nl) { build(); }
 
-TimingGraph::TimingGraph(const place::Placement& pl, const ClockTree& clock)
-    : nl_(&pl.netlist()), pl_(&pl), clock_(&clock) { build(); }
+TimingGraph::TimingGraph(const place::Placement& pl, const ClockTree& clock,
+                         const netlist::DesignView* view)
+    : nl_(&pl.netlist()), pl_(&pl), clock_(&clock), view_(view) { build(); }
 
 TimingGraph::~TimingGraph() = default;
 
@@ -261,7 +262,13 @@ void TimingGraph::refresh_instance(InstanceId id) {
   hold_req_[id] = m.hold_ps;
   clk_to_q_[id] = m.clk_to_q_ps;
   insertion_[id] = clock_ != nullptr ? clock_->insertion_of(id) : 0.0;
-  if (pl_ != nullptr) pin_[id] = pl_->pin_of(id);
+  if (pl_ != nullptr) {
+    // A shared in_sync DesignView holds the identical pin position without
+    // the per-pin master/library indirections.
+    pin_[id] = (view_ != nullptr && view_->in_sync(nl_->revision(), pl_->revision()))
+                   ? view_->pin(id)
+                   : pl_->pin_of(id);
+  }
 }
 
 void TimingGraph::refresh_net(NetId id) {
@@ -272,7 +279,10 @@ void TimingGraph::refresh_net(NetId id) {
   for (const auto& s : net.sinks) sc += input_cap_[s.instance];
   net_sink_cap_[id] = sc;
   if (pl_ != nullptr) {
-    net_hpwl_[id] = static_cast<double>(pl_->net_hpwl(id));
+    net_hpwl_[id] = static_cast<double>(
+        view_ != nullptr && view_->in_sync(nl_->revision(), pl_->revision())
+            ? view_->net_hpwl(id)
+            : pl_->net_hpwl(id));
     for (std::size_t i = net_edge_begin_[id]; i < net_edge_begin_[id + 1]; ++i) {
       const std::size_t e = net_edge_[i];
       edge_manh_[e] =

@@ -60,8 +60,11 @@ class TimingGraph {
   /// the wireload_* queries are valid.
   explicit TimingGraph(const netlist::Netlist& nl);
 
-  /// Placed mode: full STA over a placement and clock tree.
-  TimingGraph(const place::Placement& pl, const ClockTree& clock);
+  /// Placed mode: full STA over a placement and clock tree. An optional
+  /// in_sync netlist::DesignView supplies cached pin positions / net HPWLs
+  /// to the build (see attach_view); values are bit-identical either way.
+  TimingGraph(const place::Placement& pl, const ClockTree& clock,
+              const netlist::DesignView* view = nullptr);
 
   ~TimingGraph();
   TimingGraph(const TimingGraph&) = delete;
@@ -119,6 +122,15 @@ class TimingGraph {
   /// Nodes whose state was recomputed by the last reanalyze().
   std::size_t last_repropagated() const { return last_repropagated_; }
 
+  /// Share a netlist::DesignView as the geometry source for build / refresh:
+  /// whenever the view is in_sync with the bound netlist and placement
+  /// revisions, pin positions and net HPWLs are read from its caches
+  /// (bit-identical values) instead of being recomputed per pin via
+  /// Placement::pin_of / net_hpwl; a stale or null view falls back to the
+  /// direct path. The view must outlive this graph or be detached
+  /// (attach_view(nullptr)) first. Placed mode only.
+  void attach_view(const netlist::DesignView* view) { view_ = view; }
+
   /// Enable level-parallel propagation for graphs with at least `min_nodes`
   /// instances. Spawns a dedicated exec::RunExecutor sized from
   /// MAESTRO_THREADS (never share the campaign executor here: a pooled run
@@ -159,6 +171,7 @@ class TimingGraph {
   const netlist::Netlist* nl_ = nullptr;
   const place::Placement* pl_ = nullptr;  ///< null in wireload mode
   const ClockTree* clock_ = nullptr;      ///< null in wireload mode
+  const netlist::DesignView* view_ = nullptr;  ///< optional shared geometry
 
   // ---- structure (valid per netlist revision) ----
   std::size_t n_ = 0;
