@@ -18,6 +18,7 @@
 
 #include "core/mab_scheduler.hpp"
 #include "core/metrics_loop.hpp"
+#include "metrics/miner.hpp"
 #include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -114,7 +115,10 @@ int main(int argc, char** argv) {
   design.scale = 1;
   design.name = "metrics_dut";
 
-  // Phase 1: instrumented collection across target frequencies and knobs.
+  // Phase 1: instrumented collection across target frequencies and knobs,
+  // with a streaming miner subscribed to the live record stream — it folds
+  // each run's records in as they land instead of rescanning the store.
+  metrics::StreamingKnobStats live_miner{server, metrics::names::kWnsPs, "flow"};
   const auto spaces = flow::default_knob_spaces();
   for (const double ghz : {0.7, 0.9, 1.1, 1.25, 1.4}) {
     for (int i = 0; i < 6; ++i) {
@@ -124,9 +128,12 @@ int main(int argc, char** argv) {
       recipe.knobs = flow::random_trajectory(spaces, rng);
       recipe.seed = rng.next();
       tx.transmit_flow(recipe, fm.run(recipe));
+      live_miner.poll();
     }
   }
-  std::printf("collected %zu records from 30 instrumented flow runs\n\n", server.size());
+  std::printf("collected %zu records from 30 instrumented flow runs "
+              "(%zu streamed to the live miner)\n\n",
+              server.size(), live_miner.consumed());
 
   // Phase 2: sensitivity mining (best knob settings per metric).
   const auto best_area = metrics::best_knob_settings(server, metrics::names::kAreaUm2, true);
@@ -143,6 +150,20 @@ int main(int argc, char** argv) {
   std::printf("\nprescribed frequency for %s: %.2f GHz (success rate %.0f%%, %zu runs)\n",
               design.name.c_str(), rx.recommended_ghz, 100.0 * rx.predicted_success_rate,
               rx.supporting_runs);
+
+  // Phase 2b: the streaming miner, having seen each record exactly once,
+  // must agree with a batch re-scan of the finished store.
+  const auto stream_effects = live_miner.effects();
+  const auto batch_effects = metrics::knob_sensitivity(server, metrics::names::kWnsPs, "flow");
+  bool stream_matches = stream_effects.size() == batch_effects.size();
+  for (std::size_t i = 0; stream_matches && i < stream_effects.size(); ++i) {
+    stream_matches = stream_effects[i].knob == batch_effects[i].knob &&
+                     stream_effects[i].value == batch_effects[i].value &&
+                     stream_effects[i].runs == batch_effects[i].runs &&
+                     stream_effects[i].mean_metric == batch_effects[i].mean_metric;
+  }
+  std::printf("streaming miner vs batch re-scan: %zu effects, %s\n", stream_effects.size(),
+              stream_matches ? "identical" : "MISMATCH");
 
   // Phase 3b: outcome model (predict power from target frequency).
   util::Rng mrng{77};
@@ -175,6 +196,8 @@ int main(int argc, char** argv) {
               server.for_step("flow").size() >= 30 ? "OK" : "MISMATCH");
   std::printf("  mining found per-knob best settings (%zu knobs): %s\n", best_area.size(),
               !best_area.empty() ? "OK" : "MISMATCH");
+  std::printf("  streaming miner agrees with batch mining: %s\n",
+              stream_matches ? "OK" : "MISMATCH");
   std::printf("  frequency prescription produced (%.2f GHz > 0): %s\n", rx.recommended_ghz,
               rx.recommended_ghz > 0.0 ? "OK" : "MISMATCH");
   std::printf("  outcome model predictive (R2=%.2f > 0.5): %s\n", model.test_r2,

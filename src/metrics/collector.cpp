@@ -1,0 +1,294 @@
+#include "metrics/collector.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+namespace maestro::metrics {
+
+namespace {
+
+struct RemoteCounters {
+  obs::Counter& conns;
+  obs::Counter& frames;
+  obs::Counter& records;
+  obs::Counter& proto_errors;
+};
+
+RemoteCounters& remote_counters() {
+  static RemoteCounters c{
+      obs::Registry::global().counter("metrics.remote_conns"),
+      obs::Registry::global().counter("metrics.remote_frames"),
+      obs::Registry::global().counter("metrics.remote_records"),
+      obs::Registry::global().counter("metrics.remote_proto_errors"),
+  };
+  return c;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// 1 = got n bytes, 0 = clean EOF before the first byte, -1 = error/short.
+int read_exact(int fd, char* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char hdr[4] = {static_cast<char>(len & 0xff), static_cast<char>((len >> 8) & 0xff),
+                 static_cast<char>((len >> 16) & 0xff), static_cast<char>((len >> 24) & 0xff)};
+  return write_all(fd, hdr, 4) && write_all(fd, payload.data(), payload.size());
+}
+
+/// 1 = frame in *payload, 0 = clean EOF, -1 = error / oversized frame.
+int read_frame(int fd, std::size_t max_bytes, std::string* payload) {
+  char hdr[4];
+  const int h = read_exact(fd, hdr, 4);
+  if (h <= 0) return h;
+  const std::uint32_t len = static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[0])) |
+                            (static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[1])) << 8) |
+                            (static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[2])) << 16) |
+                            (static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[3])) << 24);
+  if (len > max_bytes) return -1;
+  payload->resize(len);
+  return read_exact(fd, payload->data(), len) == 1 ? 1 : -1;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Collector
+
+Collector::Collector(Server& server, CollectorOptions opt)
+    : server_(&server), opt_(std::move(opt)) {}
+
+Collector::~Collector() { stop(); }
+
+bool Collector::start() {
+  if (running()) return true;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.empty() || opt_.socket_path.size() >= sizeof(addr.sun_path)) return false;
+  std::memcpy(addr.sun_path, opt_.socket_path.c_str(), opt_.socket_path.size() + 1);
+  ::unlink(opt_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Collector::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Unblock every reader still parked in read(); each closes its own fd.
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> joiners;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    joiners.swap(conn_threads_);
+  }
+  for (auto& t : joiners) {
+    if (t.joinable()) t.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.clear();  // all readers joined; slots must not leak into a restart
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(opt_.socket_path.c_str());
+}
+
+void Collector::accept_loop() {
+  while (running()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, 200);
+    if (n <= 0) continue;  // timeout or EINTR: re-check running()
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    conns_.fetch_add(1, std::memory_order_relaxed);
+    remote_counters().conns.add();
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const std::size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd, slot] {
+      serve_connection(fd);
+      const std::lock_guard<std::mutex> inner(conn_mu_);
+      ::close(fd);
+      conn_fds_[slot] = -1;  // stop() must not shutdown a recycled fd number
+    });
+  }
+}
+
+void Collector::serve_connection(int fd) {
+  auto& rc = remote_counters();
+  std::uint64_t conn_records = 0;
+  std::string payload;
+  while (true) {
+    const int st = read_frame(fd, opt_.max_frame_bytes, &payload);
+    if (st == 0) return;  // peer vanished without bye: keep what it sent
+    if (st < 0) {
+      rc.proto_errors.add();
+      return;
+    }
+    rc.frames.add();
+    const auto doc = util::Json::parse(payload);
+    if (!doc || !doc->is_object()) {
+      rc.proto_errors.add();
+      return;
+    }
+    const std::string& type = doc->at("type").as_string();
+    if (type == "records") {
+      const obs::Span span("metrics_ingest", "metrics");
+      std::vector<Record> batch;
+      batch.reserve(doc->at("records").as_array().size());
+      for (const auto& rj : doc->at("records").as_array()) {
+        if (auto r = Record::from_json(rj)) batch.push_back(std::move(*r));
+      }
+      conn_records += batch.size();
+      rc.records.add(batch.size());
+      records_.fetch_add(batch.size(), std::memory_order_relaxed);
+      server_->submit_batch(std::move(batch));
+    } else if (type == "sync" || type == "bye") {
+      // Flush handshake: everything received on this connection is already
+      // in the server (frames are ingested as they arrive), so the ack is
+      // the durability point the client waits on.
+      const obs::Span span("metrics_flush", "metrics");
+      util::JsonObject ack;
+      ack["type"] = util::Json{"ack"};
+      ack["received"] = util::Json{static_cast<double>(conn_records)};
+      if (!write_frame(fd, util::Json{std::move(ack)}.dump())) return;
+      if (type == "bye") return;  // graceful close
+    } else {
+      rc.proto_errors.add();
+      return;
+    }
+  }
+}
+
+// --------------------------------------------------------- RemoteTransmitter
+
+RemoteTransmitter::RemoteTransmitter(const std::string& socket_path, Options opt)
+    : opt_(opt), fd_(connect_unix(socket_path)) {
+  if (opt_.batch_records == 0) opt_.batch_records = 1;
+  pending_.reserve(opt_.batch_records);
+}
+
+RemoteTransmitter::~RemoteTransmitter() { close(); }
+
+bool RemoteTransmitter::submit(Record r) {
+  if (fd_ < 0) return false;
+  pending_.push_back(std::move(r));
+  if (pending_.size() >= opt_.batch_records) return ship_pending();
+  return true;
+}
+
+bool RemoteTransmitter::ship_pending() {
+  if (fd_ < 0) return false;
+  if (pending_.empty()) return true;
+  util::JsonArray arr;
+  arr.reserve(pending_.size());
+  for (const auto& r : pending_) arr.push_back(r.to_json());
+  util::JsonObject frame;
+  frame["type"] = util::Json{"records"};
+  frame["records"] = util::Json{std::move(arr)};
+  const std::string payload = util::Json{std::move(frame)}.dump();
+  if (payload.size() > max_frame_bytes_ || !write_frame(fd_, payload)) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  sent_ += pending_.size();
+  pending_.clear();
+  return true;
+}
+
+bool RemoteTransmitter::handshake(const char* type) {
+  util::JsonObject req;
+  req["type"] = util::Json{type};
+  if (!write_frame(fd_, util::Json{std::move(req)}.dump())) return false;
+  std::string payload;
+  if (read_frame(fd_, max_frame_bytes_, &payload) != 1) return false;
+  const auto doc = util::Json::parse(payload);
+  if (!doc || doc->at("type").as_string() != "ack") return false;
+  return static_cast<std::uint64_t>(doc->at("received").as_number()) == sent_;
+}
+
+bool RemoteTransmitter::flush() {
+  if (fd_ < 0) return false;
+  if (!ship_pending()) return false;
+  const obs::Span span("metrics_flush", "metrics");
+  if (!handshake("sync")) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool RemoteTransmitter::close() {
+  if (fd_ < 0) return true;
+  bool ok = ship_pending();
+  ok = ok && handshake("bye");
+  ::close(fd_);
+  fd_ = -1;
+  return ok;
+}
+
+}  // namespace maestro::metrics

@@ -7,18 +7,12 @@
 
 namespace maestro::metrics {
 
-std::vector<KnobEffect> knob_sensitivity(const Server& server, const std::string& metric,
-                                         const std::string& step) {
-  // Group metric values by (knob, value).
-  std::map<std::pair<std::string, std::string>, util::RunningStats> groups;
-  for (const Record* r : server.for_step(step)) {
-    const auto v = r->value(metric);
-    if (!v) continue;
-    for (const auto& [knob, value] : r->knobs) {
-      groups[{knob, value}].add(*v);
-    }
-  }
+namespace {
+
+std::vector<KnobEffect> effects_from_groups(
+    const std::map<std::pair<std::string, std::string>, util::RunningStats>& groups) {
   std::vector<KnobEffect> out;
+  out.reserve(groups.size());
   for (const auto& [key, stats] : groups) {
     KnobEffect e;
     e.knob = key.first;
@@ -29,6 +23,50 @@ std::vector<KnobEffect> knob_sensitivity(const Server& server, const std::string
     out.push_back(std::move(e));
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<KnobEffect> knob_sensitivity(const Server& server, const std::string& metric,
+                                         const std::string& step) {
+  // Group metric values by (knob, value). for_step is O(matches) via the
+  // server's per-shard step index.
+  std::map<std::pair<std::string, std::string>, util::RunningStats> groups;
+  for (const Record* r : server.for_step(step)) {
+    const auto v = r->value(metric);
+    if (!v) continue;
+    for (const auto& [knob, value] : r->knobs) {
+      groups[{knob, value}].add(*v);
+    }
+  }
+  return effects_from_groups(groups);
+}
+
+StreamingKnobStats::StreamingKnobStats(Server& server, std::string metric, std::string step)
+    : server_(&server),
+      metric_(std::move(metric)),
+      step_(std::move(step)),
+      subscriber_(server.subscribe(/*from_start=*/true)) {}
+
+StreamingKnobStats::~StreamingKnobStats() { server_->unsubscribe(subscriber_); }
+
+std::size_t StreamingKnobStats::poll(std::size_t max_records) {
+  Poll p = server_->poll_since(subscriber_, max_records);
+  missed_ += p.missed;
+  for (const auto& r : p.records) {
+    if (r.step != step_) continue;
+    const auto v = r.value(metric_);
+    if (!v) continue;
+    for (const auto& [knob, value] : r.knobs) {
+      groups_[{knob, value}].add(*v);
+    }
+  }
+  consumed_ += p.records.size();
+  return p.records.size();
+}
+
+std::vector<KnobEffect> StreamingKnobStats::effects() const {
+  return effects_from_groups(groups_);
 }
 
 std::map<std::string, std::string> best_knob_settings(const Server& server,

@@ -22,6 +22,7 @@
 
 #include "metrics/server.hpp"
 #include "ml/regression.hpp"
+#include "util/stats.hpp"
 
 namespace maestro::metrics {
 
@@ -37,6 +38,38 @@ struct KnobEffect {
 /// both. Sorted by knob then value.
 std::vector<KnobEffect> knob_sensitivity(const Server& server, const std::string& metric,
                                          const std::string& step = "flow");
+
+/// The miner as a *subscribed processor* over the record stream (the
+/// METRICS-2.0 service shape): holds a server cursor and folds records
+/// appended since the last poll() into per-(knob, value) running stats, so a
+/// long-lived campaign is mined incrementally — O(new records) per poll —
+/// instead of rescanning the store. After draining, effects() agrees with a
+/// batch knob_sensitivity() over the same records.
+class StreamingKnobStats {
+ public:
+  StreamingKnobStats(Server& server, std::string metric, std::string step = "flow");
+  ~StreamingKnobStats();
+  StreamingKnobStats(const StreamingKnobStats&) = delete;
+  StreamingKnobStats& operator=(const StreamingKnobStats&) = delete;
+
+  /// Drain newly appended records into the stats; returns records consumed
+  /// (matching or not). Call from one thread.
+  std::size_t poll(std::size_t max_records = 0);
+
+  std::vector<KnobEffect> effects() const;  ///< same shape as knob_sensitivity
+  std::size_t consumed() const { return consumed_; }
+  /// Records evicted (bounded server) before this miner saw them.
+  std::uint64_t missed() const { return missed_; }
+
+ private:
+  Server* server_;
+  std::string metric_;
+  std::string step_;
+  std::uint64_t subscriber_;
+  std::size_t consumed_ = 0;
+  std::uint64_t missed_ = 0;
+  std::map<std::pair<std::string, std::string>, util::RunningStats> groups_;
+};
 
 /// For each knob, the value whose runs had the best mean metric
 /// (minimize=true picks the smallest mean, e.g. area; false the largest).

@@ -1,6 +1,31 @@
 #include "metrics/record.hpp"
 
+#include <cmath>
+
 namespace maestro::metrics {
+
+namespace {
+
+// JSON has no NaN/Inf literals (Json::dump would emit null, which reads back
+// as 0.0). Non-finite metric values are encoded as tagged strings so records
+// survive the wire protocol and save/load bit-identically.
+util::Json encode_value(double v) {
+  if (std::isnan(v)) return util::Json{"nan"};
+  if (std::isinf(v)) return util::Json{v > 0 ? "inf" : "-inf"};
+  return util::Json{v};
+}
+
+double decode_value(const util::Json& j) {
+  if (j.is_string()) {
+    const std::string& s = j.as_string();
+    if (s == "nan") return std::nan("");
+    if (s == "inf") return HUGE_VAL;
+    if (s == "-inf") return -HUGE_VAL;
+  }
+  return j.as_number();
+}
+
+}  // namespace
 
 std::optional<double> Record::value(const std::string& name) const {
   const auto it = values.find(name);
@@ -25,7 +50,7 @@ util::Json Record::to_json() const {
   for (const auto& [name, v] : knobs) k[name] = util::Json{v};
   obj["knobs"] = util::Json{std::move(k)};
   util::JsonObject v;
-  for (const auto& [name, val] : values) v[name] = util::Json{val};
+  for (const auto& [name, val] : values) v[name] = encode_value(val);
   obj["values"] = util::Json{std::move(v)};
   return util::Json{std::move(obj)};
 }
@@ -40,8 +65,10 @@ std::optional<Record> Record::from_json(const util::Json& j) {
   r.seed = seed_field.is_string()
                ? std::strtoull(seed_field.as_string().c_str(), nullptr, 10)
                : static_cast<std::uint64_t>(seed_field.as_number());
+  // Missing "knobs"/"values" fields read as empty objects (at() returns a
+  // null Json whose as_object() is empty), so partial records stay loadable.
   for (const auto& [k, v] : j.at("knobs").as_object()) r.knobs[k] = v.as_string();
-  for (const auto& [k, v] : j.at("values").as_object()) r.values[k] = v.as_number();
+  for (const auto& [k, v] : j.at("values").as_object()) r.values[k] = decode_value(v);
   return r;
 }
 

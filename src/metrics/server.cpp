@@ -1,110 +1,387 @@
 #include "metrics/server.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 
 namespace maestro::metrics {
 
-Server::Server(Server&& other) noexcept {
-  const std::lock_guard<std::mutex> lock(other.mu_);
-  records_ = std::move(other.records_);
-  sink_ = std::move(other.sink_);
-  next_id_ = other.next_id_;
-  other.next_id_ = 1;
+namespace {
+
+struct IngestCounters {
+  obs::Counter& dropped;
+  obs::Counter& blocked_ms;
+  obs::Counter& load_skipped;
+  obs::Histogram& batch_records;
+  obs::Histogram& enqueue_us;
+};
+
+IngestCounters& ingest_counters() {
+  static IngestCounters c{
+      obs::Registry::global().counter("metrics.ingest_dropped"),
+      obs::Registry::global().counter("metrics.ingest_blocked_ms"),
+      obs::Registry::global().counter("metrics.load_skipped"),
+      obs::Registry::global().histogram(
+          "metrics.ingest_batch", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}),
+      obs::Registry::global().histogram(
+          "metrics.enqueue_us", {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}),
+  };
+  return c;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// FNV-1a over design + '\0' + step: the shard key. Distinct streams land on
+/// distinct stripes; one stream always lands on one stripe (so per-shard
+/// sequence order is per-stream submission order).
+std::uint64_t stream_hash(const std::string& design, const std::string& step) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0;  // separator byte
+    h *= 1099511628211ULL;
+  };
+  mix(design);
+  mix(step);
+  return h;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions opt;
+  if (const char* s = std::getenv("MAESTRO_METRICS_SHARDS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) opt.shards = static_cast<std::size_t>(v);
+  }
+  if (const char* s = std::getenv("MAESTRO_METRICS_CAPACITY")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v >= 0) opt.shard_capacity = static_cast<std::size_t>(v);
+  }
+  if (const char* s = std::getenv("MAESTRO_METRICS_OVERFLOW")) {
+    const std::string v = s;
+    if (v == "block") opt.overflow = Overflow::Block;
+    else if (v == "drop") opt.overflow = Overflow::DropOldest;
+  }
+  return opt;
+}
+
+Server::Server(ServerOptions opt) : opt_(opt) {
+  opt_.shards = round_up_pow2(std::max<std::size_t>(1, opt_.shards));
+  shards_.reserve(opt_.shards);
+  for (std::size_t i = 0; i < opt_.shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+Server::Server(Server&& other) noexcept
+    : opt_(other.opt_),
+      shards_(std::move(other.shards_)),
+      next_id_(other.next_id_.load(std::memory_order_relaxed)),
+      has_sink_(other.has_sink_.load(std::memory_order_relaxed)),
+      next_subscriber_(other.next_subscriber_) {
+  other.shards_.clear();
+  other.next_id_.store(1, std::memory_order_relaxed);
 }
 
 Server& Server::operator=(Server&& other) noexcept {
   if (this != &other) {
-    const std::scoped_lock lock(mu_, other.mu_);
-    records_ = std::move(other.records_);
-    sink_ = std::move(other.sink_);
-    next_id_ = other.next_id_;
-    other.next_id_ = 1;
+    opt_ = other.opt_;
+    shards_ = std::move(other.shards_);
+    next_id_.store(other.next_id_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    has_sink_.store(other.has_sink_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    next_subscriber_ = other.next_subscriber_;
+    other.shards_.clear();
+    other.next_id_.store(1, std::memory_order_relaxed);
   }
   return *this;
 }
 
-std::uint64_t Server::submit(Record r) {
-  std::uint64_t id = 0;
-  std::function<void(const Record&)> sink;
-  Record mirrored;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (r.run_id == 0) r.run_id = next_id_++;
-    else next_id_ = std::max(next_id_, r.run_id + 1);
-    id = r.run_id;
-    if (sink_) {
-      sink = sink_;
-      mirrored = r;
+Server::Shard& Server::shard_for(const Record& r) {
+  return *shards_[stream_hash(r.design, r.step) & (opt_.shards - 1)];
+}
+
+void Server::assign_id(Record& r) {
+  if (r.run_id == 0) {
+    r.run_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t cur = next_id_.load(std::memory_order_relaxed);
+  while (cur < r.run_id + 1 &&
+         !next_id_.compare_exchange_weak(cur, r.run_id + 1, std::memory_order_relaxed)) {
+  }
+}
+
+void Server::append_locked(Shard& s, Record&& r) {
+  const std::uint64_t seq = s.base_seq + s.records.size();
+  s.by_design[r.design].push_back(seq);
+  s.by_step[r.step].push_back(seq);
+  s.records.push_back(std::move(r));
+}
+
+void Server::evict_front_locked(Shard& s) {
+  const Record& front = s.records.front();
+  const auto prune = [&](std::map<std::string, std::deque<std::uint64_t>>& index,
+                         const std::string& key) {
+    const auto it = index.find(key);
+    it->second.pop_front();  // fronts advance in lockstep with base_seq
+    if (it->second.empty()) index.erase(it);
+  };
+  prune(s.by_design, front.design);
+  prune(s.by_step, front.step);
+  s.records.pop_front();
+  ++s.base_seq;
+}
+
+void Server::make_room_locked(Shard& s, std::unique_lock<std::mutex>& lk) {
+  if (opt_.shard_capacity == 0) return;
+  while (s.records.size() >= opt_.shard_capacity) {
+    // Records every registered subscriber has consumed are pure retention —
+    // evicting them loses nothing (the archive is the store sink).
+    if (!s.cursors.empty()) {
+      std::uint64_t min_cursor = UINT64_MAX;
+      for (const auto& [sub, next] : s.cursors) min_cursor = std::min(min_cursor, next);
+      if (s.base_seq < min_cursor) {
+        evict_front_locked(s);
+        continue;
+      }
     }
-    records_.push_back(std::move(r));
+    if (opt_.overflow == Overflow::Block && !s.cursors.empty()) {
+      // A subscriber still needs the front record: wait for it to poll.
+      const auto t0 = std::chrono::steady_clock::now();
+      s.space.wait(lk);
+      const auto waited = std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0);
+      ingest_counters().blocked_ms.add(
+          static_cast<std::uint64_t>(std::llround(waited.count())));
+    } else {
+      // DropOldest — or Block with nobody subscribed, where waiting could
+      // never be satisfied: evict an unconsumed record and count the loss.
+      evict_front_locked(s);
+      ingest_counters().dropped.add();
+    }
+  }
+}
+
+std::uint64_t Server::submit(Record r) {
+  assign_id(r);
+  const std::uint64_t id = r.run_id;
+  const bool want_sink = has_sink_.load(std::memory_order_relaxed);
+  Record mirrored;
+  if (want_sink) mirrored = r;
+  Shard& s = shard_for(r);
+  std::shared_ptr<const std::function<void(const Record&)>> sink;
+  {
+    std::unique_lock<std::mutex> lk(s.mu);
+    if (want_sink) sink = s.sink;
+    make_room_locked(s, lk);
+    append_locked(s, std::move(r));
   }
   // The sink runs outside the lock so a durable store's WAL write never
-  // serializes concurrent submitters behind this mutex.
-  if (sink) sink(mirrored);
+  // serializes concurrent submitters behind this shard's mutex.
+  if (sink && *sink) (*sink)(mirrored);
   return id;
 }
 
+std::vector<std::uint64_t> Server::submit_batch(std::vector<Record> records) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(records.size());
+  if (records.empty()) return ids;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& r : records) {
+    assign_id(r);
+    ids.push_back(r.run_id);
+  }
+  const bool want_sink = has_sink_.load(std::memory_order_relaxed);
+  std::vector<Record> mirrored;
+  if (want_sink) mirrored = records;
+
+  // Group indices by shard so each touched stripe is locked exactly once.
+  std::vector<std::vector<std::size_t>> by_shard(opt_.shards);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    by_shard[stream_hash(records[i].design, records[i].step) & (opt_.shards - 1)].push_back(i);
+  }
+  std::shared_ptr<const std::function<void(const Record&)>> sink;
+  for (std::size_t si = 0; si < by_shard.size(); ++si) {
+    if (by_shard[si].empty()) continue;
+    Shard& s = *shards_[si];
+    std::unique_lock<std::mutex> lk(s.mu);
+    if (want_sink && !sink) sink = s.sink;  // same sink on every shard
+    for (const std::size_t i : by_shard[si]) {
+      make_room_locked(s, lk);
+      append_locked(s, std::move(records[i]));
+    }
+  }
+  if (sink && *sink) {
+    for (const auto& r : mirrored) (*sink)(r);
+  }
+  auto& c = ingest_counters();
+  c.batch_records.observe(static_cast<double>(ids.size()));
+  c.enqueue_us.observe(
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0).count());
+  return ids;
+}
+
 void Server::set_sink(std::function<void(const Record&)> sink) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  sink_ = std::move(sink);
+  const std::lock_guard<std::mutex> meta(meta_mu_);
+  auto shared = sink ? std::make_shared<const std::function<void(const Record&)>>(std::move(sink))
+                     : nullptr;
+  for (auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    s->sink = shared;
+  }
+  has_sink_.store(shared != nullptr, std::memory_order_relaxed);
 }
 
 std::size_t Server::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return records_.size();
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    n += s->records.size();
+  }
+  return n;
 }
 
 std::vector<Record> Server::all() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return {records_.begin(), records_.end()};
+  std::vector<Record> out;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    out.insert(out.end(), s->records.begin(), s->records.end());
+  }
+  return out;
 }
 
 std::vector<const Record*> Server::query(
     const std::function<bool(const Record&)>& pred) const {
-  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Record*> out;
-  for (const auto& r : records_) {
-    if (pred(r)) out.push_back(&r);
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& r : s->records) {
+      if (pred(r)) out.push_back(&r);
+    }
   }
   return out;
 }
 
 std::vector<const Record*> Server::for_design(const std::string& design) const {
-  return query([&](const Record& r) { return r.design == design; });
+  std::vector<const Record*> out;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    const auto it = s->by_design.find(design);
+    if (it == s->by_design.end()) continue;
+    for (const std::uint64_t seq : it->second) out.push_back(&s->records[seq - s->base_seq]);
+  }
+  return out;
 }
 
 std::vector<const Record*> Server::for_step(const std::string& step) const {
-  return query([&](const Record& r) { return r.step == step; });
+  std::vector<const Record*> out;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    const auto it = s->by_step.find(step);
+    if (it == s->by_step.end()) continue;
+    for (const std::uint64_t seq : it->second) out.push_back(&s->records[seq - s->base_seq]);
+  }
+  return out;
+}
+
+std::uint64_t Server::subscribe(bool from_start) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> meta(meta_mu_);
+    id = next_subscriber_++;
+  }
+  for (auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    s->cursors[id] = from_start ? s->base_seq : s->base_seq + s->records.size();
+  }
+  return id;
+}
+
+void Server::unsubscribe(std::uint64_t subscriber) {
+  for (auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    s->cursors.erase(subscriber);
+    s->space.notify_all();  // a removed laggard may free Block-mode producers
+  }
+}
+
+Poll Server::poll_since(std::uint64_t subscriber, std::size_t max_records) {
+  Poll out;
+  for (auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    const auto it = s->cursors.find(subscriber);
+    if (it == s->cursors.end()) continue;  // unknown subscriber
+    std::uint64_t cur = it->second;
+    if (cur < s->base_seq) {
+      out.missed += s->base_seq - cur;  // evicted before this subscriber saw them
+      cur = s->base_seq;
+    }
+    const std::uint64_t end = s->base_seq + s->records.size();
+    while (cur < end && (max_records == 0 || out.records.size() < max_records)) {
+      out.records.push_back(s->records[cur - s->base_seq]);
+      ++cur;
+    }
+    if (cur != it->second) {
+      it->second = cur;
+      if (opt_.shard_capacity != 0 && opt_.overflow == Overflow::Block) s->space.notify_all();
+    }
+  }
+  return out;
 }
 
 bool Server::save(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
-  const std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& r : records_) out << r.to_json().dump() << '\n';
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& r : s->records) out << r.to_json().dump() << '\n';
+  }
   return static_cast<bool>(out);
 }
 
-std::size_t Server::load(const std::string& path) {
+LoadResult Server::load_file(const std::string& path) {
+  LoadResult res;
   std::ifstream in(path);
-  if (!in) return 0;
-  std::size_t loaded = 0;
+  if (!in) return res;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto j = util::Json::parse(line);
-    if (!j) continue;
-    auto r = Record::from_json(*j);
-    if (!r) continue;
-    submit(std::move(*r));
-    ++loaded;
+    auto r = j ? Record::from_json(*j) : std::nullopt;
+    if (!r) {
+      ++res.skipped;
+      continue;
+    }
+    // Direct insert: no sink (a bound store already holds this history) and
+    // no blocking (bounded shards evict instead).
+    assign_id(*r);
+    Shard& s = shard_for(*r);
+    {
+      std::unique_lock<std::mutex> lk(s.mu);
+      while (opt_.shard_capacity != 0 && s.records.size() >= opt_.shard_capacity) {
+        evict_front_locked(s);
+        ingest_counters().dropped.add();
+      }
+      append_locked(s, std::move(*r));
+    }
+    ++res.loaded;
   }
-  return loaded;
+  if (res.skipped > 0) ingest_counters().load_skipped.add(res.skipped);
+  return res;
 }
 
 std::uint64_t Transmitter::transmit_flow(const flow::FlowRecipe& recipe,
                                          const flow::FlowResult& result) {
+  std::vector<Record> batch;
+  batch.reserve(1 + result.logs.size());
   Record rec;
   rec.design = recipe.design.name;
   rec.step = "flow";
@@ -123,7 +400,7 @@ std::uint64_t Transmitter::transmit_flow(const flow::FlowRecipe& recipe,
   rec.values[names::kIrDropV] = result.ir_drop_v;
   rec.values[names::kTatMin] = result.tat_minutes;
   rec.values[names::kSuccess] = result.success() ? 1.0 : 0.0;
-  const std::uint64_t id = server_->submit(std::move(rec));
+  batch.push_back(std::move(rec));
 
   for (const auto& log : result.logs) {
     Record step_rec;
@@ -150,9 +427,10 @@ std::uint64_t Transmitter::transmit_flow(const flow::FlowRecipe& recipe,
       }
       step_rec.values["iterations"] = static_cast<double>(log.iterations.size());
     }
-    server_->submit(std::move(step_rec));
+    batch.push_back(std::move(step_rec));
   }
-  return id;
+  const auto ids = server_->submit_batch(std::move(batch));
+  return ids.empty() ? 0 : ids.front();
 }
 
 std::uint64_t Transmitter::transmit_log(const util::ToolLog& log, const std::string& design,
@@ -186,7 +464,7 @@ std::uint64_t Transmitter::transmit_snapshot(const obs::MetricsSnapshot& snap,
 }
 
 std::size_t Transmitter::transmit_journal(const exec::RunJournal& journal) {
-  std::size_t n = 0;
+  std::vector<Record> batch;
   for (const auto& run : journal.snapshot()) {
     Record rec;
     rec.design = run.label;
@@ -198,10 +476,9 @@ std::size_t Transmitter::transmit_journal(const exec::RunJournal& journal) {
     rec.values["timed_out"] = run.state == exec::RunState::TimedOut ? 1.0 : 0.0;
     rec.knobs["state"] = to_string(run.state);
     if (!run.note.empty()) rec.knobs["note"] = run.note;
-    server_->submit(std::move(rec));
-    ++n;
+    batch.push_back(std::move(rec));
   }
-  return n;
+  return server_->submit_batch(std::move(batch)).size();
 }
 
 }  // namespace maestro::metrics

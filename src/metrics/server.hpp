@@ -1,15 +1,43 @@
 #pragma once
-// METRICS server and tool transmitter (Fig. 11).
+// METRICS 2.0 ingest service and tool transmitter (Fig. 11).
 //
 // The original system shipped XML over the network into an EJB-backed store;
 // per the paper's own observation that a reimplementation "with today's
 // commodity ... technologies will be much simpler", the server here is an
-// in-process indexed store with JSON-lines persistence. The Transmitter is
-// the "wrapper script / API call from within the tools" of Fig. 11: it
-// flattens FlowResults and ToolLogs into Records.
+// in-process store with JSON-lines persistence — but grown into the paper's
+// §4 *service* shape: the central collection point every tool run in an
+// organization feeds, cheap enough to leave on everywhere.
+//
+// Architecture (vs the original single mutex-guarded deque):
+//
+//  * Sharded ingest — records hash by (design, step) onto one of N striped
+//    partitions, each with its own mutex, deque, and secondary indexes
+//    (design -> record seqs, step -> record seqs). Concurrent producers
+//    submitting different streams never touch the same lock.
+//  * Streaming snapshots — subscribers hold a per-shard cursor (next unseen
+//    shard sequence number) and poll_since() returns only records appended
+//    since their last poll, replacing full all() copies for live consumers.
+//  * Backpressure — a bounded per-shard capacity with an explicit overflow
+//    policy: Block (producers wait until every registered subscriber has
+//    consumed the oldest records, which are then evicted) or DropOldest
+//    (oldest records evicted immediately; lagging subscribers see the gap as
+//    Poll::missed). Overload degrades predictably and is observable via the
+//    metrics.ingest_dropped / metrics.ingest_blocked_ms counters.
+//  * The wire protocol half (metrics::Collector / RemoteTransmitter, see
+//    collector.hpp) lets many maestro processes feed one collector process
+//    over length-prefixed JSONL frames on a local socket.
+//
+// Storage per shard is a deque so retained records never relocate — pointers
+// returned by query() stay valid until the record is evicted (never, in the
+// default unbounded configuration).
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -21,52 +49,143 @@
 
 namespace maestro::metrics {
 
-/// Central collection point with simple query support.
+/// What submit() does when a bounded shard is full.
+enum class Overflow {
+  Block,      ///< wait for subscribers to consume (drops only with no subscribers)
+  DropOldest  ///< evict the oldest retained record immediately
+};
+
+struct ServerOptions {
+  /// Number of striped partitions (rounded up to a power of two, >= 1).
+  std::size_t shards = 16;
+  /// Records retained per shard; 0 = unbounded (the default — queries then
+  /// see every record ever submitted, as the pre-service server did).
+  std::size_t shard_capacity = 0;
+  Overflow overflow = Overflow::DropOldest;
+
+  /// Environment overrides: MAESTRO_METRICS_SHARDS, MAESTRO_METRICS_CAPACITY
+  /// (per shard), MAESTRO_METRICS_OVERFLOW=block|drop.
+  static ServerOptions from_env();
+};
+
+/// load_file() outcome: lines ingested vs lines skipped (unparseable or
+/// schema-invalid — also counted in the metrics.load_skipped obs counter).
+struct LoadResult {
+  std::size_t loaded = 0;
+  std::size_t skipped = 0;
+};
+
+/// One incremental poll: records appended since the subscriber's cursor, in
+/// per-shard sequence order, plus how many records were evicted before the
+/// subscriber saw them (only possible on bounded shards).
+struct Poll {
+  std::vector<Record> records;
+  std::uint64_t missed = 0;
+};
+
+/// Central collection point with sharded ingestion, indexed queries and
+/// streaming subscribers.
 ///
 /// Ingestion is thread-safe: concurrent tool runs on a RunExecutor submit
-/// records without external locking. Storage is a deque so records never
-/// relocate — pointers returned by query() stay valid across later
-/// submits. Queries snapshot under the same mutex; the pointers they return
-/// are stable but the records they point at are immutable once submitted.
+/// records without external locking, and producers of distinct (design,
+/// step) streams proceed in parallel. Queries lock one shard at a time; the
+/// pointers they return are stable until eviction and the records they point
+/// at are immutable once submitted.
 class Server {
  public:
-  Server() = default;
+  Server() : Server(ServerOptions::from_env()) {}
+  explicit Server(ServerOptions opt);
   // Movable for by-value construction (e.g. anonymize()); moving a server
-  // that other threads are still submitting to is a caller error.
+  // that other threads are still using is a caller error.
   Server(Server&& other) noexcept;
   Server& operator=(Server&& other) noexcept;
+  ~Server() = default;
 
   std::uint64_t submit(Record r);  ///< assigns and returns run_id if unset
 
-  /// Install a sink invoked — outside the server lock, on the submitting
+  /// Submit many records with one lock acquisition per touched shard (the
+  /// journal/collector ingest path). Returns the assigned run ids in input
+  /// order. Batch sizes land in the metrics.ingest_batch histogram and the
+  /// per-batch enqueue latency in metrics.enqueue_us.
+  std::vector<std::uint64_t> submit_batch(std::vector<Record> records);
+
+  /// Install a sink invoked — outside the shard lock, on the submitting
   /// thread — with every record after id assignment. This is the
   /// persistence bridge: maestro::store::bind_metrics_sink mirrors every
   /// submission into a durable RunStore. The sink must not call back into
   /// this server's submit (infinite recursion); pass nullptr to detach.
+  /// load()/load_file() bypass the sink: reloading a file a bound store
+  /// already persisted must not duplicate its history.
   void set_sink(std::function<void(const Record&)> sink);
 
-  std::size_t size() const;
-  /// Snapshot of every record, copied under the lock. (Returning a
-  /// reference to the live deque would race against concurrent submits.)
+  std::size_t size() const;  ///< retained records across all shards
+  /// Snapshot of every retained record, copied shard by shard. Each shard's
+  /// slice is internally consistent; concurrent submits may land between
+  /// shard visits. Live consumers should prefer subscribe()/poll_since().
   std::vector<Record> all() const;
 
-  /// Records matching a predicate.
+  /// Records matching a predicate (full scan).
   std::vector<const Record*> query(const std::function<bool(const Record&)>& pred) const;
-  /// Records for one design (all steps).
+  /// Records for one design (all steps) — O(matches) via the per-shard
+  /// design index.
   std::vector<const Record*> for_design(const std::string& design) const;
-  /// Records for one step across designs.
+  /// Records for one step across designs — O(matches) via the step index.
   std::vector<const Record*> for_step(const std::string& step) const;
 
-  /// Persist as JSON-lines; returns false on I/O failure.
+  // ------------------------------------------------------------- streaming
+  /// Register a subscriber; its cursor starts at the oldest retained record
+  /// (from_start) or at the current tail. On bounded Block shards,
+  /// registered subscribers gate eviction: producers wait for the slowest
+  /// cursor. Subscribers must poll (or unsubscribe) or they stall ingest.
+  std::uint64_t subscribe(bool from_start = true);
+  void unsubscribe(std::uint64_t subscriber);
+  /// Drain records appended since this subscriber's last poll and advance
+  /// its cursor. max_records = 0 means unlimited. Thread-safe against
+  /// concurrent submits; a given subscriber should poll from one thread.
+  Poll poll_since(std::uint64_t subscriber, std::size_t max_records = 0);
+
+  // ----------------------------------------------------------- persistence
+  /// Persist every retained record as JSON-lines; false on I/O failure.
   bool save(const std::string& path) const;
   /// Load JSON-lines, appending to the store; returns records loaded.
-  std::size_t load(const std::string& path);
+  /// Bypasses the sink and bumps the id counter past loaded run_ids.
+  std::size_t load(const std::string& path) { return load_file(path).loaded; }
+  /// load() with the skipped-line count (also in metrics.load_skipped).
+  LoadResult load_file(const std::string& path);
+
+  const ServerOptions& options() const { return opt_; }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<Record> records_;
-  std::uint64_t next_id_ = 1;
-  std::function<void(const Record&)> sink_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable space;  ///< Block-mode producers wait here
+    std::deque<Record> records;     ///< seqs [base_seq, base_seq + size)
+    std::uint64_t base_seq = 0;     ///< shard seq of records.front()
+    // Secondary indexes: ascending shard seqs per key. Fronts are popped in
+    // lockstep with record eviction, so lookups never scan dead entries.
+    std::map<std::string, std::deque<std::uint64_t>> by_design;
+    std::map<std::string, std::deque<std::uint64_t>> by_step;
+    std::map<std::uint64_t, std::uint64_t> cursors;  ///< subscriber -> next seq
+    std::shared_ptr<const std::function<void(const Record&)>> sink;
+  };
+
+  Shard& shard_for(const Record& r);
+  const Shard& shard_at(std::size_t i) const { return *shards_[i]; }
+  void assign_id(Record& r);
+  /// Append under the shard lock, indexes first (keys are copied before the
+  /// record moves into the deque).
+  void append_locked(Shard& s, Record&& r);
+  /// Enforce shard_capacity for one incoming record: evict records every
+  /// subscriber has consumed, then apply the overflow policy.
+  void make_room_locked(Shard& s, std::unique_lock<std::mutex>& lk);
+  void evict_front_locked(Shard& s);
+
+  ServerOptions opt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> has_sink_{false};
+  mutable std::mutex meta_mu_;  ///< subscriber id allocation + set_sink
+  std::uint64_t next_subscriber_ = 1;
 };
 
 /// Tool-side instrumentation: converts flow artifacts into Records and
@@ -76,7 +195,7 @@ class Transmitter {
   explicit Transmitter(Server& server) : server_(&server) {}
 
   /// Transmit an end-to-end flow result (one "flow" record plus one record
-  /// per step logfile). Returns the flow record's run id.
+  /// per step logfile), batched per shard. Returns the flow record's run id.
   std::uint64_t transmit_flow(const flow::FlowRecipe& recipe, const flow::FlowResult& result);
 
   /// Transmit a single tool log with explicit context.
@@ -84,13 +203,14 @@ class Transmitter {
                              std::uint64_t seed);
 
   /// Flatten an executor run journal into step="exec" records (one per
-  /// pooled run: queue wait, wall time, final state). Returns the number of
-  /// records submitted.
+  /// pooled run: queue wait, wall time, final state), submitted as one
+  /// batch. Returns the number of records submitted.
   std::size_t transmit_journal(const exec::RunJournal& journal);
 
   /// Bridge live obs telemetry into the store: one step="obs" record whose
   /// values carry every counter and gauge plus count/mean/p50/p95 per
-  /// histogram, so mined records and live telemetry share one store.
+  /// histogram, so mined records and live telemetry share one store. The
+  /// collector's own ingest spans and histograms flow through here too.
   /// Returns the record's run id.
   std::uint64_t transmit_snapshot(const obs::MetricsSnapshot& snap,
                                   const std::string& design = "telemetry");

@@ -37,13 +37,25 @@ Record anonymize(const Record& record, const AnonymizeOptions& opt) {
   return out;
 }
 
-Server anonymize(const Server& server, const AnonymizeOptions& opt) {
+Server anonymize(Server& server, const AnonymizeOptions& opt) {
   Server out;
-  for (const auto& r : server.all()) {
-    Record a = anonymize(r, opt);
-    a.run_id = 0;  // renumber: original ids can encode submission order
-    out.submit(std::move(a));
+  // Stream through a cursor in bounded batches instead of one full all()
+  // copy; batches land in `out` through the batched ingest path.
+  const std::uint64_t sub = server.subscribe(/*from_start=*/true);
+  constexpr std::size_t kBatch = 1024;
+  for (;;) {
+    Poll poll = server.poll_since(sub, kBatch);
+    if (poll.records.empty()) break;
+    std::vector<Record> batch;
+    batch.reserve(poll.records.size());
+    for (const auto& r : poll.records) {
+      Record a = anonymize(r, opt);
+      a.run_id = 0;  // renumber: original ids can encode submission order
+      batch.push_back(std::move(a));
+    }
+    out.submit_batch(std::move(batch));
   }
+  server.unsubscribe(sub);
   return out;
 }
 

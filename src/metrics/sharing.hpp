@@ -41,8 +41,10 @@ std::string pseudonym(const std::string& name, std::uint64_t key, const char* pr
 /// Anonymize one record (names hashed, metrics quantized, knobs scrubbed).
 Record anonymize(const Record& record, const AnonymizeOptions& opt);
 
-/// Anonymize a whole server into a new store.
-Server anonymize(const Server& server, const AnonymizeOptions& opt);
+/// Anonymize a whole server into a new store. Streams via a temporary
+/// subscriber cursor in bounded batches (never materializes a full all()
+/// copy), so exporting a large store is O(batch) in peak extra memory.
+Server anonymize(Server& server, const AnonymizeOptions& opt);
 
 /// Persist a DRV-run corpus as JSON-lines of ToolLogs (anonymized with the
 /// given options). Returns false on I/O failure.

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "flow/flow.hpp"
 #include "metrics/miner.hpp"
@@ -43,6 +45,69 @@ TEST(Record, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(*back->value("m"), 1.25);
   EXPECT_FALSE(back->value("absent").has_value());
   EXPECT_FALSE(back->knob("absent").has_value());
+}
+
+TEST(Record, JsonRoundTripEmbeddedQuotesAndNewlines) {
+  mm::Record r;
+  r.design = "dut \"quoted\"\nline2\ttabbed";
+  r.step = "synth\\elaborate";
+  r.knobs["note"] = "value with \"quotes\" and\nnewlines";
+  r.values["m"] = -0.0625;
+  // Must survive one serialized line: embedded newlines have to be escaped
+  // or the JSONL save/load and wire framing would split the record.
+  const std::string line = r.to_json().dump();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto parsed = maestro::util::Json::parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = mm::Record::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->design, r.design);
+  EXPECT_EQ(back->step, r.step);
+  EXPECT_EQ(*back->knob("note"), r.knobs["note"]);
+  EXPECT_DOUBLE_EQ(*back->value("m"), -0.0625);
+}
+
+TEST(Record, JsonRoundTripNonFiniteValues) {
+  mm::Record r;
+  r.design = "dut";
+  r.step = "sta";
+  r.values["wns_ps"] = std::numeric_limits<double>::quiet_NaN();
+  r.values["tns_ps"] = std::numeric_limits<double>::infinity();
+  r.values["slack_ps"] = -std::numeric_limits<double>::infinity();
+  r.values["ok"] = 1.5;
+  const auto back = mm::Record::from_json(r.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(std::isnan(*back->value("wns_ps")));
+  EXPECT_EQ(*back->value("tns_ps"), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(*back->value("slack_ps"), -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(*back->value("ok"), 1.5);
+  // The non-finite encoding is stable across a second round trip.
+  EXPECT_EQ(back->to_json().dump(), r.to_json().dump());
+}
+
+TEST(Record, JsonRoundTripLargeSeed) {
+  mm::Record r;
+  r.design = "dut";
+  r.step = "flow";
+  r.seed = 0xffffffffffffffffULL;  // does not fit in a JSON double
+  const auto back = mm::Record::from_json(r.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seed, 0xffffffffffffffffULL);
+}
+
+TEST(Record, FromJsonToleratesMissingOptionalFields) {
+  const auto minimal = maestro::util::Json::parse(R"({"design":"dut","step":"flow"})");
+  ASSERT_TRUE(minimal.has_value());
+  const auto back = mm::Record::from_json(*minimal);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->design, "dut");
+  EXPECT_EQ(back->step, "flow");
+  EXPECT_EQ(back->run_id, 0u);
+  EXPECT_EQ(back->seed, 0u);
+  EXPECT_TRUE(back->knobs.empty());
+  EXPECT_TRUE(back->values.empty());
+  // Non-objects are rejected rather than read as empty records.
+  EXPECT_FALSE(mm::Record::from_json(maestro::util::Json{3.0}).has_value());
 }
 
 TEST(Server, SubmitAssignsIds) {
