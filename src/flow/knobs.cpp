@@ -1,5 +1,6 @@
 #include "flow/knobs.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -140,6 +141,104 @@ double count_trajectories_with_iteration(const std::vector<KnobSpace>& spaces,
     total *= factor;
   }
   return total;
+}
+
+std::vector<KnobDim> enumerate_dimensions(const std::vector<KnobSpace>& spaces) {
+  std::vector<KnobDim> dims;
+  for (const auto& s : spaces) {
+    for (const auto& k : s.knobs) {
+      KnobDim d;
+      d.step = s.step;
+      d.knob = k.name;
+      d.values = k.values;
+      dims.push_back(std::move(d));
+    }
+  }
+  return dims;
+}
+
+std::optional<std::size_t> dimension_index(const std::vector<KnobSpace>& spaces, FlowStep step,
+                                           std::string_view knob) {
+  std::size_t index = 0;
+  for (const auto& s : spaces) {
+    for (const auto& k : s.knobs) {
+      if (s.step == step && k.name == knob) return index;
+      ++index;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> value_index(const KnobDim& dim, std::string_view value) {
+  for (std::size_t i = 0; i < dim.values.size(); ++i) {
+    if (dim.values[i] == value) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_trajectory(const std::vector<KnobSpace>& spaces,
+                                               const FlowTrajectory& t) {
+  for (const auto& [step, setting] : t.settings) {
+    const KnobSpace* space = nullptr;
+    for (const auto& s : spaces) {
+      if (s.step == step) {
+        space = &s;
+        break;
+      }
+    }
+    if (!space) {
+      return std::string("step ") + to_string(step) + " is not in the knob spaces";
+    }
+    for (const auto& [knob, value] : setting) {
+      const KnobSpec* spec = nullptr;
+      for (const auto& k : space->knobs) {
+        if (k.name == knob) {
+          spec = &k;
+          break;
+        }
+      }
+      if (!spec) {
+        return std::string(to_string(step)) + "." + knob + " is not a knob of step " +
+               to_string(step);
+      }
+      if (std::find(spec->values.begin(), spec->values.end(), value) == spec->values.end()) {
+        std::string legal;
+        for (const auto& v : spec->values) {
+          if (!legal.empty()) legal += ", ";
+          legal += v;
+        }
+        return std::string(to_string(step)) + "." + knob + " has no value '" + value +
+               "' (legal: " + legal + ")";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+FlowTrajectory trajectory_from_indices(const std::vector<KnobDim>& dims,
+                                       const std::vector<std::size_t>& choice) {
+  assert(choice.size() == dims.size());
+  FlowTrajectory t;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    assert(choice[i] < dims[i].values.size());
+    t.set(dims[i].step, dims[i].knob, dims[i].values[choice[i]]);
+  }
+  return t;
+}
+
+std::optional<std::vector<std::size_t>> indices_from_trajectory(const std::vector<KnobDim>& dims,
+                                                                const FlowTrajectory& t) {
+  std::vector<std::size_t> choice(dims.size(), 0);
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    const auto sit = t.settings.find(dims[i].step);
+    if (sit == t.settings.end()) continue;
+    const auto kit = sit->second.find(dims[i].knob);
+    if (kit == sit->second.end()) continue;
+    const auto vi = value_index(dims[i], kit->second);
+    if (!vi) return std::nullopt;
+    choice[i] = *vi;
+  }
+  return choice;
 }
 
 FlowTrajectory default_trajectory(const std::vector<KnobSpace>& spaces) {

@@ -85,6 +85,49 @@ double count_trajectories(const std::vector<KnobSpace>& spaces);
 double count_trajectories_with_iteration(const std::vector<KnobSpace>& spaces,
                                          int max_iterations);
 
+/// One flattened tunable dimension: a (step, knob) pair with its legal
+/// values. The tuner's arm-dimension space — enumerate_dimensions() fixes
+/// the index of every dimension so posteriors, surrogate features and
+/// checkpoints all agree on what "dimension 7" means.
+struct KnobDim {
+  FlowStep step = FlowStep::Synthesis;
+  std::string knob;
+  std::vector<std::string> values;  ///< values[0] is the default
+
+  std::string qualified() const { return std::string(to_string(step)) + "." + knob; }
+};
+
+/// Stable flattening of every (step, knob) dimension, in step-enum then
+/// knob-declaration order — the same order default_knob_spaces() declares
+/// them, independent of map iteration or insertion history.
+std::vector<KnobDim> enumerate_dimensions(const std::vector<KnobSpace>& spaces);
+
+/// Index of (step, knob) in enumerate_dimensions() order; nullopt when the
+/// step is absent from the spaces or the knob is not declared at that step.
+std::optional<std::size_t> dimension_index(const std::vector<KnobSpace>& spaces, FlowStep step,
+                                           std::string_view knob);
+
+/// Index of `value` within a dimension's legal values; nullopt if illegal.
+std::optional<std::size_t> value_index(const KnobDim& dim, std::string_view value);
+
+/// Validate a trajectory against the spaces: every (step, knob, value) it
+/// sets must exist. Returns a human-readable description of the first
+/// violation ("place.movez is not a knob of step place", "synthesis.effort
+/// has no value 'turbo' (legal: medium, low, high)"), or nullopt when valid.
+std::optional<std::string> validate_trajectory(const std::vector<KnobSpace>& spaces,
+                                               const FlowTrajectory& t);
+
+/// Build the trajectory selecting values[choice[i]] of dimension i. `choice`
+/// must have one entry per dimension, each in range (asserted).
+FlowTrajectory trajectory_from_indices(const std::vector<KnobDim>& dims,
+                                       const std::vector<std::size_t>& choice);
+
+/// Inverse of trajectory_from_indices for a *valid* trajectory: the chosen
+/// value index per dimension (default value 0 for unset knobs). Returns
+/// nullopt if any set value is illegal — validate first for a message.
+std::optional<std::vector<std::size_t>> indices_from_trajectory(const std::vector<KnobDim>& dims,
+                                                                const FlowTrajectory& t);
+
 /// The default trajectory: first value of every knob.
 FlowTrajectory default_trajectory(const std::vector<KnobSpace>& spaces);
 

@@ -34,7 +34,11 @@ std::vector<KnobEffect> knob_sensitivity(const Server& server, const std::string
   std::map<std::pair<std::string, std::string>, util::RunningStats> groups;
   for (const Record* r : server.for_step(step)) {
     const auto v = r->value(metric);
-    if (!v) continue;
+    // NaN/inf metric values are legitimate records (they survive the wire
+    // and the store encoded as tagged strings) but poison running means —
+    // one NaN would wipe out a whole (knob, value) bucket. Skip them here,
+    // the same way a missing metric is skipped.
+    if (!v || !std::isfinite(*v)) continue;
     for (const auto& [knob, value] : r->knobs) {
       groups[{knob, value}].add(*v);
     }
@@ -56,7 +60,9 @@ std::size_t StreamingKnobStats::poll(std::size_t max_records) {
   for (const auto& r : p.records) {
     if (r.step != step_) continue;
     const auto v = r.value(metric_);
-    if (!v) continue;
+    // Mirror knob_sensitivity's guard: non-finite metrics are skipped so
+    // the streaming fold stays equal to the batch pass.
+    if (!v || !std::isfinite(*v)) continue;
     for (const auto& [knob, value] : r.knobs) {
       groups_[{knob, value}].add(*v);
     }
@@ -132,13 +138,13 @@ OutcomeModel fit_outcome_model(const Server& server, const std::vector<std::stri
   ml::Dataset data;
   for (const Record* r : server.for_step(step)) {
     const auto y = r->value(target);
-    if (!y) continue;
+    if (!y || !std::isfinite(*y)) continue;
     std::vector<double> row;
     row.reserve(features.size());
     bool complete = true;
     for (const auto& f : features) {
       const auto v = r->value(f);
-      if (!v) {
+      if (!v || !std::isfinite(*v)) {
         complete = false;
         break;
       }

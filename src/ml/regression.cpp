@@ -206,6 +206,154 @@ double BoostedStumps::predict(std::span<const double> features) const {
   return acc;
 }
 
+namespace {
+
+/// SSE of a row segment around its own mean, plus the mean itself.
+struct SegmentMoments {
+  double mean = 0.0;
+  double sse = 0.0;
+  std::size_t n = 0;
+};
+
+SegmentMoments segment_moments(const Dataset& d, const std::vector<std::size_t>& rows,
+                               std::size_t begin, std::size_t end) {
+  SegmentMoments m;
+  m.n = end - begin;
+  if (m.n == 0) return m;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += d.y[rows[i]];
+  m.mean = sum / static_cast<double>(m.n);
+  for (std::size_t i = begin; i < end; ++i) {
+    const double delta = d.y[rows[i]] - m.mean;
+    m.sse += delta * delta;
+  }
+  return m;
+}
+
+}  // namespace
+
+void RandomForest::fit(const Dataset& d) {
+  assert(d.size() > 0);
+  const std::size_t dims = d.dims();
+  trees_.clear();
+  importances_.assign(dims, 0.0);
+  if (dims == 0) return;
+  std::vector<double> raw(dims, 0.0);
+  util::Rng rng{opt_.seed};
+
+  trees_.reserve(opt_.trees);
+  std::vector<std::size_t> rows(d.size());
+  for (std::size_t t = 0; t < opt_.trees; ++t) {
+    // Bootstrap resample: n draws with replacement.
+    for (auto& r : rows) r = static_cast<std::size_t>(rng.below(d.size()));
+    Tree tree;
+    build_node(d, rows, 0, d.size(), 0, tree, rng, raw);
+    trees_.push_back(std::move(tree));
+  }
+
+  double total = 0.0;
+  for (const double v : raw) total += v;
+  if (total > 0.0) {
+    for (std::size_t j = 0; j < dims; ++j) importances_[j] = raw[j] / total;
+  }
+}
+
+std::uint32_t RandomForest::build_node(const Dataset& d, std::vector<std::size_t>& rows,
+                                       std::size_t begin, std::size_t end, std::size_t depth,
+                                       Tree& tree, util::Rng& rng,
+                                       std::vector<double>& raw_importance) {
+  const SegmentMoments m = segment_moments(d, rows, begin, end);
+  const auto index = static_cast<std::uint32_t>(tree.nodes.size());
+  Node node;
+  node.value = m.mean;
+  tree.nodes.push_back(node);
+  if (depth >= opt_.max_depth || m.n < 2 * opt_.min_leaf || m.sse <= 1e-12) return index;
+
+  const std::size_t dims = d.dims();
+  std::size_t k = opt_.features_per_split > 0 ? opt_.features_per_split
+                                              : std::max<std::size_t>(1, dims / 3);
+  k = std::min(k, dims);
+  // Partial Fisher-Yates: the first k entries become this split's candidate
+  // features. Deterministic given the forest Rng.
+  std::vector<std::size_t> feats(dims);
+  std::iota(feats.begin(), feats.end(), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(dims - i));
+    std::swap(feats[i], feats[j]);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;  // a split must strictly reduce SSE
+  std::vector<double> vals;
+  for (std::size_t fi = 0; fi < k; ++fi) {
+    const std::size_t j = feats[fi];
+    vals.clear();
+    for (std::size_t i = begin; i < end; ++i) vals.push_back(d.x[rows[i]][j]);
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    if (vals.size() < 2) continue;  // constant feature in this segment
+    const std::size_t stride = std::max<std::size_t>((vals.size() - 1) / opt_.max_thresholds, 1);
+    for (std::size_t vi = stride; vi < vals.size(); vi += stride) {
+      const double thr = 0.5 * (vals[vi - 1] + vals[vi]);
+      double sum_l = 0.0, sumsq_l = 0.0, sum_r = 0.0, sumsq_r = 0.0;
+      std::size_t n_l = 0, n_r = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double y = d.y[rows[i]];
+        if (d.x[rows[i]][j] <= thr) {
+          sum_l += y;
+          sumsq_l += y * y;
+          ++n_l;
+        } else {
+          sum_r += y;
+          sumsq_r += y * y;
+          ++n_r;
+        }
+      }
+      if (n_l < opt_.min_leaf || n_r < opt_.min_leaf) continue;
+      const double sse_l = sumsq_l - sum_l * sum_l / static_cast<double>(n_l);
+      const double sse_r = sumsq_r - sum_r * sum_r / static_cast<double>(n_r);
+      const double gain = m.sse - (sse_l + sse_r);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(j);
+        best_threshold = thr;
+      }
+    }
+  }
+  if (best_feature < 0) return index;
+
+  raw_importance[static_cast<std::size_t>(best_feature)] += best_gain;
+  const auto mid_it = std::stable_partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
+        return d.x[r][static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - rows.begin());
+  const std::uint32_t left = build_node(d, rows, begin, mid, depth + 1, tree, rng, raw_importance);
+  const std::uint32_t right = build_node(d, rows, mid, end, depth + 1, tree, rng, raw_importance);
+  tree.nodes[index].feature = best_feature;
+  tree.nodes[index].threshold = best_threshold;
+  tree.nodes[index].left = left;
+  tree.nodes[index].right = right;
+  return index;
+}
+
+double RandomForest::predict(std::span<const double> features) const {
+  if (trees_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& tree : trees_) {
+    std::uint32_t at = 0;
+    while (tree.nodes[at].feature >= 0) {
+      const auto j = static_cast<std::size_t>(tree.nodes[at].feature);
+      const double v = j < features.size() ? features[j] : 0.0;
+      at = v <= tree.nodes[at].threshold ? tree.nodes[at].left : tree.nodes[at].right;
+    }
+    acc += tree.nodes[at].value;
+  }
+  return acc / static_cast<double>(trees_.size());
+}
+
 double mse(std::span<const double> truth, std::span<const double> pred) {
   const std::size_t n = std::min(truth.size(), pred.size());
   if (n == 0) return 0.0;

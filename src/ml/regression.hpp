@@ -128,6 +128,63 @@ class BoostedStumps : public Regressor {
   std::vector<Stump> stumps_;
 };
 
+/// Random-forest regressor: bagged depth-limited CART trees, each fit on a
+/// bootstrap resample with per-split feature subsampling. The FIST-style
+/// surrogate (arXiv 2011.13493): beyond predictions it exports *feature
+/// importances* — total variance (SSE) reduction attributed to each feature
+/// across every split of every tree, normalized to sum 1 — which is the
+/// signal the flow tuner uses to decide which knob dimensions matter.
+///
+/// Fully deterministic given Options::seed: all randomness (bootstrap rows,
+/// feature subsets) flows through a private util::Rng, so two fits of the
+/// same dataset produce bitwise-identical trees, predictions and
+/// importances — a requirement for resumable tuning campaigns.
+class RandomForest : public Regressor {
+ public:
+  struct Options {
+    std::size_t trees = 48;
+    std::size_t max_depth = 6;
+    std::size_t min_leaf = 2;            ///< minimum rows per child
+    std::size_t features_per_split = 0;  ///< 0 = max(1, dims / 3)
+    std::size_t max_thresholds = 32;     ///< split candidates per feature
+    std::uint64_t seed = 1;
+  };
+
+  RandomForest() = default;
+  explicit RandomForest(Options opt) : opt_(opt) {}
+
+  void fit(const Dataset& d) override;
+  double predict(std::span<const double> features) const override;
+
+  /// Per-feature importance, normalized to sum 1 (all zeros before fit or
+  /// when no tree found a valid split). An irrelevant feature's importance
+  /// is ~0; a constant feature's exactly 0 (no split can use it).
+  const std::vector<double>& feature_importances() const { return importances_; }
+  std::size_t trees_fitted() const { return trees_.size(); }
+  const Options& options() const { return opt_; }
+
+ private:
+  /// feature < 0 marks a leaf (value). Children are node-vector indices.
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  std::uint32_t build_node(const Dataset& d, std::vector<std::size_t>& rows, std::size_t begin,
+                           std::size_t end, std::size_t depth, Tree& tree, util::Rng& rng,
+                           std::vector<double>& raw_importance);
+
+  Options opt_;
+  std::vector<Tree> trees_;
+  std::vector<double> importances_;
+};
+
 /// Regression metrics.
 double mse(std::span<const double> truth, std::span<const double> pred);
 double mae(std::span<const double> truth, std::span<const double> pred);

@@ -86,6 +86,83 @@ TEST(Knobs, ValueFallback) {
   EXPECT_EQ(t.value(mf::FlowStep::Place, "effort", fb), "high");
 }
 
+TEST(Knobs, EnumerateDimensionsIsStableAndComplete) {
+  const auto spaces = mf::default_knob_spaces();
+  const auto dims = mf::enumerate_dimensions(spaces);
+  std::size_t expect = 0;
+  for (const auto& s : spaces) expect += s.knobs.size();
+  ASSERT_EQ(dims.size(), expect);
+  // Declaration order: step-enum major, knob-declaration minor — and the
+  // index helpers agree with the enumeration.
+  std::size_t i = 0;
+  for (const auto& s : spaces) {
+    for (const auto& k : s.knobs) {
+      EXPECT_EQ(dims[i].step, s.step);
+      EXPECT_EQ(dims[i].knob, k.name);
+      EXPECT_EQ(dims[i].values, k.values);
+      EXPECT_EQ(mf::dimension_index(spaces, s.step, k.name), i);
+      ++i;
+    }
+  }
+  EXPECT_FALSE(mf::dimension_index(spaces, mf::FlowStep::Place, "no_such_knob").has_value());
+  EXPECT_EQ(mf::value_index(dims[0], dims[0].values.back()), dims[0].values.size() - 1);
+  EXPECT_FALSE(mf::value_index(dims[0], "no_such_value").has_value());
+}
+
+TEST(Knobs, ValidateTrajectoryAcceptsLegalRejectsUnknown) {
+  const auto spaces = mf::default_knob_spaces();
+  Rng rng{11};
+  EXPECT_EQ(mf::validate_trajectory(spaces, mf::default_trajectory(spaces)), std::nullopt);
+  EXPECT_EQ(mf::validate_trajectory(spaces, mf::random_trajectory(spaces, rng)), std::nullopt);
+
+  mf::FlowTrajectory bad_knob = mf::default_trajectory(spaces);
+  bad_knob.set(mf::FlowStep::Place, "movez", "40");
+  const auto e1 = mf::validate_trajectory(spaces, bad_knob);
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_NE(e1->find("place.movez"), std::string::npos);
+
+  mf::FlowTrajectory bad_value = mf::default_trajectory(spaces);
+  bad_value.set(mf::FlowStep::Synthesis, "effort", "turbo");
+  const auto e2 = mf::validate_trajectory(spaces, bad_value);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_NE(e2->find("synthesis.effort"), std::string::npos);
+  EXPECT_NE(e2->find("turbo"), std::string::npos);
+  EXPECT_NE(e2->find("legal:"), std::string::npos);
+
+  // A step outside the given spaces (subset tuning) is rejected by name.
+  std::vector<mf::KnobSpace> only_place{spaces[2]};
+  mf::FlowTrajectory off_step;
+  off_step.set(mf::FlowStep::Route, "rounds", "8");
+  const auto e3 = mf::validate_trajectory(only_place, off_step);
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_NE(e3->find("route"), std::string::npos);
+}
+
+TEST(Knobs, IndexRoundTripThroughTrajectory) {
+  const auto spaces = mf::default_knob_spaces();
+  const auto dims = mf::enumerate_dimensions(spaces);
+  Rng rng{17};
+  std::vector<std::size_t> choice(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    choice[i] = static_cast<std::size_t>(rng.below(dims[i].values.size()));
+  }
+  const auto t = mf::trajectory_from_indices(dims, choice);
+  EXPECT_EQ(mf::validate_trajectory(spaces, t), std::nullopt);
+  const auto back = mf::indices_from_trajectory(dims, t);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, choice);
+
+  // Unset knobs decode as the default (index 0); illegal values as nullopt.
+  mf::FlowTrajectory partial;
+  partial.set(dims[3].step, dims[3].knob, dims[3].values[1]);
+  const auto sparse = mf::indices_from_trajectory(dims, partial);
+  ASSERT_TRUE(sparse.has_value());
+  EXPECT_EQ((*sparse)[3], 1u);
+  EXPECT_EQ((*sparse)[0], 0u);
+  partial.set(dims[0].step, dims[0].knob, "bogus");
+  EXPECT_FALSE(mf::indices_from_trajectory(dims, partial).has_value());
+}
+
 TEST(Synthesis, ProducesValidSizedNetlist) {
   mf::DesignState ds;
   ds.lib = &lib();

@@ -268,3 +268,94 @@ TEST(Miner, OutcomeModelNeedsData) {
   EXPECT_EQ(model.rows, 0u);
   EXPECT_DOUBLE_EQ(model.test_r2, 0.0);
 }
+
+// --- Degenerate inputs the flow tuner generates -----------------------------
+// A tuning campaign mines its own history as it goes, so the miner sees
+// buckets with one run, metrics that came back NaN from a diverged signoff,
+// and polls against an empty server. None of these may poison the stats.
+
+TEST(Miner, KnobSensitivitySkipsNonFiniteMetrics) {
+  mm::Server server;
+  server.submit(make_record("d", 100.0, "0.7"));
+  server.submit(make_record("d", 102.0, "0.7"));
+  server.submit(make_record("d", std::numeric_limits<double>::quiet_NaN(), "0.7"));
+  server.submit(make_record("d", std::numeric_limits<double>::infinity(), "0.7"));
+  const auto effects = mm::knob_sensitivity(server, mm::names::kAreaUm2);
+  ASSERT_EQ(effects.size(), 1u);
+  // The NaN/inf records are dropped, not folded: mean stays finite and only
+  // the two clean runs count.
+  EXPECT_EQ(effects[0].runs, 2u);
+  EXPECT_NEAR(effects[0].mean_metric, 101.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(effects[0].stddev_metric));
+}
+
+TEST(Miner, StreamingFoldMatchesBatchWithNonFiniteMetrics) {
+  mm::Server server;
+  mm::StreamingKnobStats stream{server, mm::names::kAreaUm2, "flow"};
+  server.submit(make_record("d", 10.0, "0.7"));
+  server.submit(make_record("d", std::numeric_limits<double>::quiet_NaN(), "0.7"));
+  server.submit(make_record("d", 30.0, "0.9"));
+  server.submit(make_record("d", -std::numeric_limits<double>::infinity(), "0.9"));
+  stream.poll();
+  const auto streamed = stream.effects();
+  const auto batch = mm::knob_sensitivity(server, mm::names::kAreaUm2);
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].knob, batch[i].knob);
+    EXPECT_EQ(streamed[i].value, batch[i].value);
+    EXPECT_EQ(streamed[i].runs, batch[i].runs);
+    EXPECT_DOUBLE_EQ(streamed[i].mean_metric, batch[i].mean_metric);
+    EXPECT_DOUBLE_EQ(streamed[i].stddev_metric, batch[i].stddev_metric);
+  }
+}
+
+TEST(Miner, KnobSensitivitySingleRunBucket) {
+  mm::Server server;
+  server.submit(make_record("d", 42.0, "0.7"));
+  const auto effects = mm::knob_sensitivity(server, mm::names::kAreaUm2);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].runs, 1u);
+  EXPECT_DOUBLE_EQ(effects[0].mean_metric, 42.0);
+  EXPECT_DOUBLE_EQ(effects[0].stddev_metric, 0.0);
+}
+
+TEST(Miner, KnobSensitivityEmptyServer) {
+  mm::Server server;
+  EXPECT_TRUE(mm::knob_sensitivity(server, mm::names::kAreaUm2).empty());
+  mm::StreamingKnobStats stream{server, mm::names::kAreaUm2, "flow"};
+  EXPECT_EQ(stream.poll(), 0u);
+  EXPECT_TRUE(stream.effects().empty());
+}
+
+TEST(Miner, OutcomeModelSkipsNonFiniteRows) {
+  mm::Server server;
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    mm::Record r;
+    r.design = "d";
+    r.step = "flow";
+    const double f = rng.uniform(0.5, 2.0);
+    r.values[mm::names::kTargetGhz] = f;
+    r.values[mm::names::kPowerMw] = 3.0 * f + rng.gauss(0, 0.01);
+    server.submit(std::move(r));
+  }
+  // NaN target and NaN feature rows are both dropped from the training set.
+  mm::Record bad_target;
+  bad_target.design = "d";
+  bad_target.step = "flow";
+  bad_target.values[mm::names::kTargetGhz] = 1.0;
+  bad_target.values[mm::names::kPowerMw] = std::numeric_limits<double>::quiet_NaN();
+  server.submit(std::move(bad_target));
+  mm::Record bad_feature;
+  bad_feature.design = "d";
+  bad_feature.step = "flow";
+  bad_feature.values[mm::names::kTargetGhz] = std::numeric_limits<double>::infinity();
+  bad_feature.values[mm::names::kPowerMw] = 3.0;
+  server.submit(std::move(bad_feature));
+
+  Rng rng2{7};
+  const auto model =
+      mm::fit_outcome_model(server, {mm::names::kTargetGhz}, mm::names::kPowerMw, rng2);
+  EXPECT_EQ(model.rows, 100u);
+  EXPECT_GT(model.test_r2, 0.99);
+}

@@ -424,6 +424,104 @@ TEST(Regression, BoostedStumpsBeatRidgeOnNonlinearity) {
   EXPECT_LT(stump_mse, 0.5 * ridge_mse);
 }
 
+namespace {
+/// Nonlinear target over 5 features of which only x0 and x2 matter; x4 is
+/// constant. The FIST property under test: importances concentrate on the
+/// informative features.
+ml::Dataset forest_data(Rng& rng, std::size_t n = 300) {
+  ml::Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-2, 2);
+    const double x1 = rng.uniform(-2, 2);
+    const double x2 = rng.uniform(-2, 2);
+    const double x3 = rng.uniform(-2, 2);
+    d.add({x0, x1, x2, x3, 1.0}, (x0 > 0 ? 4.0 : -4.0) + 2.0 * x2 * x2 + rng.gauss(0, 0.05));
+  }
+  return d;
+}
+}  // namespace
+
+TEST(Regression, RandomForestFitsNonlinearAndRanksFeatures) {
+  Rng rng{41};
+  const auto d = forest_data(rng);
+  auto [train, test] = ml::train_test_split(d, 0.3, rng);
+  ml::RandomForest::Options opt;
+  opt.trees = 40;
+  opt.max_depth = 6;
+  opt.features_per_split = 3;  // default dims/3 = 1 is too blind at 5 features
+  opt.seed = 7;
+  ml::RandomForest forest{opt};
+  forest.fit(train);
+  EXPECT_EQ(forest.trees_fitted(), opt.trees);
+  EXPECT_GT(ml::r2_score(test.y, forest.predict_all(test)), 0.85);
+
+  const auto& imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 5u);
+  double total = 0.0;
+  for (const double v : imp) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The informative features dominate; the irrelevant ones are ~0 and the
+  // constant one exactly 0 (no split can use it).
+  EXPECT_GT(imp[0], 0.3);
+  EXPECT_GT(imp[2], 0.1);
+  EXPECT_LT(imp[1], 0.05);
+  EXPECT_LT(imp[3], 0.05);
+  EXPECT_DOUBLE_EQ(imp[4], 0.0);
+}
+
+TEST(Regression, RandomForestDeterministicUnderFixedSeed) {
+  Rng rng{43};
+  const auto d = forest_data(rng, 150);
+  ml::RandomForest::Options opt;
+  opt.trees = 16;
+  opt.seed = 99;
+  ml::RandomForest a{opt};
+  ml::RandomForest b{opt};
+  a.fit(d);
+  b.fit(d);
+  EXPECT_EQ(a.feature_importances(), b.feature_importances());  // bitwise
+  Rng probe{5};
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> row = {probe.uniform(-2, 2), probe.uniform(-2, 2),
+                                     probe.uniform(-2, 2), probe.uniform(-2, 2), 1.0};
+    EXPECT_EQ(a.predict(row), b.predict(row));  // bitwise
+  }
+  // A different seed draws different bootstraps: almost surely a different
+  // model (guards against the seed being ignored).
+  opt.seed = 100;
+  ml::RandomForest c{opt};
+  c.fit(d);
+  EXPECT_NE(a.feature_importances(), c.feature_importances());
+}
+
+TEST(Regression, RandomForestDegenerateInputs) {
+  // Constant target: every tree is a single leaf, importances all zero.
+  ml::Dataset flat;
+  for (int i = 0; i < 20; ++i) flat.add({static_cast<double>(i)}, 3.25);
+  ml::RandomForest forest;
+  forest.fit(flat);
+  EXPECT_DOUBLE_EQ(forest.predict(std::vector<double>{4.0}), 3.25);
+  EXPECT_DOUBLE_EQ(forest.feature_importances()[0], 0.0);
+
+  // Unfit model predicts 0 and exports no importances.
+  ml::RandomForest unfit;
+  EXPECT_DOUBLE_EQ(unfit.predict(std::vector<double>{1.0}), 0.0);
+  EXPECT_TRUE(unfit.feature_importances().empty());
+
+  // Tiny dataset (below 2*min_leaf): still fits, as a bagged mean.
+  ml::Dataset tiny;
+  tiny.add({0.0}, 1.0);
+  tiny.add({1.0}, 2.0);
+  ml::RandomForest small;
+  small.fit(tiny);
+  const double p = small.predict(std::vector<double>{0.5});
+  EXPECT_GE(p, 1.0);
+  EXPECT_LE(p, 2.0);
+}
+
 TEST(Regression, Metrics) {
   const std::vector<double> truth = {1, 2, 3, 4};
   const std::vector<double> pred = {1, 2, 3, 4};
