@@ -59,7 +59,7 @@ struct FlowSearchOptions {
   /// revisited by GWTW cloning, adaptive restarts or a repeated campaign
   /// against the same MAESTRO_STORE resolve from the cache instead of
   /// dispatching. Works with and without an executor.
-  store::RunCache* cache = nullptr;
+  store::FlowCache* cache = nullptr;
   /// Key template (design name + fixed context such as "target_ghz") for
   /// cached runs.
   store::RunKey cache_key;

@@ -61,7 +61,7 @@ struct MabOptions {
   /// `cache_key` plus (target_ghz, derived seed), and duplicate
   /// configurations — reissued arms, repeated campaigns over the same
   /// MAESTRO_STORE — resolve from the cache instead of dispatching.
-  store::RunCache* cache = nullptr;
+  store::FlowCache* cache = nullptr;
   /// Key template for cached runs: design name plus the fixed knob context
   /// the oracle closes over (see store::run_key_for).
   store::RunKey cache_key;

@@ -418,7 +418,11 @@ class RunExecutor {
   ///   std::optional<R> lookup(std::uint64_t) and
   ///   void insert(std::uint64_t, const R&)
   /// (e.g. store::KeyedRunCache). It is copied into the pooled task, so by-
-  /// value validity must outlast the run.
+  /// value validity must outlast the run. The handle may itself be tiered:
+  /// wrapping a store::RemoteRunCache consults the fleet-wide CacheServer
+  /// before the local store, and its degradation ladder (remote → local →
+  /// in-memory) means a dead or partitioned server turns into ordinary
+  /// misses here — executions are re-done, results never change.
   template <typename Cache, typename F>
   auto submit_memo(std::string label, std::uint64_t seed, std::uint64_t fingerprint,
                    Cache cache, F fn, CancelToken cancel = {},

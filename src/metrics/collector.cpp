@@ -2,17 +2,21 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "metrics/frame.hpp"
 #include "obs/trace.hpp"
 
 namespace maestro::metrics {
 
 namespace {
+
+using frame::connect_unix;
+using frame::read_frame;
+using frame::write_frame;
 
 struct RemoteCounters {
   obs::Counter& conns;
@@ -31,69 +35,6 @@ RemoteCounters& remote_counters() {
   return c;
 }
 
-bool write_all(int fd, const char* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-/// 1 = got n bytes, 0 = clean EOF before the first byte, -1 = error/short.
-int read_exact(int fd, char* data, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, data + got, n - got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if (r == 0) return got == 0 ? 0 : -1;
-    got += static_cast<std::size_t>(r);
-  }
-  return 1;
-}
-
-bool write_frame(int fd, std::string_view payload) {
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  char hdr[4] = {static_cast<char>(len & 0xff), static_cast<char>((len >> 8) & 0xff),
-                 static_cast<char>((len >> 16) & 0xff), static_cast<char>((len >> 24) & 0xff)};
-  return write_all(fd, hdr, 4) && write_all(fd, payload.data(), payload.size());
-}
-
-/// 1 = frame in *payload, 0 = clean EOF, -1 = error / oversized frame.
-int read_frame(int fd, std::size_t max_bytes, std::string* payload) {
-  char hdr[4];
-  const int h = read_exact(fd, hdr, 4);
-  if (h <= 0) return h;
-  const std::uint32_t len = static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[0])) |
-                            (static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[1])) << 8) |
-                            (static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[2])) << 16) |
-                            (static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[3])) << 24);
-  if (len > max_bytes) return -1;
-  payload->resize(len);
-  return read_exact(fd, payload->data(), len) == 1 ? 1 : -1;
-}
-
-int connect_unix(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) return -1;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------- Collector
@@ -105,19 +46,8 @@ Collector::~Collector() { stop(); }
 
 bool Collector::start() {
   if (running()) return true;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (opt_.socket_path.empty() || opt_.socket_path.size() >= sizeof(addr.sun_path)) return false;
-  std::memcpy(addr.sun_path, opt_.socket_path.c_str(), opt_.socket_path.size() + 1);
-  ::unlink(opt_.socket_path.c_str());
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  listen_fd_ = frame::listen_unix(opt_.socket_path, 16);
   if (listen_fd_ < 0) return false;
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { accept_loop(); });
   return true;

@@ -1,0 +1,45 @@
+#pragma once
+// Length-prefixed frame transport over local stream sockets.
+//
+// One wire format, two services: the METRICS Collector (PR 7) and the
+// store::CacheServer both speak 4-byte little-endian length + JSON payload
+// frames over AF_UNIX. This header is the shared plumbing — byte-exact
+// read/write loops, frame encode/decode, socket setup and deadline helpers —
+// so a new service adds message types, not another transport.
+//
+// All functions are EINTR-safe. With an I/O deadline installed via
+// set_io_timeout, a stalled peer surfaces as a read/write error (EAGAIN)
+// instead of a hang, which is what lets clients degrade gracefully when a
+// server dies mid-request.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace maestro::metrics::frame {
+
+/// Write exactly n bytes; false on any error (including a send timeout).
+bool write_all(int fd, const char* data, std::size_t n);
+
+/// Read exactly n bytes. 1 = got them, 0 = clean EOF before the first byte,
+/// -1 = error, short read at EOF, or receive timeout.
+int read_exact(int fd, char* data, std::size_t n);
+
+/// One frame: 4-byte LE payload length, then the payload bytes.
+bool write_frame(int fd, std::string_view payload);
+
+/// 1 = frame in *payload, 0 = clean EOF, -1 = error / oversized frame.
+int read_frame(int fd, std::size_t max_bytes, std::string* payload);
+
+/// Connected AF_UNIX stream socket, or -1.
+int connect_unix(const std::string& path);
+
+/// Bound + listening AF_UNIX stream socket (unlinks any stale path first),
+/// or -1.
+int listen_unix(const std::string& path, int backlog);
+
+/// Install a send+receive deadline (SO_SNDTIMEO / SO_RCVTIMEO) so blocking
+/// I/O fails instead of hanging. ms <= 0 clears the deadline.
+bool set_io_timeout(int fd, double ms);
+
+}  // namespace maestro::metrics::frame

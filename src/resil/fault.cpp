@@ -23,6 +23,16 @@ const char* to_string(FaultKind k) {
 
 FaultKind FaultPlan::decide(std::string_view site, std::uint64_t run_seed) const {
   if (!rates_.any()) return FaultKind::None;
+  if (!site_prefixes_.empty()) {
+    bool eligible = false;
+    for (const auto& prefix : site_prefixes_) {
+      if (site.substr(0, prefix.size()) == prefix) {
+        eligible = true;
+        break;
+      }
+    }
+    if (!eligible) return FaultKind::None;
+  }
   // FNV-1a over the site name, then two splitmix64 rounds folding in the
   // plan seed and the run seed. Purely value-derived: no global state, no
   // ordering dependence.
@@ -51,6 +61,7 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
   FaultRates rates;
   std::uint64_t seed = 1;
   double hang_ms = 25.0;
+  std::vector<std::string> site_prefixes;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     std::size_t end = spec.find(',', pos);
@@ -62,6 +73,18 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
     if (eq == std::string::npos) return std::nullopt;
     const std::string key = field.substr(0, eq);
     const std::string val = field.substr(eq + 1);
+    if (key == "sites") {
+      // '|'-separated site-name prefixes, e.g. sites=store.wal|store.server.
+      std::size_t p = 0;
+      while (p <= val.size()) {
+        std::size_t bar = val.find('|', p);
+        if (bar == std::string::npos) bar = val.size();
+        if (bar > p) site_prefixes.push_back(val.substr(p, bar - p));
+        p = bar + 1;
+      }
+      if (site_prefixes.empty()) return std::nullopt;
+      continue;
+    }
     char* parse_end = nullptr;
     const double num = std::strtod(val.c_str(), &parse_end);
     if (parse_end == val.c_str() || *parse_end != '\0') return std::nullopt;
@@ -79,6 +102,7 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
   }
   FaultPlan plan(rates, seed);
   plan.set_hang_ms(hang_ms);
+  plan.restrict_sites(std::move(site_prefixes));
   return plan;
 }
 

@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace maestro::resil {
 
@@ -54,6 +55,13 @@ class FaultPlan {
 
   FaultKind decide(std::string_view site, std::uint64_t run_seed) const;
 
+  /// Restrict injection to sites matching one of these name prefixes (so
+  /// "store.wal" covers every per-shard "store.wal.<n>" site). An empty
+  /// list — the default — means every site is eligible. Spec syntax:
+  /// "sites=store.wal|store.server".
+  void restrict_sites(std::vector<std::string> prefixes) { site_prefixes_ = std::move(prefixes); }
+  const std::vector<std::string>& site_prefixes() const { return site_prefixes_; }
+
   const FaultRates& rates() const { return rates_; }
   std::uint64_t seed() const { return seed_; }
   /// How long an injected hang stalls before resolving (cooperative;
@@ -72,6 +80,7 @@ class FaultPlan {
   FaultRates rates_;
   std::uint64_t seed_ = 1;
   double hang_ms_ = 25.0;
+  std::vector<std::string> site_prefixes_;
 };
 
 /// Thrown by a tool step (or test oracle) selected for FaultKind::Crash.

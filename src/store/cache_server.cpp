@@ -1,0 +1,245 @@
+#include "store/cache_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "metrics/frame.hpp"
+#include "obs/registry.hpp"
+#include "resil/fault.hpp"
+
+namespace maestro::store {
+
+namespace {
+
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CacheServer::CacheServer(RunCache& cache, CacheServerOptions opt)
+    : cache_(&cache), opt_(std::move(opt)) {}
+
+CacheServer::~CacheServer() { stop(); }
+
+bool CacheServer::start() {
+  if (running()) return true;
+  listen_fd_ = metrics::frame::listen_unix(opt_.socket_path, 16);
+  if (listen_fd_ < 0) return false;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void CacheServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Unblock every reader still parked in read(); each closes its own fd.
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> joiners;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    joiners.swap(conn_threads_);
+  }
+  for (auto& t : joiners) {
+    if (t.joinable()) t.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(opt_.socket_path.c_str());
+}
+
+void CacheServer::accept_loop() {
+  while (running()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, 200);
+    if (n <= 0) continue;  // timeout or EINTR: re-check running()
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    obs::Registry::global().counter("store.server_conns").add();
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const std::size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd, slot] {
+      serve_connection(fd);
+      const std::lock_guard<std::mutex> inner(conn_mu_);
+      ::close(fd);
+      conn_fds_[slot] = -1;  // stop() must not shutdown a recycled fd number
+    });
+  }
+}
+
+void CacheServer::serve_connection(int fd) {
+  std::string payload;
+  while (true) {
+    const int st = metrics::frame::read_frame(fd, opt_.max_frame_bytes, &payload);
+    if (st <= 0) return;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("store.server_requests").add();
+
+    // Chaos seam: every request rolls the "store.server" site.
+    const auto fault = resil::FaultInjector::decide(
+        "store.server", fault_seq_.fetch_add(1, std::memory_order_relaxed));
+    if (fault == resil::FaultKind::Crash) {
+      // A crashed server mid-request: the connection just dies.
+      obs::Registry::global().counter("store.server_faults").add();
+      return;
+    }
+    if (fault == resil::FaultKind::Hang) {
+      obs::Registry::global().counter("store.server_faults").add();
+      const auto plan = resil::FaultInjector::plan();
+      resil::injected_hang([this] { return !running(); }, plan ? plan->hang_ms() : 25.0);
+    }
+
+    const auto doc = util::Json::parse(payload);
+    bool close_conn = false;
+    std::string reply;
+    if (!doc || !doc->is_object()) {
+      util::JsonObject err;
+      err["type"] = util::Json{"error"};
+      reply = util::Json{std::move(err)}.dump();
+    } else {
+      reply = handle_request(*doc, &close_conn);
+    }
+    if (fault == resil::FaultKind::CorruptResult) {
+      // Injected corruption: a framed reply whose payload is not JSON.
+      obs::Registry::global().counter("store.server_faults").add();
+      reply = "\x01garbage\x02";
+    }
+    if (!metrics::frame::write_frame(fd, reply)) return;
+    if (close_conn) return;
+  }
+}
+
+std::optional<flow::FlowResult> CacheServer::cache_lookup(std::uint64_t fp,
+                                                          const std::string& tenant) {
+  const double now = steady_ms();
+  {
+    const std::lock_guard<std::mutex> lock(lru_mu_);
+    const auto it = index_.find(fp);
+    if (it != index_.end()) {
+      const bool expired = opt_.ttl_ms > 0.0 && now - it->second->inserted_ms > opt_.ttl_ms;
+      if (!expired) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // touch
+        ++tenant_hits_[tenant];
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        obs::Registry::global().counter("store.server_hits").add();
+        return it->second->result;
+      }
+      lru_.erase(it->second);
+      index_.erase(it);
+      obs::Registry::global().counter("store.server_expired").add();
+    }
+  }
+  // LRU miss (or expiry): the backing RunCache indexes the durable store
+  // and is authoritative; promote its answer so hot entries stay resident.
+  if (auto result = cache_->lookup(fp)) {
+    cache_put(fp, *result);
+    const std::lock_guard<std::mutex> lock(lru_mu_);
+    ++tenant_hits_[tenant];
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("store.server_hits").add();
+    return result;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("store.server_misses").add();
+  return std::nullopt;
+}
+
+void CacheServer::cache_put(std::uint64_t fp, const flow::FlowResult& result) {
+  const std::lock_guard<std::mutex> lock(lru_mu_);
+  const auto it = index_.find(fp);
+  if (it != index_.end()) {
+    it->second->result = result;
+    it->second->inserted_ms = steady_ms();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{fp, result, steady_ms()});
+  index_[fp] = lru_.begin();
+  if (opt_.max_entries > 0) {
+    while (lru_.size() > opt_.max_entries) {
+      index_.erase(lru_.back().fingerprint);
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("store.server_evictions").add();
+    }
+  }
+}
+
+std::string CacheServer::handle_request(const util::Json& req, bool* close_conn) {
+  const std::string& type = req.at("type").as_string();
+  util::JsonObject reply;
+  if (type == "lookup") {
+    const std::uint64_t fp =
+        std::strtoull(req.at("fp").as_string().c_str(), nullptr, 10);
+    const std::string tenant =
+        req.at("tenant").is_string() ? req.at("tenant").as_string() : "default";
+    if (auto result = cache_lookup(fp, tenant)) {
+      reply["type"] = util::Json{"hit"};
+      reply["result"] = flow_result_to_json(*result);
+    } else {
+      reply["type"] = util::Json{"miss"};
+    }
+  } else if (type == "insert") {
+    const std::uint64_t fp =
+        std::strtoull(req.at("fp").as_string().c_str(), nullptr, 10);
+    const flow::FlowResult result = flow_result_from_json(req.at("result"));
+    // Residency only: the inserting client's local store is the durability
+    // rung (in a shared directory its append already reached the WAL; a
+    // write-through here would duplicate it). The LRU makes the result
+    // visible to every other tenant immediately.
+    cache_put(fp, result);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("store.server_inserts").add();
+    reply["type"] = util::Json{"ok"};
+  } else if (type == "stats") {
+    reply["type"] = util::Json{"stats"};
+    reply["hits"] = util::Json{static_cast<double>(hits())};
+    reply["misses"] = util::Json{static_cast<double>(misses())};
+    reply["inserts"] = util::Json{static_cast<double>(inserts())};
+    reply["evictions"] = util::Json{static_cast<double>(evictions())};
+    util::JsonObject tenants;
+    {
+      const std::lock_guard<std::mutex> lock(lru_mu_);
+      reply["entries"] = util::Json{static_cast<double>(lru_.size())};
+      for (const auto& [tenant, n] : tenant_hits_) {
+        tenants[tenant] = util::Json{static_cast<double>(n)};
+      }
+    }
+    reply["tenants"] = util::Json{std::move(tenants)};
+  } else if (type == "bye") {
+    *close_conn = true;
+    reply["type"] = util::Json{"ack"};
+  } else {
+    reply["type"] = util::Json{"error"};
+  }
+  return util::Json{std::move(reply)}.dump();
+}
+
+std::map<std::string, std::uint64_t> CacheServer::tenant_hits() const {
+  const std::lock_guard<std::mutex> lock(lru_mu_);
+  return tenant_hits_;
+}
+
+}  // namespace maestro::store

@@ -8,7 +8,7 @@ RunCache::RunCache(RunStore& store) : store_(&store) {
   for (auto& run : store.runs()) index_.emplace(run.fingerprint, std::move(run.result));
 }
 
-std::optional<flow::FlowResult> RunCache::lookup(std::uint64_t fingerprint) const {
+std::optional<flow::FlowResult> RunCache::lookup(std::uint64_t fingerprint) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(fingerprint);
@@ -32,6 +32,15 @@ void RunCache::insert(std::uint64_t fingerprint, const RunKey& key,
   const std::lock_guard<std::mutex> lock(mu_);
   index_[fingerprint] = std::move(run.result);
   obs::Registry::global().counter("store.cache_insert").add();
+}
+
+std::size_t RunCache::reindex() {
+  std::size_t added = 0;
+  for (auto& run : store_->runs()) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (index_.emplace(run.fingerprint, std::move(run.result)).second) ++added;
+  }
+  return added;
 }
 
 std::size_t RunCache::size() const {

@@ -10,6 +10,11 @@
 // runs without dispatching them (exec::RunExecutor::submit_memo consults the
 // cache before queueing).
 //
+// FlowCache is the seam the schedulers program against: RunCache is the
+// local, store-backed implementation; store::RemoteRunCache adds a shared
+// cache-server tier in front of it with graceful degradation. Either plugs
+// into MabOptions/FtsOptions/TuneOptions unchanged.
+//
 // Hit/miss traffic is observable as the store.cache_hit / store.cache_miss
 // counters in obs::Registry::global().
 
@@ -22,20 +27,37 @@
 
 namespace maestro::store {
 
-class RunCache {
+/// Abstract memoization tier: fingerprint -> FlowResult. Implementations
+/// must be thread-safe and must always accept inserts (degraded tiers fall
+/// back internally rather than dropping results).
+class FlowCache {
+ public:
+  virtual ~FlowCache() = default;
+  virtual std::optional<flow::FlowResult> lookup(std::uint64_t fingerprint) = 0;
+  virtual void insert(std::uint64_t fingerprint, const RunKey& key,
+                      const flow::FlowResult& result) = 0;
+};
+
+class RunCache : public FlowCache {
  public:
   /// Indexes every run already in the store. Later inserts keep store and
   /// index in sync; runs appended to the store behind the cache's back are
-  /// not seen.
+  /// picked up by reindex() (e.g. after RunStore::refresh()).
   explicit RunCache(RunStore& store);
 
   RunCache(const RunCache&) = delete;
   RunCache& operator=(const RunCache&) = delete;
 
   /// The memoized result, or nullopt. Counts store.cache_hit / _miss.
-  std::optional<flow::FlowResult> lookup(std::uint64_t fingerprint) const;
+  std::optional<flow::FlowResult> lookup(std::uint64_t fingerprint) override;
   /// Memoize a result: appends to the backing store and indexes it.
-  void insert(std::uint64_t fingerprint, const RunKey& key, const flow::FlowResult& result);
+  void insert(std::uint64_t fingerprint, const RunKey& key,
+              const flow::FlowResult& result) override;
+
+  /// Re-index runs that reached the backing store behind the cache's back
+  /// (another process's appends surfaced by RunStore::refresh()). Returns
+  /// the number of newly indexed fingerprints.
+  std::size_t reindex();
 
   std::size_t size() const;
   RunStore& backing_store() { return *store_; }
@@ -48,10 +70,10 @@ class RunCache {
 
 /// A cheap copyable handle binding one run's key to a cache — the shape
 /// RunExecutor::submit_memo consumes (it is copied into the pooled task, so
-/// it must stay valid by value; the RunCache itself must outlive the pool).
+/// it must stay valid by value; the FlowCache itself must outlive the pool).
 class KeyedRunCache {
  public:
-  KeyedRunCache(RunCache& cache, RunKey key)
+  KeyedRunCache(FlowCache& cache, RunKey key)
       : cache_(&cache),
         key_(std::make_shared<RunKey>(std::move(key))),
         fingerprint_(key_->fingerprint()) {}
@@ -65,7 +87,7 @@ class KeyedRunCache {
   }
 
  private:
-  RunCache* cache_;
+  FlowCache* cache_;
   std::shared_ptr<const RunKey> key_;
   std::uint64_t fingerprint_;
 };

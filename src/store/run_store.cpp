@@ -1,12 +1,23 @@
 #include "store/run_store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <string_view>
 
+#include "metrics/frame.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "resil/fault.hpp"
+#include "store/wal_frame.hpp"
 
 namespace maestro::store {
 
@@ -120,22 +131,150 @@ util::Json state_to_entry(const std::string& key, const util::Json& value) {
   return util::Json{std::move(o)};
 }
 
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Full write to a plain file fd (frame::write_all is socket-only: it uses
+/// send(MSG_NOSIGNAL), which files reject with ENOTSOCK).
+bool file_write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+int flock_retry(int fd, int op) {
+  int r;
+  do {
+    r = ::flock(fd, op);
+  } while (r != 0 && errno == EINTR);
+  return r;
+}
+
+bool fsync_counted(int fd) {
+  obs::Registry::global().counter("store.fsyncs").add();
+  return ::fsync(fd) == 0;
+}
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = fsync_counted(fd);
+  ::close(fd);
+  return ok;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+FsyncMode fsync_mode_from_env() {
+  const char* v = std::getenv("MAESTRO_STORE_FSYNC");
+  if (!v || !*v) return FsyncMode::Batch;
+  const std::string_view s{v};
+  if (s == "always") return FsyncMode::Always;
+  if (s == "off") return FsyncMode::Off;
+  return FsyncMode::Batch;
+}
+
+std::size_t shards_from_env() {
+  const char* v = std::getenv("MAESTRO_STORE_SHARDS");
+  if (!v || !*v) return 8;
+  const unsigned long n = std::strtoul(v, nullptr, 10);
+  return (n >= 1 && n <= 256) ? static_cast<std::size_t>(n) : 8;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n && p < 256) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
-RunStore::RunStore(const std::string& dir)
-    : dir_(dir),
-      wal_path_((fs::path(dir) / "wal.jsonl").string()),
-      snapshot_path_((fs::path(dir) / "snapshot.jsonl").string()) {
+struct RunStore::Shard {
+  std::size_t index = 0;
+  std::string wal_path;
+  std::string snapshot_path;
+  std::string site;  ///< fault site "store.wal.<index>"
+  mutable std::mutex mu;
+  int fd = -1;                ///< WAL fd (O_RDWR|O_APPEND); the flock lease target
+  std::uint64_t offset = 0;   ///< WAL bytes already mirrored in memory
+  std::vector<StoredRun> runs;
+  std::vector<metrics::Record> metrics;
+  std::map<std::string, util::Json> state;
+  std::size_t wal_entries = 0;  ///< appended by this process since open
+  std::size_t recovered = 0;
+  std::size_t dropped_tail = 0;
+  std::size_t corrupt = 0;
+  std::size_t seq = 0;       ///< append attempts; seeds the WAL fault site
+  std::size_t unsynced = 0;  ///< appends since the last fsync (Batch mode)
+  bool degraded = false;
+};
+
+RunStore::RunStore(const std::string& dir, RunStoreOptions options)
+    : dir_(dir), opt_(std::move(options)) {
   fs::create_directories(dir_);
-  {
-    obs::Span span("store_recover", "store");
-    recovered_entries_ += replay_file(snapshot_path_, /*tolerate_torn_tail=*/false);
-    recovered_entries_ += replay_file(wal_path_, /*tolerate_torn_tail=*/true);
-    span.arg("recovered", static_cast<double>(recovered_entries_))
-        .arg("dropped_tail_bytes", static_cast<double>(dropped_tail_bytes_));
+  fsync_mode_ = opt_.fsync ? *opt_.fsync : fsync_mode_from_env();
+  if (opt_.fsync_batch == 0) opt_.fsync_batch = 1;
+  std::size_t requested = opt_.shards != 0 ? opt_.shards : shards_from_env();
+  const std::size_t n = negotiate_shards(round_up_pow2(requested));
+  shard_bits_ = 0;
+  while ((std::size_t{1} << shard_bits_) < n) ++shard_bits_;
+
+  obs::Span span("store_recover", "store");
+  ReplayStats totals;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->index = i;
+    char name[32];
+    std::snprintf(name, sizeof(name), "wal-%02zu.jsonl", i);
+    s->wal_path = (fs::path(dir_) / name).string();
+    std::snprintf(name, sizeof(name), "snapshot-%02zu.jsonl", i);
+    s->snapshot_path = (fs::path(dir_) / name).string();
+    s->site = "store.wal." + std::to_string(i);
+    s->fd = ::open(s->wal_path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (s->fd >= 0 && flock_retry(s->fd, LOCK_EX) == 0) {
+      const ReplayStats st = load_shard_locked(*s);
+      s->recovered = st.recovered;
+      s->dropped_tail = st.dropped;
+      totals.recovered += st.recovered;
+      totals.corrupt += st.corrupt;
+      totals.dropped += st.dropped;
+      flock_retry(s->fd, LOCK_UN);
+    }
+    shards_.push_back(std::move(s));
   }
+  span.arg("shards", static_cast<double>(n))
+      .arg("recovered", static_cast<double>(totals.recovered))
+      .arg("corrupt_lines", static_cast<double>(totals.corrupt))
+      .arg("dropped_tail_bytes", static_cast<double>(totals.dropped));
   obs::Registry::global().counter("store.opens").add();
-  wal_.open(wal_path_, std::ios::app);
+}
+
+RunStore::~RunStore() {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    const std::lock_guard<std::mutex> lock(s.mu);
+    if (s.fd < 0) continue;
+    if (fsync_mode_ == FsyncMode::Batch && s.unsynced > 0) fsync_counted(s.fd);
+    ::close(s.fd);
+    s.fd = -1;
+  }
 }
 
 std::unique_ptr<RunStore> RunStore::open_from_env() {
@@ -144,52 +283,143 @@ std::unique_ptr<RunStore> RunStore::open_from_env() {
   return std::make_unique<RunStore>(dir);
 }
 
-std::size_t RunStore::replay_file(const std::string& path, bool tolerate_torn_tail) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return 0;
-  std::size_t replayed = 0;
-  std::size_t valid_bytes = 0;
-  std::string line;
-  bool torn = false;
-  while (std::getline(in, line)) {
-    // getline strips the '\n'; eof without a trailing newline means the last
-    // append never completed — that line is the torn tail.
-    const bool complete = !in.eof();
-    if (!complete && tolerate_torn_tail) {
-      torn = true;
-      break;
-    }
-    if (line.empty()) {
-      valid_bytes += 1;
-      continue;
-    }
-    const auto entry = util::Json::parse(line);
-    if (!entry || !ingest_locked(*entry)) {
-      // A terminated but unparseable line can only come from a tear that a
-      // later writer appended past; everything from here on is suspect.
-      if (tolerate_torn_tail) {
-        torn = true;
-        break;
+std::size_t RunStore::negotiate_shards(std::size_t requested) {
+  // First opener writes store.meta; everyone after reads it. The flock on
+  // store.lock makes the "first" race well defined across processes.
+  const std::string lock_path = (fs::path(dir_) / "store.lock").string();
+  const std::string meta_path = (fs::path(dir_) / "store.meta").string();
+  const int lfd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (lfd >= 0) flock_retry(lfd, LOCK_EX);
+  std::size_t n = requested;
+  bool have_meta = false;
+  if (const std::string text = slurp(meta_path); !text.empty()) {
+    if (const auto j = util::Json::parse(text); j && j->is_object()) {
+      const double v = j->at("shards").as_number();
+      if (v >= 1.0 && v <= 256.0) {
+        n = static_cast<std::size_t>(v);
+        have_meta = true;
       }
-      continue;  // snapshot: skip the bad line, keep the rest
     }
-    ++replayed;
-    valid_bytes += line.size() + (complete ? 1 : 0);
   }
-  if (torn) {
+  if (!have_meta) {
+    util::JsonObject o;
+    o["shards"] = util::Json{static_cast<double>(n)};
+    const std::string tmp = meta_path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << util::Json{std::move(o)}.dump() << '\n';
+    out.flush();
     std::error_code ec;
-    const auto total = fs::file_size(path, ec);
-    if (!ec && total > valid_bytes) {
-      dropped_tail_bytes_ += static_cast<std::size_t>(total) - valid_bytes;
-      // Truncate so the next append starts on a clean line boundary instead
-      // of concatenating into the torn record.
-      fs::resize_file(path, valid_bytes, ec);
-    }
+    if (out) fs::rename(tmp, meta_path, ec);
   }
-  return replayed;
+  if (lfd >= 0) {
+    flock_retry(lfd, LOCK_UN);
+    ::close(lfd);
+  }
+  return n;
 }
 
-bool RunStore::ingest_locked(const util::Json& entry) {
+RunStore::Shard& RunStore::shard_for_fp(std::uint64_t fp) const {
+  if (shard_bits_ == 0) return *shards_[0];
+  return *shards_[fp >> (64 - shard_bits_)];
+}
+
+RunStore::Shard& RunStore::shard_for_key(const std::string& key) const {
+  return shard_for_fp(fnv1a64(key));
+}
+
+void RunStore::record_corrupt(Shard& s, std::size_t n) {
+  if (n == 0) return;
+  s.corrupt += n;
+  obs::Registry::global().counter("store.corrupt_lines").add(n);
+  const std::lock_guard<std::mutex> lock(warn_mu_);
+  if (!warned_corrupt_) {
+    warned_corrupt_ = true;
+    std::fprintf(stderr,
+                 "[maestro::store] WARNING: skipped %zu corrupt WAL/snapshot "
+                 "line(s) in %s (CRC or parse failure); replay continued — "
+                 "complete neighbours are intact\n",
+                 n, dir_.c_str());
+  }
+}
+
+RunStore::ReplayStats RunStore::load_shard_locked(Shard& s) {
+  ReplayStats st;
+  s.runs.clear();
+  s.metrics.clear();
+  s.state.clear();
+  std::error_code ec;
+  // A compactor that died before its atomic rename leaves a temp file; it
+  // is unreferenced by definition, so recovery discards it.
+  fs::remove(s.snapshot_path + ".tmp", ec);
+
+  // Dedup ledger: a crash between compaction's rename and WAL truncate
+  // leaves every pre-compaction entry in both files. Byte-identical WAL
+  // entries cancel against snapshot occurrences, one for one, so legitimate
+  // duplicate appends still survive.
+  std::map<std::uint64_t, std::size_t> snapshot_hashes;
+
+  const auto process = [&](std::string_view line, bool from_snapshot) {
+    if (line.empty()) return;
+    const auto payload = wal_frame::decode(line);
+    if (!payload) {
+      ++st.corrupt;
+      return;
+    }
+    if (!from_snapshot) {
+      const auto it = snapshot_hashes.find(fnv1a64(*payload));
+      if (it != snapshot_hashes.end() && it->second > 0) {
+        --it->second;
+        return;
+      }
+    }
+    const auto entry = util::Json::parse(*payload);
+    if (!entry || !ingest_locked(s, *entry)) {
+      ++st.corrupt;
+      return;
+    }
+    ++st.recovered;
+    if (from_snapshot) ++snapshot_hashes[fnv1a64(*payload)];
+  };
+
+  // Snapshot: renamed into place whole, so any bad line is corruption, not
+  // a tear — skip and keep going.
+  {
+    const std::string data = slurp(s.snapshot_path);
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t nl = data.find('\n', pos);
+      if (nl == std::string::npos) {
+        process(std::string_view(data).substr(pos), /*from_snapshot=*/true);
+        break;
+      }
+      process(std::string_view(data).substr(pos, nl - pos), /*from_snapshot=*/true);
+      pos = nl + 1;
+    }
+  }
+
+  // WAL: complete lines replay (corrupt ones skipped and counted); the
+  // unterminated tail is a torn append — drop it and truncate so the next
+  // append starts on a clean boundary.
+  {
+    const std::string data = slurp(s.wal_path);
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t nl = data.find('\n', pos);
+      if (nl == std::string::npos) break;
+      process(std::string_view(data).substr(pos, nl - pos), /*from_snapshot=*/false);
+      pos = nl + 1;
+    }
+    if (pos < data.size()) {
+      st.dropped += data.size() - pos;
+      if (s.fd >= 0) ::ftruncate(s.fd, static_cast<off_t>(pos));
+    }
+    s.offset = pos;
+  }
+  record_corrupt(s, st.corrupt);
+  return st;
+}
+
+bool RunStore::ingest_locked(Shard& s, const util::Json& entry) {
   if (!entry.is_object()) return false;
   const std::string& t = entry.at("t").as_string();
   if (t == "run") {
@@ -197,163 +427,352 @@ bool RunStore::ingest_locked(const util::Json& entry) {
     run.fingerprint = std::strtoull(entry.at("fp").as_string().c_str(), nullptr, 10);
     run.key = run_key_from_json(entry.at("key"));
     run.result = flow_result_from_json(entry.at("result"));
-    runs_.push_back(std::move(run));
+    s.runs.push_back(std::move(run));
     return true;
   }
   if (t == "metric") {
     auto rec = metrics::Record::from_json(entry.at("rec"));
     if (!rec) return false;
-    metrics_.push_back(std::move(*rec));
+    s.metrics.push_back(std::move(*rec));
     return true;
   }
   if (t == "state") {
     const std::string& key = entry.at("key").as_string();
     if (key.empty()) return false;
-    state_[key] = entry.at("value");
+    s.state[key] = entry.at("value");
     return true;
   }
   return false;
 }
 
-void RunStore::degrade_locked(const char* why) {
-  if (!degraded_) {
-    std::fprintf(stderr,
-                 "[maestro::store] WARNING: WAL append failed (%s) in %s; "
-                 "degrading to in-memory operation — results are served from "
-                 "memory but will not survive this process until compact() "
-                 "succeeds\n",
-                 why, dir_.c_str());
+std::size_t RunStore::catch_up_locked(Shard& s, bool holding_lease) {
+  if (s.fd < 0) return 0;
+  struct stat stbuf {};
+  if (::fstat(s.fd, &stbuf) != 0) return 0;
+  const auto size = static_cast<std::uint64_t>(stbuf.st_size);
+  if (size <= s.offset) return 0;
+  // Another process appended [offset, size); mirror the complete lines.
+  std::string gap(size - s.offset, '\0');
+  std::size_t got = 0;
+  while (got < gap.size()) {
+    const ssize_t r = ::pread(s.fd, gap.data() + got, gap.size() - got,
+                              static_cast<off_t>(s.offset + got));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    got += static_cast<std::size_t>(r);
   }
-  degraded_ = true;
-  obs::Registry::global().counter("store.wal_errors").add();
-  obs::Registry::global().gauge("store.degraded").set(1.0);
+  gap.resize(got);
+  std::size_t ingested = 0;
+  std::size_t corrupt = 0;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t nl = gap.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const std::string_view line = std::string_view(gap).substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    const auto payload = wal_frame::decode(line);
+    if (!payload) {
+      ++corrupt;
+      continue;
+    }
+    const auto entry = util::Json::parse(*payload);
+    if (!entry || !ingest_locked(s, *entry)) {
+      ++corrupt;
+      continue;
+    }
+    ++ingested;
+  }
+  record_corrupt(s, corrupt);
+  if (pos < gap.size() && holding_lease) {
+    // Unterminated tail while we hold the lease: a writer died mid-append
+    // (live writers complete their write before releasing the flock). Drop
+    // the torn bytes so our next append starts on a clean boundary.
+    s.dropped_tail += gap.size() - pos;
+    ::ftruncate(s.fd, static_cast<off_t>(s.offset + pos));
+  }
+  s.offset += pos;
+  return ingested;
 }
 
-void RunStore::append_line_locked(const util::Json& entry) {
-  // The fault site is seeded by the append sequence number, so a chaos test
-  // kills the writer at a deterministic entry regardless of thread count.
-  const auto fault = resil::FaultInjector::decide("store.wal", wal_seq_++);
-  if (degraded_) return;  // in-memory only until compact() recovers the WAL
+void RunStore::degrade_locked(Shard& s, const char* why) {
+  if (!s.degraded) {
+    std::fprintf(stderr,
+                 "[maestro::store] WARNING: WAL append failed (%s) on shard "
+                 "%zu in %s; degrading to in-memory operation — results are "
+                 "served from memory but will not survive this process until "
+                 "compact() succeeds\n",
+                 why, s.index, dir_.c_str());
+    s.degraded = true;
+    degraded_shards_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().gauge("store.degraded").set(1.0);
+  }
+  obs::Registry::global().counter("store.wal_errors").add();
+}
+
+void RunStore::fsync_policy_locked(Shard& s) {
+  switch (fsync_mode_) {
+    case FsyncMode::Always:
+      fsync_counted(s.fd);
+      s.unsynced = 0;
+      break;
+    case FsyncMode::Batch:
+      if (s.unsynced >= opt_.fsync_batch) {
+        fsync_counted(s.fd);
+        s.unsynced = 0;
+      }
+      break;
+    case FsyncMode::Off:
+      break;
+  }
+}
+
+void RunStore::append_line_locked(Shard& s, const std::string& payload) {
+  // The fault site is seeded by the shard append sequence number, so a
+  // chaos test kills the writer at a deterministic entry regardless of
+  // thread count or shard interleaving.
+  const auto fault = resil::FaultInjector::decide(s.site.c_str(), s.seq++);
+  if (s.degraded) return;  // in-memory only until compact() recovers the WAL
   if (fault == resil::FaultKind::Crash) {
     // Injected EIO: the write never reaches the disk.
-    degrade_locked("injected EIO");
+    degrade_locked(s, "injected EIO");
     return;
   }
-  const std::string line = entry.dump();
+  if (s.fd < 0) {
+    degrade_locked(s, "no WAL fd");
+    return;
+  }
+  const std::string line = wal_frame::encode(payload);
+  if (flock_retry(s.fd, LOCK_EX) != 0) {
+    degrade_locked(s, "lease acquisition failed");
+    return;
+  }
+  catch_up_locked(s, /*holding_lease=*/true);
+  bool ok = false;
   if (fault == resil::FaultKind::CorruptResult) {
     // Injected short write: half a record lands, then the device dies. The
     // torn tail is exactly what the recovery path truncates on next open.
-    wal_ << line.substr(0, line.size() / 2);
-    wal_.flush();
-    degrade_locked("injected short write");
-    return;
+    file_write_all(s.fd, line.data(), line.size() / 2);
+    degrade_locked(s, "injected short write");
+  } else {
+    ok = file_write_all(s.fd, line.data(), line.size());
+    if (!ok) degrade_locked(s, "write error");
   }
-  wal_ << line << '\n';
-  wal_.flush();
-  if (!wal_.good()) {
-    degrade_locked("stream error");
-    return;
+  struct stat stbuf {};
+  if (::fstat(s.fd, &stbuf) == 0) s.offset = static_cast<std::uint64_t>(stbuf.st_size);
+  if (ok) {
+    ++s.unsynced;
+    fsync_policy_locked(s);
   }
-  ++wal_entries_;
+  flock_retry(s.fd, LOCK_UN);
+  if (!ok) return;
+  ++s.wal_entries;
   obs::Registry::global().counter("store.wal_appends").add();
 }
 
 void RunStore::append_run(StoredRun run) {
   run.result.logs.clear();  // logs are not persisted (see StoredRun)
-  const std::lock_guard<std::mutex> lock(mu_);
-  append_line_locked(run_to_entry(run));
-  runs_.push_back(std::move(run));
+  const std::string payload = run_to_entry(run).dump();
+  Shard& s = shard_for_fp(run.fingerprint);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  append_line_locked(s, payload);
+  s.runs.push_back(std::move(run));
 }
 
 void RunStore::append_metric(const metrics::Record& rec) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  append_line_locked(metric_to_entry(rec));
-  metrics_.push_back(rec);
+  const std::string payload = metric_to_entry(rec).dump();
+  // Metrics have no fingerprint; hash the serialized entry so the load
+  // spreads across shards deterministically.
+  Shard& s = shard_for_fp(fnv1a64(payload));
+  const std::lock_guard<std::mutex> lock(s.mu);
+  append_line_locked(s, payload);
+  s.metrics.push_back(rec);
 }
 
 void RunStore::put_state(const std::string& key, util::Json value) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  append_line_locked(state_to_entry(key, value));
-  state_[key] = std::move(value);
+  const std::string payload = state_to_entry(key, value).dump();
+  // A state key always lands in one shard, so last-write-wins replay order
+  // is well defined.
+  Shard& s = shard_for_key(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  append_line_locked(s, payload);
+  s.state[key] = std::move(value);
 }
 
 std::vector<StoredRun> RunStore::runs() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return runs_;
+  std::vector<StoredRun> out;
+  for (const auto& sp : shards_) {
+    const std::lock_guard<std::mutex> lock(sp->mu);
+    out.insert(out.end(), sp->runs.begin(), sp->runs.end());
+  }
+  return out;
 }
 
 std::vector<metrics::Record> RunStore::metric_records() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return metrics_;
+  std::vector<metrics::Record> out;
+  for (const auto& sp : shards_) {
+    const std::lock_guard<std::mutex> lock(sp->mu);
+    out.insert(out.end(), sp->metrics.begin(), sp->metrics.end());
+  }
+  return out;
 }
 
 std::optional<util::Json> RunStore::get_state(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = state_.find(key);
-  if (it == state_.end()) return std::nullopt;
+  const Shard& s = shard_for_key(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.state.find(key);
+  if (it == s.state.end()) return std::nullopt;
   return it->second;
 }
 
 std::size_t RunStore::run_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return runs_.size();
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    const std::lock_guard<std::mutex> lock(sp->mu);
+    n += sp->runs.size();
+  }
+  return n;
 }
 
 std::size_t RunStore::metric_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return metrics_.size();
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    const std::lock_guard<std::mutex> lock(sp->mu);
+    n += sp->metrics.size();
+  }
+  return n;
 }
 
 std::size_t RunStore::wal_entries() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return wal_entries_;
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    const std::lock_guard<std::mutex> lock(sp->mu);
+    n += sp->wal_entries;
+  }
+  return n;
 }
 
 std::size_t RunStore::recovered_entries() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return recovered_entries_;
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    const std::lock_guard<std::mutex> lock(sp->mu);
+    n += sp->recovered;
+  }
+  return n;
 }
 
 std::size_t RunStore::dropped_tail_bytes() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return dropped_tail_bytes_;
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    const std::lock_guard<std::mutex> lock(sp->mu);
+    n += sp->dropped_tail;
+  }
+  return n;
+}
+
+std::size_t RunStore::corrupt_lines() const {
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    const std::lock_guard<std::mutex> lock(sp->mu);
+    n += sp->corrupt;
+  }
+  return n;
 }
 
 bool RunStore::degraded() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return degraded_;
+  return degraded_shards_.load(std::memory_order_relaxed) > 0;
+}
+
+std::size_t RunStore::refresh() {
+  std::size_t total = 0;
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    const std::lock_guard<std::mutex> lock(s.mu);
+    if (s.fd < 0) continue;
+    struct stat stbuf {};
+    if (::fstat(s.fd, &stbuf) != 0) continue;
+    const auto size = static_cast<std::uint64_t>(stbuf.st_size);
+    if (size < s.offset) {
+      // Another process compacted the shard out from under us: the WAL
+      // shrank. Reload from the (new) snapshot + WAL under the lease.
+      if (flock_retry(s.fd, LOCK_EX) != 0) continue;
+      const std::size_t before = s.runs.size() + s.metrics.size() + s.state.size();
+      load_shard_locked(s);
+      const std::size_t after = s.runs.size() + s.metrics.size() + s.state.size();
+      if (after > before) total += after - before;
+      flock_retry(s.fd, LOCK_UN);
+    } else if (size > s.offset) {
+      // Complete new lines ingest without the lease; a torn in-flight tail
+      // is left for the writer (or the next refresh) to resolve.
+      total += catch_up_locked(s, /*holding_lease=*/false);
+    }
+  }
+  return total;
+}
+
+bool RunStore::compact_shard_locked(Shard& s, std::size_t* entries) {
+  if (s.fd < 0) return false;
+  if (flock_retry(s.fd, LOCK_EX) != 0) return false;
+  bool ok = false;
+  // Final catch-up under the lease: the snapshot must fold in every other
+  // writer's entries, because the WAL truncate below discards them.
+  catch_up_locked(s, /*holding_lease=*/true);
+  const std::string tmp = s.snapshot_path + ".tmp";
+  do {
+    const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (tfd < 0) break;
+    bool wrote = true;
+    const auto emit = [&](const util::Json& entry) {
+      if (!wrote) return;
+      const std::string line = wal_frame::encode(entry.dump());
+      wrote = file_write_all(tfd, line.data(), line.size());
+    };
+    for (const auto& run : s.runs) emit(run_to_entry(run));
+    for (const auto& rec : s.metrics) emit(metric_to_entry(rec));
+    for (const auto& [key, value] : s.state) emit(state_to_entry(key, value));
+    wrote = wrote && fsync_counted(tfd);
+    ::close(tfd);
+    if (!wrote) break;
+    if (opt_.compact_hook) opt_.compact_hook("pre_rename", s.index);
+    std::error_code ec;
+    fs::rename(tmp, s.snapshot_path, ec);  // atomic within the store directory
+    if (ec) break;
+    // The rename is only durable once the directory entry is; fsync it.
+    fsync_dir(dir_);
+    if (opt_.compact_hook) opt_.compact_hook("pre_truncate", s.index);
+    if (::ftruncate(s.fd, 0) != 0) break;
+    s.offset = 0;
+    s.wal_entries = 0;
+    s.unsynced = 0;
+    *entries += s.runs.size() + s.metrics.size() + s.state.size();
+    if (s.degraded) {
+      // The snapshot just persisted the full mirror and the WAL is fresh:
+      // the degradation is healed.
+      s.degraded = false;
+      if (degraded_shards_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+        obs::Registry::global().gauge("store.degraded").set(0.0);
+      }
+      std::fprintf(stderr, "[maestro::store] shard %zu WAL recovered by compaction in %s\n",
+                   s.index, dir_.c_str());
+    }
+    ok = true;
+  } while (false);
+  flock_retry(s.fd, LOCK_UN);
+  return ok;
 }
 
 bool RunStore::compact() {
   obs::Span span("store_compact", "store");
-  const std::lock_guard<std::mutex> lock(mu_);
-  const std::string tmp = snapshot_path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return false;
-    for (const auto& run : runs_) out << run_to_entry(run).dump() << '\n';
-    for (const auto& rec : metrics_) out << metric_to_entry(rec).dump() << '\n';
-    for (const auto& [key, value] : state_) out << state_to_entry(key, value).dump() << '\n';
-    out.flush();
-    if (!out) return false;
+  bool ok = true;
+  std::size_t entries = 0;
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    const std::lock_guard<std::mutex> lock(s.mu);
+    ok = compact_shard_locked(s, &entries) && ok;
   }
-  std::error_code ec;
-  fs::rename(tmp, snapshot_path_, ec);  // atomic within the store directory
-  if (ec) return false;
-  wal_.close();
-  wal_.open(wal_path_, std::ios::trunc);
-  wal_entries_ = 0;
-  span.arg("entries",
-           static_cast<double>(runs_.size() + metrics_.size() + state_.size()));
+  span.arg("entries", static_cast<double>(entries));
   obs::Registry::global().counter("store.compactions").add();
-  if (wal_ && degraded_) {
-    // The snapshot just persisted the full mirror and the WAL is fresh:
-    // the degradation is healed.
-    degraded_ = false;
-    obs::Registry::global().gauge("store.degraded").set(0.0);
-    std::fprintf(stderr, "[maestro::store] WAL recovered by compaction in %s\n", dir_.c_str());
-  }
-  return static_cast<bool>(wal_);
+  return ok;
 }
 
 void bind_metrics_sink(metrics::Server& server, RunStore& store) {

@@ -1,0 +1,78 @@
+#include "store/wal_frame.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace maestro::store::wal_frame {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string encode(std::string_view payload) {
+  char header[32];
+  const int n = std::snprintf(header, sizeof(header), "%08x %zu ", crc32(payload),
+                              payload.size());
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + payload.size() + 1);
+  line.append(header, static_cast<std::size_t>(n));
+  line.append(payload);
+  line.push_back('\n');
+  return line;
+}
+
+std::optional<std::string_view> decode(std::string_view line) {
+  // "<8 hex> <digits> <payload>" — header is at least 8 + 1 + 1 + 1 bytes.
+  if (line.size() < 11 || line[8] != ' ') return std::nullopt;
+  std::uint32_t want = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const char c = line[i];
+    std::uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return std::nullopt;
+    }
+    want = (want << 4) | nibble;
+  }
+  std::size_t pos = 9;
+  std::size_t len = 0;
+  bool any_digit = false;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    if (len > (line.size() >> 1)) return std::nullopt;  // overflow guard
+    len = len * 10 + static_cast<std::size_t>(line[pos] - '0');
+    any_digit = true;
+    ++pos;
+  }
+  if (!any_digit || pos >= line.size() || line[pos] != ' ') return std::nullopt;
+  ++pos;
+  if (line.size() - pos != len) return std::nullopt;
+  const std::string_view payload = line.substr(pos);
+  if (crc32(payload) != want) return std::nullopt;
+  return payload;
+}
+
+}  // namespace maestro::store::wal_frame

@@ -1,0 +1,39 @@
+#pragma once
+// Checksummed line framing for the RunStore WAL and snapshots.
+//
+// Grammar (one entry per line):
+//
+//   <crc32-hex8> <len-dec> <payload>\n
+//
+// where <crc32-hex8> is the CRC-32 (IEEE, reflected, as in zip/zlib) of the
+// payload bytes printed as exactly 8 lowercase hex digits, and <len-dec> is
+// the payload byte count in decimal. The payload itself is one JSON object
+// and never contains a newline.
+//
+// Why frame at all: a bare-JSONL WAL can only detect a torn *tail* (the file
+// ends mid-line). It cannot detect a flipped bit in the middle of the file —
+// the line still parses, or fails to parse in a way indistinguishable from a
+// tear. With per-entry CRC+length, recovery classifies every line precisely:
+// intact (crc matches), corrupt (framed but crc/len mismatch — skip it, count
+// store.corrupt_lines, keep replaying), or torn (no trailing newline — drop
+// and truncate). Zero complete records are ever lost to a bad neighbour.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace maestro::store::wal_frame {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// Frame one payload as a full line, including the trailing '\n'.
+std::string encode(std::string_view payload);
+
+/// Decode one line (without its trailing '\n'). Returns the payload view
+/// into `line` when the frame is well-formed and the CRC matches; nullopt
+/// for anything else (bad header, length mismatch, checksum mismatch).
+std::optional<std::string_view> decode(std::string_view line);
+
+}  // namespace maestro::store::wal_frame

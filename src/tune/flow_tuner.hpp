@@ -93,7 +93,7 @@ struct TuneOptions {
   /// seed). Repeat trajectories — within a campaign once FIST freezes
   /// dimensions, or across campaigns over the same MAESTRO_STORE — resolve
   /// from the cache or join the in-flight twin instead of running.
-  store::RunCache* cache = nullptr;
+  store::FlowCache* cache = nullptr;
 
   /// Durable checkpointing under "tune:<campaign_id>": posteriors, the
   /// surrogate training set, the focus state and the RNG persist after

@@ -9,10 +9,14 @@
 //   ctest -L store
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -21,9 +25,13 @@
 #include "exec/executor.hpp"
 #include "metrics/server.hpp"
 #include "obs/registry.hpp"
+#include "resil/fault.hpp"
+#include "store/cache_server.hpp"
 #include "store/fingerprint.hpp"
+#include "store/remote_cache.hpp"
 #include "store/run_cache.hpp"
 #include "store/run_store.hpp"
+#include "store/wal_frame.hpp"
 
 namespace fs = std::filesystem;
 namespace mc = maestro::core;
@@ -290,16 +298,18 @@ TEST(RunStore, StateLastWriteWins) {
 
 TEST(RunStore, KillTheWriterDropsOnlyTheTornTail) {
   const std::string dir = temp_store("torn_tail");
+  ms::RunStoreOptions one_shard;
+  one_shard.shards = 1;  // single WAL so the torn bytes land deterministically
   {
-    ms::RunStore store(dir);
+    ms::RunStore store(dir, one_shard);
     store.append_run(sample_run(1, 100.0));
     store.append_run(sample_run(2, 200.0));
     store.append_run(sample_run(3, 300.0));
   }
   // Simulate a writer killed mid-append: a torn, unterminated final record.
-  const std::string partial = "{\"t\":\"run\",\"fp\":\"12";
+  const std::string partial = "deadbeef 40 {\"t\":\"run\",\"fp\":\"12";
   {
-    std::ofstream wal(fs::path(dir) / "wal.jsonl", std::ios::app | std::ios::binary);
+    std::ofstream wal(fs::path(dir) / "wal-00.jsonl", std::ios::app | std::ios::binary);
     wal << partial;
   }
   {
@@ -317,21 +327,67 @@ TEST(RunStore, KillTheWriterDropsOnlyTheTornTail) {
   EXPECT_DOUBLE_EQ(store.runs()[3].result.area_um2, 400.0);
 }
 
-TEST(RunStore, TerminatedGarbageLineTreatedAsTear) {
-  const std::string dir = temp_store("garbage_line");
+TEST(RunStore, CorruptMidFileLineIsSkippedNotFatal) {
+  // The recovery bugfix this PR ships: a bad line in the *middle* of the
+  // WAL no longer drops everything after it. The CRC frame classifies it
+  // as corruption; replay skips it, counts store.corrupt_lines and keeps
+  // every complete neighbour — before and after.
+  const std::string dir = temp_store("mid_corrupt");
+  ms::RunStoreOptions one_shard;
+  one_shard.shards = 1;
   {
-    ms::RunStore store(dir);
+    ms::RunStore store(dir, one_shard);
+    store.append_run(sample_run(1, 100.0));
+    store.append_run(sample_run(2, 200.0));
+    store.append_run(sample_run(3, 300.0));
+  }
+  // Flip one byte inside the *second* entry's payload.
+  const fs::path wal = fs::path(dir) / "wal-00.jsonl";
+  std::string bytes;
+  {
+    std::ifstream in(wal, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }
+  const std::size_t first_nl = bytes.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  bytes[first_nl + 20] ^= 0x40;
+  {
+    std::ofstream out(wal, std::ios::trunc | std::ios::binary);
+    out << bytes;
+  }
+  const std::uint64_t corrupt0 = counter("store.corrupt_lines");
+  ms::RunStore store(dir);
+  EXPECT_EQ(store.run_count(), 2u);  // entries 1 and 3 survive
+  EXPECT_EQ(store.corrupt_lines(), 1u);
+  EXPECT_EQ(counter("store.corrupt_lines"), corrupt0 + 1);
+  EXPECT_EQ(store.dropped_tail_bytes(), 0u);  // not a tear: nothing truncated
+  double areas = 0.0;
+  for (const auto& run : store.runs()) areas += run.result.area_um2;
+  EXPECT_DOUBLE_EQ(areas, 400.0);  // 100 + 300; the flipped 200 is gone
+  // The store stays appendable and a reopen still sees both survivors.
+  store.append_run(sample_run(4, 400.0));
+  ms::RunStore reopened(dir);
+  EXPECT_EQ(reopened.run_count(), 3u);
+}
+
+TEST(RunStore, UnframedGarbageLineIsCountedAndSkipped) {
+  const std::string dir = temp_store("garbage_line");
+  ms::RunStoreOptions one_shard;
+  one_shard.shards = 1;
+  {
+    ms::RunStore store(dir, one_shard);
     store.append_run(sample_run(1, 100.0));
   }
   {
-    std::ofstream wal(fs::path(dir) / "wal.jsonl", std::ios::app | std::ios::binary);
+    std::ofstream wal(fs::path(dir) / "wal-00.jsonl", std::ios::app | std::ios::binary);
     wal << "not json at all\n";
-    wal << "{\"t\":\"state\",\"key\":\"after\",\"value\":1}\n";
+    wal << "{\"t\":\"state\",\"key\":\"after\",\"value\":1}\n";  // unframed: invalid
   }
-  // Everything from the first bad line on is suspect and dropped.
+  // Both injected lines fail the CRC frame; both are skipped, neither kills
+  // replay, and the complete first entry survives.
   ms::RunStore store(dir);
   EXPECT_EQ(store.run_count(), 1u);
-  EXPECT_GT(store.dropped_tail_bytes(), 0u);
+  EXPECT_EQ(store.corrupt_lines(), 2u);
   EXPECT_FALSE(store.get_state("after").has_value());
   store.append_run(sample_run(2, 200.0));
   ms::RunStore reopened(dir);
@@ -341,17 +397,19 @@ TEST(RunStore, TerminatedGarbageLineTreatedAsTear) {
 TEST(RunStore, CompactionFoldsWalIntoSnapshot) {
   const std::string dir = temp_store("compact");
   const std::uint64_t compactions0 = counter("store.compactions");
+  ms::RunStoreOptions one_shard;
+  one_shard.shards = 1;
   {
-    ms::RunStore store(dir);
+    ms::RunStore store(dir, one_shard);
     store.append_run(sample_run(1, 100.0));
     store.append_run(sample_run(2, 200.0));
     store.put_state("k", maestro::util::Json{"v1"});
     store.put_state("k", maestro::util::Json{"v2"});
     ASSERT_TRUE(store.compact());
     EXPECT_EQ(store.wal_entries(), 0u);
-    EXPECT_TRUE(fs::exists(fs::path(dir) / "snapshot.jsonl"));
-    EXPECT_FALSE(fs::exists(fs::path(dir) / "snapshot.jsonl.tmp"));
-    EXPECT_EQ(fs::file_size(fs::path(dir) / "wal.jsonl"), 0u);
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "snapshot-00.jsonl"));
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "snapshot-00.jsonl.tmp"));
+    EXPECT_EQ(fs::file_size(fs::path(dir) / "wal-00.jsonl"), 0u);
     // The store stays writable after compaction.
     store.append_run(sample_run(3, 300.0));
     EXPECT_EQ(store.wal_entries(), 1u);
@@ -362,6 +420,155 @@ TEST(RunStore, CompactionFoldsWalIntoSnapshot) {
   // Compaction folds last-write-wins state: only one entry per key survives.
   EXPECT_EQ(store.get_state("k")->as_string(), "v2");
   EXPECT_EQ(store.recovered_entries(), 4u);  // 2 runs + 1 state + 1 WAL run
+}
+
+TEST(RunStore, ShardedLayoutAndMetaNegotiation) {
+  const std::string dir = temp_store("sharded");
+  {
+    ms::RunStore store(dir);  // default: 8 shards
+    EXPECT_EQ(store.shard_count(), 8u);
+    for (int i = 0; i < 8; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "wal-%02d.jsonl", i);
+      EXPECT_TRUE(fs::exists(fs::path(dir) / name)) << name;
+    }
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+      store.append_run(sample_run(seed, 100.0 + static_cast<double>(seed)));
+    }
+    EXPECT_EQ(store.run_count(), 32u);
+  }
+  // A reopen that *requests* a different shard count still honours the
+  // directory's store.meta — every opener must agree on the layout.
+  ms::RunStoreOptions other;
+  other.shards = 2;
+  ms::RunStore store(dir, other);
+  EXPECT_EQ(store.shard_count(), 8u);
+  EXPECT_EQ(store.recovered_entries(), 32u);
+  EXPECT_EQ(store.run_count(), 32u);
+  // Every appended run is findable by fingerprint regardless of shard.
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const auto want = sample_run(seed, 0.0).fingerprint;
+    bool found = false;
+    for (const auto& run : store.runs()) found = found || run.fingerprint == want;
+    EXPECT_TRUE(found) << "seed " << seed;
+  }
+}
+
+TEST(RunStore, FsyncPolicyCountsAndHonoursModes) {
+  const std::uint64_t fsyncs0 = counter("store.fsyncs");
+  {
+    ms::RunStoreOptions opt;
+    opt.shards = 1;
+    opt.fsync = ms::FsyncMode::Always;
+    ms::RunStore store(temp_store("fsync_always"), opt);
+    store.append_run(sample_run(1, 1.0));
+    store.append_run(sample_run(2, 2.0));
+    store.append_run(sample_run(3, 3.0));
+  }
+  const std::uint64_t always = counter("store.fsyncs") - fsyncs0;
+  EXPECT_GE(always, 3u);  // one per append
+
+  const std::uint64_t fsyncs1 = counter("store.fsyncs");
+  {
+    ms::RunStoreOptions opt;
+    opt.shards = 1;
+    opt.fsync = ms::FsyncMode::Batch;
+    opt.fsync_batch = 2;
+    ms::RunStore store(temp_store("fsync_batch"), opt);
+    for (std::uint64_t i = 1; i <= 6; ++i) store.append_run(sample_run(i, 1.0));
+  }
+  const std::uint64_t batch = counter("store.fsyncs") - fsyncs1;
+  EXPECT_GE(batch, 3u);  // every 2nd append
+  EXPECT_LT(batch, 6u);  // but strictly fewer than one per append
+
+  const std::uint64_t fsyncs2 = counter("store.fsyncs");
+  {
+    ms::RunStoreOptions opt;
+    opt.shards = 1;
+    opt.fsync = ms::FsyncMode::Off;
+    ms::RunStore store(temp_store("fsync_off"), opt);
+    for (std::uint64_t i = 1; i <= 6; ++i) store.append_run(sample_run(i, 1.0));
+  }
+  EXPECT_EQ(counter("store.fsyncs") - fsyncs2, 0u);
+}
+
+TEST(RunStore, RefreshIngestsAnotherWritersAppends) {
+  // Two RunStore instances over one directory model two processes sharing
+  // it. B opens first, A appends, B.refresh() catches up without the lease.
+  const std::string dir = temp_store("refresh");
+  ms::RunStore a(dir);
+  ms::RunStore b(dir);
+  EXPECT_EQ(b.run_count(), 0u);
+  a.append_run(sample_run(1, 100.0));
+  a.append_run(sample_run(2, 200.0));
+  a.put_state("owner", maestro::util::Json{"a"});
+  EXPECT_EQ(b.run_count(), 0u);  // nothing until B looks
+  EXPECT_EQ(b.refresh(), 3u);
+  EXPECT_EQ(b.run_count(), 2u);
+  ASSERT_TRUE(b.get_state("owner").has_value());
+  EXPECT_EQ(b.get_state("owner")->as_string(), "a");
+  EXPECT_EQ(b.refresh(), 0u);  // idempotent when nothing new arrived
+
+  // Cross-writer interleaving: B appends too, then A catches up on its next
+  // append (under the lease) — neither writer loses the other's entries.
+  b.append_run(sample_run(3, 300.0));
+  a.append_run(sample_run(4, 400.0));
+  (void)a.refresh();
+  EXPECT_EQ(a.run_count(), 4u);
+  ms::RunStore fresh(dir);
+  EXPECT_EQ(fresh.run_count(), 4u);
+}
+
+TEST(RunStore, RefreshReloadsAfterForeignCompaction) {
+  const std::string dir = temp_store("refresh_compact");
+  ms::RunStore a(dir);
+  ms::RunStore b(dir);
+  a.append_run(sample_run(1, 100.0));
+  a.append_run(sample_run(2, 200.0));
+  (void)b.refresh();
+  EXPECT_EQ(b.run_count(), 2u);
+  // A compacts: WALs shrink under B. B's next refresh must detect the
+  // shrink and reload from the new snapshot instead of mis-reading offsets.
+  ASSERT_TRUE(a.compact());
+  a.append_run(sample_run(3, 300.0));
+  (void)b.refresh();
+  EXPECT_EQ(b.run_count(), 3u);
+}
+
+TEST(RunStore, CrashBetweenRenameAndTruncateDeduplicatesOnReplay) {
+  // A compactor that dies after renaming the snapshot but before truncating
+  // the WAL leaves every pre-compaction entry in *both* files. Replay must
+  // not double them.
+  const std::string dir = temp_store("compact_dup");
+  ms::RunStoreOptions opt;
+  opt.shards = 1;
+  std::string wal_before;
+  opt.compact_hook = [&](const char* phase, std::size_t) {
+    if (std::string_view(phase) == "pre_truncate") {
+      std::ifstream in(fs::path(dir) / "wal-00.jsonl", std::ios::binary);
+      wal_before.assign((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    }
+  };
+  {
+    ms::RunStore store(dir, opt);
+    store.append_run(sample_run(1, 100.0));
+    store.append_run(sample_run(2, 200.0));
+    ASSERT_TRUE(store.compact());
+  }
+  ASSERT_FALSE(wal_before.empty());
+  {
+    // Re-materialize the pre-truncate WAL: snapshot and WAL now both carry
+    // both entries, exactly the crashed-compactor state.
+    std::ofstream out(fs::path(dir) / "wal-00.jsonl", std::ios::trunc | std::ios::binary);
+    out << wal_before;
+  }
+  ms::RunStore store(dir);
+  EXPECT_EQ(store.run_count(), 2u);  // deduplicated, not 4
+  EXPECT_EQ(store.corrupt_lines(), 0u);
+  double areas = 0.0;
+  for (const auto& run : store.runs()) areas += run.result.area_um2;
+  EXPECT_DOUBLE_EQ(areas, 300.0);
 }
 
 TEST(RunStore, ConcurrentAppendsAreThreadSafe) {
@@ -743,4 +950,287 @@ TEST(RepeatedCampaign, SecondFtsPassHitsTheCacheSerially) {
   EXPECT_LE(10 * second_misses, 7 * first_misses);
   EXPECT_EQ(second_misses, 0u);
   EXPECT_EQ(second.best_cost, first.best_cost);
+}
+
+// ------------------------------------------------------------- WAL framing
+
+TEST(WalFrame, EncodeDecodeRoundTrip) {
+  const std::string payload = "{\"t\":\"run\",\"fp\":\"42\"}";
+  const std::string line = ms::wal_frame::encode(payload);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  const auto decoded = ms::wal_frame::decode(
+      std::string_view(line).substr(0, line.size() - 1));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(WalFrame, RejectsEveryKindOfDamage) {
+  const std::string line = ms::wal_frame::encode("{\"k\":1}");
+  const std::string_view body = std::string_view(line).substr(0, line.size() - 1);
+  // Pristine decodes; then flip any single byte and it must not.
+  ASSERT_TRUE(ms::wal_frame::decode(body).has_value());
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    std::string damaged(body);
+    damaged[i] ^= 0x01;
+    EXPECT_FALSE(ms::wal_frame::decode(damaged).has_value()) << "byte " << i;
+  }
+  // Truncations, unframed text, and empty lines are all rejected too.
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    EXPECT_FALSE(ms::wal_frame::decode(body.substr(0, i)).has_value());
+  }
+  EXPECT_FALSE(ms::wal_frame::decode("not a frame").has_value());
+  EXPECT_FALSE(ms::wal_frame::decode("").has_value());
+}
+
+TEST(WalFrame, Crc32MatchesKnownVector) {
+  // The classic zlib check value: crc32("123456789") == 0xcbf43926.
+  EXPECT_EQ(ms::wal_frame::crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(ms::wal_frame::crc32(""), 0x00000000u);
+}
+
+// ------------------------------------------------- cache server + remote
+
+namespace {
+
+std::string temp_socket(const char* tag) {
+  return "/tmp/maestro_store_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+}  // namespace
+
+TEST(CacheServer, ServesHitsAcrossClientsWithTenantAttribution) {
+  const std::string dir = temp_store("srv_basic");
+  ms::RunStore store(dir);
+  ms::RunCache cache(store);
+  const auto run = sample_run(1, 123.0);
+  cache.insert(run.fingerprint, run.key, run.result);
+
+  const std::string sock = temp_socket("basic");
+  ms::CacheServer server(cache, {.socket_path = sock});
+  ASSERT_TRUE(server.start());
+
+  ms::RemoteCacheOptions opt_a;
+  opt_a.socket_path = sock;
+  opt_a.tenant = "team-a";
+  ms::RemoteRunCache a(opt_a);
+  ms::RemoteCacheOptions opt_b;
+  opt_b.socket_path = sock;
+  opt_b.tenant = "team-b";
+  ms::RemoteRunCache b(opt_b);
+
+  // Both clients see team-local work through the shared tier.
+  const auto hit_a = a.lookup(run.fingerprint);
+  ASSERT_TRUE(hit_a.has_value());
+  EXPECT_DOUBLE_EQ(hit_a->area_um2, 123.0);
+  ASSERT_TRUE(b.lookup(run.fingerprint).has_value());
+  ASSERT_TRUE(b.lookup(run.fingerprint).has_value());
+  EXPECT_EQ(a.remote_hits(), 1u);
+  EXPECT_EQ(b.remote_hits(), 2u);
+  EXPECT_FALSE(a.lookup(999999).has_value());
+
+  const auto tenants = server.tenant_hits();
+  ASSERT_TRUE(tenants.count("team-a"));
+  ASSERT_TRUE(tenants.count("team-b"));
+  EXPECT_EQ(tenants.at("team-a"), 1u);
+  EXPECT_EQ(tenants.at("team-b"), 2u);
+  EXPECT_EQ(server.hits(), 3u);
+  EXPECT_EQ(server.misses(), 1u);
+  server.stop();
+}
+
+TEST(CacheServer, InsertIsVisibleToOtherClientsButResidencyOnly) {
+  const std::string dir = temp_store("srv_insert");
+  ms::RunStore store(dir);
+  ms::RunCache cache(store);
+  const std::string sock = temp_socket("insert");
+  ms::CacheServer server(cache, {.socket_path = sock});
+  ASSERT_TRUE(server.start());
+
+  // Writer's local rung is its own store-backed cache in a *different* dir,
+  // modelling a fleet without a shared store directory.
+  const std::string wdir = temp_store("srv_insert_writer");
+  ms::RunStore wstore(wdir);
+  ms::RunCache wcache(wstore);
+  ms::RemoteRunCache writer({.socket_path = sock, .tenant = "writer"}, &wcache);
+  const auto run = sample_run(7, 77.0);
+  writer.insert(run.fingerprint, run.key, run.result);
+  EXPECT_EQ(wstore.run_count(), 1u);  // durability rung: the writer's store
+  EXPECT_EQ(store.run_count(), 0u);   // server never writes through
+
+  ms::RemoteRunCache reader({.socket_path = sock, .tenant = "reader"});
+  const auto hit = reader.lookup(run.fingerprint);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->area_um2, 77.0);
+  EXPECT_EQ(server.inserts(), 1u);
+  server.stop();
+}
+
+TEST(CacheServer, LruEvictionAndTtlExpiryStayBounded) {
+  const std::string dir = temp_store("srv_evict");
+  ms::RunStore store(dir);
+  ms::RunCache cache(store);
+  const std::string sock = temp_socket("evict");
+  ms::CacheServer server(cache, {.socket_path = sock, .max_entries = 2, .ttl_ms = 0.0});
+  ASSERT_TRUE(server.start());
+
+  ms::RemoteRunCache client({.socket_path = sock});
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto run = sample_run(seed, static_cast<double>(seed));
+    client.insert(run.fingerprint, run.key, run.result);
+  }
+  EXPECT_EQ(server.inserts(), 5u);
+  EXPECT_GE(server.evictions(), 3u);  // capacity 2, five inserts
+
+  // Evicted entries are refilled from the backing RunCache when the store
+  // has them; this writer had no store, so a *fresh* reader (no memory rung
+  // of its own) sees plain misses for the evicted entries.
+  ms::RemoteRunCache reader({.socket_path = sock});
+  const auto oldest = sample_run(1, 0.0);
+  EXPECT_FALSE(reader.lookup(oldest.fingerprint).has_value());
+  const auto newest = sample_run(5, 0.0);
+  EXPECT_TRUE(reader.lookup(newest.fingerprint).has_value());
+  // The writer itself still answers everything from its memory rung.
+  EXPECT_TRUE(client.lookup(oldest.fingerprint).has_value());
+  server.stop();
+}
+
+TEST(CacheServer, TtlExpiryRefetchesFromBackingStore) {
+  const std::string dir = temp_store("srv_ttl");
+  ms::RunStore store(dir);
+  ms::RunCache cache(store);
+  const auto run = sample_run(3, 33.0);
+  cache.insert(run.fingerprint, run.key, run.result);  // durable
+
+  const std::string sock = temp_socket("ttl");
+  ms::CacheServer server(cache, {.socket_path = sock, .ttl_ms = 5.0});
+  ASSERT_TRUE(server.start());
+  ms::RemoteRunCache client({.socket_path = sock});
+  ASSERT_TRUE(client.lookup(run.fingerprint).has_value());  // now resident
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // Expired in the LRU, but the store is authoritative: still a hit.
+  const std::uint64_t expired0 = counter("store.server_expired");
+  ASSERT_TRUE(client.lookup(run.fingerprint).has_value());
+  EXPECT_EQ(counter("store.server_expired"), expired0 + 1);
+  server.stop();
+}
+
+TEST(RemoteCache, DeadServerDegradesToLocalThenGivesUp) {
+  const std::string dir = temp_store("remote_dead");
+  ms::RunStore store(dir);
+  ms::RunCache local(store);
+  const auto run = sample_run(2, 22.0);
+  local.insert(run.fingerprint, run.key, run.result);
+
+  ms::RemoteCacheOptions opt;
+  opt.socket_path = "/tmp/maestro_no_such_server.sock";
+  opt.reconnect.max_attempts = 3;
+  opt.reconnect.backoff_ms = 0.0;
+  ms::RemoteRunCache client(opt, &local);
+
+  // Every lookup still answers from the local rung, immediately.
+  for (int i = 0; i < 6; ++i) {
+    const auto hit = client.lookup(run.fingerprint);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->area_um2, 22.0);
+  }
+  EXPECT_FALSE(client.connected());
+  EXPECT_TRUE(client.gave_up());  // after max_attempts consecutive failures
+  EXPECT_LE(client.remote_errors(), 3u);
+
+  // Inserts keep landing in the durable local rung while degraded.
+  const auto run2 = sample_run(9, 99.0);
+  client.insert(run2.fingerprint, run2.key, run2.result);
+  EXPECT_EQ(store.run_count(), 2u);
+}
+
+TEST(RemoteCache, GarbageRepliesTripDegradationNotCrashes) {
+  const std::string dir = temp_store("remote_garbage");
+  ms::RunStore store(dir);
+  ms::RunCache cache(store);
+  const auto run = sample_run(4, 44.0);
+  cache.insert(run.fingerprint, run.key, run.result);
+
+  const std::string sock = temp_socket("garbage");
+  ms::CacheServer server(cache, {.socket_path = sock});
+  ASSERT_TRUE(server.start());
+
+  // Every reply is corrupted: the frame arrives but the payload is garbage.
+  auto plan = *maestro::resil::FaultPlan::parse("corrupt=1.0,seed=5,sites=store.server");
+  maestro::resil::FaultInjector::install(plan);
+
+  ms::RemoteCacheOptions opt;
+  opt.socket_path = sock;
+  opt.reconnect.max_attempts = 2;
+  opt.reconnect.backoff_ms = 0.0;
+  ms::RemoteRunCache client(opt, &cache);
+  // Remote is useless, local rung still answers every time.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.lookup(run.fingerprint).has_value());
+  }
+  EXPECT_GE(client.remote_errors(), 1u);
+  maestro::resil::FaultInjector::clear();
+  server.stop();
+}
+
+TEST(RemoteCache, ReconnectsAfterServerRestart) {
+  const std::string dir = temp_store("remote_restart");
+  ms::RunStore store(dir);
+  ms::RunCache cache(store);
+  const auto run = sample_run(6, 66.0);
+  cache.insert(run.fingerprint, run.key, run.result);
+
+  const std::string sock = temp_socket("restart");
+  ms::RemoteCacheOptions opt;
+  opt.socket_path = sock;
+  opt.reconnect.max_attempts = 100;
+  opt.reconnect.backoff_ms = 0.0;
+  ms::RemoteRunCache client(opt, &cache);
+
+  // Server not up yet: local answers, connection fails quietly.
+  ASSERT_TRUE(client.lookup(run.fingerprint).has_value());
+  EXPECT_FALSE(client.connected());
+
+  ms::CacheServer server(cache, {.socket_path = sock});
+  ASSERT_TRUE(server.start());
+  client.reset_backoff();
+  ASSERT_TRUE(client.lookup(run.fingerprint).has_value());
+  EXPECT_TRUE(client.connected());
+  EXPECT_GE(client.remote_hits(), 1u);
+  server.stop();
+}
+
+TEST(RemoteCache, MabCampaignOverDegradedRemoteMatchesLocalBitwise) {
+  // The acceptance bar: a campaign whose cache tier lost its server finishes
+  // bitwise-identically to one that never had a server — the cache can only
+  // skip work, never change results.
+  const auto oracle = cliff_oracle(1.6);
+
+  const std::string dir_local = temp_store("degraded_local");
+  ms::RunStore store_local(dir_local);
+  ms::RunCache cache_local(store_local);
+  mc::MabOptions opt = mab_base_options();
+  opt.cache = &cache_local;
+  opt.cache_key.design = "degraded";
+  Rng rng1{42};
+  const auto plain = mc::MabScheduler(opt).run(oracle, rng1);
+
+  const std::string dir_remote = temp_store("degraded_remote");
+  ms::RunStore store_remote(dir_remote);
+  ms::RunCache fallback(store_remote);
+  ms::RemoteCacheOptions ropt;
+  ropt.socket_path = "/tmp/maestro_no_such_server.sock";
+  ropt.reconnect.max_attempts = 2;
+  ropt.reconnect.backoff_ms = 0.0;
+  ms::RemoteRunCache remote(ropt, &fallback);
+  mc::MabOptions opt2 = mab_base_options();
+  opt2.cache = &remote;
+  opt2.cache_key.design = "degraded";
+  Rng rng2{42};
+  const auto degraded = mc::MabScheduler(opt2).run(oracle, rng2);
+
+  expect_same_mab_result(plain, degraded);
+  EXPECT_TRUE(remote.gave_up());
+  EXPECT_EQ(store_remote.run_count(), store_local.run_count());
 }
