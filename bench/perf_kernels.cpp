@@ -21,6 +21,7 @@
 #include "power/ir_drop.hpp"
 #include "route/drv_sim.hpp"
 #include "route/global_router.hpp"
+#include "route/maze_arena.hpp"
 #include "store/fingerprint.hpp"
 #include "store/run_cache.hpp"
 #include "store/run_store.hpp"
@@ -131,14 +132,48 @@ BENCHMARK(BM_Legalize);
 
 static void BM_GlobalRoute(benchmark::State& state) {
   const auto& f = fixture(1000);
-  util::Rng rng{4};
   route::RouteOptions opt;
   opt.gcells_x = opt.gcells_y = 32;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(route::global_route(*f.pl, opt, rng));
+    benchmark::DoNotOptimize(route::global_route(*f.pl, opt));
   }
 }
 BENCHMARK(BM_GlobalRoute);
+
+static void BM_MazeArena(benchmark::State& state) {
+  // Single windowed segment search on a warm arena vs. the seed's per-call
+  // full-grid scratch: the per-segment cost the arena was built to cut.
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  const maestro::geom::GridIndexer idx{{{0, 0}, {1000000, 1000000}}, side, side};
+  route::GridGraph g{side, side, 10.0, 10.0, idx};
+  route::MazeArena arena;
+  const route::GCell from{2, 2};
+  const route::GCell to{static_cast<std::uint32_t>(side) - 3, static_cast<std::uint32_t>(side) / 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route::arena_maze_route(g, arena, from, to, 1.0, 0.4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MazeArena)->Arg(64)->Arg(192);
+
+static void BM_GRouteRound(benchmark::State& state) {
+  // Full negotiated route (Phase A + rip-up rounds) on a congested fixture;
+  // rounds/iteration makes the per-round cost visible.
+  const auto& f = fixture(1000);
+  route::RouteOptions opt;
+  opt.gcells_x = opt.gcells_y = 32;
+  opt.h_capacity = 6.0;
+  opt.v_capacity = 5.0;  // tight: forces several negotiation rounds
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const auto res = route::global_route(*f.pl, opt);
+    rounds += res.rounds_used;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["rounds_per_iter"] =
+      benchmark::Counter(static_cast<double>(rounds) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GRouteRound);
 
 static void BM_DrvBatched(benchmark::State& state) {
   // One batched multi-seed DRV advance (a GWTW round) at N seeds per pass.

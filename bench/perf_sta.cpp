@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   ro.h_capacity = 14.0;
   ro.v_capacity = 12.0;
   route::GridGraph grid;
-  route::global_route(pl, ro, grid, rng);
+  route::global_route(pl, ro, grid);
 
   timing::StaOptions opt;
   opt.mode = timing::AnalysisMode::PathBased;

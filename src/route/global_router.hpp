@@ -1,19 +1,48 @@
 #pragma once
-// Negotiated-congestion global router (PathFinder-style).
+// Negotiated-congestion global router (PathFinder-style), rebuilt as a
+// kernel following the TimingGraph/DesignView recipe.
 //
 // Nets are decomposed into two-pin segments by a nearest-neighbor spanning
-// tree, each segment is maze-routed with a congestion-aware cost, and
-// overflow is negotiated across rip-up-and-reroute rounds via history costs.
+// tree. Routing runs in two phases:
+//
+//  * Phase A (initial): every segment is maze-routed independently against
+//    the empty grid. Initial paths therefore depend only on the segment's
+//    endpoints and the grid dimensions — they are order-independent,
+//    embarrassingly parallel, and cacheable across reroutes of the same
+//    placement (the incremental entry point below reuses them verbatim for
+//    nets whose pins did not move).
+//  * Phase B (negotiation): rip-up-and-reroute rounds. Each round snapshots
+//    the segments crossing an overflowed edge, bins them into conflict-free
+//    batches by bloated search window (spatial coloring over GCell tiles),
+//    reroutes each batch — concurrently when RouteOptions::executor is set —
+//    and commits usage deltas in canonical segment order, so results are
+//    bitwise identical to the serial router at any thread count.
+//
+// Searches run on a MazeArena (epoch-stamped scratch reused across all
+// segments, O(window) per route instead of O(grid)), and the GridGraph's
+// incremental overflow ledger makes the per-round convergence check and
+// history charging O(overflowed) instead of O(E).
+//
+// The kernel draws no random numbers: results are a pure function of
+// (placement, options). Seed diversity in the flow comes from placement and
+// the DRV simulator, as before.
+//
 // The router's per-round overflow series also seeds the detailed-route DRV
 // simulator: where global routing leaves overflow, detailed routing leaves
 // design-rule violations.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "netlist/design_view.hpp"
 #include "place/placement.hpp"
 #include "route/grid_graph.hpp"
 #include "util/rng.hpp"
+
+namespace maestro::exec {
+class RunExecutor;
+}
 
 namespace maestro::route {
 
@@ -22,10 +51,14 @@ struct RouteOptions {
   std::size_t gcells_y = 32;
   double h_capacity = 24.0;       ///< tracks per horizontal GCell edge
   double v_capacity = 20.0;
-  int max_rounds = 8;             ///< rip-up-and-reroute rounds
+  int max_rounds = 8;             ///< rip-up-and-reroute rounds (incl. initial)
   double present_cost_weight = 1.0;
   double history_cost_weight = 0.4;
   bool keep_segments = false;     ///< populate RouteResult::segments
+  bool keep_state = false;        ///< populate RouteResult::state for incremental reroute
+  /// When set, Phase A searches and Phase B rip-up batches run concurrently
+  /// on this pool; results stay bitwise identical to executor == nullptr.
+  exec::RunExecutor* executor = nullptr;
 };
 
 /// One routed two-pin connection: endpoints plus the edge-id path.
@@ -33,6 +66,41 @@ struct RoutedSegment {
   GCell from;
   GCell to;
   std::vector<std::size_t> edges;
+};
+
+/// The algorithmic fields of RouteOptions that determine the routing result.
+/// Incremental reroute refuses to reuse state across a key mismatch.
+struct RouteStateKey {
+  std::size_t gcells_x = 0;
+  std::size_t gcells_y = 0;
+  double h_capacity = 0.0;
+  double v_capacity = 0.0;
+  int max_rounds = 0;
+  double present_cost_weight = 0.0;
+  double history_cost_weight = 0.0;
+  friend bool operator==(const RouteStateKey&, const RouteStateKey&) = default;
+};
+
+/// Reusable routing state captured by a keep_state route: per-net pin GCells
+/// (to detect which nets a placement change actually moved across GCells)
+/// and per-segment Phase-A paths (reused verbatim for clean nets). Keyed to
+/// the netlist/placement/grid revisions it was built from.
+struct RouteState {
+  bool valid = false;
+  RouteStateKey key;
+  std::uint64_t netlist_revision = 0;
+  std::uint64_t placement_revision = 0;
+  std::uint64_t grid_revision = 0;  ///< GridGraph::revision() at completion
+
+  /// Per-net pin GCells (deduplicated, first-seen order): CSR over nets.
+  std::vector<std::uint32_t> net_pin_begin;
+  std::vector<GCell> pin_cells;
+  /// Per-net segment ranges: CSR over nets into the flat segment arrays,
+  /// which hold segments in canonical order (net ascending, span order).
+  std::vector<std::uint32_t> net_seg_begin;
+  std::vector<GCell> seg_from;
+  std::vector<GCell> seg_to;
+  std::vector<std::vector<std::size_t>> initial_paths;  ///< Phase-A paths
 };
 
 struct RouteResult {
@@ -46,28 +114,54 @@ struct RouteResult {
   /// Per-segment paths, for downstream detailed routing (kept only when
   /// RouteOptions::keep_segments is set).
   std::vector<RoutedSegment> segments;
+  /// Incremental-reroute state (kept only when RouteOptions::keep_state).
+  RouteState state;
 };
 
 /// Route all nets of the placement; returns the final grid in `graph` for
-/// downstream congestion-aware analyses.
-RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, GridGraph& graph,
-                         util::Rng& rng);
+/// downstream congestion-aware analyses. Deterministic: no RNG input.
+RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, GridGraph& graph);
 
 /// View-based variant: pin GCells come from the DesignView's cached pin
 /// coordinates (sync()'d here against `pl`) instead of per-pin
-/// master/library lookups. Consumes the same RNG stream and produces a
-/// bit-identical RouteResult.
+/// master/library lookups. Produces a bit-identical RouteResult.
 RouteResult global_route(const place::Placement& pl, netlist::DesignView& view,
-                         const RouteOptions& opt, GridGraph& graph, util::Rng& rng);
+                         const RouteOptions& opt, GridGraph& graph);
 
 /// Convenience: route and discard the grid.
-RouteResult global_route(const place::Placement& pl, const RouteOptions& opt, util::Rng& rng);
+RouteResult global_route(const place::Placement& pl, const RouteOptions& opt);
+
+/// Incremental reroute: reuse `prev.state` (a keep_state result for the same
+/// netlist and options), re-span and re-route Phase A only for nets whose
+/// pins changed GCell, then replay the negotiation rounds. The final
+/// RouteResult and grid are bitwise identical to a from-scratch
+/// global_route(pl, view, opt, graph) on the new placement.
+///
+/// `dirty_nets` narrows the staleness scan to the given nets (callers that
+/// know which cells moved); pass an empty span to scan every net (O(pins) —
+/// still far cheaper than routing). Falls back to a full route when
+/// `prev.state` is missing, the netlist revision moved, or the option key
+/// mismatches (counter route.incr_fallbacks). When nothing moved and the
+/// caller's graph still carries the state's grid revision, returns `prev`
+/// untouched.
+RouteResult global_route_incremental(const place::Placement& pl, netlist::DesignView& view,
+                                     const RouteOptions& opt, GridGraph& graph,
+                                     const RouteResult& prev,
+                                     std::span<const netlist::NetId> dirty_nets);
 
 /// Single-segment congestion-aware maze route on an existing grid (exposed
 /// for the detailed router's rip-up-and-reroute passes). Returns the edge-id
-/// path; does NOT update usage — callers add/remove usage themselves.
+/// path; does NOT update usage — callers add/remove usage themselves. Uses
+/// the calling thread's arena.
 std::vector<std::size_t> maze_route_segment(const GridGraph& g, const GCell& from,
                                             const GCell& to, double present_weight,
                                             double history_weight);
+
+/// The seed (pre-kernel) router, kept verbatim as the benchmark baseline and
+/// reference implementation: per-segment full-grid scratch allocation,
+/// O(p^2) pin dedup, serial rip-up with O(E) per-round scans, seeded
+/// rip-up order. Not used by the flow.
+RouteResult global_route_reference(const place::Placement& pl, const RouteOptions& opt,
+                                   GridGraph& graph, util::Rng& rng);
 
 }  // namespace maestro::route

@@ -1,8 +1,23 @@
 #pragma once
 // Global-routing grid graph (GCell lattice with per-edge track capacity),
 // shared by the maze router and congestion analyses.
+//
+// The graph keeps an *incremental overflow ledger*: add_usage maintains the
+// total overflow, the set of overflowed edges and the peak utilization as it
+// goes, so the negotiation loop's convergence check and history charging
+// iterate only the overflowed set instead of rescanning all O(E) edges per
+// round (the seed router's two full scans per round).
+//
+// Revision contract: revision() is a monotonic counter bumped by EVERY
+// mutation that can change maze-route costs or usage-derived analyses —
+// add_usage, reset_usage AND bump_history (history feeds the negotiated
+// congestion cost, so a history bump invalidates cached routing state just
+// like a usage change). Consumers caching usage/cost-derived state (the STA
+// SI congestion map, the incremental-reroute fast path) compare revisions
+// instead of rescanning the grid to detect staleness.
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -22,6 +37,12 @@ enum class Dir : std::uint8_t { East, North };
 
 /// Lattice of GCells; horizontal edges (East) and vertical edges (North)
 /// carry independent capacities, mirroring layer directionality.
+///
+/// Thread-safety: const queries of per-edge state (capacity/usage/history)
+/// are safe concurrently with each other; mutations and the ledger queries
+/// (total_overflow, max_utilization, overflowed*) must be serialized by the
+/// caller — the parallel router only reads per-edge state from workers and
+/// funnels every mutation through its canonical-order commit sections.
 class GridGraph {
  public:
   GridGraph() = default;
@@ -51,32 +72,46 @@ class GridGraph {
   double capacity(std::size_t edge) const { return capacity_[edge]; }
   double usage(std::size_t edge) const { return usage_[edge]; }
   void add_usage(std::size_t edge, double amount) {
+    const double before = usage_[edge];
     usage_[edge] += amount;
     ++revision_;
+    update_ledger(edge, before);
   }
-  void reset_usage() {
-    std::fill(usage_.begin(), usage_.end(), 0.0);
-    ++revision_;
-  }
+  void reset_usage();
 
-  /// Monotonic counter bumped on every usage mutation. Consumers caching
-  /// usage-derived state (e.g. the STA SI congestion map) compare revisions
-  /// instead of rescanning the grid to detect staleness.
+  /// Monotonic counter bumped on every cost-relevant mutation (add_usage,
+  /// reset_usage, bump_history) — see the revision contract above.
   std::uint64_t revision() const { return revision_; }
 
   double overflow(std::size_t edge) const {
     const double o = usage_[edge] - capacity_[edge];
     return o > 0.0 ? o : 0.0;
   }
+  /// Sum of per-edge overflow; O(k log k) in the number of overflowed edges
+  /// (summed in ascending edge order, so the value is independent of the
+  /// mutation history that produced the ledger).
   double total_overflow() const;
+  /// Peak usage/capacity ratio; O(1) while usage grows, O(E) recompute only
+  /// after the argmax edge itself decreased (lazy, cached).
   double max_utilization() const;
-  std::size_t overflowed_edges() const;
+  std::size_t overflowed_edges() const { return overflow_edges_.size(); }
+  /// The overflowed-edge set, in insertion order (deterministic for a
+  /// deterministic mutation sequence, but NOT sorted).
+  std::span<const std::size_t> overflowed() const { return overflow_edges_; }
 
-  /// History cost used by negotiated-congestion routing.
+  /// History cost used by negotiated-congestion routing. Bumps revision():
+  /// history changes maze costs, so cached routing state is stale after it.
   double history(std::size_t edge) const { return history_[edge]; }
-  void bump_history(std::size_t edge, double amount) { history_[edge] += amount; }
+  void bump_history(std::size_t edge, double amount) {
+    history_[edge] += amount;
+    ++revision_;
+  }
 
  private:
+  static constexpr std::uint32_t kNotOverflowed = 0xffffffffu;
+
+  void update_ledger(std::size_t edge, double before_usage);
+
   std::size_t cols_ = 0;
   std::size_t rows_ = 0;
   geom::GridIndexer indexer_;
@@ -84,6 +119,15 @@ class GridGraph {
   std::vector<double> usage_;
   std::vector<double> history_;
   std::uint64_t revision_ = 0;
+
+  // Overflow ledger: membership index per edge + compact id set.
+  std::vector<std::uint32_t> overflow_pos_;
+  std::vector<std::size_t> overflow_edges_;
+  // Peak-utilization cache: exact while utilization only grows; a decrease
+  // of the argmax edge marks it dirty and the next query rescans.
+  mutable double max_util_ = 0.0;
+  mutable std::size_t max_util_edge_ = 0;
+  mutable bool max_util_dirty_ = false;
 };
 
 }  // namespace maestro::route

@@ -49,7 +49,7 @@ std::unique_ptr<Routed> routed_design(std::uint64_t seed, double util, std::size
   ro.h_capacity = 20.0 * gw;
   ro.v_capacity = 17.0 * gw;
   ro.keep_segments = true;
-  auto gr = mr::global_route(*r->pl, ro, r->grid, rng);
+  auto gr = mr::global_route(*r->pl, ro, r->grid);
   r->segments = std::move(gr.segments);
   return r;
 }

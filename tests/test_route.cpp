@@ -72,16 +72,30 @@ TEST(GridGraph, UsageAndOverflowAccounting) {
   EXPECT_DOUBLE_EQ(g.total_overflow(), 0.0);
 }
 
+TEST(GridGraph, EveryMutatorBumpsRevision) {
+  const maestro::geom::GridIndexer idx{{{0, 0}, {10, 10}}, 2, 2};
+  mr::GridGraph g{2, 2, 1.0, 1.0, idx};
+  const auto e = g.edge_id({0, 0}, mr::Dir::East);
+  const auto r0 = g.revision();
+  g.add_usage(e, 1.0);
+  const auto r1 = g.revision();
+  EXPECT_GT(r1, r0);
+  g.bump_history(e, 1.0);  // historically forgot to bump the revision
+  const auto r2 = g.revision();
+  EXPECT_GT(r2, r1);
+  g.reset_usage();
+  EXPECT_GT(g.revision(), r2);
+}
+
 TEST(GlobalRouter, RoutesEasyDesignCleanly) {
   std::unique_ptr<mn::Netlist> nl;
   std::unique_ptr<mp::Floorplan> fp;
   const auto pl = placed_design(1, 300, 0.5, nl, fp);
-  Rng rng{1};
   mr::RouteOptions opt;
   opt.gcells_x = opt.gcells_y = 16;
   opt.h_capacity = 60.0;
   opt.v_capacity = 60.0;
-  const auto res = mr::global_route(pl, opt, rng);
+  const auto res = mr::global_route(pl, opt);
   EXPECT_TRUE(res.converged);
   EXPECT_DOUBLE_EQ(res.total_overflow, 0.0);
   EXPECT_GT(res.wirelength_gcells, 0.0);
@@ -96,10 +110,8 @@ TEST(GlobalRouter, TightCapacityCausesOverflowOrMoreWire) {
   loose.h_capacity = loose.v_capacity = 100.0;
   mr::RouteOptions tight = loose;
   tight.h_capacity = tight.v_capacity = 4.0;
-  Rng r1{3};
-  Rng r2{3};
-  const auto easy = mr::global_route(pl, loose, r1);
-  const auto hard = mr::global_route(pl, tight, r2);
+  const auto easy = mr::global_route(pl, loose);
+  const auto hard = mr::global_route(pl, tight);
   EXPECT_GT(hard.total_overflow + (hard.wirelength_gcells - easy.wirelength_gcells), 0.0);
   EXPECT_GE(hard.max_utilization, easy.max_utilization);
 }
@@ -112,8 +124,7 @@ TEST(GlobalRouter, NegotiationReducesOverflow) {
   opt.gcells_x = opt.gcells_y = 16;
   opt.h_capacity = opt.v_capacity = 9.0;
   opt.max_rounds = 8;
-  Rng rng{5};
-  const auto res = mr::global_route(pl, opt, rng);
+  const auto res = mr::global_route(pl, opt);
   ASSERT_GE(res.overflow_per_round.size(), 2u);
   // Overflow after negotiation no worse than the first round.
   EXPECT_LE(res.overflow_per_round.back(), res.overflow_per_round.front());

@@ -140,12 +140,11 @@ TEST(Sta, GbaIsPessimisticVsPba) {
 
 TEST(Sta, SiModeAddsPessimismInCongestion) {
   const auto f = make_fixture(9, 600);
-  Rng rng{9};
   mr::RouteOptions ro;
   ro.gcells_x = ro.gcells_y = 16;
   ro.h_capacity = ro.v_capacity = 8.0;  // force congestion
   mr::GridGraph grid;
-  mr::global_route(*f.pl, ro, grid, rng);
+  mr::global_route(*f.pl, ro, grid);
 
   mt::StaOptions plain;
   plain.mode = mt::AnalysisMode::PathBased;

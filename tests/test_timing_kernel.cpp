@@ -68,13 +68,12 @@ Fixture make_fixture(std::uint64_t seed, std::size_t gates = 400, double flop_ra
   return f;
 }
 
-mr::GridGraph make_routed(const Fixture& f, std::uint64_t seed) {
-  Rng rng{seed};
+mr::GridGraph make_routed(const Fixture& f, std::uint64_t /*seed*/) {
   mr::RouteOptions ro;
   ro.gcells_x = ro.gcells_y = 16;
   ro.h_capacity = ro.v_capacity = 8.0;  // force congestion so SI actually bites
   mr::GridGraph grid;
-  mr::global_route(*f.pl, ro, grid, rng);
+  mr::global_route(*f.pl, ro, grid);
   return grid;
 }
 
